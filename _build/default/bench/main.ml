@@ -1,0 +1,210 @@
+(* Benchmark harness: regenerates every table of the paper (plus the E5-E9
+   studies implied by its analysis sections) and, with the "kernels"
+   argument, times the computational kernels behind each table with
+   Bechamel.
+
+   Usage:
+     main.exe                      run every experiment at default fidelity
+     main.exe table1 table3 ...    run selected experiments
+     main.exe --quick / --paper    fidelity presets
+     main.exe --seed N             override root seed
+     main.exe kernels              Bechamel micro-benchmarks, one per table
+*)
+
+let usage () =
+  print_endline
+    "usage: main.exe [kernels] [experiment ...] [--quick|--paper] [--seed N]";
+  print_endline "experiments:";
+  List.iter
+    (fun e ->
+      Printf.printf "  %-10s %s\n" e.Experiments.Registry.name
+        e.Experiments.Registry.paper_ref)
+    Experiments.Registry.all
+
+(* ---------- Bechamel kernels ---------- *)
+
+let kernel_tests () =
+  let open Bechamel in
+  (* Table 1 kernel: the closed-form fixed point plus an ODE relaxation of
+     the simple system at moderate truncation. *)
+  let table1 =
+    Test.make ~name:"table1/simple-fixed-point"
+      (Staged.stage (fun () ->
+           let m = Meanfield.Simple_ws.model ~lambda:0.7 ~dim:64 () in
+           let fp = Meanfield.Drive.fixed_point ~tol:1e-9 m in
+           ignore (Meanfield.Model.mean_time m fp.Meanfield.Drive.state)))
+  in
+  (* Table 2 kernel: one derivative evaluation of the c = 20 stage system
+     (the dominating cost of the constant-service estimates). *)
+  let table2 =
+    let m = Meanfield.Erlang_ws.model ~lambda:0.9 ~stages:20 () in
+    let y = m.Meanfield.Model.initial_warm () in
+    let dy = Array.make m.Meanfield.Model.dim 0.0 in
+    Test.make ~name:"table2/erlang-c20-deriv"
+      (Staged.stage (fun () -> m.Meanfield.Model.deriv ~y ~dy))
+  in
+  (* Table 3 kernel: derivative of the two-vector transfer system. *)
+  let table3 =
+    let m =
+      Meanfield.Transfer_ws.model ~lambda:0.9 ~transfer_rate:0.25
+        ~threshold:4 ()
+    in
+    let y = m.Meanfield.Model.initial_warm () in
+    let dy = Array.make m.Meanfield.Model.dim 0.0 in
+    Test.make ~name:"table3/transfer-deriv"
+      (Staged.stage (fun () -> m.Meanfield.Model.deriv ~y ~dy))
+  in
+  (* Table 4 kernel: a simulation slice of the two-choice system — the
+     simulation side dominates Table 4's cost. *)
+  let table4 =
+    Test.make ~name:"table4/sim-2choice-slice"
+      (Staged.stage
+         (let counter = ref 0 in
+          fun () ->
+            incr counter;
+            let rng = Prob.Rng.create ~seed:(0x7ab1e4 + !counter) in
+            let sim =
+              Wsim.Cluster.create ~rng
+                {
+                  Wsim.Cluster.default with
+                  n = 16;
+                  arrival_rate = 0.9;
+                  policy =
+                    Wsim.Policy.On_empty
+                      { threshold = 2; choices = 2; steal_count = 1 };
+                }
+            in
+            ignore (Wsim.Cluster.run sim ~horizon:50.0 ~warmup:0.0)))
+  in
+  (* Substrate kernels. *)
+  let rk4 =
+    let sys =
+      Meanfield.Model.as_system
+        (Meanfield.Simple_ws.model ~lambda:0.9 ~dim:256 ())
+    in
+    let ws = Numerics.Ode.workspace sys in
+    let y = Meanfield.Tail.geometric ~dim:256 ~ratio:0.9 ~mass:1.0 in
+    Test.make ~name:"substrate/rk4-step-dim256"
+      (Staged.stage (fun () ->
+           Numerics.Ode.rk4_step sys ws ~t:0.0 ~dt:0.1 y))
+  in
+  let heap =
+    let h = Desim.Event_heap.create () in
+    let rng = Prob.Rng.create ~seed:99 in
+    Test.make ~name:"substrate/event-heap-push-pop"
+      (Staged.stage (fun () ->
+           for _ = 1 to 64 do
+             Desim.Event_heap.push h ~time:(Prob.Rng.float rng) 0
+           done;
+           for _ = 1 to 64 do
+             ignore (Desim.Event_heap.pop h)
+           done))
+  in
+  let rng_test =
+    let rng = Prob.Rng.create ~seed:1 in
+    Test.make ~name:"substrate/rng-exponential"
+      (Staged.stage (fun () ->
+           ignore (Prob.Dist.exponential rng ~rate:1.0)))
+  in
+  [ table1; table2; table3; table4; rk4; heap; rng_test ]
+
+let run_kernels () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ()
+  in
+  let tests =
+    Test.make_grouped ~name:"loadsteal" ~fmt:"%s %s" (kernel_tests ())
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  (* Plain-text report: OLS estimate of ns/run for the monotonic clock. *)
+  print_endline "kernel benchmarks (ns per run, OLS fit):";
+  match Hashtbl.find_opt results (Measure.label Toolkit.Instance.monotonic_clock) with
+  | None -> print_endline "  (no results)"
+  | Some by_test ->
+      let rows =
+        Hashtbl.fold
+          (fun name ols acc ->
+            let est =
+              match Analyze.OLS.estimates ols with
+              | Some (x :: _) -> x
+              | Some [] | None -> nan
+            in
+            (name, est) :: acc)
+          by_test []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (name, est) -> Printf.printf "  %-40s %14.1f\n" name est)
+        rows
+
+(* ---------- driver ---------- *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let paper = List.mem "--paper" args in
+  let seed =
+    let rec find = function
+      | "--seed" :: v :: _ -> Some (int_of_string v)
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let names =
+    List.filter
+      (fun a -> (not (String.length a >= 2 && String.sub a 0 2 = "--"))
+                && (match seed with
+                    | Some s -> a <> string_of_int s
+                    | None -> true))
+      args
+  in
+  if List.mem "help" names || List.mem "-h" args || List.mem "--help" args
+  then usage ()
+  else begin
+    let scope =
+      let base =
+        if quick then Experiments.Scope.quick
+        else if paper then Experiments.Scope.paper
+        else Experiments.Scope.default
+      in
+      match seed with
+      | Some s -> { base with Experiments.Scope.seed = s }
+      | None -> base
+    in
+    let ppf = Format.std_formatter in
+    let t0 = Unix.gettimeofday () in
+    let names, want_kernels =
+      if List.mem "kernels" names then
+        (List.filter (fun n -> n <> "kernels") names, true)
+      else (names, false)
+    in
+    (match names with
+    | [] when want_kernels -> ()
+    | [] -> Experiments.Registry.run_all scope ppf
+    | names ->
+        List.iter
+          (fun name ->
+            match Experiments.Registry.find name with
+            | Some e ->
+                Format.fprintf ppf "=== %s — %s ===@.@."
+                  e.Experiments.Registry.name e.Experiments.Registry.paper_ref;
+                e.Experiments.Registry.print scope ppf
+            | None ->
+                Format.fprintf ppf "unknown experiment %S@." name;
+                usage ();
+                exit 2)
+          names);
+    if want_kernels then run_kernels ();
+    Format.fprintf ppf "total wall time: %.1f s@."
+      (Unix.gettimeofday () -. t0)
+  end

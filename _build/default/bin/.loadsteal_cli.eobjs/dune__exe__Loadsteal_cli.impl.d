@@ -1,0 +1,1 @@
+bin/loadsteal_cli.ml: Arg Array Cmd Cmdliner Experiments Float Format List Meanfield Model_args Printf Prob String Term Wsim

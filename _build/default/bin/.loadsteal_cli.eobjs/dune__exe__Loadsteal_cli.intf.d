@@ -1,0 +1,1 @@
+bin/loadsteal_cli.mli:

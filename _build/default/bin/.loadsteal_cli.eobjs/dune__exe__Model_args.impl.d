@@ -1,0 +1,1 @@
+bin/model_args.ml: Arg Cmdliner List Meanfield Printf String Term Wsim

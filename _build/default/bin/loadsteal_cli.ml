@@ -1,0 +1,328 @@
+(* loadsteal — command-line front end.
+
+   Subcommands:
+     fixed-point   solve a mean-field model and print its predictions
+     trajectory    integrate a model and print E[N](t)
+     simulate      run the finite-n simulator under a policy
+     experiment    regenerate a paper table / analysis experiment
+     stability     L1-distance trace to the fixed point (Section 4)
+     list          list available experiments *)
+
+open Cmdliner
+
+let print_fixed_point name params =
+  let model = Model_args.build_model name params in
+  let fp = Meanfield.Drive.fixed_point model in
+  let state = fp.Meanfield.Drive.state in
+  Printf.printf "model:     %s\n" model.Meanfield.Model.name;
+  Printf.printf "dim:       %d\n" model.Meanfield.Model.dim;
+  Printf.printf "converged: %b (residual %.2e, relaxation time %.0f)\n"
+    fp.Meanfield.Drive.converged fp.Meanfield.Drive.residual
+    fp.Meanfield.Drive.elapsed;
+  Printf.printf "E[N] per processor: %.6f\n"
+    (Meanfield.Metrics.mean_tasks model state);
+  let et = Meanfield.Metrics.mean_time model state in
+  if Float.is_nan et then print_endline "E[T]: n/a (no throughput)"
+  else Printf.printf "E[T] time in system: %.6f\n" et;
+  print_endline "tail densities s_i (fraction of processors with >= i tasks):";
+  List.iter
+    (fun (i, s) -> if s > 1e-12 then Printf.printf "  s_%-2d = %.8f\n" i s)
+    (Meanfield.Metrics.tail_table ~upto:14 state);
+  (match model.Meanfield.Model.predicted_tail_ratio with
+  | Some f ->
+      Printf.printf "tail ratio: predicted %.6f, fitted %.6f\n" (f state)
+        (Meanfield.Metrics.empirical_tail_ratio state)
+  | None ->
+      Printf.printf "tail ratio (fitted): %.6f\n"
+        (Meanfield.Metrics.empirical_tail_ratio state));
+  0
+
+let fixed_point_cmd =
+  let doc = "Solve a mean-field model's fixed point and print predictions." in
+  Cmd.v
+    (Cmd.info "fixed-point" ~doc)
+    Term.(const print_fixed_point $ Model_args.model_term
+          $ Model_args.params_term)
+
+let print_trajectory name params horizon sample_every start =
+  let model = Model_args.build_model name params in
+  let start = if start = "warm" then `Warm else `Empty in
+  let samples =
+    Meanfield.Drive.trajectory ~start ~horizon ~sample_every model
+  in
+  Printf.printf "# t  E[N]  E[T]\n";
+  List.iter
+    (fun (t, s) ->
+      let en = Meanfield.Metrics.mean_tasks model s in
+      let et = Meanfield.Metrics.mean_time model s in
+      Printf.printf "%10.3f  %12.6f  %12.6f\n" t en et)
+    samples;
+  0
+
+let trajectory_cmd =
+  let horizon =
+    Arg.(value & opt float 100.0
+         & info [ "horizon" ] ~docv:"TIME" ~doc:"Integration horizon.")
+  in
+  let sample_every =
+    Arg.(value & opt float 5.0
+         & info [ "sample-every" ] ~docv:"TIME" ~doc:"Sampling interval.")
+  in
+  let start =
+    Arg.(value & opt (enum [ ("empty", "empty"); ("warm", "warm") ]) "empty"
+         & info [ "start" ] ~doc:"Initial condition.")
+  in
+  let doc = "Integrate a model from an initial state and print E[N](t)." in
+  Cmd.v
+    (Cmd.info "trajectory" ~doc)
+    Term.(const print_trajectory $ Model_args.model_term
+          $ Model_args.params_term $ horizon $ sample_every $ start)
+
+let print_simulate policy_name params n horizon warmup runs seed service
+    initial_load =
+  let policy = Model_args.build_policy policy_name params in
+  let service =
+    match service with
+    | "exp" -> Prob.Dist.Exponential
+    | "det" -> Prob.Dist.Deterministic
+    | s when String.length s > 7 && String.sub s 0 7 = "erlang:" ->
+        Prob.Dist.Erlang_stages
+          (int_of_string (String.sub s 7 (String.length s - 7)))
+    | other -> failwith ("unknown service distribution " ^ other)
+  in
+  let config =
+    {
+      Wsim.Cluster.n;
+      arrival_rate = params.Model_args.lambda;
+      spawn_rate = 0.0;
+      service;
+      speeds = None;
+      policy;
+      initial_load;
+      placement = 1;
+      batch_mean = 1.0;
+    }
+  in
+  let fidelity = { Wsim.Runner.runs; horizon; warmup } in
+  let summary = Wsim.Runner.replicate ~seed ~fidelity config in
+  Format.printf "policy:          %a@." Wsim.Policy.pp policy;
+  Printf.printf "n=%d lambda=%g service=%s runs=%d horizon=%g warmup=%g\n" n
+    params.Model_args.lambda
+    (Format.asprintf "%a" Prob.Dist.pp_service service)
+    runs horizon warmup;
+  Printf.printf "mean sojourn E[T]: %.4f (+/- %.4f, 95%%)\n"
+    summary.Wsim.Runner.mean_sojourn summary.Wsim.Runner.sojourn_ci95;
+  Printf.printf "mean load E[N]:    %.4f per processor\n"
+    summary.Wsim.Runner.mean_load;
+  if not (Float.is_nan summary.Wsim.Runner.steal_success_rate) then
+    Printf.printf "steal success:     %.1f%%\n"
+      (100.0 *. summary.Wsim.Runner.steal_success_rate);
+  0
+
+let simulate_cmd =
+  let n =
+    Arg.(value & opt int 64
+         & info [ "procs"; "n" ] ~docv:"N" ~doc:"Number of processors.")
+  in
+  let horizon =
+    Arg.(value & opt float 20_000.0 & info [ "horizon" ] ~docv:"TIME"
+         ~doc:"Simulated time per run.")
+  in
+  let warmup =
+    Arg.(value & opt float 2_000.0 & info [ "warmup" ] ~docv:"TIME"
+         ~doc:"Discarded prefix.")
+  in
+  let runs =
+    Arg.(value & opt int 3 & info [ "runs" ] ~docv:"K"
+         ~doc:"Independent replications.")
+  in
+  let seed =
+    Arg.(value & opt int 20260704 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Root random seed.")
+  in
+  let service =
+    Arg.(value & opt string "exp"
+         & info [ "service" ] ~docv:"DIST"
+             ~doc:"Service distribution: exp, det, or erlang:C.")
+  in
+  let initial_load =
+    Arg.(value & opt int 0 & info [ "initial-load" ] ~docv:"L"
+         ~doc:"Tasks seeded per processor at time 0.")
+  in
+  let doc = "Simulate a finite cluster under a stealing policy." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(const print_simulate $ Model_args.policy_term
+          $ Model_args.params_term $ n $ horizon $ warmup $ runs $ seed
+          $ service $ initial_load)
+
+let scope_term =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smoke-test fidelity.")
+  in
+  let paper =
+    Arg.(value & flag
+         & info [ "paper" ]
+             ~doc:"The paper's full 10 x 100,000 s protocol (slow).")
+  in
+  let seed =
+    Arg.(value & opt int 20260704 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Root random seed.")
+  in
+  let make quick paper seed =
+    let base =
+      if quick then Experiments.Scope.quick
+      else if paper then Experiments.Scope.paper
+      else Experiments.Scope.default
+    in
+    { base with Experiments.Scope.seed }
+  in
+  Term.(const make $ quick $ paper $ seed)
+
+let run_experiment name scope =
+  match Experiments.Registry.find name with
+  | Some e ->
+      e.Experiments.Registry.print scope Format.std_formatter;
+      0
+  | None ->
+      Printf.eprintf "unknown experiment %S; try 'loadsteal_cli list'\n" name;
+      2
+
+let experiment_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"NAME" ~doc:"Experiment name (see list).")
+  in
+  let doc = "Regenerate one of the paper's tables or analysis experiments." in
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(const run_experiment $ name_arg $ scope_term)
+
+let list_experiments () =
+  List.iter
+    (fun e ->
+      Printf.printf "%-10s %s\n" e.Experiments.Registry.name
+        e.Experiments.Registry.paper_ref)
+    Experiments.Registry.all;
+  0
+
+let list_cmd =
+  Cmd.v
+    (Cmd.info "list" ~doc:"List available experiments.")
+    Term.(const list_experiments $ const ())
+
+let print_stability params horizon =
+  let lambda = params.Model_args.lambda in
+  let threshold = params.Model_args.threshold in
+  let model = Meanfield.Threshold_ws.model ~lambda ~threshold () in
+  let fixed_point =
+    Meanfield.Threshold_ws.fixed_point_exact ~lambda ~threshold
+      ~dim:model.Meanfield.Model.dim
+  in
+  let trace =
+    Meanfield.Stability.distance_trace ~start:`Empty ~fixed_point ~horizon
+      ~sample_every:(horizon /. 50.0) model
+  in
+  Printf.printf
+    "lambda=%g T=%d pi2=%.4f (Theorem %s applies: pi2 < 1/2 is %b)\n" lambda
+    threshold fixed_point.(2)
+    (if threshold = 2 then "1" else "2")
+    (fixed_point.(2) < 0.5);
+  Printf.printf "# t  D(t) = sum_i |s_i(t) - pi_i|\n";
+  List.iter (fun (t, d) -> Printf.printf "%10.3f  %.8f\n" t d) trace;
+  Printf.printf "max uptick: %.3e\n" (Meanfield.Stability.max_uptick trace);
+  0
+
+let stability_cmd =
+  let horizon =
+    Arg.(value & opt float 200.0 & info [ "horizon" ] ~docv:"TIME"
+         ~doc:"Trace horizon.")
+  in
+  let doc = "Print the L1 distance to the fixed point along a trajectory." in
+  Cmd.v (Cmd.info "stability" ~doc)
+    Term.(const print_stability $ Model_args.params_term $ horizon)
+
+let print_check name params =
+  let model = Model_args.build_model name params in
+  let report = Meanfield.Selfcheck.run model in
+  Format.printf "%a" Meanfield.Selfcheck.pp report;
+  if Meanfield.Selfcheck.passed report then 0 else 1
+
+let check_cmd =
+  let doc =
+    "Run generic diagnostics (fixed point, invariants, tail ratio) on a \
+     model."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const print_check $ Model_args.model_term $ Model_args.params_term)
+
+let print_drain initial_load stealing n runs seed =
+  let dim = max 48 (4 * initial_load) in
+  let model =
+    Meanfield.Static_ws.model ~arrival:(fun _ -> 0.0) ~stealing
+      ~initial_load ~dim ()
+  in
+  Printf.printf "static drain: load %d per processor, stealing %b\n"
+    initial_load stealing;
+  (match Meanfield.Static_ws.drain_time model with
+  | Some t -> Printf.printf "fluid drain time:      %.3f\n" t
+  | None -> print_endline "fluid drain time:      (horizon exceeded)");
+  Printf.printf "fluid backlog integral: %.3f task-seconds/processor\n"
+    (Meanfield.Static_ws.backlog_integral model);
+  let summary =
+    Wsim.Runner.replicate_static ~seed ~runs
+      {
+        Wsim.Cluster.default with
+        n;
+        arrival_rate = 0.0;
+        initial_load;
+        policy =
+          (if stealing then Wsim.Policy.simple else Wsim.Policy.No_stealing);
+      }
+  in
+  let acc = Prob.Stats.create () in
+  Array.iter
+    (fun (r : Wsim.Cluster.result) ->
+      Prob.Stats.add acc r.Wsim.Cluster.makespan)
+    summary.Wsim.Runner.per_run;
+  Printf.printf "simulated makespan:     %.3f +/- %.3f (n=%d, %d runs)\n"
+    (Prob.Stats.mean acc)
+    (Prob.Stats.ci95_halfwidth acc)
+    n runs;
+  0
+
+let drain_cmd =
+  let initial_load =
+    Arg.(value & opt int 10
+         & info [ "load" ] ~docv:"L" ~doc:"Initial tasks per processor.")
+  in
+  let stealing =
+    Arg.(value & opt bool true
+         & info [ "stealing" ] ~docv:"BOOL" ~doc:"Enable work stealing.")
+  in
+  let n =
+    Arg.(value & opt int 64
+         & info [ "procs"; "n" ] ~docv:"N" ~doc:"Simulated processors.")
+  in
+  let runs =
+    Arg.(value & opt int 5 & info [ "runs" ] ~docv:"K" ~doc:"Replications.")
+  in
+  let seed =
+    Arg.(value & opt int 20260704 & info [ "seed" ] ~docv:"SEED" ~doc:"Seed.")
+  in
+  let doc = "Analyse a static (batch drain) system, fluid and simulated." in
+  Cmd.v (Cmd.info "drain" ~doc)
+    Term.(const print_drain $ initial_load $ stealing $ n $ runs $ seed)
+
+let main_cmd =
+  let doc =
+    "Mean-field analysis and simulation of randomized work stealing \
+     (Mitzenmacher, SPAA 1998)."
+  in
+  Cmd.group
+    (Cmd.info "loadsteal_cli" ~version:"1.0.0" ~doc)
+    [
+      fixed_point_cmd; trajectory_cmd; simulate_cmd; experiment_cmd;
+      list_cmd; stability_cmd; check_cmd; drain_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/constant_service.ml: Format List Meanfield Printf Prob Wsim

@@ -1,0 +1,1 @@
+examples/constant_service.mli:

@@ -1,0 +1,1 @@
+examples/sharing_vs_stealing.ml: Array Meanfield Printf Wsim

@@ -1,0 +1,1 @@
+examples/static_drain.ml: Array List Meanfield Printf Prob Wsim

@@ -1,0 +1,62 @@
+(* Quickstart: predict and then measure the behaviour of the simplest
+   work-stealing system (Section 2.2 of the paper).
+
+   Scenario: a 64-node cluster where each node receives tasks at rate
+   lambda = 0.9 (90% utilisation) and idle nodes steal one task from a
+   random peer. How long does a task spend in the system?
+
+   Three answers, cheapest to most expensive:
+     1. the closed-form fixed point of the mean-field equations,
+     2. numerically relaxing the differential equations (works for any
+        variant, even without a closed form),
+     3. actually simulating the 64-node cluster.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let lambda = 0.9
+
+let () =
+  (* 1. Closed form: pi_2 solves a quadratic; tails are geometric. *)
+  let exact = Meanfield.Simple_ws.mean_time_exact ~lambda in
+  Printf.printf "closed-form estimate:   E[T] = %.4f\n" exact;
+
+  (* 2. Relax the ODE system ds_i/dt = ... to its fixed point. *)
+  let model = Meanfield.Simple_ws.model ~lambda () in
+  let fp = Meanfield.Drive.fixed_point model in
+  let ode = Meanfield.Metrics.mean_time model fp.Meanfield.Drive.state in
+  Printf.printf "ODE fixed point:        E[T] = %.4f (residual %.1e)\n" ode
+    fp.Meanfield.Drive.residual;
+
+  (* Without stealing each node is an M/M/1 queue: 1/(1-lambda) = 10. *)
+  Printf.printf "no stealing (M/M/1):    E[T] = %.4f\n"
+    (Meanfield.Mm1.mean_time_exact ~lambda);
+
+  (* 3. Simulate 64 processors for 3 x 20,000 seconds. *)
+  let config =
+    {
+      Wsim.Cluster.default with
+      n = 64;
+      arrival_rate = lambda;
+      policy = Wsim.Policy.simple;
+    }
+  in
+  let summary =
+    Wsim.Runner.replicate ~seed:42
+      ~fidelity:Wsim.Runner.default_fidelity config
+  in
+  Printf.printf "simulated (n = 64):     E[T] = %.4f +/- %.4f\n"
+    summary.Wsim.Runner.mean_sojourn summary.Wsim.Runner.sojourn_ci95;
+
+  (* The headline structural result: with stealing, the fraction of nodes
+     with at least i tasks decays geometrically at ratio
+     lambda / (1 + lambda - pi_2) < lambda. *)
+  Printf.printf "\ntail decay ratio: stealing %.4f vs no stealing %.4f\n"
+    (Meanfield.Simple_ws.tail_ratio_exact ~lambda)
+    lambda;
+  print_endline "tails s_i (model vs simulation):";
+  let state = fp.Meanfield.Drive.state in
+  let sim_tail = (summary.Wsim.Runner.per_run.(0)).Wsim.Cluster.tail in
+  List.iter
+    (fun i ->
+      Printf.printf "  s_%d: model %.5f  sim %.5f\n" i state.(i) (sim_tail i))
+    [ 1; 2; 3; 4; 5; 6 ]

@@ -1,0 +1,56 @@
+(* Threshold tuning under task-migration cost (Section 3.2 / Table 3).
+
+   Scenario: a render farm whose frames are expensive to migrate — moving
+   one takes on average 4 seconds (transfer rate r = 0.25) while frames
+   take 1 second to render. Stealing a frame from a barely loaded peer is
+   wasteful: by the time it arrives, the thief could have received local
+   work, and the victim might have drained anyway. So thieves only steal
+   from peers with at least T frames. What T minimises latency at each
+   utilisation level?
+
+   The back-of-envelope rule says T ~ 1/r + 1 = 5: only steal work that
+   would otherwise wait about as long as the transfer takes. The fixed
+   points of the transfer-time mean-field model give the real answer,
+   which shifts with load — exactly the use the paper puts Table 3 to.
+
+   Run with:  dune exec examples/threshold_tuning.exe *)
+
+let transfer_rate = 0.25
+let thresholds = [ 2; 3; 4; 5; 6; 7; 8 ]
+let lambdas = [ 0.5; 0.7; 0.8; 0.9; 0.95 ]
+
+let () =
+  Printf.printf "transfer rate r = %.2f (mean migration time %.1f s)\n"
+    transfer_rate (1.0 /. transfer_rate);
+  Printf.printf "rule of thumb: T = 1/r + 1 = %.0f\n\n"
+    ((1.0 /. transfer_rate) +. 1.0);
+  Printf.printf "%-8s" "lambda";
+  List.iter (fun t -> Printf.printf "  T=%-6d" t) thresholds;
+  Printf.printf "  best\n";
+  List.iter
+    (fun lambda ->
+      let times =
+        List.map
+          (fun threshold ->
+            let model =
+              Meanfield.Transfer_ws.model ~lambda ~transfer_rate ~threshold
+                ()
+            in
+            let fp = Meanfield.Drive.fixed_point model in
+            ( threshold,
+              Meanfield.Metrics.mean_time model fp.Meanfield.Drive.state ))
+          thresholds
+      in
+      let best, _ =
+        List.fold_left
+          (fun (bt, bv) (t, v) -> if v < bv then (t, v) else (bt, bv))
+          (0, infinity) times
+      in
+      Printf.printf "%-8.2f" lambda;
+      List.iter (fun (_, v) -> Printf.printf "  %-8.3f" v) times;
+      Printf.printf "  T=%d\n" best)
+    lambdas;
+  print_endline
+    "\nNote how the best threshold grows with load: under pressure it pays\n\
+     to steal only from genuinely overloaded victims, because each steal\n\
+     locks the thief out of further stealing for the transfer duration."

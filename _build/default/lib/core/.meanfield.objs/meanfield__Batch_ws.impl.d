@@ -1,0 +1,1 @@
+lib/core/batch_ws.ml: Array Float Model Numerics Printf Tail Vec

@@ -1,0 +1,1 @@
+lib/core/combined_ws.ml: Array Model Numerics Printf Tail Vec

@@ -1,0 +1,1 @@
+lib/core/combined_ws.mli: Model

@@ -1,0 +1,1 @@
+lib/core/drive.ml: Accel Float List Model Numerics Ode Vec

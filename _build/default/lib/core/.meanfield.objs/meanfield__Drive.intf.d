@@ -1,0 +1,1 @@
+lib/core/drive.mli: Model Numerics

@@ -1,0 +1,1 @@
+lib/core/erlang_ws.ml: Array Float Model Numerics Printf Simple_ws Tail Vec

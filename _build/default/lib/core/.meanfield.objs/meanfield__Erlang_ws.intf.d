@@ -1,0 +1,1 @@
+lib/core/erlang_ws.mli: Model Numerics

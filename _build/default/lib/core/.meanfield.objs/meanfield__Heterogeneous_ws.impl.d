@@ -1,0 +1,1 @@
+lib/core/heterogeneous_ws.ml: Array Float Model Numerics Printf Tail Vec

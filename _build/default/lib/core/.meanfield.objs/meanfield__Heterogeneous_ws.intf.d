@@ -1,0 +1,1 @@
+lib/core/heterogeneous_ws.mli: Model Numerics

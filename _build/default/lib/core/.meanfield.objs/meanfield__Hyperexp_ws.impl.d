@@ -1,0 +1,1 @@
+lib/core/hyperexp_ws.ml: Array Float Model Numerics Printf Prob Tail Vec

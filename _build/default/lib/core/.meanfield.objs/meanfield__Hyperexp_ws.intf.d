@@ -1,0 +1,1 @@
+lib/core/hyperexp_ws.mli: Model Numerics Prob

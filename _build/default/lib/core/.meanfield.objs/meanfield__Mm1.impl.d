@@ -1,0 +1,1 @@
+lib/core/mm1.ml: Array Model Numerics Printf Tail Vec

@@ -1,0 +1,1 @@
+lib/core/mm1.mli: Model Numerics

@@ -1,0 +1,1 @@
+lib/core/model.ml: Numerics Ode Tail Vec

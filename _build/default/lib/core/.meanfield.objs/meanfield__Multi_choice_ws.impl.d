@@ -1,0 +1,1 @@
+lib/core/multi_choice_ws.ml: Array Model Numerics Printf Tail Vec

@@ -1,0 +1,1 @@
+lib/core/preemptive_ws.ml: Array Model Numerics Printf Tail Vec

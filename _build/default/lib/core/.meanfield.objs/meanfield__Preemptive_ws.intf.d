@@ -1,0 +1,1 @@
+lib/core/preemptive_ws.mli: Model Numerics

@@ -1,0 +1,1 @@
+lib/core/rebalance_ws.ml: Array Float Model Numerics Printf Tail Vec

@@ -1,0 +1,1 @@
+lib/core/rebalance_ws.mli: Model

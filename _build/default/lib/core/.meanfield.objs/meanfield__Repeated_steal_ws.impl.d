@@ -1,0 +1,1 @@
+lib/core/repeated_steal_ws.ml: Array Float Model Numerics Printf Tail Vec

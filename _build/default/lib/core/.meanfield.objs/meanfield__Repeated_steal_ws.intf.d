@@ -1,0 +1,1 @@
+lib/core/repeated_steal_ws.mli: Model Numerics

@@ -1,0 +1,1 @@
+lib/core/selfcheck.ml: Drive Float Format List Metrics Model Option

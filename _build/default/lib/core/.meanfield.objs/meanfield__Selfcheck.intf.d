@@ -1,0 +1,1 @@
+lib/core/selfcheck.mli: Format Model

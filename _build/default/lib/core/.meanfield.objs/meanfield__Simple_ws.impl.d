@@ -1,0 +1,1 @@
+lib/core/simple_ws.ml: Array Model Numerics Printf Root Tail Vec

@@ -1,0 +1,1 @@
+lib/core/simple_ws.mli: Model Numerics

@@ -1,0 +1,1 @@
+lib/core/stability.ml: Drive Float List Numerics Option Root Vec

@@ -1,0 +1,1 @@
+lib/core/static_ws.ml: Array Float List Model Numerics Ode Printf Quadrature Tail Vec

@@ -1,0 +1,1 @@
+lib/core/static_ws.mli: Model

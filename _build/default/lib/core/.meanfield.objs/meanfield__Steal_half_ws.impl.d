@@ -1,0 +1,1 @@
+lib/core/steal_half_ws.ml: Array Model Numerics Printf Tail Vec

@@ -1,0 +1,1 @@
+lib/core/steal_half_ws.mli: Model

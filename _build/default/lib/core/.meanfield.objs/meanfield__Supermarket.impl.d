@@ -1,0 +1,1 @@
+lib/core/supermarket.ml: Array Model Numerics Printf Tail Vec

@@ -1,0 +1,1 @@
+lib/core/supermarket.mli: Model Numerics

@@ -1,0 +1,1 @@
+lib/core/tail.ml: Array Float Numerics Vec

@@ -1,0 +1,1 @@
+lib/core/threshold_ws.mli: Model Numerics

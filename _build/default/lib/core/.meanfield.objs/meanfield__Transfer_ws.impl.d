@@ -1,0 +1,1 @@
+lib/core/transfer_ws.ml: Array Buffer Float Model Numerics Printf String Tail Vec

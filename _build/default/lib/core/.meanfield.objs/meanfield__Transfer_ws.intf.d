@@ -1,0 +1,1 @@
+lib/core/transfer_ws.mli: Model Numerics

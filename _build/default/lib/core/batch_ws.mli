@@ -1,0 +1,27 @@
+(** Work stealing under bursty (batch) arrivals — the arrival-distribution
+    side of Section 3.1's programme.
+
+    Section 3.1 notes the technique extends to other arrival distributions
+    as well as service distributions. Here arrival {e events} occur at each
+    processor as a Poisson process of rate [event_rate], and each event
+    delivers a geometrically distributed batch of [K ≥ 1] tasks with mean
+    [mean_batch] (so [P(K ≥ j) = (1-q)^(j-1)], [q = 1/mean_batch]); tasks
+    are served FIFO and stolen on-empty against a threshold, as in §2.3.
+    The arrival gain to [sᵢ] telescopes into the linear recurrence
+    [Gᵢ₊₁ = (1-q)·Gᵢ + pᵢ] over the point masses [pⱼ = sⱼ - s_{j+1}],
+    keeping the derivative O(dim). Utilisation is
+    [ρ = event_rate·mean_batch]; [mean_batch = 1] recovers
+    {!Threshold_ws} exactly. *)
+
+val model :
+  event_rate:float ->
+  mean_batch:float ->
+  ?threshold:int ->
+  ?dim:int ->
+  unit ->
+  Model.t
+(** @raise Invalid_argument unless [mean_batch ≥ 1],
+    [event_rate·mean_batch < 1] and the threshold is at least 2. *)
+
+val utilization : event_rate:float -> mean_batch:float -> float
+(** [ρ = event_rate·mean_batch], the task arrival rate per processor. *)

@@ -1,0 +1,35 @@
+(** The combined on-empty stealing model: threshold [T], [d] victim
+    choices, [k] tasks per steal — §3's opening remark ("it should be
+    clear … that the extensions can be combined as desired") made
+    concrete.
+
+    A processor that empties probes [d] uniformly random victims and
+    steals [k] tasks from the most loaded if it holds at least [T ≥ k+1]
+    tasks (so victims keep their in-service task). With [A = s₁-s₂] and
+    the max-of-d victim-level weights
+    [h_v = (1-s_{v+1})^d - (1-s_v)^d]:
+
+    {v
+      ds₁/dt = λ(s₀-s₁) - A·(1-s_T)^d
+      dsᵢ/dt = λ(s_{i-1}-sᵢ) - (sᵢ-s_{i+1})
+               + [i ≤ k]·A·(1-(1-s_T)^d)
+               - A·((1-s_{i+k})^d - (1-s_{max(i,T)})^d)⁺ ,        i ≥ 2
+    v}
+
+    where the victim-loss bracket is taken when non-degenerate
+    ([i ≥ T-k+1]) and clamps to 0 otherwise. Setting [d = 1] recovers
+    {!Multi_steal_ws}, [k = 1] recovers {!Multi_choice_ws}, and both give
+    {!Threshold_ws} — boundary reductions the test suite checks, along
+    with agreement against the simulator's [On_empty] policy at the same
+    three parameters. *)
+
+val model :
+  lambda:float ->
+  threshold:int ->
+  choices:int ->
+  steal_count:int ->
+  ?dim:int ->
+  unit ->
+  Model.t
+(** @raise Invalid_argument unless [threshold ≥ steal_count + 1],
+    [choices ≥ 1] and [steal_count ≥ 1]. *)

@@ -1,0 +1,43 @@
+(** Integrating a mean-field model: trajectories and fixed points.
+
+    The paper's methodology is to (i) follow trajectories of the limiting
+    differential equations and (ii) solve for the fixed point where all
+    [dsᵢ/dt = 0], which predicts steady-state performance. Fixed points
+    with no closed form are obtained here by long-horizon relaxation of the
+    ODEs, optionally accelerated by Aitken extrapolation of the (linearly
+    converging) approach to equilibrium. *)
+
+type fixed_point = {
+  state : Numerics.Vec.t;  (** Approximate fixed point. *)
+  residual : float;  (** [‖ds/dt‖∞] at [state]. *)
+  converged : bool;  (** Whether [residual ≤ tol] was reached. *)
+  elapsed : float;  (** Simulated relaxation time used. *)
+}
+
+val fixed_point :
+  ?dt:float ->
+  ?tol:float ->
+  ?max_time:float ->
+  ?accelerate:bool ->
+  ?start:[ `Empty | `Warm | `State of Numerics.Vec.t ] ->
+  Model.t ->
+  fixed_point
+(** Relax the model to its fixed point. Defaults: [dt] from
+    {!Model.t.suggested_dt}, [tol = 1e-11], [max_time = 2e5],
+    [accelerate = true], [start = `Warm]. The returned state is freshly
+    allocated. *)
+
+val residual : Model.t -> Numerics.Vec.t -> float
+(** [‖ds/dt‖∞] at the given state. *)
+
+val trajectory :
+  ?dt:float ->
+  ?start:[ `Empty | `Warm | `State of Numerics.Vec.t ] ->
+  horizon:float ->
+  sample_every:float ->
+  Model.t ->
+  (float * Numerics.Vec.t) list
+(** Sampled trajectory from the chosen start; each sample is a fresh copy,
+    in increasing time order, including both endpoints. Default
+    [start = `Empty] (matching how the paper's simulations begin),
+    [dt = 0.05]. *)

@@ -1,0 +1,30 @@
+(** Constant service times via Erlang's method of stages (Section 3.1).
+
+    Each task's unit service is replaced by [c] exponential stages of rate
+    [c]; as [c → ∞] the total service time concentrates at the constant 1.
+    The state component [sᵢ] is the fraction of processors with at least
+    [i] {e stages} of work remaining. A queued (not yet started) task
+    counts [c] stages, so "victim has at least 2 tasks" is "at least
+    [c+1] stages", and a stolen task moves [c] stages. Limiting system
+    (steal-whenever-possible, i.e. [T = 2]):
+
+    {v
+      ds₁/dt = λ(s₀-s₁) - c(s₁-s₂)(1-s_{c+1})
+      dsᵢ/dt = λ(s₀-sᵢ) + c(s₁-s₂)s_{i+c} - c(sᵢ-s_{i+1}),     2 ≤ i ≤ c
+      dsᵢ/dt = λ(s_{i-c}-sᵢ) - c(sᵢ-s_{i+1})
+               - c(sᵢ-s_{i+c})(s₁-s₂),                           i ≥ c+1
+    v}
+
+    Expected tasks per processor is [Σ_{j≥1} s_{(j-1)c+1}] (a processor
+    has ≥ j tasks iff it has ≥ (j-1)c+1 stages). The paper's Table 2 shows
+    [c = 10] and [c = 20] already predict true constant-service systems
+    well, and that constant service beats exponential service. *)
+
+val model : lambda:float -> stages:int -> ?task_depth:int -> unit -> Model.t
+(** [stages] is [c ≥ 1]; [task_depth] is the truncation depth in tasks
+    (state dimension [task_depth·c + 2]); default adapts to [λ].
+    @raise Invalid_argument if [stages < 1]. *)
+
+val mean_tasks : stages:int -> Numerics.Vec.t -> float
+(** Task-count accounting for a stage-state vector (with geometric closure
+    past the truncation). *)

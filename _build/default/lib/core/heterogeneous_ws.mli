@@ -1,0 +1,44 @@
+(** Heterogeneous processor speeds (Section 3.5).
+
+    Two processor classes — a fraction [fraction_fast] of fast processors
+    with service rate [mu_fast] and the rest slow with rate [mu_slow] —
+    each tracked by its own tail vector ([u₀ = f_fast], [v₀ = 1-f_fast]).
+    Arrivals occur at rate [λ] at every processor; a processor of either
+    class that empties steals from a victim chosen uniformly over the
+    whole population (threshold [T]). With [R = μ_f(u₁-u₂) + μ_s(v₁-v₂)]
+    the total steal-attempt rate density and [S_T = u_T + v_T] the victim
+    pool:
+
+    {v
+      du₁/dt = λ(u₀-u₁) - μ_f(u₁-u₂)(1-S_T)
+      duᵢ/dt = λ(u_{i-1}-uᵢ) - μ_f(uᵢ-u_{i+1}),                2 ≤ i ≤ T-1
+      duᵢ/dt = λ(u_{i-1}-uᵢ) - μ_f(uᵢ-u_{i+1}) - R(uᵢ-u_{i+1}),    i ≥ T
+    v}
+
+    and symmetrically for the slow class. These equations follow the
+    paper's Section 3.5 recipe (one state vector per processor type, each
+    a fixed fraction of the population); it gives no displayed equations,
+    so the derivation mirrors Section 2.2. Work stealing lets the fast
+    class carry the slow one: the system can be stable even when
+    [λ > mu_slow], provided the average service capacity exceeds [λ] —
+    explored in experiment E8. *)
+
+val model :
+  lambda:float ->
+  fraction_fast:float ->
+  mu_fast:float ->
+  mu_slow:float ->
+  threshold:int ->
+  ?depth:int ->
+  unit ->
+  Model.t
+(** @raise Invalid_argument unless [0 < fraction_fast < 1], speeds are
+    positive, [threshold >= 2], and average capacity exceeds [lambda]. *)
+
+val split : Model.t -> Numerics.Vec.t -> Numerics.Vec.t * Numerics.Vec.t
+(** [(fast, slow)] tail-vector copies from a packed state. *)
+
+val class_mean_tasks :
+  Model.t -> Numerics.Vec.t -> fast:bool -> float
+(** Expected tasks per processor conditioned on the class (dividing by the
+    class mass). *)

@@ -1,0 +1,56 @@
+(** Work stealing with hyperexponential (two-phase) service — the
+    high-variability end of Section 3.1's programme.
+
+    Section 3.1 observes that mixtures of exponential phases approximate
+    any positive service distribution. {!Erlang_ws} covers the
+    low-variance direction (constant service); this model covers the
+    opposite: each service period is exponential of rate [mu1] with
+    probability [p1], else of rate [mu2] — squared coefficient of
+    variation above 1. Because the phase is drawn when service {e starts},
+    the extra state per processor is just the phase of its in-service
+    task: [uᵢ] ([vᵢ]) is the fraction of processors serving a phase-1
+    (phase-2) task with at least [i] tasks in total. With
+    [e = 1 - u₁ - v₁] the idle fraction, [A = μ₁(u₁-u₂) + μ₂(v₁-v₂)] the
+    steal-attempt rate and [S_T = u_T + v_T] the victim pool:
+
+    {v
+      du₁/dt = λ·e·p₁ - μ₁(u₁-u₂)(1 - S_T·p₁) + μ₂(v₁-v₂)S_T·p₁
+               - μ₁p₂u₂ + μ₂p₁v₂
+      duₖ/dt = λ(u_{k-1}-uₖ) - μ₁(uₖ-u_{k+1}) - μ₁p₂u_{k+1} + μ₂p₁v_{k+1}
+               - [k ≥ T]·A(uₖ-u_{k+1}),                              k ≥ 2
+    v}
+
+    and symmetrically for [v] (swap roles and probabilities). The
+    class-switch flows ([μ₁p₂u_{k+1}] etc.) move a processor between the
+    [u] and [v] populations when a completion draws the other phase for
+    the next task; victims of steals keep their phase (the in-service task
+    is never stolen). Derived here following the Section 2.2 recipe; the
+    paper states the method and works the Erlang case. *)
+
+val model :
+  lambda:float ->
+  p1:float ->
+  mu1:float ->
+  mu2:float ->
+  ?threshold:int ->
+  ?depth:int ->
+  unit ->
+  Model.t
+(** Phase probabilities ([p1], [1-p1]) and rates. Requires
+    [0 < p1 < 1], positive rates, and stability
+    [λ·(p1/μ₁ + (1-p1)/μ₂) < 1]. [threshold] defaults to 2. *)
+
+val of_service :
+  lambda:float ->
+  service:Prob.Dist.service ->
+  ?threshold:int ->
+  ?depth:int ->
+  unit ->
+  Model.t
+(** Build from a {!Prob.Dist.Hyperexp} service description (normalised to
+    mean 1 exactly as the simulator samples it), so model and simulation
+    are parameterised identically. @raise Invalid_argument for other
+    service families. *)
+
+val split : Model.t -> Numerics.Vec.t -> Numerics.Vec.t * Numerics.Vec.t
+(** [(u, v)] phase-population tails (index 0 is a placeholder 0). *)

@@ -1,0 +1,26 @@
+open Numerics
+
+let mean_tasks (m : Model.t) state = m.mean_tasks state
+let mean_time = Model.mean_time
+
+(* The default floor stays well above the truncation/relaxation noise
+   region: entries below ~1e-9 can still carry warm-start residue when the
+   max-norm residual test fires, which would bias the fit. *)
+let empirical_tail_ratio ?(from = 4) ?(floor = 1e-9) s =
+  let n = Vec.dim s in
+  if from >= n - 1 || s.(from) <= floor then nan
+  else begin
+    let j = ref (n - 1) in
+    while !j > from && s.(!j) <= floor do
+      decr j
+    done;
+    if !j <= from then nan
+    else (s.(!j) /. s.(from)) ** (1.0 /. float_of_int (!j - from))
+  end
+
+let tail_table ?(upto = 12) s =
+  let n = Vec.dim s in
+  let rec build i acc =
+    if i < 0 then acc else build (i - 1) ((i, s.(i)) :: acc)
+  in
+  build (min upto (n - 1)) []

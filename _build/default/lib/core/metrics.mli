@@ -1,0 +1,21 @@
+(** Reading performance predictions out of mean-field states. *)
+
+val mean_tasks : Model.t -> Numerics.Vec.t -> float
+(** Expected tasks per processor (delegates to the model's accounting). *)
+
+val mean_time : Model.t -> Numerics.Vec.t -> float
+(** Expected sojourn time by Little's law; the quantity in every table of
+    the paper. *)
+
+val empirical_tail_ratio :
+  ?from:int -> ?floor:float -> Numerics.Vec.t -> float
+(** Geometric decay rate fitted to a tail vector:
+    [(s_j / s_from)^(1/(j-from))] where [j] is the deepest index with
+    [s_j > floor] (default [1e-9]); [nan] when the tail is too short to
+    fit. Compared in tests against {!Model.predicted_tail_ratio} — the
+    paper's headline claim is that these ratios match
+    [λ/(1 + λ - π₂)]-style formulas. *)
+
+val tail_table :
+  ?upto:int -> Numerics.Vec.t -> (int * float) list
+(** [(i, sᵢ)] pairs for display, [i ≤ upto] (default 12). *)

@@ -1,0 +1,39 @@
+open Numerics
+
+type t = {
+  name : string;
+  dim : int;
+  throughput : float;
+  deriv : y:Vec.t -> dy:Vec.t -> unit;
+  initial_empty : unit -> Vec.t;
+  initial_warm : unit -> Vec.t;
+  mean_tasks : Vec.t -> float;
+  predicted_tail_ratio : (Vec.t -> float) option;
+  validate : Vec.t -> bool;
+  suggested_dt : float;
+}
+
+let as_system m =
+  { Ode.dim = m.dim; deriv = (fun ~t:_ ~y ~dy -> m.deriv ~y ~dy) }
+
+let mean_time m state =
+  if m.throughput <= 0.0 then nan else m.mean_tasks state /. m.throughput
+
+let of_single_tail ~name ~lambda ~dim ~deriv ?predicted_tail_ratio
+    ?warm_ratio ?(suggested_dt = 0.25) () =
+  if dim < 4 then invalid_arg "Model.of_single_tail: dim too small";
+  if lambda < 0.0 || lambda >= 1.0 then
+    invalid_arg "Model.of_single_tail: need 0 <= lambda < 1 for stability";
+  let warm_ratio = match warm_ratio with Some r -> r | None -> lambda in
+  {
+    name;
+    dim;
+    throughput = lambda;
+    deriv;
+    initial_empty = (fun () -> Tail.empty ~dim ~mass:1.0);
+    initial_warm = (fun () -> Tail.geometric ~dim ~ratio:warm_ratio ~mass:1.0);
+    mean_tasks = (fun s -> Tail.mean_tasks ~from:1 s);
+    predicted_tail_ratio;
+    validate = (fun s -> Tail.is_valid ~mass:1.0 s);
+    suggested_dt;
+  }

@@ -1,0 +1,60 @@
+(** A mean-field work-stealing model: a family of differential equations
+    over (stacked) tail-density vectors, in the sense of Section 2 of the
+    paper, together with the bookkeeping needed to extract performance
+    metrics from a state.
+
+    Each variant module ({!Simple_ws}, {!Threshold_ws}, …) builds one of
+    these records; {!Drive} integrates it, and {!Metrics} reads it out. *)
+
+type t = {
+  name : string;  (** Human-readable variant name with parameters. *)
+  dim : int;  (** Length of the packed state vector. *)
+  throughput : float;
+      (** Total external task arrival rate per processor — the [λ] of
+          Little's law. 0 for static (drain) systems. *)
+  deriv : y:Numerics.Vec.t -> dy:Numerics.Vec.t -> unit;
+      (** Writes [ds/dt] at state [y]. Autonomous: the paper's systems do
+          not depend on absolute time. Must hold conserved coordinates
+          (class masses) at derivative 0. *)
+  initial_empty : unit -> Numerics.Vec.t;
+      (** The all-idle state — the paper's simulations start here. *)
+  initial_warm : unit -> Numerics.Vec.t;
+      (** A valid state near the expected fixed point (typically the
+          no-stealing M/M/1 tail), which shortens relaxation. *)
+  mean_tasks : Numerics.Vec.t -> float;
+      (** Expected tasks per processor in the given state, including any
+          in-transit tasks (transfer model) and all population classes. *)
+  predicted_tail_ratio : (Numerics.Vec.t -> float) option;
+      (** Where the paper derives a geometric decay rate for the
+          fixed-point tail, the formula evaluated at a state (e.g.
+          [λ/(1+λ-π₂)]); used to cross-check numerics. *)
+  validate : Numerics.Vec.t -> bool;
+      (** State-shape invariant check used by tests and the driver. *)
+  suggested_dt : float;
+      (** A fixed RK4 step size safely inside the system's stability
+          region (the Erlang-stage systems have event rates of order [c]
+          and need proportionally smaller steps). *)
+}
+
+val as_system : t -> Numerics.Ode.system
+(** View for the ODE integrators. *)
+
+val mean_time : t -> Numerics.Vec.t -> float
+(** Expected time a task spends in the system at the given (fixed-point)
+    state, by Little's law: [E[T] = E[N] / λ]. [nan] when
+    [throughput = 0]. *)
+
+val of_single_tail :
+  name:string ->
+  lambda:float ->
+  dim:int ->
+  deriv:(y:Numerics.Vec.t -> dy:Numerics.Vec.t -> unit) ->
+  ?predicted_tail_ratio:(Numerics.Vec.t -> float) ->
+  ?warm_ratio:float ->
+  ?suggested_dt:float ->
+  unit ->
+  t
+(** Builder for the common case of a single tail vector with mass 1:
+    fills in initial states (warm start is a geometric tail of ratio
+    [warm_ratio], default [lambda]), mean-task accounting and
+    validation. *)

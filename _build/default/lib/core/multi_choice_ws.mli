@@ -1,0 +1,25 @@
+(** Stealing with multiple victim choices (Section 3.3).
+
+    Motivated by the power of two choices in load sharing, a thief probes
+    [d] potential victims simultaneously and steals from the most loaded
+    one if it is at or above the threshold [T]. With probability
+    [(1-s_T)^d] all probes miss; a victim of load exactly [i ≥ T] is the
+    maximum with probability [(1-s_{i+1})^d - (1-sᵢ)^d]. Limiting system:
+
+    {v
+      ds₁/dt = λ(s₀-s₁) - (s₁-s₂)(1-s_T)^d
+      dsᵢ/dt = λ(s_{i-1}-sᵢ) - (sᵢ-s_{i+1}),                   2 ≤ i ≤ T-1
+      dsᵢ/dt = λ(s_{i-1}-sᵢ) - (sᵢ-s_{i+1})
+               - ((1-s_{i+1})^d - (1-sᵢ)^d)(s₁-s₂),                 i ≥ T
+    v}
+
+    [d = 1] recovers {!Threshold_ws}. The paper's Table 4 shows two
+    choices help, especially near saturation, but one choice already
+    captures most of the gain — steals can occur at most [d] times the
+    single-choice rate, bounding the tail-ratio improvement by
+    [λ/(1 + d(λ-π₂))]. *)
+
+val model :
+  lambda:float -> choices:int -> threshold:int -> ?dim:int -> unit ->
+  Model.t
+(** @raise Invalid_argument unless [choices >= 1] and [threshold >= 2]. *)

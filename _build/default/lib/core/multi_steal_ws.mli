@@ -1,0 +1,27 @@
+(** Stealing several tasks at once (Section 3.4).
+
+    When a steal succeeds against a victim holding at least [T] tasks,
+    [k] tasks move at once (the paper takes [k ≤ T/2], which we require,
+    so a victim always retains at least [k ≥ 1] tasks and the gain/loss
+    index ranges cannot overlap). A successful steal lifts the thief's
+    levels [s₁ … s_k] and drops the victim's; the limiting system is
+
+    {v
+      ds₁/dt = λ(s₀-s₁) - (s₁-s₂)(1-s_T)
+      dsᵢ/dt = λ(s_{i-1}-sᵢ) - (sᵢ-s_{i+1}) + (s₁-s₂)s_T,       2 ≤ i ≤ k
+      dsᵢ/dt = λ(s_{i-1}-sᵢ) - (sᵢ-s_{i+1}),               k+1 ≤ i ≤ T-k
+      dsᵢ/dt = λ(s_{i-1}-sᵢ) - (sᵢ-s_{i+1})
+               - (s₁-s₂)(s_T - s_{i+k}),                  T-k+1 ≤ i ≤ T
+      dsᵢ/dt = λ(s_{i-1}-sᵢ) - (sᵢ-s_{i+1})
+               - (s₁-s₂)(sᵢ - s_{i+k}),                          i ≥ T+1
+    v}
+
+    (the victim-loss factor is [(s₁-s₂)·(s_{max(i,T)} - s_{max(i+k,T)})],
+    which the displayed ranges spell out). With instantaneous transfers,
+    stealing more per attempt only helps — quantified in experiment E7. *)
+
+val model :
+  lambda:float -> steal_count:int -> threshold:int -> ?dim:int -> unit ->
+  Model.t
+(** @raise Invalid_argument unless [1 ≤ steal_count] and
+    [2·steal_count ≤ threshold]. *)

@@ -1,0 +1,34 @@
+(** Preemptive stealing (Section 2.4).
+
+    A processor begins attempting steals before it runs dry: with [B] the
+    load at or below which it tries to steal, and offset [T], a thief
+    holding [i] tasks only steals from victims with at least [i + T]
+    tasks. Steal attempts are made at task completions that leave the
+    thief at load [≤ B]. Limiting system:
+
+    {v
+      dsᵢ/dt = λ(s_{i-1}-sᵢ) - (sᵢ-s_{i+1})(1-s_{i+T-1}),      1 ≤ i ≤ B+1
+      dsᵢ/dt = λ(s_{i-1}-sᵢ) - (sᵢ-s_{i+1}),                  B+2 ≤ i ≤ T-1
+      dsᵢ/dt = λ(s_{i-1}-sᵢ) - (sᵢ-s_{i+1})
+               - (sᵢ-s_{i+1})(s₁ - s_{min(B+2, i-T+2)}),            i ≥ T
+    v}
+
+    (the last factor aggregates thieves at levels [j ≤ min(B, i-T)], whose
+    completion-rate density telescopes to [s₁ - s_{min(B,i-T)+2}]).
+
+    The fixed point has no convenient closed form; it is obtained by ODE
+    relaxation. For [i ≥ B+T] the tails decrease geometrically at rate
+    [λ/(1+λ-π_{B+2})] — all thief levels are active against such deep
+    victims — which {!Model.predicted_tail_ratio} exposes for checking.
+
+    Requires [T ≥ B + 2] so that an attempt's own departure range and the
+    plain-service range do not overlap ([B = 0] recovers
+    {!Threshold_ws}). *)
+
+val model :
+  lambda:float -> begin_at:int -> offset:int -> ?dim:int -> unit -> Model.t
+(** [begin_at] is [B ≥ 0]; [offset] is [T ≥ B+2].
+    @raise Invalid_argument on parameter violations. *)
+
+val tail_ratio_predicted : lambda:float -> Numerics.Vec.t -> begin_at:int -> float
+(** [λ/(1+λ-π_{B+2})] evaluated on a (fixed-point) state. *)

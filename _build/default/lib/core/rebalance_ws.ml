@@ -1,0 +1,65 @@
+open Numerics
+
+let deriv ~lambda ~rates ~y ~dy =
+  let n = Vec.dim y in
+  let ratio = Tail.boundary_ratio y in
+  let get i = if i < n then y.(i) else Tail.ext y ~ratio i in
+  let rate j = if j < Array.length rates then rates.(j) else rates.(Array.length rates - 1) in
+  dy.(0) <- 0.0;
+  for i = 1 to n - 1 do
+    dy.(i) <-
+      (lambda *. (y.(i - 1) -. y.(i))) -. (y.(i) -. get (i + 1))
+  done;
+  (* Point masses and their effective support. *)
+  let p = Array.init n (fun j -> y.(j) -. get (j + 1)) in
+  let support = ref (n - 1) in
+  while !support > 0 && p.(!support) <= 1e-14 do
+    decr support
+  done;
+  (* diff.(a) += x; diff.(b+1) -= x encodes adding x to dsᵢ for a ≤ i ≤ b. *)
+  let diff = Array.make (n + 1) 0.0 in
+  let add_range a b x =
+    if a <= b then begin
+      diff.(a) <- diff.(a) +. x;
+      if b + 1 <= n then diff.(b + 1) <- diff.(b + 1) -. x
+    end
+  in
+  for j = 2 to !support do
+    (* k < j - 1: pairs that actually move load. *)
+    for k = 0 to j - 2 do
+      let pair_rate = (rate j +. rate k) *. p.(j) *. p.(k) in
+      if pair_rate > 0.0 then begin
+        let lo' = (j + k) / 2 and hi' = (j + k + 1) / 2 in
+        add_range (k + 1) lo' pair_rate;
+        add_range (hi' + 1) j (-.pair_rate)
+      end
+    done
+  done;
+  let acc = ref 0.0 in
+  for i = 1 to n - 1 do
+    acc := !acc +. diff.(i);
+    dy.(i) <- dy.(i) +. !acc
+  done
+
+let model ~lambda ~rate ?dim () =
+  let dim =
+    match dim with Some d -> d | None -> Tail.suggested_dim ~lambda ()
+  in
+  let rates = Array.init (dim + 2) rate in
+  Array.iteri
+    (fun i r ->
+      if r < 0.0 then
+        invalid_arg
+          (Printf.sprintf "Rebalance_ws: rate %d is negative" i))
+    rates;
+  let max_rate = Array.fold_left Float.max 0.0 rates in
+  Model.of_single_tail
+    ~name:(Printf.sprintf "rebalance_ws(lambda=%g)" lambda)
+    ~lambda ~dim
+    ~deriv:(fun ~y ~dy -> deriv ~lambda ~rates ~y ~dy)
+    ~suggested_dt:(Float.min 0.25 (0.5 /. (1.0 +. (2.0 *. max_rate))))
+    ()
+
+let model_uniform_rate ~lambda ~rate ?dim () =
+  let m = model ~lambda ~rate:(fun _ -> rate) ?dim () in
+  { m with Model.name = Printf.sprintf "rebalance_ws(lambda=%g, r=%g)" lambda rate }

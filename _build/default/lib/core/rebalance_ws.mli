@@ -1,0 +1,26 @@
+(** Pairwise load rebalancing (Section 3.4, after Rudolph,
+    Slivkin-Allalouf and Upfal).
+
+    At exponential rate [r(i)] — possibly depending on its current load
+    [i] — a processor picks a uniformly random partner and the two split
+    their combined load evenly (the initially larger one keeps the larger
+    half, [⌈(j+k)/2⌉] vs [⌊(j+k)/2⌋]).
+
+    We implement the generic pairwise-event derivative from first
+    principles rather than the paper's expanded double sum (whose display
+    is OCR-garbled in our source): an unordered pair with loads [(j, k)]
+    meets at rate density [(r(j)+r(k))·p_j·p_k] for [j ≠ k] and
+    [r(j)·p_j²] for [j = k] (where [p_j = s_j - s_{j+1}]), and the event
+    raises [sᵢ] for [k < i ≤ ⌊(j+k)/2⌋] and lowers it for
+    [⌈(j+k)/2⌉ < i ≤ j] (taking [j ≥ k]). Both formulations describe the
+    same jump process. Pairs are accumulated with a difference array, so a
+    derivative evaluation costs O(support²) rather than O(dim³). *)
+
+val model :
+  lambda:float -> rate:(int -> float) -> ?dim:int -> unit -> Model.t
+(** [rate i] must be non-negative for all [i ≥ 0]; it is evaluated once
+    per index at model construction. *)
+
+val model_uniform_rate :
+  lambda:float -> rate:float -> ?dim:int -> unit -> Model.t
+(** Convenience: [r(i) = rate] for every load. *)

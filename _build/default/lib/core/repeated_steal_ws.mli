@@ -1,0 +1,26 @@
+(** Repeated steal attempts (Section 2.5).
+
+    As in the WS algorithm of Blumofe–Leiserson, a thief that fails keeps
+    trying: empty processors make further steal attempts at exponential
+    rate [r], and a victim must hold at least [T] tasks. Limiting system:
+
+    {v
+      ds₁/dt = λ(s₀-s₁) + r(s₀-s₁)s_T - (s₁-s₂)(1-s_T)
+      dsᵢ/dt = λ(s_{i-1}-sᵢ) - (sᵢ-s_{i+1}),                   2 ≤ i ≤ T-1
+      dsᵢ/dt = λ(s_{i-1}-sᵢ) - (sᵢ-s_{i+1})(1 + (s₁-s₂) + r(s₀-s₁)), i ≥ T
+    v}
+
+    At the fixed point the tails for [i ≥ T] decrease geometrically at
+    rate [λ/(1 + r(1-λ) + λ - π₂)]; as [r → ∞] the fraction of processors
+    at or above the threshold vanishes — a task above the threshold is
+    stolen immediately. *)
+
+val model :
+  lambda:float -> retry_rate:float -> threshold:int -> ?dim:int -> unit ->
+  Model.t
+(** @raise Invalid_argument unless [retry_rate >= 0] and [threshold >= 2]. *)
+
+val tail_ratio_predicted :
+  lambda:float -> retry_rate:float -> Numerics.Vec.t -> float
+(** [λ/(1 + r(1-λ) + λ - π₂)] evaluated on a state (using the fixed-point
+    identities [π₀-π₁ = 1-λ]). *)

@@ -1,0 +1,68 @@
+type report = {
+  model_name : string;
+  converged : bool;
+  fixed_point_residual : float;
+  fixed_point_valid : bool;
+  trajectory_valid : bool;
+  mean_tasks : float;
+  mean_time : float;
+  fitted_tail_ratio : float;
+  predicted_tail_ratio : float option;
+  tail_ratio_agrees : bool;
+}
+
+let passed r =
+  r.converged && r.fixed_point_valid && r.trajectory_valid
+  && r.fixed_point_residual < 1e-8 && r.tail_ratio_agrees
+
+let run ?(horizon = 50.0) ?max_time (model : Model.t) =
+  let fp = Drive.fixed_point ?max_time model in
+  let state = fp.Drive.state in
+  let trajectory_valid =
+    Drive.trajectory ~start:`Empty ~horizon ~sample_every:(horizon /. 10.0)
+      model
+    |> List.for_all (fun (_, s) -> model.Model.validate s)
+  in
+  let fitted_tail_ratio = Metrics.empirical_tail_ratio state in
+  let predicted_tail_ratio =
+    Option.map (fun f -> f state) model.Model.predicted_tail_ratio
+  in
+  let tail_ratio_agrees =
+    match predicted_tail_ratio with
+    | None -> true
+    | Some p ->
+        Float.is_nan fitted_tail_ratio
+        || Float.abs (p -. fitted_tail_ratio) < 0.01
+  in
+  {
+    model_name = model.Model.name;
+    converged = fp.Drive.converged;
+    fixed_point_residual = fp.Drive.residual;
+    fixed_point_valid = model.Model.validate state;
+    trajectory_valid;
+    mean_tasks = model.Model.mean_tasks state;
+    mean_time = Model.mean_time model state;
+    fitted_tail_ratio;
+    predicted_tail_ratio;
+    tail_ratio_agrees;
+  }
+
+let pp ppf r =
+  let yesno b = if b then "ok" else "FAIL" in
+  Format.fprintf ppf "model: %s@." r.model_name;
+  Format.fprintf ppf "  fixed point:     %s (residual %.2e)@."
+    (yesno (r.converged && r.fixed_point_residual < 1e-8))
+    r.fixed_point_residual;
+  Format.fprintf ppf "  state invariant: %s (fixed point), %s (trajectory)@."
+    (yesno r.fixed_point_valid)
+    (yesno r.trajectory_valid);
+  Format.fprintf ppf "  E[N] = %.6f, E[T] = %.6f@." r.mean_tasks r.mean_time;
+  (match r.predicted_tail_ratio with
+  | Some p ->
+      Format.fprintf ppf "  tail ratio:      %s (fitted %.5f, predicted %.5f)@."
+        (yesno r.tail_ratio_agrees) r.fitted_tail_ratio p
+  | None ->
+      Format.fprintf ppf "  tail ratio:      fitted %.5f (no prediction)@."
+        r.fitted_tail_ratio);
+  Format.fprintf ppf "  verdict:         %s@."
+    (if passed r then "PASSED" else "FAILED")

@@ -1,0 +1,37 @@
+(** Generic diagnostics for a mean-field model.
+
+    A single entry point that exercises the checks every variant should
+    pass — used by the test suite, and exposed through the CLI so that a
+    user extending the library with a new model gets an immediate
+    verdict:
+
+    - the driver converges to a fixed point and its residual is tiny;
+    - the fixed point satisfies the model's own state invariant;
+    - states stay valid along a trajectory from the empty system;
+    - the fitted geometric tail ratio agrees with the model's prediction
+      when it has one (the paper's structural claim). *)
+
+type report = {
+  model_name : string;
+  converged : bool;
+  fixed_point_residual : float;
+  fixed_point_valid : bool;
+  trajectory_valid : bool;
+      (** Every sampled state of a 50-time-unit trajectory from empty
+          passes [validate]. *)
+  mean_tasks : float;
+  mean_time : float;  (** [nan] for throughput-less (static) models. *)
+  fitted_tail_ratio : float;
+  predicted_tail_ratio : float option;
+  tail_ratio_agrees : bool;
+      (** [true] when no prediction exists or |fit - prediction| < 0.01. *)
+}
+
+val passed : report -> bool
+(** Conjunction of all boolean findings plus a residual below 1e-8. *)
+
+val run : ?horizon:float -> ?max_time:float -> Model.t -> report
+(** Run the diagnostics ([horizon] of the trajectory check defaults to
+    50). *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,48 @@
+open Numerics
+
+let pi2_exact ~lambda =
+  Root.solve_quadratic_smaller ~b:(-.(1.0 +. lambda)) ~c:(lambda *. lambda)
+
+let tail_ratio_exact ~lambda =
+  lambda /. (1.0 +. lambda -. pi2_exact ~lambda)
+
+let deriv ~lambda ~y ~dy =
+  let n = Vec.dim y in
+  let ratio = Tail.boundary_ratio y in
+  let steal_rate = y.(1) -. y.(2) in
+  dy.(0) <- 0.0;
+  dy.(1) <- (lambda *. (y.(0) -. y.(1))) -. (steal_rate *. (1.0 -. y.(2)));
+  for i = 2 to n - 1 do
+    let next = if i + 1 < n then y.(i + 1) else Tail.ext y ~ratio (i + 1) in
+    let drain = y.(i) -. next in
+    dy.(i) <-
+      (lambda *. (y.(i - 1) -. y.(i))) -. drain -. (drain *. steal_rate)
+  done
+
+let model ~lambda ?dim () =
+  let dim =
+    match dim with Some d -> d | None -> Tail.suggested_dim ~lambda ()
+  in
+  Model.of_single_tail
+    ~name:(Printf.sprintf "simple_ws(lambda=%g)" lambda)
+    ~lambda ~dim
+    ~deriv:(fun ~y ~dy -> deriv ~lambda ~y ~dy)
+    ~predicted_tail_ratio:(fun s ->
+      lambda /. (1.0 +. lambda -. s.(2)))
+    ()
+
+let fixed_point_exact ~lambda ~dim =
+  if dim < 4 then invalid_arg "Simple_ws.fixed_point_exact: dim too small";
+  let pi2 = pi2_exact ~lambda in
+  let q = tail_ratio_exact ~lambda in
+  Vec.init dim (fun i ->
+      if i = 0 then 1.0
+      else if i = 1 then lambda
+      else pi2 *. (q ** float_of_int (i - 2)))
+
+let mean_tasks_exact ~lambda =
+  let pi2 = pi2_exact ~lambda in
+  let q = tail_ratio_exact ~lambda in
+  lambda +. (pi2 /. (1.0 -. q))
+
+let mean_time_exact ~lambda = mean_tasks_exact ~lambda /. lambda

@@ -1,0 +1,34 @@
+(** The simple work-stealing system of Section 2.2.
+
+    A processor that completes its final task attempts to steal one task
+    from a uniformly random victim; the steal succeeds when the victim has
+    at least two tasks. Limiting equations (2) and (3):
+
+    {v
+      ds₁/dt = λ(s₀-s₁) - (s₁-s₂)(1-s₂)
+      dsᵢ/dt = λ(s_{i-1}-sᵢ) - (sᵢ-s_{i+1}) - (sᵢ-s_{i+1})(s₁-s₂),  i ≥ 2
+    v}
+
+    The fixed point is closed-form: [π₀ = 1], [π₁ = λ],
+    [π₂ = (1+λ-√(1+2λ-3λ²))/2] (the smaller root of
+    [x² - (1+λ)x + λ² = 0]), and for [i ≥ 2] the tails decrease
+    geometrically, [πᵢ = π₂·q^(i-2)] with [q = λ/(1+λ-π₂)] — faster than
+    the no-stealing rate [λ] because stealing raises the apparent service
+    rate of a loaded processor to [1 + λ - π₂]. *)
+
+val model : lambda:float -> ?dim:int -> unit -> Model.t
+
+val pi2_exact : lambda:float -> float
+(** Closed-form [π₂]. *)
+
+val tail_ratio_exact : lambda:float -> float
+(** [q = λ/(1+λ-π₂)]. *)
+
+val fixed_point_exact : lambda:float -> dim:int -> Numerics.Vec.t
+
+val mean_tasks_exact : lambda:float -> float
+(** [E[N] = λ + π₂/(1-q)]. *)
+
+val mean_time_exact : lambda:float -> float
+(** [E[T] = E[N]/λ]; equals the golden ratio φ at [λ = 1/2] — the value
+    1.618 in the paper's Table 1. *)

@@ -1,0 +1,36 @@
+open Numerics
+
+let l1_distance = Vec.dist_l1
+
+let distance_trace ?(dt = 0.05) ~start ~fixed_point ~horizon ~sample_every
+    model =
+  Drive.trajectory ~dt ~start ~horizon ~sample_every model
+  |> List.map (fun (t, s) -> (t, l1_distance s fixed_point))
+
+let max_uptick trace =
+  let rec go acc = function
+    | (_, a) :: ((_, b) :: _ as rest) ->
+        go (Float.max acc (b -. a)) rest
+    | [ _ ] | [] -> acc
+  in
+  go 0.0 trace
+
+let is_nonincreasing ?(slack = 1e-9) trace = max_uptick trace <= slack
+
+(* π₂(λ) = (1+λ-√(1+2λ-3λ²))/2 = 1/2  ⇔  λ² + ... : solve numerically once.
+   π₂ is increasing in λ, so bisection on [0,1) is safe. *)
+let simple_ws_stable_lambda_bound =
+  let pi2 lambda =
+    Root.solve_quadratic_smaller ~b:(-.(1.0 +. lambda))
+      ~c:(lambda *. lambda)
+  in
+  Root.bisect (fun l -> pi2 l -. 0.5) ~a:0.01 ~b:0.999
+
+let convergence_time ?(dt = 0.05) ?(eps = 1e-6) ~start ~fixed_point ~horizon
+    model =
+  let trace =
+    distance_trace ~dt ~start ~fixed_point ~horizon
+      ~sample_every:(Float.max (horizon /. 400.0) dt)
+      model
+  in
+  List.find_opt (fun (_, d) -> d <= eps) trace |> Option.map fst

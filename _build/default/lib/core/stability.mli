@@ -1,0 +1,44 @@
+(** Numerical companions to Section 4 (convergence and stability).
+
+    Theorems 1 and 2 prove that for the simple and threshold systems the
+    L1 distance to the fixed point never increases along trajectories when
+    [π₂ < 1/2]. These helpers measure that distance along numerically
+    integrated trajectories — the paper's own suggested practice ("one can
+    check for convergence to the fixed point numerically using various
+    starting points"). *)
+
+val l1_distance : Numerics.Vec.t -> Numerics.Vec.t -> float
+(** [D(t) = Σᵢ |sᵢ(t) - πᵢ|] of the paper's proof. *)
+
+val distance_trace :
+  ?dt:float ->
+  start:[ `Empty | `Warm | `State of Numerics.Vec.t ] ->
+  fixed_point:Numerics.Vec.t ->
+  horizon:float ->
+  sample_every:float ->
+  Model.t ->
+  (float * float) list
+(** [(t, D(t))] along the trajectory from [start]. *)
+
+val max_uptick : (float * float) list -> float
+(** Largest increase between consecutive samples of a trace (0 for a
+    monotone non-increasing trace). *)
+
+val is_nonincreasing : ?slack:float -> (float * float) list -> bool
+(** Whether the trace never increases by more than [slack]
+    (default [1e-9], absorbing integration round-off). *)
+
+val simple_ws_stable_lambda_bound : float
+(** The largest [λ] for which Theorem 1 applies to the simple WS system,
+    i.e. the solution of [π₂(λ) = 1/2], which is [(1+√5)/4 ≈ 0.8090]. *)
+
+val convergence_time :
+  ?dt:float ->
+  ?eps:float ->
+  start:[ `Empty | `Warm | `State of Numerics.Vec.t ] ->
+  fixed_point:Numerics.Vec.t ->
+  horizon:float ->
+  Model.t ->
+  float option
+(** First sampled time at which [D(t) ≤ eps] (default [1e-6]); [None] if
+    the horizon is hit first. *)

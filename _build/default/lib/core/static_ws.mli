@@ -1,0 +1,41 @@
+(** Static systems and load-dependent arrivals (Section 3.5).
+
+    The paper closes Section 3.5 by noting two refinements of the arrival
+    process: splitting [λ = λ_ext + λ_int] into externally arriving and
+    internally spawned tasks (the latter possibly load-dependent), and the
+    {e static} special case [λ_ext = 0, λ_int(0) = 0] — a system seeded
+    with an initial batch of work that runs until all queues drain, whose
+    limiting trajectory approximates the finishing time of large systems.
+
+    This module builds models with a general per-load arrival-rate
+    function [arrival i] (the rate at a processor currently holding [i]
+    tasks) and the simple on-empty stealing rule with threshold [T], plus
+    a drain-time reader. With [arrival] constant it coincides with
+    {!Threshold_ws}. *)
+
+val model :
+  arrival:(int -> float) ->
+  ?threshold:int ->
+  ?stealing:bool ->
+  ?initial_load:int ->
+  dim:int ->
+  unit ->
+  Model.t
+(** [initial_load] (default 0) seeds {!Model.initial_empty} with that many
+    tasks at every processor (the static experiment's start). [stealing]
+    defaults to [true], [threshold] to 2. The model's [throughput] is set
+    to [arrival 1] as a Little's-law rate when arrivals are load-
+    independent, and 0 (metrics disabled) otherwise. *)
+
+val drain_time :
+  ?dt:float -> ?eps:float -> ?horizon:float -> Model.t -> float option
+(** First time at which the mean load per processor falls below [eps]
+    (default [1e-3]) along the trajectory from [initial_empty] (which
+    carries the seeded batch); [None] if [horizon] (default 500) is hit
+    first. *)
+
+val backlog_integral :
+  ?dt:float -> ?horizon:float -> Model.t -> float
+(** [∫₀^horizon E\[N\](t) dt] along the drain trajectory — the total
+    waiting cost of the batch (per processor), a makespan-complementary
+    metric for comparing drain policies. Default [horizon = 200]. *)

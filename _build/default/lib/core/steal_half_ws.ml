@@ -1,0 +1,33 @@
+open Numerics
+
+let deriv ~lambda ~t ~y ~dy =
+  let n = Vec.dim y in
+  let ratio = Tail.boundary_ratio y in
+  let get i = if i < n then y.(i) else Tail.ext y ~ratio i in
+  let attempt = y.(1) -. y.(2) in
+  let s_t = get t in
+  dy.(0) <- 0.0;
+  dy.(1) <- (lambda *. (y.(0) -. y.(1))) -. (attempt *. (1.0 -. s_t));
+  for i = 2 to n - 1 do
+    let arrive = lambda *. (y.(i - 1) -. y.(i)) in
+    let drain = y.(i) -. get (i + 1) in
+    let thief_gain = attempt *. get (max t (2 * i)) in
+    let victim_loss =
+      attempt *. (get (max i t) -. get (max ((2 * i) - 1) t))
+    in
+    dy.(i) <- arrive -. drain +. thief_gain -. victim_loss
+  done
+
+let model ~lambda ?(threshold = 2) ?dim () =
+  if threshold < 2 then
+    invalid_arg "Steal_half_ws: threshold must be at least 2";
+  let dim =
+    match dim with
+    | Some d -> d
+    | None -> max (threshold + 8) (Tail.suggested_dim ~lambda ())
+  in
+  Model.of_single_tail
+    ~name:(Printf.sprintf "steal_half_ws(lambda=%g, T=%d)" lambda threshold)
+    ~lambda ~dim
+    ~deriv:(fun ~y ~dy -> deriv ~lambda ~t:threshold ~y ~dy)
+    ()

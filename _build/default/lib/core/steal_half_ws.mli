@@ -1,0 +1,24 @@
+(** Stealing half the victim's queue (§3.4's "other variations for
+    stealing multiple jobs").
+
+    The discipline used by practical deques (including Cilk-style
+    runtimes): a successful thief takes [⌊v/2⌋] tasks from a victim
+    holding exactly [v ≥ T] tasks, leaving it [⌈v/2⌉]. With
+    [A = s₁ - s₂] the attempt rate and [pᵥ = sᵥ - s_{v+1}]:
+
+    {v
+      ds₁/dt = λ(s₀-s₁) - A(1-s_T)
+      dsᵢ/dt = λ(s_{i-1}-sᵢ) - (sᵢ-s_{i+1})
+               + A·s_{max(T, 2i)}                        (thief reaches i)
+               - A·(s_{max(i,T)} - s_{max(2i-1,T)}),     (victims drop below i)
+                                                          i ≥ 2
+    v}
+
+    since the thief ends with at least [i] tasks iff [v ≥ 2i], and a
+    victim falls below level [i] iff [i ≤ v ≤ 2i-2]. Unlike fixed-[k]
+    stealing, the amount moved adapts to the victim's depth, so a single
+    steal can level a long queue — the limit of the §3.4 family. *)
+
+val model :
+  lambda:float -> ?threshold:int -> ?dim:int -> unit -> Model.t
+(** [threshold] defaults to 2. @raise Invalid_argument if below 2. *)

@@ -1,0 +1,36 @@
+(** The supermarket (d-choice placement) model — the work-{e sharing}
+    counterpart that motivates Section 3.3.
+
+    The paper's multiple-choice stealing strategy is motivated by the
+    power of two choices in load {e sharing}: an arriving task probes [d]
+    uniformly random servers and queues at the least loaded, giving the
+    famous doubly exponential tail [sᵢ = λ^((dⁱ-1)/(d-1))]
+    (Mitzenmacher '96; Vvedenskaya–Dobrushin–Karpelevich '96). Limiting
+    system:
+
+    {v dsᵢ/dt = λ(s_{i-1}^d - sᵢ^d) - (sᵢ - s_{i+1}),   i ≥ 1 v}
+
+    Reproducing it here lets the experiments put stealing and sharing side
+    by side — the contrast drawn in the paper's introduction — and, as an
+    extension beyond the paper, the two combine: [steal_threshold] adds
+    the §2.3 stealing terms on top of d-choice placement, modelling a
+    system that balances on both arrival and idleness. *)
+
+val model :
+  lambda:float ->
+  choices:int ->
+  ?steal_threshold:int ->
+  ?dim:int ->
+  unit ->
+  Model.t
+(** [choices = 1] without stealing is the M/M/1 baseline.
+    @raise Invalid_argument if [choices < 1] or a given [steal_threshold]
+    is below 2. *)
+
+val fixed_point_exact :
+  lambda:float -> choices:int -> dim:int -> Numerics.Vec.t
+(** The doubly exponential closed form [sᵢ = λ^((dⁱ-1)/(d-1))] (pure
+    placement, no stealing). *)
+
+val mean_tasks_exact : lambda:float -> choices:int -> float
+val mean_time_exact : lambda:float -> choices:int -> float

@@ -1,0 +1,56 @@
+open Numerics
+
+let empty ~dim ~mass =
+  if dim < 3 then invalid_arg "Tail.empty: dim must be at least 3";
+  let v = Vec.create dim in
+  v.(0) <- mass;
+  v
+
+let geometric ~dim ~ratio ~mass =
+  if dim < 3 then invalid_arg "Tail.geometric: dim must be at least 3";
+  if ratio < 0.0 || ratio >= 1.0 then
+    invalid_arg "Tail.geometric: ratio must lie in [0, 1)";
+  Vec.init dim (fun i -> mass *. (ratio ** float_of_int i))
+
+let is_valid ?(eps = 1e-7) ?(mass = 1.0) s =
+  let n = Vec.dim s in
+  n >= 2
+  && Float.abs (s.(0) -. mass) <= eps
+  && begin
+       let ok = ref true in
+       for i = 0 to n - 1 do
+         if s.(i) < -.eps || s.(i) > mass +. eps then ok := false;
+         if i > 0 && s.(i) > s.(i - 1) +. eps then ok := false
+       done;
+       !ok
+     end
+
+let boundary_ratio s =
+  let n = Vec.dim s in
+  let a = s.(n - 1) and b = s.(n - 2) in
+  if b <= 1e-250 || a <= 0.0 then 0.0
+  else Float.min 0.999999 (Float.max 0.0 (a /. b))
+
+let ext s ~ratio i =
+  let n = Vec.dim s in
+  if i < 0 then invalid_arg "Tail.ext: negative index"
+  else if i < n then s.(i)
+  else if ratio <= 0.0 then 0.0
+  else s.(n - 1) *. (ratio ** float_of_int (i - n + 1))
+
+let mean_tasks ?(from = 1) s =
+  let base = Vec.sum_from s from in
+  let ratio = boundary_ratio s in
+  let closure =
+    if ratio <= 0.0 then 0.0
+    else s.(Vec.dim s - 1) *. ratio /. (1.0 -. ratio)
+  in
+  base +. closure
+
+let suggested_dim ~lambda ?(floor = 48) ?(cap = 512) () =
+  if lambda <= 0.0 then floor
+  else if lambda >= 1.0 then cap
+  else begin
+    let depth = int_of_float (Float.ceil (log 1e-10 /. log lambda)) in
+    max floor (min cap depth)
+  end

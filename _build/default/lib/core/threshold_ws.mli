@@ -1,0 +1,35 @@
+(** Threshold stealing (Section 2.3).
+
+    Thieves steal only from victims whose load is at least a threshold
+    [T ≥ 2], to make the transfer worthwhile. Limiting equations (4)–(6):
+
+    {v
+      ds₁/dt = λ(s₀-s₁) - (s₁-s₂)(1-s_T)
+      dsᵢ/dt = λ(s_{i-1}-sᵢ) - (sᵢ-s_{i+1}),                    2 ≤ i ≤ T-1
+      dsᵢ/dt = λ(s_{i-1}-sᵢ) - (sᵢ-s_{i+1})(1 + s₁-s₂),          i ≥ T
+    v}
+
+    Closed-form fixed point (re-derived from the equations, since the
+    displayed formula in our source text is OCR-garbled): [π_T] is the
+    smaller root of [y² - (1+λ)y + λ^T = 0] — obtained by telescoping
+    [Σ_{i=1}^{T-1} dsᵢ/dt = 0] exactly as in the paper — and for
+    [1 ≤ i ≤ T] the prefix follows the difference recurrence
+    [d_{i+1} = λ·dᵢ] with [d₁ = π₁-π₂ = λ(1-λ)/(1-π_T)]. Beyond [T] the
+    tails are geometric with the same apparent-service-rate ratio
+    [q = λ/(1+λ-π₂)] as the simple system. [T = 2] reduces exactly to
+    {!Simple_ws}. *)
+
+val model : lambda:float -> threshold:int -> ?dim:int -> unit -> Model.t
+(** @raise Invalid_argument unless [threshold >= 2]. *)
+
+val pi_threshold_exact : lambda:float -> threshold:int -> float
+(** Closed-form [π_T]. *)
+
+val fixed_point_exact :
+  lambda:float -> threshold:int -> dim:int -> Numerics.Vec.t
+
+val tail_ratio_exact : lambda:float -> threshold:int -> float
+(** [λ/(1+λ-π₂)] with this system's own [π₂]. *)
+
+val mean_tasks_exact : lambda:float -> threshold:int -> float
+val mean_time_exact : lambda:float -> threshold:int -> float

@@ -1,0 +1,53 @@
+(** Stealing with transfer time (Section 3.2), with optionally
+    Erlang-staged (near-constant) transfer delays.
+
+    Moving a task from victim to thief takes time with mean [1/r]. A thief
+    awaiting its stolen task does not steal again, so the state splits
+    into the non-waiting tails [sᵢ] and waiting populations. With
+    [stages = 1] the delay is exponential — exactly the system the paper
+    displays; the equations (for threshold [T], attempt rate
+    [A = s₁-s₂], victim pool [S_T = s_T + w_T]):
+
+    {v
+      ds₀/dt = r·w₀ - A·S_T
+      ds₁/dt = λ(s₀-s₁) + r·w₀ - A
+      dsᵢ/dt = λ(s_{i-1}-sᵢ) + r·w_{i-1} - (sᵢ-s_{i+1}),       2 ≤ i ≤ T-1
+      dsᵢ/dt = λ(s_{i-1}-sᵢ) + r·w_{i-1} - (sᵢ-s_{i+1})(1+A),      i ≥ T
+      dw₀/dt = -r·w₀ + A·S_T
+      dwᵢ/dt = λ(w_{i-1}-wᵢ) - r·wᵢ - (wᵢ-w_{i+1})·(1 + [i≥T]·A),  i ≥ 1
+    v}
+
+    With [stages = k > 1] the delay is Erlang([k], rate [k·r]) — variance
+    [1/(k·r²)], approaching the constant [1/r] as [k] grows, per §3.1's
+    method of stages. The waiting population then splits by remaining
+    stage, [w¹ … wᵏ]: fresh steals enter [w¹] at zero tasks, stage
+    transitions move [wʲ → wʲ⁺¹] at rate [k·r], and completing the last
+    stage delivers the task ([wᵏ at x tasks → s at x+1]). Waiting
+    processors of every stage serve their local queues and remain valid
+    victims throughout.
+
+    Conservation: [s₀ + Σⱼ wʲ₀ = 1] always, and the busy identity
+    [s₁ + Σⱼ wʲ₁ = λ] at the fixed point. Expected tasks per processor
+    counts the in-transit task once per waiting processor. The paper's
+    Table 3 (exponential delays) picks the best threshold per arrival
+    rate; growing [k] shows how delay {e variability} (not just its mean)
+    shifts that choice. *)
+
+val model :
+  lambda:float ->
+  transfer_rate:float ->
+  threshold:int ->
+  ?stages:int ->
+  ?depth:int ->
+  unit ->
+  Model.t
+(** State dimension is [(stages+1)·(depth+1)]; [stages] defaults to 1
+    (the paper's exponential-delay system), [depth] adapts to [λ].
+    @raise Invalid_argument unless [transfer_rate > 0], [threshold ≥ 2]
+    and [stages ≥ 1]. *)
+
+val split : Model.t -> Numerics.Vec.t -> Numerics.Vec.t * Numerics.Vec.t
+(** [(s, w)] where [w] aggregates all waiting stages: [wᵢ = Σⱼ wʲᵢ]. *)
+
+val waiting_fraction : Model.t -> Numerics.Vec.t -> float
+(** Total fraction of processors awaiting a stolen task. *)

@@ -1,0 +1,44 @@
+type 'a t = { mutable clock : float; heap : 'a Event_heap.t }
+
+let create ?capacity () =
+  { clock = 0.0; heap = Event_heap.create ?capacity () }
+
+let now t = t.clock
+let pending t = Event_heap.length t.heap
+
+let schedule t ~at payload =
+  if at < t.clock then invalid_arg "Engine.schedule: event in the past";
+  Event_heap.push t.heap ~time:at payload
+
+let schedule_after t ~delay payload =
+  if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
+  Event_heap.push t.heap ~time:(t.clock +. delay) payload
+
+let next t =
+  match Event_heap.pop t.heap with
+  | None -> None
+  | Some (time, payload) ->
+      t.clock <- time;
+      Some (time, payload)
+
+let run ~until t ~handler =
+  let continue = ref true in
+  while !continue do
+    match Event_heap.peek_time t.heap with
+    | Some time when time <= until -> (
+        match Event_heap.pop t.heap with
+        | Some (time, payload) ->
+            t.clock <- time;
+            handler time payload
+        | None -> assert false)
+    | Some _ | None -> continue := false
+  done;
+  t.clock <- until
+
+let run_until_empty t ~handler =
+  let continue = ref true in
+  while !continue do
+    match next t with
+    | Some (time, payload) -> handler time payload
+    | None -> continue := false
+  done

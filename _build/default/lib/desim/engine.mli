@@ -1,0 +1,39 @@
+(** Discrete-event simulation engine.
+
+    A clock plus a pending-event set, parameterised by the event payload
+    type. Cancellation is left to the client (the work-stealing simulator
+    uses generation counters on payloads, which is cheaper than handle
+    bookkeeping and keeps this engine allocation-light). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Fresh engine with the clock at 0. *)
+
+val now : 'a t -> float
+(** Current simulation time. *)
+
+val pending : 'a t -> int
+(** Number of scheduled events. *)
+
+val schedule : 'a t -> at:float -> 'a -> unit
+(** Schedule an event at absolute time [at].
+    @raise Invalid_argument if [at] precedes the current clock. *)
+
+val schedule_after : 'a t -> delay:float -> 'a -> unit
+(** Schedule an event [delay] time units from now ([delay >= 0]). *)
+
+val next : 'a t -> (float * 'a) option
+(** Pop the earliest event and advance the clock to it. [None] when no
+    events remain. *)
+
+val run :
+  until:float -> 'a t -> handler:(float -> 'a -> unit) -> unit
+(** Dispatch events in time order while their time is at most [until]
+    (handlers may schedule more); on return the clock sits at [until] (or
+    at the last event if the queue drained first... the clock is advanced
+    to [until] in all cases). *)
+
+val run_until_empty : 'a t -> handler:(float -> 'a -> unit) -> unit
+(** Dispatch until no events remain (e.g. static drain experiments — the
+    caller must guarantee the event population dies out). *)

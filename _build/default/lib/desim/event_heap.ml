@@ -1,0 +1,112 @@
+(* Array-backed binary heap. Slots hold (time, seq, payload) flattened into
+   parallel arrays to avoid per-entry records on the hot path. *)
+type 'a t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable payloads : 'a option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ?(capacity = 256) () =
+  let capacity = max capacity 1 in
+  {
+    times = Array.make capacity 0.0;
+    seqs = Array.make capacity 0;
+    payloads = Array.make capacity None;
+    size = 0;
+    next_seq = 0;
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let grow t =
+  let n = 2 * Array.length t.times in
+  let times = Array.make n 0.0 in
+  let seqs = Array.make n 0 in
+  let payloads = Array.make n None in
+  Array.blit t.times 0 times 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.payloads 0 payloads 0 t.size;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.payloads <- payloads
+
+(* (time, seq) lexicographic order. *)
+let precedes t i j =
+  t.times.(i) < t.times.(j)
+  || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
+
+let swap t i j =
+  let tm = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- tm;
+  let sq = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- sq;
+  let p = t.payloads.(i) in
+  t.payloads.(i) <- t.payloads.(j);
+  t.payloads.(j) <- p
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if precedes t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 in
+  if l < t.size then begin
+    let smallest =
+      let s = if precedes t l i then l else i in
+      let r = l + 1 in
+      if r < t.size && precedes t r s then r else s
+    in
+    if smallest <> i then begin
+      swap t i smallest;
+      sift_down t smallest
+    end
+  end
+
+let push t ~time payload =
+  if Float.is_nan time then invalid_arg "Event_heap.push: NaN time";
+  if t.size = Array.length t.times then grow t;
+  let i = t.size in
+  t.times.(i) <- time;
+  t.seqs.(i) <- t.next_seq;
+  t.payloads.(i) <- Some payload;
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t i
+
+let peek_time t = if t.size = 0 then None else Some t.times.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let time = t.times.(0) in
+    let payload =
+      match t.payloads.(0) with
+      | Some p -> p
+      | None -> assert false
+    in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.times.(0) <- t.times.(t.size);
+      t.seqs.(0) <- t.seqs.(t.size);
+      t.payloads.(0) <- t.payloads.(t.size)
+    end;
+    t.payloads.(t.size) <- None;
+    sift_down t 0;
+    Some (time, payload)
+  end
+
+let clear t =
+  for i = 0 to t.size - 1 do
+    t.payloads.(i) <- None
+  done;
+  t.size <- 0

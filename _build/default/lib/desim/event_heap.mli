@@ -1,0 +1,23 @@
+(** Binary min-heap of timestamped events.
+
+    The pending-event set of the discrete-event engine. Keys are float
+    times; ties are broken by insertion order so that simultaneous events
+    fire deterministically (FIFO), which keeps whole simulations
+    reproducible from their seed. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Insert an event. @raise Invalid_argument on NaN time. *)
+
+val peek_time : 'a t -> float option
+(** Earliest event time, if any. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event (FIFO among equal times). *)
+
+val clear : 'a t -> unit

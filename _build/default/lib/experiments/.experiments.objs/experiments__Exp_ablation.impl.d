@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Array Float Lazy List Meanfield Numerics Printf Sys Table_fmt

@@ -1,0 +1,1 @@
+lib/experiments/exp_batch.ml: List Meanfield Printf Prob Scope Table_fmt Wsim

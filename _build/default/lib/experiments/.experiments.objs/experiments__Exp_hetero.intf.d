@@ -1,0 +1,1 @@
+lib/experiments/exp_hetero.mli: Format Scope

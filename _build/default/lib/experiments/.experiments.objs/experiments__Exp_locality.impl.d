@@ -1,0 +1,1 @@
+lib/experiments/exp_locality.ml: Array Float List Meanfield Printf Prob Scope Table_fmt Wsim

@@ -1,0 +1,1 @@
+lib/experiments/exp_multisteal.ml: List Meanfield Printf Scope Table_fmt Wsim

@@ -1,0 +1,1 @@
+lib/experiments/exp_sharing.ml: Array Float List Meanfield Printf Prob Scope Table_fmt Wsim

@@ -1,0 +1,1 @@
+lib/experiments/exp_stability.ml: Array List Meanfield Printf Scope Table_fmt

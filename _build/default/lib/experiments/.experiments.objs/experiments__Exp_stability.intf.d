@@ -1,0 +1,1 @@
+lib/experiments/exp_stability.mli: Format Scope

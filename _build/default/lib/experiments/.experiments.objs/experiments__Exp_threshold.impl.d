@@ -1,0 +1,1 @@
+lib/experiments/exp_threshold.ml: List Meanfield Printf Scope Table_fmt Wsim

@@ -1,0 +1,1 @@
+lib/experiments/exp_transient.ml: Array List Meanfield Printf Prob Scope Table_fmt Wsim

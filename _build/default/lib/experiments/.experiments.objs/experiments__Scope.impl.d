@@ -1,0 +1,1 @@
+lib/experiments/scope.ml: Format Printf Wsim

@@ -1,0 +1,1 @@
+lib/experiments/scope.mli: Format Wsim

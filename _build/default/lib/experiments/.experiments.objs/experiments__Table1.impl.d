@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Float List Meanfield Paper_values Printf Scope Table_fmt Wsim

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: List Meanfield Paper_values Printf Prob Scope Table_fmt Wsim

@@ -1,0 +1,1 @@
+lib/experiments/table4.ml: List Meanfield Paper_values Printf Scope Table_fmt Wsim

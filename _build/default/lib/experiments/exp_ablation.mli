@@ -1,0 +1,38 @@
+(** Experiment E11: ablations of the numerical design choices (DESIGN.md
+    §5).
+
+    Three studies on the simple work-stealing system, where the closed
+    form provides exact ground truth:
+
+    - {b truncation depth}: error of the fixed-point E\[T\] as the state
+      dimension shrinks, with and without the geometric boundary closure
+      rationale (the closure is what keeps small dimensions accurate);
+    - {b integrator}: wall-clock time and residual for Euler, midpoint and
+      RK4 relaxation at their stability-limited steps;
+    - {b acceleration}: relaxation time to tolerance with and without
+      dominant-mode extrapolation. *)
+
+type depth_row = { dim : int; abs_error : float; rel_error : float }
+
+type solver_row = {
+  stepper : string;
+  dt : float;
+  wall_seconds : float;
+  residual : float;
+  et_error : float;
+}
+
+type accel_row = {
+  accelerate : bool;
+  wall_seconds : float;
+  relaxation_time : float;  (** Simulated time used by the driver. *)
+  et_error : float;
+}
+
+val lambda : float
+(** The arrival rate used throughout (0.95 — hard enough to matter). *)
+
+val compute_depth : unit -> depth_row list
+val compute_solver : unit -> solver_row list
+val compute_accel : unit -> accel_row list
+val print : Scope.t -> Format.formatter -> unit

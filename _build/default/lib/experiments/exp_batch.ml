@@ -1,0 +1,84 @@
+type row = { label : string; utilization : float; model : float; sim : float }
+
+let rho = 0.8
+let batch_means = [ 1.0; 2.0; 4.0 ]
+let hyper_service = Prob.Dist.Hyperexp { p = 0.5; mean1 = 1.8; mean2 = 0.2 }
+
+let fixed_point_time ?max_time m =
+  let fp = Meanfield.Drive.fixed_point ?max_time m in
+  Meanfield.Model.mean_time m fp.Meanfield.Drive.state
+
+let compute (scope : Scope.t) =
+  let n = List.fold_left max 2 scope.Scope.ns in
+  let sim config =
+    (Wsim.Runner.replicate ~seed:scope.Scope.seed
+       ~fidelity:scope.Scope.fidelity
+       { config with Wsim.Cluster.n })
+      .Wsim.Runner.mean_sojourn
+  in
+  let batch_rows =
+    List.map
+      (fun mean_batch ->
+        Scope.progress scope "[batch] m=%g@." mean_batch;
+        let event_rate = rho /. mean_batch in
+        {
+          label = Printf.sprintf "batch arrivals, m=%g" mean_batch;
+          utilization = rho;
+          model =
+            fixed_point_time
+              (Meanfield.Batch_ws.model ~event_rate ~mean_batch ());
+          sim =
+            sim
+              {
+                Wsim.Cluster.default with
+                arrival_rate = event_rate;
+                batch_mean = mean_batch;
+                policy = Wsim.Policy.simple;
+              };
+        })
+      batch_means
+  in
+  let hyper_row =
+    Scope.progress scope "[batch] hyperexp service@.";
+    {
+      label = "hyperexp service (SCV 2.28)";
+      utilization = rho;
+      model =
+        fixed_point_time ~max_time:4e5
+          (Meanfield.Hyperexp_ws.of_service ~lambda:rho
+             ~service:hyper_service ());
+      sim =
+        sim
+          {
+            Wsim.Cluster.default with
+            arrival_rate = rho;
+            service = hyper_service;
+            policy = Wsim.Policy.simple;
+          };
+    }
+  in
+  batch_rows @ [ hyper_row ]
+
+let print scope ppf =
+  let rows = compute scope in
+  let n = List.fold_left max 2 scope.Scope.ns in
+  Table_fmt.render ppf
+    ~title:
+      (Printf.sprintf
+         "E12 (extension): burstiness and service variability at fixed \
+          utilisation %.2f (T=2)"
+         rho)
+    ~note:(Scope.note scope)
+    ~headers:
+      [ "workload"; "rho"; "E[T] model"; Printf.sprintf "Sim(%d)" n ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.label;
+             Printf.sprintf "%.2f" r.utilization;
+             Table_fmt.cell r.model;
+             Table_fmt.cell r.sim;
+           ])
+         rows)
+    ()

@@ -1,0 +1,19 @@
+(** Experiment E12: bursty (batch) arrivals at fixed utilisation
+    (extension of §3.1's varying-arrival-distribution remark).
+
+    Arrival events deliver geometric batches of mean [m]; the event rate
+    is scaled so utilisation [ρ = rate·m] stays fixed. Measures how much
+    burstiness costs under work stealing, and whether the mean-field
+    batch model tracks the simulation. Includes the high-variability
+    service counterpart ({!Meanfield.Hyperexp_ws}) for the same fixed
+    utilisation, so both directions of §3.1 are in one table. *)
+
+type row = {
+  label : string;
+  utilization : float;
+  model : float;
+  sim : float;
+}
+
+val compute : Scope.t -> row list
+val print : Scope.t -> Format.formatter -> unit

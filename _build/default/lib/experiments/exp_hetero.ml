@@ -1,0 +1,178 @@
+type hetero_row = {
+  lambda : float;
+  mu_fast : float;
+  mu_slow : float;
+  ode : float;
+  sim : float;
+  fast_load : float;
+  slow_load : float;
+  slow_overloaded : bool;
+  stable : bool;
+      (* the mean-field fixed point exists: stealing capacity covers the
+         slow class's excess load; otherwise the backlog diverges even
+         though total capacity suffices *)
+}
+
+type static_row = {
+  initial_load : int;
+  ode_drain : float;
+  sim_makespan_steal : float;
+  sim_makespan_nosteal : float;
+}
+
+let fraction_fast = 0.5
+let threshold = 2
+let speed_pairs = [ (1.25, 0.75); (1.5, 0.5) ]
+let hetero_lambdas = [ 0.6; 0.8; 0.9 ]
+let static_loads = [ 5; 10; 20 ]
+
+let hetero_speeds n =
+  (* first half fast, second half slow — class labels only matter in
+     aggregate *)
+  fun mu_fast mu_slow ->
+    Array.init n (fun i -> if 2 * i < n then mu_fast else mu_slow)
+
+let compute_hetero (scope : Scope.t) =
+  let n = List.fold_left max 2 scope.Scope.ns in
+  List.concat_map
+    (fun lambda ->
+      List.filter_map
+        (fun (mu_fast, mu_slow) ->
+          let capacity =
+            (fraction_fast *. mu_fast)
+            +. ((1.0 -. fraction_fast) *. mu_slow)
+          in
+          if lambda >= capacity -. 0.02 then None
+          else begin
+            Scope.progress scope "[hetero] lambda=%g mu=(%g,%g)@." lambda
+              mu_fast mu_slow;
+            let model =
+              Meanfield.Heterogeneous_ws.model ~lambda ~fraction_fast
+                ~mu_fast ~mu_slow ~threshold ()
+            in
+            let fp = Meanfield.Drive.fixed_point ~max_time:4e5 model in
+            let state = fp.Meanfield.Drive.state in
+            let slow_load =
+              Meanfield.Heterogeneous_ws.class_mean_tasks model state
+                ~fast:false
+            in
+            (* A diverging relaxation signals that the steal rate cannot
+               drain the slow class's excess arrivals: no fixed point. *)
+            let stable = fp.Meanfield.Drive.converged && slow_load < 1e4 in
+            let sim =
+              Scope.sim_mean_sojourn scope ~n
+                {
+                  Wsim.Cluster.default with
+                  arrival_rate = lambda;
+                  speeds = Some (hetero_speeds n mu_fast mu_slow);
+                  policy =
+                    Wsim.Policy.On_empty
+                      { threshold; choices = 1; steal_count = 1 };
+                }
+            in
+            Some
+              {
+                lambda;
+                mu_fast;
+                mu_slow;
+                ode =
+                  (if stable then Meanfield.Model.mean_time model state
+                   else nan);
+                sim;
+                fast_load =
+                  Meanfield.Heterogeneous_ws.class_mean_tasks model state
+                    ~fast:true;
+                slow_load = (if stable then slow_load else nan);
+                slow_overloaded = lambda > mu_slow;
+                stable;
+              }
+          end)
+        speed_pairs)
+    hetero_lambdas
+
+let compute_static (scope : Scope.t) =
+  let n = List.fold_left max 2 scope.Scope.ns in
+  (* drains are short; afford many replications to tame makespan noise *)
+  let runs = max 10 (3 * scope.Scope.fidelity.Wsim.Runner.runs) in
+  List.map
+    (fun initial_load ->
+      Scope.progress scope "[static] load=%d@." initial_load;
+      let dim = max 48 (4 * initial_load) in
+      let model =
+        Meanfield.Static_ws.model
+          ~arrival:(fun _ -> 0.0)
+          ~threshold ~initial_load ~dim ()
+      in
+      let ode_drain =
+        match Meanfield.Static_ws.drain_time model with
+        | Some t -> t
+        | None -> nan
+      in
+      let makespan policy =
+        let summary =
+          Wsim.Runner.replicate_static ~seed:scope.Scope.seed ~runs
+            {
+              Wsim.Cluster.default with
+              n;
+              arrival_rate = 0.0;
+              initial_load;
+              policy;
+            }
+        in
+        let acc = Prob.Stats.create () in
+        Array.iter
+          (fun (r : Wsim.Cluster.result) ->
+            Prob.Stats.add acc r.Wsim.Cluster.makespan)
+          summary.Wsim.Runner.per_run;
+        Prob.Stats.mean acc
+      in
+      {
+        initial_load;
+        ode_drain;
+        sim_makespan_steal = makespan Wsim.Policy.simple;
+        sim_makespan_nosteal = makespan Wsim.Policy.No_stealing;
+      })
+    static_loads
+
+let print scope ppf =
+  let n = List.fold_left max 2 scope.Scope.ns in
+  Table_fmt.render ppf
+    ~title:
+      (Printf.sprintf
+         "E8a: heterogeneous speeds (half fast, half slow; T=%d)" threshold)
+    ~note:(Scope.note scope)
+    ~headers:
+      [ "lambda"; "mu_f"; "mu_s"; "E[T] est"; Printf.sprintf "Sim(%d)" n;
+        "fast E[N]"; "slow E[N]"; "slow>cap?"; "stable?" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Printf.sprintf "%.2f" r.lambda;
+             Printf.sprintf "%.2f" r.mu_fast;
+             Printf.sprintf "%.2f" r.mu_slow;
+             Table_fmt.cell r.ode;
+             Table_fmt.cell r.sim;
+             Table_fmt.cell r.fast_load;
+             Table_fmt.cell r.slow_load;
+             (if r.slow_overloaded then "yes" else "no");
+             (if r.stable then "yes" else "NO (steal capacity)");
+           ])
+         (compute_hetero scope))
+    ();
+  Table_fmt.render ppf
+    ~title:"E8b: static drain — makespan with/without stealing"
+    ~headers:
+      [ "load0"; "fluid drain"; Printf.sprintf "Sim(%d) steal" n;
+        Printf.sprintf "Sim(%d) nosteal" n ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             string_of_int r.initial_load;
+             Table_fmt.cell r.ode_drain;
+             Table_fmt.cell r.sim_makespan_steal;
+             Table_fmt.cell r.sim_makespan_nosteal;
+           ])
+         (compute_static scope))
+    ()

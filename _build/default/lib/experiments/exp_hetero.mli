@@ -1,0 +1,43 @@
+(** Experiment E8: heterogeneous speeds and static (drain) systems (§3.5).
+
+    Part a: two processor classes at speeds [μ_f > 1 > μ_s]. Work stealing
+    lets fast processors absorb the slow class's backlog; the striking
+    case is [λ > μ_s], where slow processors are individually overloaded
+    yet the pooled system remains stable.
+
+    Part b: the static system — every processor seeded with [L] tasks, no
+    further arrivals — comparing drain time (makespan) with and without
+    stealing, mean-field trajectory vs. simulation. With identical initial
+    loads the limit predicts little gain (no imbalance to exploit at the
+    fluid scale); finite systems develop stochastic imbalance, which
+    stealing removes — visible as the simulated no-steal makespan
+    exceeding the stealing one by a growing margin. *)
+
+type hetero_row = {
+  lambda : float;
+  mu_fast : float;
+  mu_slow : float;
+  ode : float;  (** Mean-field expected time over all tasks; [nan] when
+                    no fixed point exists. *)
+  sim : float;
+  fast_load : float;  (** Fixed-point mean tasks per fast processor. *)
+  slow_load : float;
+  slow_overloaded : bool;  (** λ > μ_s: stable only thanks to stealing. *)
+  stable : bool;
+      (** Whether the mean-field fixed point exists. Total capacity above
+          λ is {e not} sufficient: on-empty stealing can pull at most the
+          fast class's final-completion rate, and when the slow class's
+          excess exceeds that pull rate the backlog diverges — a
+          work-stealing capacity limit the model exposes. *)
+}
+
+type static_row = {
+  initial_load : int;
+  ode_drain : float;  (** Mean-field time for load/processor < 1e-3. *)
+  sim_makespan_steal : float;
+  sim_makespan_nosteal : float;
+}
+
+val compute_hetero : Scope.t -> hetero_row list
+val compute_static : Scope.t -> static_row list
+val print : Scope.t -> Format.formatter -> unit

@@ -1,0 +1,74 @@
+type row = {
+  radius : int option;
+  sim : float;
+  sim_p99 : float;
+  steal_success_rate : float;
+}
+
+let lambda = 0.9
+let radii = [ 1; 2; 4; 8; 16 ]
+
+let compute (scope : Scope.t) =
+  let n = List.fold_left max 2 scope.Scope.ns in
+  let run policy =
+    let summary =
+      Wsim.Runner.replicate ~seed:scope.Scope.seed
+        ~fidelity:scope.Scope.fidelity
+        { Wsim.Cluster.default with n; arrival_rate = lambda; policy }
+    in
+    let p99 =
+      let acc = Prob.Stats.create () in
+      Array.iter
+        (fun (r : Wsim.Cluster.result) ->
+          if not (Float.is_nan r.Wsim.Cluster.sojourn_p99) then
+            Prob.Stats.add acc r.Wsim.Cluster.sojourn_p99)
+        summary.Wsim.Runner.per_run;
+      Prob.Stats.mean acc
+    in
+    (summary.Wsim.Runner.mean_sojourn, p99,
+     summary.Wsim.Runner.steal_success_rate)
+  in
+  let ring_rows =
+    List.map
+      (fun radius ->
+        Scope.progress scope "[locality] radius=%d@." radius;
+        let sim, sim_p99, steal_success_rate =
+          run (Wsim.Policy.Ring_steal { threshold = 2; radius })
+        in
+        { radius = Some radius; sim; sim_p99; steal_success_rate })
+      radii
+  in
+  let uniform =
+    Scope.progress scope "[locality] uniform@.";
+    let sim, sim_p99, steal_success_rate = run Wsim.Policy.simple in
+    { radius = None; sim; sim_p99; steal_success_rate }
+  in
+  ring_rows @ [ uniform ]
+
+let print scope ppf =
+  let rows = compute scope in
+  let n = List.fold_left max 2 scope.Scope.ns in
+  Table_fmt.render ppf
+    ~title:
+      (Printf.sprintf
+         "E13 (extension): ring-locality stealing at lambda=%.2f (n=%d, \
+          T=2); mean-field estimate %.3f assumes uniform victims"
+         lambda n
+         (Meanfield.Simple_ws.mean_time_exact ~lambda))
+    ~note:(Scope.note scope)
+    ~headers:
+      [ "victims"; Printf.sprintf "Sim(%d)" n; "Sim p99"; "steal succ %" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             (match r.radius with
+              | Some radius -> Printf.sprintf "ring +/-%d" radius
+              | None -> "uniform");
+             Table_fmt.cell r.sim;
+             Table_fmt.cell r.sim_p99;
+             Printf.sprintf "%.1f"
+               (100.0 *. r.steal_success_rate);
+           ])
+         rows)
+    ()

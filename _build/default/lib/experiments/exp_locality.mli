@@ -1,0 +1,22 @@
+(** Experiment E13: the price of locality-restricted stealing
+    (extension).
+
+    The paper's models assume victims are chosen uniformly — "we are not
+    making use of locality" (§2.1) — which is what makes the system
+    density-dependent and the mean-field limit exact. Real machines steal
+    from neighbours. This experiment restricts thieves to a ring
+    neighbourhood of radius [ρ] and measures the cost: at [ρ = 1] a thief
+    sees only 2 victims and imbalance pools locally; as [ρ → n/2] the
+    system converges to the uniform-victim model, quantifying how much
+    victim diversity the mean-field prediction actually needs. *)
+
+type row = {
+  radius : int option;  (** [None] = uniform victims (the paper's model). *)
+  sim : float;
+  sim_p99 : float;
+  steal_success_rate : float;
+}
+
+val lambda : float
+val compute : Scope.t -> row list
+val print : Scope.t -> Format.formatter -> unit

@@ -1,0 +1,138 @@
+type multisteal_row = {
+  lambda : float;
+  steal_count : int;  (** 0 encodes the adaptive "steal half" policy. *)
+  ode : float;
+  sim : float;
+}
+
+type rebalance_row = {
+  lambda : float;
+  rate : float;
+  ode : float;
+  sim : float;
+  mm1 : float;
+}
+
+let threshold = 6
+let lambdas = [ 0.7; 0.9; 0.95 ]
+let steal_counts = [ 1; 2; 3 ]
+let rebalance_rates = [ 0.1; 1.0 ]
+
+let compute_multisteal (scope : Scope.t) =
+  let n = List.fold_left max 2 scope.Scope.ns in
+  List.concat_map
+    (fun lambda ->
+      let fixed =
+        List.map
+          (fun steal_count ->
+            Scope.progress scope "[multisteal] lambda=%g k=%d@." lambda
+              steal_count;
+            let model =
+              Meanfield.Multi_steal_ws.model ~lambda ~steal_count
+                ~threshold ()
+            in
+            let fp = Meanfield.Drive.fixed_point model in
+            let sim =
+              Scope.sim_mean_sojourn scope ~n
+                {
+                  Wsim.Cluster.default with
+                  arrival_rate = lambda;
+                  policy =
+                    Wsim.Policy.On_empty
+                      { threshold; choices = 1; steal_count };
+                }
+            in
+            {
+              lambda;
+              steal_count;
+              ode =
+                Meanfield.Model.mean_time model fp.Meanfield.Drive.state;
+              sim;
+            })
+          steal_counts
+      in
+      let half =
+        Scope.progress scope "[multisteal] lambda=%g steal-half@." lambda;
+        let model = Meanfield.Steal_half_ws.model ~lambda ~threshold () in
+        let fp = Meanfield.Drive.fixed_point model in
+        {
+          lambda;
+          steal_count = 0;
+          ode = Meanfield.Model.mean_time model fp.Meanfield.Drive.state;
+          sim =
+            Scope.sim_mean_sojourn scope ~n
+              {
+                Wsim.Cluster.default with
+                arrival_rate = lambda;
+                policy = Wsim.Policy.Steal_half { threshold; choices = 1 };
+              };
+        }
+      in
+      fixed @ [ half ])
+    lambdas
+
+let compute_rebalance (scope : Scope.t) =
+  let n = List.fold_left max 2 scope.Scope.ns in
+  List.concat_map
+    (fun lambda ->
+      List.map
+        (fun rate ->
+          Scope.progress scope "[rebalance] lambda=%g r=%g@." lambda rate;
+          let model =
+            Meanfield.Rebalance_ws.model_uniform_rate ~lambda ~rate ()
+          in
+          let fp = Meanfield.Drive.fixed_point model in
+          let sim =
+            Scope.sim_mean_sojourn scope ~n
+              {
+                Wsim.Cluster.default with
+                arrival_rate = lambda;
+                policy = Wsim.Policy.Rebalance { rate = (fun _ -> rate) };
+              }
+          in
+          {
+            lambda;
+            rate;
+            ode = Meanfield.Model.mean_time model fp.Meanfield.Drive.state;
+            sim;
+            mm1 = Meanfield.Mm1.mean_time_exact ~lambda;
+          })
+        rebalance_rates)
+    lambdas
+
+let print scope ppf =
+  let n = List.fold_left max 2 scope.Scope.ns in
+  Table_fmt.render ppf
+    ~title:
+      (Printf.sprintf "E7a: stealing k tasks per success (T=%d)" threshold)
+    ~note:(Scope.note scope)
+    ~headers:
+      [ "lambda"; "k"; "E[T] est"; Printf.sprintf "Sim(%d)" n ]
+    ~rows:
+      (List.map
+         (fun (r : multisteal_row) ->
+           [
+             Printf.sprintf "%.2f" r.lambda;
+             (if r.steal_count = 0 then "half"
+              else string_of_int r.steal_count);
+             Table_fmt.cell r.ode;
+             Table_fmt.cell r.sim;
+           ])
+         (compute_multisteal scope))
+    ();
+  Table_fmt.render ppf
+    ~title:"E7b: pairwise rebalancing at rate r vs. no balancing"
+    ~headers:
+      [ "lambda"; "r"; "E[T] est"; Printf.sprintf "Sim(%d)" n; "M/M/1" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Printf.sprintf "%.2f" r.lambda;
+             Printf.sprintf "%g" r.rate;
+             Table_fmt.cell r.ode;
+             Table_fmt.cell r.sim;
+             Table_fmt.cell r.mm1;
+           ])
+         (compute_rebalance scope))
+    ()

@@ -1,0 +1,29 @@
+(** Experiment E7: stealing several tasks at once, and pairwise
+    rebalancing (§3.4).
+
+    With a high threshold and free transfers, stealing [k > 1] tasks per
+    success should equalise loads better — the section's qualitative
+    claim, quantified here for [k ∈ {1,2,3}] at [T = 6]. The second part
+    exercises the Rudolph–Slivkin-Allalouf–Upfal-style rebalancing model
+    at several rates, against both simulation and the no-balancing M/M/1
+    baseline. *)
+
+type multisteal_row = {
+  lambda : float;
+  steal_count : int;
+  ode : float;
+  sim : float;
+}
+
+type rebalance_row = {
+  lambda : float;
+  rate : float;
+  ode : float;
+  sim : float;
+  mm1 : float;  (** No-balancing baseline [1/(1-λ)]. *)
+}
+
+val threshold : int
+val compute_multisteal : Scope.t -> multisteal_row list
+val compute_rebalance : Scope.t -> rebalance_row list
+val print : Scope.t -> Format.formatter -> unit

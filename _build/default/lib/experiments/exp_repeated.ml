@@ -1,0 +1,82 @@
+type row = {
+  lambda : float;
+  retry_rate : float;
+  ode : float;
+  sim : float;
+  pi_threshold : float;
+  ratio_predicted : float;
+  ratio_fitted : float;
+}
+
+let threshold = 2
+let lambdas = [ 0.7; 0.9; 0.95 ]
+let rates = [ 0.0; 0.1; 1.0; 10.0; 100.0 ]
+let sim_rate_cap = 20.0 (* tick volume guard for the simulation side *)
+
+let compute (scope : Scope.t) =
+  let n = List.fold_left max 2 scope.Scope.ns in
+  List.concat_map
+    (fun lambda ->
+      List.map
+        (fun retry_rate ->
+          Scope.progress scope "[repeated] lambda=%g r=%g@." lambda
+            retry_rate;
+          let model =
+            Meanfield.Repeated_steal_ws.model ~lambda ~retry_rate ~threshold
+              ()
+          in
+          let fp = Meanfield.Drive.fixed_point model in
+          let state = fp.Meanfield.Drive.state in
+          let sim =
+            if retry_rate > sim_rate_cap then nan
+            else
+              Scope.sim_mean_sojourn scope ~n
+                {
+                  Wsim.Cluster.default with
+                  arrival_rate = lambda;
+                  policy = Wsim.Policy.Repeated { retry_rate; threshold };
+                }
+          in
+          {
+            lambda;
+            retry_rate;
+            ode = Meanfield.Model.mean_time model state;
+            sim;
+            pi_threshold = state.(threshold);
+            ratio_predicted =
+              Meanfield.Repeated_steal_ws.tail_ratio_predicted ~lambda
+                ~retry_rate state;
+            ratio_fitted =
+              Meanfield.Metrics.empirical_tail_ratio ~from:(threshold + 2)
+                state;
+          })
+        rates)
+    lambdas
+
+let print scope ppf =
+  let rows = compute scope in
+  let n = List.fold_left max 2 scope.Scope.ns in
+  Table_fmt.render ppf
+    ~title:
+      (Printf.sprintf
+         "E6: repeated steal attempts at rate r (T=%d); r=0 is plain \
+          on-empty stealing"
+         threshold)
+    ~note:(Scope.note scope)
+    ~headers:
+      [ "lambda"; "r"; "E[T] est"; Printf.sprintf "Sim(%d)" n; "pi_T";
+        "ratio pred"; "ratio fit" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Printf.sprintf "%.2f" r.lambda;
+             Printf.sprintf "%g" r.retry_rate;
+             Table_fmt.cell r.ode;
+             Table_fmt.cell r.sim;
+             Printf.sprintf "%.5f" r.pi_threshold;
+             Printf.sprintf "%.4f" r.ratio_predicted;
+             Printf.sprintf "%.4f" r.ratio_fitted;
+           ])
+         rows)
+    ()

@@ -1,0 +1,21 @@
+(** Experiment E6: repeated steal attempts (§2.5).
+
+    Empty processors retry at rate [r]. The section's analytical claims,
+    quantified: expected time falls as [r] grows; the fixed-point fraction
+    [π_T] of processors at or above the threshold vanishes like
+    [λ/(1 + r(1-λ) + λ - π₂)] raised to growing powers — in the [r → ∞]
+    limit a task above the threshold is stolen instantly. *)
+
+type row = {
+  lambda : float;
+  retry_rate : float;
+  ode : float;  (** Fixed-point expected time. *)
+  sim : float;  (** Simulated ([nan] when skipped for very large r). *)
+  pi_threshold : float;  (** Fixed-point [π_T]. *)
+  ratio_predicted : float;
+  ratio_fitted : float;
+}
+
+val threshold : int
+val compute : Scope.t -> row list
+val print : Scope.t -> Format.formatter -> unit

@@ -1,0 +1,112 @@
+type row = {
+  lambda : float;
+  discipline : string;
+  model : float;
+  sim : float;
+  sim_p99 : float;
+}
+
+let lambdas = [ 0.7; 0.9; 0.95 ]
+
+type discipline = {
+  name : string;
+  placement : int;
+  policy : Wsim.Policy.t;
+  mf : lambda:float -> Meanfield.Model.t;
+}
+
+let disciplines =
+  [
+    {
+      name = "random placement";
+      placement = 1;
+      policy = Wsim.Policy.No_stealing;
+      mf = (fun ~lambda -> Meanfield.Mm1.model ~lambda ());
+    };
+    {
+      name = "2-choice sharing";
+      placement = 2;
+      policy = Wsim.Policy.No_stealing;
+      mf = (fun ~lambda -> Meanfield.Supermarket.model ~lambda ~choices:2 ());
+    };
+    {
+      name = "stealing";
+      placement = 1;
+      policy = Wsim.Policy.simple;
+      mf = (fun ~lambda -> Meanfield.Simple_ws.model ~lambda ());
+    };
+    {
+      name = "sharing + stealing";
+      placement = 2;
+      policy = Wsim.Policy.simple;
+      mf =
+        (fun ~lambda ->
+          Meanfield.Supermarket.model ~lambda ~choices:2 ~steal_threshold:2
+            ());
+    };
+  ]
+
+let compute (scope : Scope.t) =
+  let n = List.fold_left max 2 scope.Scope.ns in
+  List.concat_map
+    (fun lambda ->
+      List.map
+        (fun d ->
+          Scope.progress scope "[sharing] lambda=%g %s@." lambda d.name;
+          let model_et =
+            let m = d.mf ~lambda in
+            let fp = Meanfield.Drive.fixed_point m in
+            Meanfield.Model.mean_time m fp.Meanfield.Drive.state
+          in
+          let summary =
+            Wsim.Runner.replicate ~seed:scope.Scope.seed
+              ~fidelity:scope.Scope.fidelity
+              {
+                Wsim.Cluster.default with
+                n;
+                arrival_rate = lambda;
+                policy = d.policy;
+                placement = d.placement;
+              }
+          in
+          let p99 =
+            let acc = Prob.Stats.create () in
+            Array.iter
+              (fun (r : Wsim.Cluster.result) ->
+                if not (Float.is_nan r.Wsim.Cluster.sojourn_p99) then
+                  Prob.Stats.add acc r.Wsim.Cluster.sojourn_p99)
+              summary.Wsim.Runner.per_run;
+            Prob.Stats.mean acc
+          in
+          {
+            lambda;
+            discipline = d.name;
+            model = model_et;
+            sim = summary.Wsim.Runner.mean_sojourn;
+            sim_p99 = p99;
+          })
+        disciplines)
+    lambdas
+
+let print scope ppf =
+  let rows = compute scope in
+  let n = List.fold_left max 2 scope.Scope.ns in
+  Table_fmt.render ppf
+    ~title:
+      "E10 (extension): work sharing vs. work stealing vs. both (T=2, d=2)"
+    ~note:(Scope.note scope)
+    ~headers:
+      [ "lambda"; "discipline"; "E[T] model"; Printf.sprintf "Sim(%d)" n;
+        "Sim p99" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Printf.sprintf "%.2f" r.lambda;
+             r.discipline;
+             Table_fmt.cell r.model;
+             Table_fmt.cell r.sim;
+             Table_fmt.cell r.sim_p99;
+           ])
+         rows)
+    ()

@@ -1,0 +1,21 @@
+(** Experiment E10: work sharing vs. work stealing (extension).
+
+    The paper's introduction contrasts work stealing (idle processors pull)
+    with work sharing (loaded processors push / arrivals are routed), and
+    §3.3 borrows the power of two choices from the sharing literature.
+    This experiment puts the two — and their combination — side by side at
+    equal parameters: random placement (M/M/1), two-choice placement
+    (supermarket), simple stealing, and two-choice placement {e with}
+    stealing, each as a mean-field fixed point and an n-processor
+    simulation, with tail latencies. *)
+
+type row = {
+  lambda : float;
+  discipline : string;
+  model : float;  (** Mean-field fixed-point E[T]. *)
+  sim : float;
+  sim_p99 : float;  (** Simulated 99th-percentile sojourn. *)
+}
+
+val compute : Scope.t -> row list
+val print : Scope.t -> Format.formatter -> unit

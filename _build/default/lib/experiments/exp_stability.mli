@@ -1,0 +1,27 @@
+(** Experiment E9: convergence and stability of the fixed points (§4).
+
+    Theorems 1–2 prove L1-stability for the simple and threshold systems
+    when [π₂ < 1/2] (equivalently [λ ≲ 0.823] for the simple system). The
+    paper recommends checking convergence numerically from various
+    starting points; this experiment does exactly that: for arrival rates
+    on both sides of the theorem's bound, integrate the systems from the
+    empty state, from a heavily loaded state and from perturbed states,
+    and report the largest observed increase of [D(t) = Σ|sᵢ(t) - πᵢ|]
+    plus the time to reach the fixed point. Monotone decrease is observed
+    well beyond the regime the proof covers — evidence for the paper's
+    open question. *)
+
+type row = {
+  lambda : float;
+  pi2 : float;
+  theorem_applies : bool;  (** [π₂ < 1/2]. *)
+  start : string;  (** Which initial condition. *)
+  max_uptick : float;  (** Largest ΔD between samples (≤ 0 slack ideal). *)
+  converge_time : float;  (** First t with D(t) ≤ 1e-6; [nan] if never. *)
+}
+
+val compute : ?threshold:int -> Scope.t -> row list
+(** [threshold] defaults to 2 (the simple system of Theorem 1); pass 3+
+    for the Theorem 2 systems. *)
+
+val print : Scope.t -> Format.formatter -> unit

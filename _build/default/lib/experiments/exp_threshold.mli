@@ -1,0 +1,35 @@
+(** Experiment E5: threshold and preemptive stealing (§2.3–§2.4).
+
+    The paper derives these two variants' limiting systems but tabulates
+    neither; this experiment generates the numbers the analysis implies
+    and validates them against simulation:
+
+    - expected time vs. threshold T (closed form, ODE, simulation);
+    - the geometric-tail claim: fitted decay ratio of the fixed point vs.
+      the predicted [λ/(1+λ-π₂)];
+    - preemptive stealing (B > 0) vs. plain threshold stealing, with the
+      predicted [λ/(1+λ-π_{B+2})] tail ratio. *)
+
+type threshold_row = {
+  lambda : float;
+  threshold : int;
+  exact : float;  (** Closed-form fixed-point mean time. *)
+  ode : float;  (** ODE-relaxation mean time (consistency check). *)
+  sim : float;  (** Simulated mean sojourn at the largest scope size. *)
+  ratio_predicted : float;
+  ratio_fitted : float;
+}
+
+type preemptive_row = {
+  lambda : float;
+  begin_at : int;
+  offset : int;
+  ode : float;
+  sim : float;
+  ratio_predicted : float;
+  ratio_fitted : float;
+}
+
+val compute_threshold : Scope.t -> threshold_row list
+val compute_preemptive : Scope.t -> preemptive_row list
+val print : Scope.t -> Format.formatter -> unit

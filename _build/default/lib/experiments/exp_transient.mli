@@ -1,0 +1,19 @@
+(** Experiment E14: transient (trajectory-level) validation.
+
+    Kurtz's theorem — the paper's foundation — says the {e whole
+    trajectory} of the finite system converges to the ODE solution, not
+    just its fixed point. This experiment starts both the differential
+    equations and the simulator from the empty system and compares the
+    tail densities [s₁(t), s₂(t), s₄(t)] at a ladder of times, for two
+    system sizes: the simulated curves should hug the deterministic one
+    more tightly as [n] grows, all the way through the transient. *)
+
+type row = {
+  time : float;
+  ode : float array;  (** [s₁, s₂, s₄] from the differential equations. *)
+  sim : (int * float array) list;  (** Per system size, same triple. *)
+}
+
+val lambda : float
+val compute : Scope.t -> row list
+val print : Scope.t -> Format.formatter -> unit

@@ -1,0 +1,37 @@
+(** The numbers printed in the paper's tables, embedded for side-by-side
+    "paper vs reproduced" comparison in experiment output and tests.
+
+    All values are expected times in system, transcribed from Tables 1–4
+    of Mitzenmacher, "Analyses of Load Stealing Models Based on
+    Differential Equations", SPAA 1998. *)
+
+val table1_lambdas : float list
+(** [0.50; 0.70; 0.80; 0.90; 0.95; 0.99]. *)
+
+val table1_estimate : float -> float
+(** Paper's fixed-point estimate for the simple WS model at the given
+    arrival rate. @raise Not_found for a λ outside {!table1_lambdas}. *)
+
+val table1_sim128 : float -> float
+(** Paper's Sim(128) column. @raise Not_found likewise. *)
+
+val table2_estimate : stages:int -> float -> float
+(** Paper's constant-service estimates ([stages] ∈ {10, 20}).
+    @raise Not_found for unlisted parameters. *)
+
+val table2_sim128 : float -> float
+(** Paper's constant-service Sim(128) column. *)
+
+val table3_lambdas : float list
+(** [0.50; 0.70; 0.80; 0.90; 0.95]. *)
+
+val table3_estimate : threshold:int -> float -> float
+(** Paper's transfer-time estimates ([threshold] ∈ {3,4,5,6},
+    [r = 0.25]). @raise Not_found for unlisted parameters. *)
+
+val table3_sim128 : threshold:int -> float -> float
+
+val table4_estimate_2choices : float -> float
+(** Paper's two-choice estimates (T = 2). *)
+
+val table4_sim128_2choices : float -> float

@@ -1,0 +1,47 @@
+type t = {
+  fidelity : Wsim.Runner.fidelity;
+  ns : int list;
+  seed : int;
+  verbose : bool;
+}
+
+let default =
+  {
+    fidelity = Wsim.Runner.default_fidelity;
+    ns = [ 16; 32; 64; 128 ];
+    seed = 20260704;
+    verbose = true;
+  }
+
+let quick =
+  {
+    fidelity = Wsim.Runner.quick_fidelity;
+    ns = [ 16; 64 ];
+    seed = 20260704;
+    verbose = false;
+  }
+
+let paper =
+  {
+    fidelity = Wsim.Runner.paper_fidelity;
+    ns = [ 16; 32; 64; 128 ];
+    seed = 20260704;
+    verbose = true;
+  }
+
+let note t =
+  Printf.sprintf
+    "(simulations: %d runs x %g s, %g s warm-up discarded, seed %d)"
+    t.fidelity.Wsim.Runner.runs t.fidelity.Wsim.Runner.horizon
+    t.fidelity.Wsim.Runner.warmup t.seed
+
+let progress t fmt =
+  if t.verbose then Format.eprintf fmt
+  else Format.ifprintf Format.err_formatter fmt
+
+let sim_mean_sojourn t ~n config =
+  let summary =
+    Wsim.Runner.replicate ~seed:t.seed ~fidelity:t.fidelity
+      { config with Wsim.Cluster.n }
+  in
+  summary.Wsim.Runner.mean_sojourn

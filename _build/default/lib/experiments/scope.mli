@@ -1,0 +1,33 @@
+(** Shared experiment parameters: how big, how long, how random.
+
+    The paper's protocol (10 × 100,000 s simulations, 16–128 processors)
+    is expensive; a scope bundles a {!Wsim.Runner.fidelity} preset with the
+    processor counts and the root seed so that every experiment can be run
+    at paper fidelity or at a faster development setting. *)
+
+type t = {
+  fidelity : Wsim.Runner.fidelity;
+  ns : int list;  (** Simulated system sizes, e.g. [[16; 32; 64; 128]]. *)
+  seed : int;  (** Root seed; every stream derives from it. *)
+  verbose : bool;  (** Progress notes on stderr. *)
+}
+
+val default : t
+(** All four paper sizes, {!Wsim.Runner.default_fidelity}, seed 20260704. *)
+
+val quick : t
+(** Two sizes (16, 64), {!Wsim.Runner.quick_fidelity} — for smoke tests. *)
+
+val paper : t
+(** The paper's full protocol (10 × 100,000 s; sizes 16–128). Hours of
+    compute for the complete suite. *)
+
+val note : t -> string
+(** One-line description of the fidelity, embedded under table titles. *)
+
+val progress : t -> ('a, Format.formatter, unit) format -> 'a
+(** Progress logging to stderr when [verbose]. *)
+
+val sim_mean_sojourn : t -> n:int -> Wsim.Cluster.config -> float
+(** Replicated simulation of [config] (with [n] overriding the config's
+    size), returning the mean sojourn time. *)

@@ -1,0 +1,60 @@
+type row = {
+  lambda : float;
+  sims : (int * float) list;
+  estimate : float;
+  rel_error_pct : float;
+  paper_sim128 : float;
+  paper_estimate : float;
+}
+
+let compute (scope : Scope.t) =
+  List.map
+    (fun lambda ->
+      Scope.progress scope "[table1] lambda=%g@." lambda;
+      let config =
+        {
+          Wsim.Cluster.default with
+          arrival_rate = lambda;
+          policy = Wsim.Policy.simple;
+        }
+      in
+      let sims =
+        List.map
+          (fun n -> (n, Scope.sim_mean_sojourn scope ~n config))
+          scope.Scope.ns
+      in
+      let estimate = Meanfield.Simple_ws.mean_time_exact ~lambda in
+      let sim_big = snd (List.nth sims (List.length sims - 1)) in
+      {
+        lambda;
+        sims;
+        estimate;
+        rel_error_pct = Float.abs (sim_big -. estimate) /. estimate *. 100.;
+        paper_sim128 = Paper_values.table1_sim128 lambda;
+        paper_estimate = Paper_values.table1_estimate lambda;
+      })
+    Paper_values.table1_lambdas
+
+let print scope ppf =
+  let rows = compute scope in
+  let headers =
+    "lambda"
+    :: List.map (fun n -> Printf.sprintf "Sim(%d)" n) scope.Scope.ns
+    @ [ "Estimate"; "RelErr(%)"; "paper S128"; "paper Est" ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        Printf.sprintf "%.2f" r.lambda
+        :: List.map (fun (_, v) -> Table_fmt.cell v) r.sims
+        @ [
+            Table_fmt.cell r.estimate;
+            Table_fmt.cell_pct r.rel_error_pct;
+            Table_fmt.cell r.paper_sim128;
+            Table_fmt.cell r.paper_estimate;
+          ])
+      rows
+  in
+  Table_fmt.render ppf
+    ~title:"Table 1: simulations vs. estimates, simplest WS model"
+    ~note:(Scope.note scope) ~headers ~rows:body ()

@@ -1,0 +1,20 @@
+(** Table 1 of the paper: simulations vs. estimates for the simplest WS
+    model (steal one task from one random victim when empty, T = 2).
+
+    Columns: Sim(n) for each system size in scope, our fixed-point
+    estimate (closed form, cross-checked by ODE relaxation), the relative
+    error between the largest simulation and the estimate, and the paper's
+    own reported Sim(128) and estimate. *)
+
+type row = {
+  lambda : float;
+  sims : (int * float) list;  (** (n, simulated mean sojourn). *)
+  estimate : float;  (** Closed-form fixed-point prediction. *)
+  rel_error_pct : float;
+      (** |Sim(max n) - estimate| / estimate × 100, as in the paper. *)
+  paper_sim128 : float;
+  paper_estimate : float;
+}
+
+val compute : Scope.t -> row list
+val print : Scope.t -> Format.formatter -> unit

@@ -1,0 +1,20 @@
+(** Table 2 of the paper: constant service times (T = 2).
+
+    Simulations run the {e true} constant-service system; estimates come
+    from the Erlang method-of-stages differential equations with c = 10
+    and c = 20 stages (Section 3.1). The table shows both that the stage
+    approximation predicts the constant-service system accurately and that
+    constant service beats exponential service (compare Table 1). *)
+
+type row = {
+  lambda : float;
+  sims : (int * float) list;  (** Deterministic-service simulations. *)
+  estimate_c10 : float;
+  estimate_c20 : float;
+  paper_sim128 : float;
+  paper_c10 : float;
+  paper_c20 : float;
+}
+
+val compute : Scope.t -> row list
+val print : Scope.t -> Format.formatter -> unit

@@ -1,0 +1,22 @@
+(** Table 3 of the paper: transfer times (r = 0.25), thresholds T = 3…6.
+
+    Simulations and fixed-point estimates of the two-vector transfer-time
+    model of Section 3.2, at n = 128 (the paper reports only that size).
+    The payoff is threshold selection: the rough rule T ≈ 1/r + 1 = 5 is
+    optimal only at moderate loads — the fixed points identify the true
+    best threshold per arrival rate, matching the simulations. *)
+
+type entry = { sim : float; estimate : float; paper_sim : float; paper_est : float }
+
+type row = {
+  lambda : float;
+  per_threshold : (int * entry) list;  (** Keyed by T ∈ {3,4,5,6}. *)
+  best_threshold_est : int;  (** argmin of the estimates. *)
+  best_threshold_sim : int;  (** argmin of the simulations. *)
+}
+
+val thresholds : int list
+val transfer_rate : float
+
+val compute : Scope.t -> row list
+val print : Scope.t -> Format.formatter -> unit

@@ -1,0 +1,18 @@
+(** Table 4 of the paper: one victim choice vs. two (T = 2, n = 128).
+
+    Reproduces the comparison of Section 3.3: two choices improve the
+    expected time — markedly near saturation — but a single choice already
+    captures most of the achievable gain. *)
+
+type row = {
+  lambda : float;
+  sim_1choice : float;
+  sim_2choices : float;
+  estimate_2choices : float;
+  paper_sim_1choice : float;
+  paper_sim_2choices : float;
+  paper_estimate : float;
+}
+
+val compute : Scope.t -> row list
+val print : Scope.t -> Format.formatter -> unit

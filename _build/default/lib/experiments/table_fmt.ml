@@ -1,0 +1,29 @@
+let cell x = if Float.is_nan x then "-" else Printf.sprintf "%.3f" x
+let cell_pct x = if Float.is_nan x then "-" else Printf.sprintf "%.2f" x
+
+let render ppf ~title ?note ~headers ~rows () =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length headers then
+        invalid_arg "Table_fmt.render: ragged row")
+    rows;
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let pad w s = String.make (w - String.length s) ' ' ^ s in
+  let line row =
+    String.concat "  " (List.map2 pad widths row)
+  in
+  let rule =
+    String.concat "--" (List.map (fun w -> String.make w '-') widths)
+  in
+  Format.fprintf ppf "%s@." title;
+  (match note with Some n -> Format.fprintf ppf "%s@." n | None -> ());
+  Format.fprintf ppf "%s@.%s@." (line headers) rule;
+  List.iter (fun row -> Format.fprintf ppf "%s@." (line row)) rows;
+  Format.fprintf ppf "@."

@@ -1,0 +1,18 @@
+(** Plain-text table rendering in the style of the paper's tables. *)
+
+val cell : float -> string
+(** Three-decimal rendering; NaN prints as ["-"]. *)
+
+val cell_pct : float -> string
+(** Two-decimal percentage (the paper's relative-error column). *)
+
+val render :
+  Format.formatter ->
+  title:string ->
+  ?note:string ->
+  headers:string list ->
+  rows:string list list ->
+  unit ->
+  unit
+(** Pretty-print a titled, column-aligned table. Every row must have as
+    many cells as [headers]. *)

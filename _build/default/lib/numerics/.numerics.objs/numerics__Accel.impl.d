@@ -1,0 +1,1 @@
+lib/numerics/accel.ml: Array Float Vec

@@ -1,0 +1,1 @@
+lib/numerics/accel.mli: Vec

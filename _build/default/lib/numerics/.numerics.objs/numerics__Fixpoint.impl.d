@@ -1,0 +1,1 @@
+lib/numerics/fixpoint.ml: Array Float Vec

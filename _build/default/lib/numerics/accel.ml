@@ -1,0 +1,41 @@
+let aitken x0 x1 x2 =
+  let d1 = x1 -. x0 and d2 = x2 -. x1 in
+  let dd = d2 -. d1 in
+  if Float.abs dd <= 1e-300 || not (Float.is_finite dd) then x2
+  else begin
+    let est = x2 -. (d2 *. d2 /. dd) in
+    if Float.is_finite est then est else x2
+  end
+
+let aitken_vec v0 v1 v2 =
+  if Vec.dim v0 <> Vec.dim v1 || Vec.dim v1 <> Vec.dim v2 then
+    invalid_arg "Accel.aitken_vec: dimension mismatch";
+  Vec.init (Vec.dim v0) (fun i -> aitken v0.(i) v1.(i) v2.(i))
+
+let dominant_ratio v0 v1 v2 =
+  let n = Vec.dim v0 in
+  if Vec.dim v1 <> n || Vec.dim v2 <> n then
+    invalid_arg "Accel.dominant_ratio: dimension mismatch";
+  let num = ref 0.0 and den = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d1 = v1.(i) -. v0.(i) and d2 = v2.(i) -. v1.(i) in
+    num := !num +. (d2 *. d1);
+    den := !den +. (d1 *. d1)
+  done;
+  if !den <= 1e-300 then nan else !num /. !den
+
+let extrapolate_dominant v0 v1 v2 =
+  let rho = dominant_ratio v0 v1 v2 in
+  if Float.is_nan rho || rho >= 1.0 || rho <= -1.0 then Vec.copy v2
+  else begin
+    let gain = rho /. (1.0 -. rho) in
+    Vec.init (Vec.dim v2) (fun i ->
+        v2.(i) +. ((v2.(i) -. v1.(i)) *. gain))
+  end
+
+let richardson ~order ~h_ratio coarse fine =
+  if order <= 0 then invalid_arg "Accel.richardson: order must be positive";
+  if h_ratio <= 1.0 then
+    invalid_arg "Accel.richardson: h_ratio must exceed 1";
+  let k = h_ratio ** float_of_int order in
+  ((k *. fine) -. coarse) /. (k -. 1.0)

@@ -1,0 +1,30 @@
+(** Convergence acceleration for linearly converging sequences.
+
+    ODE relaxation toward a mean-field fixed point approaches it like
+    [x(t) = x* + C·e^(-t/τ)]; three equally spaced samples determine [x*]
+    by Aitken's Δ² formula. This shortens the long relaxation horizons
+    needed at high arrival rates (λ close to 1). *)
+
+val aitken : float -> float -> float -> float
+(** [aitken x0 x1 x2] is the Aitken Δ² extrapolation of three successive
+    terms of a linearly converging sequence. Falls back to [x2] when the
+    second difference is too small for a stable update. *)
+
+val aitken_vec : Vec.t -> Vec.t -> Vec.t -> Vec.t
+(** Component-wise {!aitken} over three equally spaced state snapshots. *)
+
+val dominant_ratio : Vec.t -> Vec.t -> Vec.t -> float
+(** Power-method estimate of the dominant contraction ratio from three
+    equally spaced snapshots: [⟨x₂-x₁, x₁-x₀⟩ / ⟨x₁-x₀, x₁-x₀⟩]. [nan]
+    when the first difference vanishes. *)
+
+val extrapolate_dominant : Vec.t -> Vec.t -> Vec.t -> Vec.t
+(** Vector Shanks-type extrapolation assuming a single dominant mode with
+    the {!dominant_ratio}: [x₂ + (x₂-x₁)·ρ/(1-ρ)]. More robust than
+    per-component Aitken when component second differences are tiny.
+    Falls back to [x₂] when the ratio is not in [(−1, 1)]. *)
+
+val richardson : order:int -> h_ratio:float -> float -> float -> float
+(** [richardson ~order ~h_ratio coarse fine] removes the leading
+    [O(h^order)] error term from two approximations computed with step
+    sizes [h] (giving [coarse]) and [h / h_ratio] (giving [fine]). *)

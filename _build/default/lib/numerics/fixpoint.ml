@@ -1,0 +1,35 @@
+type outcome = Converged of int | Diverged of int
+
+let scalar ?(damping = 1.0) ?(tol = 1e-14) ?(max_iter = 100_000) g ~x0 =
+  let rec go x i =
+    if i >= max_iter then (x, Diverged i)
+    else begin
+      let x' = ((1.0 -. damping) *. x) +. (damping *. g x) in
+      if not (Float.is_finite x') then (x, Diverged i)
+      else if Float.abs (x' -. x) <= tol then (x', Converged (i + 1))
+      else go x' (i + 1)
+    end
+  in
+  go x0 0
+
+let vector ?(damping = 1.0) ?(tol = 1e-14) ?(max_iter = 100_000) g ~x0 =
+  let x = Vec.copy x0 in
+  let gx = Vec.create (Vec.dim x0) in
+  let rec go i =
+    if i >= max_iter then (x, Diverged i)
+    else begin
+      g ~src:x ~dst:gx;
+      (* x <- (1-ω)x + ω·g(x), tracking the max update as we go. *)
+      let delta = ref 0.0 in
+      for j = 0 to Vec.dim x - 1 do
+        let x' = ((1.0 -. damping) *. x.(j)) +. (damping *. gx.(j)) in
+        let d = Float.abs (x' -. x.(j)) in
+        if d > !delta then delta := d;
+        x.(j) <- x'
+      done;
+      if not (Float.is_finite !delta) then (x, Diverged (i + 1))
+      else if !delta <= tol then (x, Converged (i + 1))
+      else go (i + 1)
+    end
+  in
+  go 0

@@ -1,0 +1,21 @@
+(** Fixed-point iteration for scalar and vector maps.
+
+    Used to solve the algebraic fixed-point systems [s = g(s)] that arise
+    when setting [ds/dt = 0] in the mean-field equations, as an alternative
+    (and cross-check) to long-horizon ODE relaxation. *)
+
+type outcome = Converged of int | Diverged of int
+    (** Payload: number of iterations performed. *)
+
+val scalar :
+  ?damping:float -> ?tol:float -> ?max_iter:int -> (float -> float) ->
+  x0:float -> float * outcome
+(** [scalar g ~x0] iterates [x <- (1-ω)·x + ω·g(x)] with damping [ω]
+    (default [1.0]) until [|x' - x| ≤ tol] (default [1e-14]) or [max_iter]
+    (default [100_000]) iterations. Returns the final iterate. *)
+
+val vector :
+  ?damping:float -> ?tol:float -> ?max_iter:int ->
+  (src:Vec.t -> dst:Vec.t -> unit) -> x0:Vec.t -> Vec.t * outcome
+(** [vector g ~x0] iterates the in-place map [g] with damping, stopping when
+    [‖x' - x‖∞ ≤ tol]. [x0] is not mutated; a fresh result is returned. *)

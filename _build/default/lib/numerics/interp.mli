@@ -1,0 +1,24 @@
+(** Interpolation of sampled functions.
+
+    Trajectories come out of the integrators as discrete samples; these
+    helpers evaluate them in between — linear for robustness, monotone
+    cubic (Fritsch–Carlson PCHIP) when smooth derivatives matter and
+    overshoot must be avoided (tail densities must stay monotone). *)
+
+type t
+(** An interpolant over strictly increasing abscissae. *)
+
+val linear : xs:Vec.t -> ys:Vec.t -> t
+(** Piecewise-linear interpolant. @raise Invalid_argument unless [xs] is
+    strictly increasing and lengths match (≥ 2 points). *)
+
+val pchip : xs:Vec.t -> ys:Vec.t -> t
+(** Monotone piecewise-cubic Hermite interpolant (Fritsch–Carlson slope
+    limiting): preserves monotonicity of the data on every interval, never
+    overshoots. Same preconditions as {!linear}. *)
+
+val eval : t -> float -> float
+(** Evaluate; clamps outside the data range to the boundary values. *)
+
+val eval_many : t -> Vec.t -> Vec.t
+(** Map {!eval} over a vector of query points. *)

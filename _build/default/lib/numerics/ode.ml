@@ -1,0 +1,239 @@
+type system = {
+  dim : int;
+  deriv : t:float -> y:Vec.t -> dy:Vec.t -> unit;
+}
+
+(* Seven slots cover the Dormand-Prince pair, the largest consumer; the
+   fixed-step methods reuse a prefix of the same workspace. *)
+type workspace = {
+  k1 : Vec.t;
+  k2 : Vec.t;
+  k3 : Vec.t;
+  k4 : Vec.t;
+  k5 : Vec.t;
+  k6 : Vec.t;
+  k7 : Vec.t;
+  tmp : Vec.t;
+  trial : Vec.t;
+}
+
+let workspace sys =
+  let v () = Vec.create sys.dim in
+  {
+    k1 = v ();
+    k2 = v ();
+    k3 = v ();
+    k4 = v ();
+    k5 = v ();
+    k6 = v ();
+    k7 = v ();
+    tmp = v ();
+    trial = v ();
+  }
+
+let euler_step sys ws ~t ~dt y =
+  sys.deriv ~t ~y ~dy:ws.k1;
+  Vec.axpy y ~a:dt ~x:ws.k1
+
+let midpoint_step sys ws ~t ~dt y =
+  sys.deriv ~t ~y ~dy:ws.k1;
+  Vec.combine ~dst:ws.tmp y ~a:(dt /. 2.0) ws.k1;
+  sys.deriv ~t:(t +. (dt /. 2.0)) ~y:ws.tmp ~dy:ws.k2;
+  Vec.axpy y ~a:dt ~x:ws.k2
+
+let rk4_step sys ws ~t ~dt y =
+  let h2 = dt /. 2.0 in
+  sys.deriv ~t ~y ~dy:ws.k1;
+  Vec.combine ~dst:ws.tmp y ~a:h2 ws.k1;
+  sys.deriv ~t:(t +. h2) ~y:ws.tmp ~dy:ws.k2;
+  Vec.combine ~dst:ws.tmp y ~a:h2 ws.k2;
+  sys.deriv ~t:(t +. h2) ~y:ws.tmp ~dy:ws.k3;
+  Vec.combine ~dst:ws.tmp y ~a:dt ws.k3;
+  sys.deriv ~t:(t +. dt) ~y:ws.tmp ~dy:ws.k4;
+  let c = dt /. 6.0 in
+  for i = 0 to sys.dim - 1 do
+    y.(i) <-
+      y.(i)
+      +. (c
+          *. (ws.k1.(i) +. (2.0 *. ws.k2.(i)) +. (2.0 *. ws.k3.(i))
+             +. ws.k4.(i)))
+  done
+
+type stepper = Euler | Midpoint | Rk4
+
+let step_fn = function
+  | Euler -> euler_step
+  | Midpoint -> midpoint_step
+  | Rk4 -> rk4_step
+
+let integrate ?(stepper = Rk4) sys ~y ~t0 ~t1 ~dt =
+  if dt <= 0.0 then invalid_arg "Ode.integrate: dt must be positive";
+  let step = step_fn stepper in
+  let ws = workspace sys in
+  let t = ref t0 in
+  while !t < t1 -. 1e-14 do
+    let h = Float.min dt (t1 -. !t) in
+    step sys ws ~t:!t ~dt:h y;
+    t := !t +. h
+  done
+
+let observe ?(stepper = Rk4) sys ~y ~t0 ~t1 ~dt ~sample_every f =
+  if sample_every <= 0.0 then
+    invalid_arg "Ode.observe: sample_every must be positive";
+  f t0 y;
+  let t = ref t0 in
+  let next_sample = ref (t0 +. sample_every) in
+  let step = step_fn stepper in
+  let ws = workspace sys in
+  while !t < t1 -. 1e-14 do
+    let target = Float.min t1 !next_sample in
+    while !t < target -. 1e-14 do
+      let h = Float.min dt (target -. !t) in
+      step sys ws ~t:!t ~dt:h y;
+      t := !t +. h
+    done;
+    f !t y;
+    next_sample := !next_sample +. sample_every
+  done
+
+(* Dormand-Prince 5(4) tableau. *)
+let a21 = 1.0 /. 5.0
+let a31 = 3.0 /. 40.0
+let a32 = 9.0 /. 40.0
+let a41 = 44.0 /. 45.0
+let a42 = -56.0 /. 15.0
+let a43 = 32.0 /. 9.0
+let a51 = 19372.0 /. 6561.0
+let a52 = -25360.0 /. 2187.0
+let a53 = 64448.0 /. 6561.0
+let a54 = -212.0 /. 729.0
+let a61 = 9017.0 /. 3168.0
+let a62 = -355.0 /. 33.0
+let a63 = 46732.0 /. 5247.0
+let a64 = 49.0 /. 176.0
+let a65 = -5103.0 /. 18656.0
+let b1 = 35.0 /. 384.0
+let b3 = 500.0 /. 1113.0
+let b4 = 125.0 /. 192.0
+let b5 = -2187.0 /. 6784.0
+let b6 = 11.0 /. 84.0
+
+(* 5th-order minus 4th-order weights: error estimator coefficients. *)
+let e1 = b1 -. (5179.0 /. 57600.0)
+let e3 = b3 -. (7571.0 /. 16695.0)
+let e4 = b4 -. (393.0 /. 640.0)
+let e5 = b5 -. (-92097.0 /. 339200.0)
+let e6 = b6 -. (187.0 /. 2100.0)
+let e7 = -1.0 /. 40.0
+
+let dopri5 ?(rtol = 1e-8) ?(atol = 1e-12) ?dt0 ?(max_steps = 10_000_000) sys
+    ~y ~t0 ~t1 =
+  if t1 <= t0 then 0
+  else begin
+    let ws = workspace sys in
+    let n = sys.dim in
+    let t = ref t0 in
+    let dt = ref (match dt0 with Some h -> h | None -> (t1 -. t0) /. 100.0) in
+    let accepted = ref 0 in
+    let steps = ref 0 in
+    while !t < t1 -. 1e-14 do
+      incr steps;
+      if !steps > max_steps then failwith "Ode.dopri5: max_steps exceeded";
+      if !dt < 1e-14 *. Float.max 1.0 (Float.abs !t) then
+        failwith "Ode.dopri5: step size underflow";
+      let h = Float.min !dt (t1 -. !t) in
+      sys.deriv ~t:!t ~y ~dy:ws.k1;
+      for i = 0 to n - 1 do
+        ws.tmp.(i) <- y.(i) +. (h *. a21 *. ws.k1.(i))
+      done;
+      sys.deriv ~t:(!t +. (0.2 *. h)) ~y:ws.tmp ~dy:ws.k2;
+      for i = 0 to n - 1 do
+        ws.tmp.(i) <- y.(i) +. (h *. ((a31 *. ws.k1.(i)) +. (a32 *. ws.k2.(i))))
+      done;
+      sys.deriv ~t:(!t +. (0.3 *. h)) ~y:ws.tmp ~dy:ws.k3;
+      for i = 0 to n - 1 do
+        ws.tmp.(i) <-
+          y.(i)
+          +. (h
+              *. ((a41 *. ws.k1.(i)) +. (a42 *. ws.k2.(i))
+                 +. (a43 *. ws.k3.(i))))
+      done;
+      sys.deriv ~t:(!t +. (0.8 *. h)) ~y:ws.tmp ~dy:ws.k4;
+      for i = 0 to n - 1 do
+        ws.tmp.(i) <-
+          y.(i)
+          +. (h
+              *. ((a51 *. ws.k1.(i)) +. (a52 *. ws.k2.(i))
+                 +. (a53 *. ws.k3.(i)) +. (a54 *. ws.k4.(i))))
+      done;
+      sys.deriv ~t:(!t +. (8.0 /. 9.0 *. h)) ~y:ws.tmp ~dy:ws.k5;
+      for i = 0 to n - 1 do
+        ws.tmp.(i) <-
+          y.(i)
+          +. (h
+              *. ((a61 *. ws.k1.(i)) +. (a62 *. ws.k2.(i))
+                 +. (a63 *. ws.k3.(i)) +. (a64 *. ws.k4.(i))
+                 +. (a65 *. ws.k5.(i))))
+      done;
+      sys.deriv ~t:(!t +. h) ~y:ws.tmp ~dy:ws.k6;
+      for i = 0 to n - 1 do
+        ws.trial.(i) <-
+          y.(i)
+          +. (h
+              *. ((b1 *. ws.k1.(i)) +. (b3 *. ws.k3.(i)) +. (b4 *. ws.k4.(i))
+                 +. (b5 *. ws.k5.(i)) +. (b6 *. ws.k6.(i))))
+      done;
+      sys.deriv ~t:(!t +. h) ~y:ws.trial ~dy:ws.k7;
+      (* Scaled max-norm of the embedded error estimate. *)
+      let err = ref 0.0 in
+      for i = 0 to n - 1 do
+        let e =
+          h
+          *. ((e1 *. ws.k1.(i)) +. (e3 *. ws.k3.(i)) +. (e4 *. ws.k4.(i))
+             +. (e5 *. ws.k5.(i)) +. (e6 *. ws.k6.(i)) +. (e7 *. ws.k7.(i)))
+        in
+        let scale =
+          atol +. (rtol *. Float.max (Float.abs y.(i)) (Float.abs ws.trial.(i)))
+        in
+        let r = Float.abs e /. scale in
+        if r > !err then err := r
+      done;
+      if !err <= 1.0 then begin
+        Vec.blit ~src:ws.trial ~dst:y;
+        t := !t +. h;
+        incr accepted
+      end;
+      let factor =
+        if !err = 0.0 then 5.0
+        else Float.min 5.0 (Float.max 0.2 (0.9 *. (!err ** -0.2)))
+      in
+      dt := h *. factor
+    done;
+    !accepted
+  end
+
+type steady_outcome = Converged of float | Timed_out of float
+
+let relax ?(stepper = Rk4) ?(dt = 0.1) ?(tol = 1e-12) ?(check_every = 25.0)
+    ?(max_time = 1e6) sys ~y =
+  let ws = workspace sys in
+  let step = step_fn stepper in
+  let residual () =
+    sys.deriv ~t:0.0 ~y ~dy:ws.k1;
+    Vec.norm_inf ws.k1
+  in
+  let rec go t =
+    if residual () <= tol then Converged (residual ())
+    else if t >= max_time then Timed_out (residual ())
+    else begin
+      let target = Float.min max_time (t +. check_every) in
+      let tc = ref t in
+      while !tc < target -. 1e-14 do
+        let h = Float.min dt (target -. !tc) in
+        step sys ws ~t:!tc ~dt:h y;
+        tc := !tc +. h
+      done;
+      go target
+    end
+  in
+  go 0.0

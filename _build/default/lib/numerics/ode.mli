@@ -1,0 +1,103 @@
+(** Initial-value ODE integrators for autonomous and non-autonomous systems
+    [dy/dt = f(t, y)] over dense float vectors.
+
+    The mean-field limits of the paper's work-stealing systems are families
+    of ordinary differential equations over tail densities; this module
+    provides the integrators used to follow their trajectories and to relax
+    them to their fixed points.
+
+    Derivative functions write in place into a caller-supplied buffer so
+    that the inner integration loops allocate nothing. *)
+
+type system = {
+  dim : int;  (** State dimension. *)
+  deriv : t:float -> y:Vec.t -> dy:Vec.t -> unit;
+      (** [deriv ~t ~y ~dy] writes dy/dt at time [t], state [y] into [dy]. *)
+}
+
+type workspace
+(** Pre-allocated scratch buffers for a given state dimension. A workspace
+    may be reused across calls but not shared between concurrent
+    integrations. *)
+
+val workspace : system -> workspace
+(** Allocate scratch space sized for [system]. *)
+
+(** {1 Fixed-step methods} *)
+
+val euler_step : system -> workspace -> t:float -> dt:float -> Vec.t -> unit
+(** Forward Euler; first order. Updates the state in place. *)
+
+val midpoint_step :
+  system -> workspace -> t:float -> dt:float -> Vec.t -> unit
+(** Explicit midpoint (RK2); second order. *)
+
+val rk4_step : system -> workspace -> t:float -> dt:float -> Vec.t -> unit
+(** Classical Runge–Kutta; fourth order. *)
+
+type stepper = Euler | Midpoint | Rk4
+
+val integrate :
+  ?stepper:stepper ->
+  system ->
+  y:Vec.t ->
+  t0:float ->
+  t1:float ->
+  dt:float ->
+  unit
+(** [integrate sys ~y ~t0 ~t1 ~dt] advances [y] in place from [t0] to [t1]
+    with fixed steps of (at most) [dt]; the final step is shortened to land
+    exactly on [t1]. Default stepper is {!Rk4}. *)
+
+val observe :
+  ?stepper:stepper ->
+  system ->
+  y:Vec.t ->
+  t0:float ->
+  t1:float ->
+  dt:float ->
+  sample_every:float ->
+  (float -> Vec.t -> unit) ->
+  unit
+(** Like {!integrate} but invokes the callback at [t0], then at every
+    multiple of [sample_every], and finally at [t1]. The callback must not
+    retain the state vector (copy it if needed). *)
+
+(** {1 Adaptive method} *)
+
+val dopri5 :
+  ?rtol:float ->
+  ?atol:float ->
+  ?dt0:float ->
+  ?max_steps:int ->
+  system ->
+  y:Vec.t ->
+  t0:float ->
+  t1:float ->
+  int
+(** Dormand–Prince 5(4) embedded Runge–Kutta pair with PI-free standard
+    step-size control. Advances [y] in place from [t0] to [t1] and returns
+    the number of accepted steps. Defaults: [rtol = 1e-8], [atol = 1e-12],
+    [max_steps = 10_000_000].
+
+    @raise Failure if the step size underflows or [max_steps] is hit. *)
+
+(** {1 Steady state} *)
+
+type steady_outcome = Converged of float | Timed_out of float
+    (** Payload is the final residual [‖dy/dt‖∞]. *)
+
+val relax :
+  ?stepper:stepper ->
+  ?dt:float ->
+  ?tol:float ->
+  ?check_every:float ->
+  ?max_time:float ->
+  system ->
+  y:Vec.t ->
+  steady_outcome
+(** [relax sys ~y] integrates from [t = 0] in chunks of [check_every]
+    (default [25.0]) time units until the residual [‖dy/dt‖∞] at the chunk
+    boundary drops below [tol] (default [1e-12]) or [max_time] (default
+    [1e6]) simulated time units elapse. [y] is updated in place and holds
+    the (approximate) fixed point on return. Default [dt = 0.1]. *)

@@ -1,0 +1,45 @@
+let trapezoid_samples ~xs ~ys =
+  let n = Vec.dim xs in
+  if n < 2 then invalid_arg "Quadrature.trapezoid_samples: need 2 points";
+  if Vec.dim ys <> n then
+    invalid_arg "Quadrature.trapezoid_samples: length mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to n - 2 do
+    let h = xs.(i + 1) -. xs.(i) in
+    if h <= 0.0 then
+      invalid_arg "Quadrature.trapezoid_samples: abscissae not increasing";
+    acc := !acc +. (h *. (ys.(i) +. ys.(i + 1)) /. 2.0)
+  done;
+  !acc
+
+let simpson f ~a ~b ~n =
+  if n < 2 || n land 1 = 1 then
+    invalid_arg "Quadrature.simpson: n must be even and >= 2";
+  let h = (b -. a) /. float_of_int n in
+  let acc = ref (f a +. f b) in
+  for i = 1 to n - 1 do
+    let x = a +. (h *. float_of_int i) in
+    acc := !acc +. ((if i land 1 = 1 then 4.0 else 2.0) *. f x)
+  done;
+  !acc *. h /. 3.0
+
+let adaptive_simpson ?(tol = 1e-10) ?(max_depth = 50) f ~a ~b =
+  let simpson_third a fa b fb =
+    let m = (a +. b) /. 2.0 in
+    let fm = f m in
+    (m, fm, (b -. a) /. 6.0 *. (fa +. (4.0 *. fm) +. fb))
+  in
+  let rec go a fa b fb whole tol depth =
+    let m, fm, _ = simpson_third a fa b fb in
+    let _, _, left = simpson_third a fa m fm in
+    let _, _, right = simpson_third m fm b fb in
+    let delta = left +. right -. whole in
+    if depth >= max_depth || Float.abs delta <= 15.0 *. tol then
+      left +. right +. (delta /. 15.0)
+    else
+      go a fa m fm left (tol /. 2.0) (depth + 1)
+      +. go m fm b fb right (tol /. 2.0) (depth + 1)
+  in
+  let fa = f a and fb = f b in
+  let _, _, whole = simpson_third a fa b fb in
+  go a fa b fb whole tol 0

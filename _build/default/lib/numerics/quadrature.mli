@@ -1,0 +1,18 @@
+(** Numerical integration.
+
+    Used for integral performance metrics along trajectories — e.g. the
+    total backlog cost [∫ E\[N\](t) dt] of a drain — and as a standalone
+    substrate utility. *)
+
+val trapezoid_samples : xs:Vec.t -> ys:Vec.t -> float
+(** Trapezoid rule over (possibly unevenly spaced, strictly increasing)
+    samples. @raise Invalid_argument on mismatch or fewer than 2 points. *)
+
+val simpson : (float -> float) -> a:float -> b:float -> n:int -> float
+(** Composite Simpson rule with [n] (even, ≥ 2) subintervals. *)
+
+val adaptive_simpson :
+  ?tol:float -> ?max_depth:int -> (float -> float) -> a:float -> b:float ->
+  float
+(** Adaptive Simpson with the standard error estimate (default
+    [tol = 1e-10], depth cap 50). *)

@@ -1,0 +1,123 @@
+exception No_bracket
+
+let bisect ?(tol = 1e-13) ?(max_iter = 200) f ~a ~b =
+  let fa = f a and fb = f b in
+  if fa = 0.0 then a
+  else if fb = 0.0 then b
+  else if fa *. fb > 0.0 then raise No_bracket
+  else begin
+    let lo = ref a and hi = ref b and flo = ref fa in
+    let result = ref nan in
+    (try
+       for _ = 1 to max_iter do
+         let mid = 0.5 *. (!lo +. !hi) in
+         let fmid = f mid in
+         if fmid = 0.0 || !hi -. !lo < tol then begin
+           result := mid;
+           raise Exit
+         end;
+         if !flo *. fmid < 0.0 then hi := mid
+         else begin
+           lo := mid;
+           flo := fmid
+         end
+       done;
+       result := 0.5 *. (!lo +. !hi)
+     with Exit -> ());
+    !result
+  end
+
+(* Brent's method, following the classical Brent (1973) formulation. *)
+let brent ?(tol = 1e-13) ?(max_iter = 200) f ~a ~b =
+  let fa = f a and fb = f b in
+  if fa = 0.0 then a
+  else if fb = 0.0 then b
+  else if fa *. fb > 0.0 then raise No_bracket
+  else begin
+    let a = ref a and b = ref b and fa = ref fa and fb = ref fb in
+    if Float.abs !fa < Float.abs !fb then begin
+      let t = !a in
+      a := !b;
+      b := t;
+      let t = !fa in
+      fa := !fb;
+      fb := t
+    end;
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) and mflag = ref true in
+    let iter = ref 0 in
+    while Float.abs !fb > 0.0 && Float.abs (!b -. !a) > tol
+          && !iter < max_iter do
+      incr iter;
+      let s =
+        if !fa <> !fc && !fb <> !fc then
+          (* inverse quadratic interpolation *)
+          (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+          +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+          +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+        else !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+      in
+      let lo = ((3.0 *. !a) +. !b) /. 4.0 and hi = !b in
+      let lo, hi = if lo < hi then (lo, hi) else (hi, lo) in
+      let use_bisection =
+        s < lo || s > hi
+        || (!mflag && Float.abs (s -. !b) >= Float.abs (!b -. !c) /. 2.0)
+        || ((not !mflag) && Float.abs (s -. !b) >= Float.abs (!c -. !d) /. 2.0)
+        || (!mflag && Float.abs (!b -. !c) < tol)
+        || ((not !mflag) && Float.abs (!c -. !d) < tol)
+      in
+      let s = if use_bisection then (!a +. !b) /. 2.0 else s in
+      mflag := use_bisection;
+      let fs = f s in
+      d := !c;
+      c := !b;
+      fc := !fb;
+      if !fa *. fs < 0.0 then begin
+        b := s;
+        fb := fs
+      end
+      else begin
+        a := s;
+        fa := fs
+      end;
+      if Float.abs !fa < Float.abs !fb then begin
+        let t = !a in
+        a := !b;
+        b := t;
+        let t = !fa in
+        fa := !fb;
+        fb := t
+      end
+    done;
+    !b
+  end
+
+let newton ?(tol = 1e-13) ?(max_iter = 100) ~f ~df x0 =
+  let rec go x i =
+    if i > max_iter then failwith "Root.newton: did not converge";
+    let fx = f x in
+    if Float.abs fx <= tol then x
+    else begin
+      let d = df x in
+      if d = 0.0 then failwith "Root.newton: zero derivative";
+      let x' = x -. (fx /. d) in
+      if not (Float.is_finite x') then failwith "Root.newton: diverged";
+      if Float.abs (x' -. x) <= tol *. Float.max 1.0 (Float.abs x') then x'
+      else go x' (i + 1)
+    end
+  in
+  go x0 0
+
+let solve_quadratic_smaller ~b ~c =
+  let disc = (b *. b) -. (4.0 *. c) in
+  let disc = if disc < 0.0 && disc > -1e-12 then 0.0 else disc in
+  if disc < 0.0 then failwith "Root.solve_quadratic_smaller: complex roots";
+  let sq = sqrt disc in
+  (* q = -(b + sign(b)·√disc)/2; roots are q and c/q. Choosing via the sign
+     of b avoids cancellation in the smaller root. *)
+  if b >= 0.0 then
+    let q = -.(b +. sq) /. 2.0 in
+    if q = 0.0 then 0.0 else Float.min q (c /. q)
+  else
+    let q = (-.b +. sq) /. 2.0 in
+    if q = 0.0 then 0.0 else Float.min q (c /. q)

@@ -1,0 +1,34 @@
+(** Scalar root finding and stable quadratic solving.
+
+    The closed-form fixed points of the paper (Sections 2.2–2.5) reduce to
+    quadratics of the form [x² - (1+λ)x + q = 0] whose smaller root is the
+    tail density; {!solve_quadratic_smaller} evaluates it in the
+    cancellation-free form. The bracketing solvers back the numerically
+    derived fixed points. *)
+
+exception No_bracket
+(** Raised by bracketing methods when [f a] and [f b] have the same sign. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> a:float -> b:float ->
+  float
+(** Bisection on a sign-changing bracket [[a, b]]. [tol] (default [1e-13])
+    bounds the final bracket width. @raise No_bracket on a bad bracket. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> a:float -> b:float ->
+  float
+(** Brent's method (inverse quadratic interpolation + secant + bisection);
+    superlinear and as robust as bisection. @raise No_bracket. *)
+
+val newton :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> df:(float -> float) ->
+  float -> float
+(** [newton ~f ~df x0] runs Newton–Raphson from [x0]. @raise Failure on
+    divergence (NaN/∞ or iteration budget exhausted). *)
+
+val solve_quadratic_smaller : b:float -> c:float -> float
+(** Smaller real root of [x² + b·x + c = 0], computed via the stable
+    formulation (no subtractive cancellation when the roots are of very
+    different magnitudes). @raise Failure if the discriminant is negative
+    beyond round-off. *)

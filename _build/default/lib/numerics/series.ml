@@ -1,0 +1,29 @@
+let geometric_tail ~first ~ratio =
+  if ratio < 0.0 || ratio >= 1.0 then
+    invalid_arg "Series.geometric_tail: ratio must lie in [0, 1)";
+  first /. (1.0 -. ratio)
+
+let sum_until ?(tol = 1e-16) ?(max_terms = 1_000_000) f i0 =
+  let acc = ref 0.0 and comp = ref 0.0 in
+  let i = ref i0 and continue = ref true in
+  while !continue do
+    let term = f !i in
+    let y = term -. !comp in
+    let t = !acc +. y in
+    comp := t -. !acc -. y;
+    acc := t;
+    incr i;
+    if Float.abs term < tol || !i - i0 >= max_terms then continue := false
+  done;
+  !acc
+
+let kahan_sum xs =
+  let acc = ref 0.0 and comp = ref 0.0 in
+  List.iter
+    (fun x ->
+      let y = x -. !comp in
+      let t = !acc +. y in
+      comp := t -. !acc -. y;
+      acc := t)
+    xs;
+  !acc

@@ -1,0 +1,20 @@
+(** Series summation helpers for geometric-tail corrections.
+
+    Fixed points of the paper's systems have geometrically decreasing tails
+    (its central structural result); truncated state vectors are therefore
+    closed with an analytic geometric remainder rather than by brute-force
+    enlargement. *)
+
+val geometric_tail : first:float -> ratio:float -> float
+(** [geometric_tail ~first ~ratio] is [first / (1 - ratio)], the sum of
+    [first·ratio^k] for [k ≥ 0]. @raise Invalid_argument unless
+    [0 ≤ ratio < 1]. *)
+
+val sum_until :
+  ?tol:float -> ?max_terms:int -> (int -> float) -> int -> float
+(** [sum_until f i0] sums [f i0 + f (i0+1) + …] with Kahan compensation
+    until a term's magnitude drops below [tol] (default [1e-16]) or
+    [max_terms] (default [1_000_000]) terms have been added. *)
+
+val kahan_sum : float list -> float
+(** Compensated sum of a list. *)

@@ -1,0 +1,125 @@
+type t = float array
+
+let create n = Array.make n 0.0
+let make = Array.make
+let init = Array.init
+let copy = Array.copy
+let dim = Array.length
+let fill v x = Array.fill v 0 (Array.length v) x
+
+let check_dims name u v =
+  if Array.length u <> Array.length v then
+    invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)"
+                   name (Array.length u) (Array.length v))
+
+let blit ~src ~dst =
+  check_dims "blit" src dst;
+  Array.blit src 0 dst 0 (Array.length src)
+
+let scale v a =
+  for i = 0 to Array.length v - 1 do
+    v.(i) <- v.(i) *. a
+  done
+
+let axpy y ~a ~x =
+  check_dims "axpy" y x;
+  for i = 0 to Array.length y - 1 do
+    y.(i) <- y.(i) +. (a *. x.(i))
+  done
+
+let add y x =
+  check_dims "add" y x;
+  for i = 0 to Array.length y - 1 do
+    y.(i) <- y.(i) +. x.(i)
+  done
+
+let sub y x =
+  check_dims "sub" y x;
+  for i = 0 to Array.length y - 1 do
+    y.(i) <- y.(i) -. x.(i)
+  done
+
+let combine ~dst u ~a v =
+  check_dims "combine" dst u;
+  check_dims "combine" u v;
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- u.(i) +. (a *. v.(i))
+  done
+
+let dot u v =
+  check_dims "dot" u v;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length u - 1 do
+    acc := !acc +. (u.(i) *. v.(i))
+  done;
+  !acc
+
+let norm_inf v =
+  let m = ref 0.0 in
+  for i = 0 to Array.length v - 1 do
+    let a = Float.abs v.(i) in
+    if a > !m then m := a
+  done;
+  !m
+
+let norm_l1 v =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length v - 1 do
+    acc := !acc +. Float.abs v.(i)
+  done;
+  !acc
+
+let norm_l2 v = sqrt (dot v v)
+
+let dist_inf u v =
+  check_dims "dist_inf" u v;
+  let m = ref 0.0 in
+  for i = 0 to Array.length u - 1 do
+    let a = Float.abs (u.(i) -. v.(i)) in
+    if a > !m then m := a
+  done;
+  !m
+
+let dist_l1 u v =
+  check_dims "dist_l1" u v;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length u - 1 do
+    acc := !acc +. Float.abs (u.(i) -. v.(i))
+  done;
+  !acc
+
+(* Kahan compensated summation: the mean-field tail sums mix magnitudes
+   spanning many orders, so plain summation loses digits we care about. *)
+let sum_from v i0 =
+  let acc = ref 0.0 and comp = ref 0.0 in
+  for i = i0 to Array.length v - 1 do
+    let y = v.(i) -. !comp in
+    let t = !acc +. y in
+    comp := t -. !acc -. y;
+    acc := t
+  done;
+  !acc
+
+let sum v = sum_from v 0
+let map f v = Array.map f v
+
+let clamp v ~lo ~hi =
+  for i = 0 to Array.length v - 1 do
+    if v.(i) < lo then v.(i) <- lo else if v.(i) > hi then v.(i) <- hi
+  done
+
+let linspace a b n =
+  if n < 2 then invalid_arg "Vec.linspace: need at least 2 points";
+  let h = (b -. a) /. float_of_int (n - 1) in
+  Array.init n (fun i -> a +. (h *. float_of_int i))
+
+let of_list = Array.of_list
+
+let pp ppf v =
+  Format.fprintf ppf "[@[";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf ppf ";@ ";
+      Format.fprintf ppf "%g" x)
+    v;
+  Format.fprintf ppf "@]]"

@@ -1,0 +1,83 @@
+(** Dense vectors of unboxed floats.
+
+    Thin helpers over [float array] used throughout the mean-field solvers.
+    All in-place operations write into their first (destination) argument;
+    all functions raise [Invalid_argument] on dimension mismatch. *)
+
+type t = float array
+
+val create : int -> t
+(** [create n] is a fresh zero vector of dimension [n]. *)
+
+val make : int -> float -> t
+(** [make n x] is a fresh vector of dimension [n] filled with [x]. *)
+
+val init : int -> (int -> float) -> t
+(** [init n f] is [| f 0; ...; f (n-1) |]. *)
+
+val copy : t -> t
+(** Fresh copy. *)
+
+val dim : t -> int
+(** Dimension. *)
+
+val fill : t -> float -> unit
+(** [fill v x] sets every component of [v] to [x]. *)
+
+val blit : src:t -> dst:t -> unit
+(** [blit ~src ~dst] copies [src] into [dst]. *)
+
+val scale : t -> float -> unit
+(** [scale v a] multiplies [v] by [a] in place. *)
+
+val axpy : t -> a:float -> x:t -> unit
+(** [axpy y ~a ~x] performs [y <- y + a*x] in place. *)
+
+val add : t -> t -> unit
+(** [add y x] performs [y <- y + x] in place. *)
+
+val sub : t -> t -> unit
+(** [sub y x] performs [y <- y - x] in place. *)
+
+val combine : dst:t -> t -> a:float -> t -> unit
+(** [combine ~dst u ~a v] sets [dst <- u + a*v] without clobbering [u] or
+    [v] (aliasing [dst] with either argument is allowed). *)
+
+val dot : t -> t -> float
+(** Inner product. *)
+
+val norm_inf : t -> float
+(** Max-norm. *)
+
+val norm_l1 : t -> float
+(** Sum of absolute values. *)
+
+val norm_l2 : t -> float
+(** Euclidean norm. *)
+
+val dist_inf : t -> t -> float
+(** [dist_inf u v] is [norm_inf (u - v)] without allocating. *)
+
+val dist_l1 : t -> t -> float
+(** [dist_l1 u v] is [norm_l1 (u - v)] without allocating. *)
+
+val sum : t -> float
+(** Compensated (Kahan) sum of components. *)
+
+val sum_from : t -> int -> float
+(** [sum_from v i] is the compensated sum of components [i..dim-1]. *)
+
+val map : (float -> float) -> t -> t
+(** Fresh vector obtained by mapping. *)
+
+val clamp : t -> lo:float -> hi:float -> unit
+(** In-place clamp of every component into [[lo, hi]]. *)
+
+val linspace : float -> float -> int -> t
+(** [linspace a b n] is [n >= 2] evenly spaced points from [a] to [b]
+    inclusive. *)
+
+val of_list : float list -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [[x0; x1; ...]] with short float formatting. *)

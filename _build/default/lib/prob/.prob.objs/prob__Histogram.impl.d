@@ -1,0 +1,1 @@
+lib/prob/histogram.ml: Array Format String

@@ -1,0 +1,1 @@
+lib/prob/p2_quantile.ml: Array Float

@@ -1,0 +1,88 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : int;
+  counts : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if not (hi > lo) then invalid_arg "Histogram.create: need hi > lo";
+  { lo; hi; bins; counts = Array.make bins 0; under = 0; over = 0; total = 0 }
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.under <- t.under + 1
+  else if x >= t.hi then t.over <- t.over + 1
+  else begin
+    let idx =
+      int_of_float ((x -. t.lo) /. (t.hi -. t.lo) *. float_of_int t.bins)
+    in
+    let idx = if idx >= t.bins then t.bins - 1 else idx in
+    t.counts.(idx) <- t.counts.(idx) + 1
+  end
+
+let total t = t.total
+let counts t = Array.copy t.counts
+let underflow t = t.under
+let overflow t = t.over
+
+let bin_edges t =
+  let w = (t.hi -. t.lo) /. float_of_int t.bins in
+  Array.init (t.bins + 1) (fun i -> t.lo +. (w *. float_of_int i))
+
+let pp ppf t =
+  let max_count = Array.fold_left max 1 t.counts in
+  let edges = bin_edges t in
+  for i = 0 to t.bins - 1 do
+    let width = 40 * t.counts.(i) / max_count in
+    Format.fprintf ppf "[%8.3g, %8.3g) %7d %s@." edges.(i)
+      edges.(i + 1)
+      t.counts.(i) (String.make width '#')
+  done
+
+module Counts = struct
+  type t = { mutable weights : float array; mutable total : float }
+
+  let create () = { weights = Array.make 16 0.0; total = 0.0 }
+
+  let ensure t i =
+    if i >= Array.length t.weights then begin
+      let n = max (i + 1) (2 * Array.length t.weights) in
+      let fresh = Array.make n 0.0 in
+      Array.blit t.weights 0 fresh 0 (Array.length t.weights);
+      t.weights <- fresh
+    end
+
+  let weighted_add t i w =
+    if i < 0 then invalid_arg "Histogram.Counts: negative index";
+    ensure t i;
+    t.weights.(i) <- t.weights.(i) +. w;
+    t.total <- t.total +. w
+
+  let add t i = weighted_add t i 1.0
+
+  let max_index t =
+    let m = ref (-1) in
+    Array.iteri (fun i w -> if w > 0.0 then m := i) t.weights;
+    !m
+
+  let probability t i =
+    if t.total <= 0.0 || i < 0 || i >= Array.length t.weights then 0.0
+    else t.weights.(i) /. t.total
+
+  let tail t i =
+    if t.total <= 0.0 then 0.0
+    else begin
+      let acc = ref 0.0 in
+      for j = max i 0 to Array.length t.weights - 1 do
+        acc := !acc +. t.weights.(j)
+      done;
+      !acc /. t.total
+    end
+
+  let total_weight t = t.total
+end

@@ -1,0 +1,42 @@
+(** Histograms for continuous samples and integer tallies.
+
+    Used to inspect empirical queue-length distributions against the
+    mean-field tail predictions (the geometric-decay claim of Section 2). *)
+
+type t
+(** Fixed-bin histogram over floats with underflow/overflow bins. *)
+
+val create : lo:float -> hi:float -> bins:int -> t
+val add : t -> float -> unit
+val total : t -> int
+
+val counts : t -> int array
+(** In-range bin counts, length [bins]. *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bin_edges : t -> float array
+(** [bins + 1] edges. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact textual bar rendering. *)
+
+(** Growable tallies over non-negative integers (queue lengths). *)
+module Counts : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> unit
+  val weighted_add : t -> int -> float -> unit
+  val max_index : t -> int
+
+  val probability : t -> int -> float
+  (** Fraction of total weight at exactly the given index. *)
+
+  val tail : t -> int -> float
+  (** Fraction of total weight at or above the given index — the empirical
+      analogue of the paper's [s_i]. *)
+
+  val total_weight : t -> float
+end

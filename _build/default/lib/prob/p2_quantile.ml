@@ -1,0 +1,102 @@
+(* The classical P² algorithm: five markers at estimated positions of the
+   min, p/2, p, (1+p)/2 quantiles and max; marker heights are adjusted by
+   piecewise-parabolic interpolation as observations arrive. *)
+
+type t = {
+  p : float;
+  heights : float array; (* marker heights q_0..q_4 *)
+  positions : int array; (* actual marker positions n_0..n_4 *)
+  desired : float array; (* desired positions n'_0..n'_4 *)
+  increments : float array; (* dn'_i per observation *)
+  mutable count : int;
+}
+
+let create ~p =
+  if p <= 0.0 || p >= 1.0 then
+    invalid_arg "P2_quantile.create: p must lie in (0, 1)";
+  {
+    p;
+    heights = Array.make 5 0.0;
+    positions = [| 0; 1; 2; 3; 4 |];
+    desired = [| 0.0; 2.0 *. p; 4.0 *. p; 2.0 +. (2.0 *. p); 4.0 |];
+    increments = [| 0.0; p /. 2.0; p; (1.0 +. p) /. 2.0; 1.0 |];
+    count = 0;
+  }
+
+let p t = t.p
+let count t = t.count
+
+let parabolic t i d =
+  let q = t.heights and n = t.positions in
+  let ni = float_of_int n.(i) in
+  let nm = float_of_int n.(i - 1) and np = float_of_int n.(i + 1) in
+  q.(i)
+  +. (d /. (np -. nm)
+      *. (((ni -. nm +. d) *. (q.(i + 1) -. q.(i)) /. (np -. ni))
+         +. ((np -. ni -. d) *. (q.(i) -. q.(i - 1)) /. (ni -. nm))))
+
+let linear t i d =
+  let q = t.heights and n = t.positions in
+  let j = i + int_of_float d in
+  q.(i)
+  +. (d *. (q.(j) -. q.(i))
+      /. float_of_int (n.(j) - n.(i)))
+
+let add t x =
+  t.count <- t.count + 1;
+  if t.count <= 5 then begin
+    t.heights.(t.count - 1) <- x;
+    if t.count = 5 then Array.sort compare t.heights
+  end
+  else begin
+    let q = t.heights and n = t.positions in
+    (* locate cell and update extremes *)
+    let k =
+      if x < q.(0) then begin
+        q.(0) <- x;
+        0
+      end
+      else if x < q.(1) then 0
+      else if x < q.(2) then 1
+      else if x < q.(3) then 2
+      else if x <= q.(4) then 3
+      else begin
+        q.(4) <- x;
+        3
+      end
+    in
+    for i = k + 1 to 4 do
+      n.(i) <- n.(i) + 1
+    done;
+    for i = 0 to 4 do
+      t.desired.(i) <- t.desired.(i) +. t.increments.(i)
+    done;
+    (* adjust interior markers *)
+    for i = 1 to 3 do
+      let d = t.desired.(i) -. float_of_int n.(i) in
+      if
+        (d >= 1.0 && n.(i + 1) - n.(i) > 1)
+        || (d <= -1.0 && n.(i - 1) - n.(i) < -1)
+      then begin
+        let d = if d >= 0.0 then 1.0 else -1.0 in
+        let candidate = parabolic t i d in
+        let candidate =
+          if q.(i - 1) < candidate && candidate < q.(i + 1) then candidate
+          else linear t i d
+        in
+        q.(i) <- candidate;
+        n.(i) <- n.(i) + int_of_float d
+      end
+    done
+  end
+
+let quantile t =
+  if t.count = 0 then nan
+  else if t.count < 5 then begin
+    (* with fewer than five samples, sort what we have *)
+    let sorted = Array.sub t.heights 0 t.count in
+    Array.sort compare sorted;
+    let pos = t.p *. float_of_int (t.count - 1) in
+    sorted.(int_of_float (Float.round pos))
+  end
+  else t.heights.(2)

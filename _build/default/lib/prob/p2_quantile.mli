@@ -1,0 +1,24 @@
+(** Online quantile estimation by the P² algorithm (Jain & Chlamtac,
+    1985).
+
+    Simulations produce tens of millions of sojourn samples; storing them
+    to compute tail latencies is wasteful. P² maintains five markers whose
+    heights track the target quantile with O(1) memory and O(1) update,
+    converging to the true quantile for stationary inputs — accurate to a
+    fraction of a percent at the sample sizes the tables use. *)
+
+type t
+
+val create : p:float -> t
+(** Estimator for the [p]-quantile, [0 < p < 1]. *)
+
+val add : t -> float -> unit
+(** Feed one observation. *)
+
+val count : t -> int
+
+val quantile : t -> float
+(** Current estimate; [nan] until five observations have been seen. *)
+
+val p : t -> float
+(** The target probability. *)

@@ -1,0 +1,79 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+(* SplitMix64: used only for seeding and splitting, where its weaker
+   equidistribution does not matter. *)
+let splitmix64_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let of_splitmix state =
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  (* The all-zero state is a fixed point of xoshiro; SplitMix64 outputs are
+     never all zero in practice, but guard anyway. *)
+  if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let create ~seed = of_splitmix (ref (Int64.of_int seed))
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 g =
+  let open Int64 in
+  let result = add (rotl (add g.s0 g.s3) 23) g.s0 in
+  let t = shift_left g.s1 17 in
+  g.s2 <- logxor g.s2 g.s0;
+  g.s3 <- logxor g.s3 g.s1;
+  g.s1 <- logxor g.s1 g.s2;
+  g.s0 <- logxor g.s0 g.s3;
+  g.s2 <- logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g =
+  (* Feed fresh parent output through SplitMix64 so parent and child do not
+     share correlated xoshiro states. *)
+  let mix = ref (bits64 g) in
+  of_splitmix mix
+
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let two53_inv = 1.0 /. 9007199254740992.0 (* 2^-53 *)
+
+let float g =
+  let bits = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float bits *. two53_inv
+
+let float_pos g = 1.0 -. float g
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound land (bound - 1) = 0 then
+    Int64.to_int (Int64.shift_right_logical (bits64 g) 2) land (bound - 1)
+  else begin
+    (* rejection sampling on 62 bits to avoid modulo bias *)
+    let rec draw () =
+      let r =
+        Int64.to_int (Int64.shift_right_logical (bits64 g) 2)
+        land max_int
+      in
+      let v = r mod bound in
+      if r - v + (bound - 1) < 0 then draw () else v
+    in
+    draw ()
+  end
+
+let bool g = Int64.logand (bits64 g) 1L = 1L

@@ -1,0 +1,77 @@
+type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0 }
+
+let reset t =
+  t.n <- 0;
+  t.mean <- 0.0;
+  t.m2 <- 0.0
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+let count t = t.n
+let total t = t.mean *. float_of_int t.n
+let mean t = if t.n = 0 then nan else t.mean
+let variance t = if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+
+let ci95_halfwidth t =
+  if t.n < 2 then nan else 1.96 *. stddev t /. sqrt (float_of_int t.n)
+
+let merge a b =
+  if a.n = 0 then { n = b.n; mean = b.mean; m2 = b.m2 }
+  else if b.n = 0 then { n = a.n; mean = a.mean; m2 = a.m2 }
+  else begin
+    let na = float_of_int a.n and nb = float_of_int b.n in
+    let n = a.n + b.n in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. nb /. (na +. nb)) in
+    let m2 = a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. (na +. nb)) in
+    { n; mean; m2 }
+  end
+
+type summary = {
+  n : int;
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+}
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then { n = 0; mean = nan; std = nan; min = nan; max = nan }
+  else begin
+    let acc = create () in
+    let mn = ref xs.(0) and mx = ref xs.(0) in
+    Array.iter
+      (fun x ->
+        add acc x;
+        if x < !mn then mn := x;
+        if x > !mx then mx := x)
+      xs;
+    { n; mean = mean acc; std = stddev acc; min = !mn; max = !mx }
+  end
+
+let quantile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.quantile: empty array";
+  if p < 0.0 || p > 1.0 then invalid_arg "Stats.quantile: p outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = p *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let w = pos -. float_of_int lo in
+    ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+  end
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.6g std=%.3g min=%.4g max=%.4g" s.n s.mean
+    s.std s.min s.max

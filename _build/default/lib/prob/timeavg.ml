@@ -1,0 +1,32 @@
+type t = {
+  mutable start : float;
+  mutable last : float;
+  mutable value : float;
+  mutable integral : float;
+}
+
+let create ?(start = 0.0) ?(value = 0.0) () =
+  { start; last = start; value; integral = 0.0 }
+
+let update t ~now ~value =
+  if now < t.last -. 1e-9 then
+    invalid_arg "Timeavg.update: time moved backwards";
+  t.integral <- t.integral +. (t.value *. (now -. t.last));
+  t.last <- now;
+  t.value <- value
+
+let shift t ~now ~delta = update t ~now ~value:(t.value +. delta)
+let current t = t.value
+
+let reset t ~now =
+  t.integral <- 0.0;
+  t.start <- now;
+  t.last <- now
+
+let average t ~upto =
+  let span = upto -. t.start in
+  if span <= 0.0 then nan
+  else begin
+    let integral = t.integral +. (t.value *. (upto -. t.last)) in
+    integral /. span
+  end

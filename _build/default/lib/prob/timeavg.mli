@@ -1,0 +1,30 @@
+(** Time-weighted average of a piecewise-constant signal.
+
+    Steady-state queue-length measurements (the [E\[N\]] side of Little's
+    law) are time averages of the instantaneous total load; this
+    accumulator integrates a right-continuous step signal exactly. *)
+
+type t
+
+val create : ?start:float -> ?value:float -> unit -> t
+(** Accumulator starting at time [start] (default 0) with the signal at
+    [value] (default 0). *)
+
+val update : t -> now:float -> value:float -> unit
+(** Record that the signal held its previous value on [[last, now)] and
+    takes [value] from [now] on. [now] must be non-decreasing across
+    calls. *)
+
+val shift : t -> now:float -> delta:float -> unit
+(** Convenience: {!update} with the previous value plus [delta]. *)
+
+val current : t -> float
+(** The signal's current value. *)
+
+val reset : t -> now:float -> unit
+(** Forget the accumulated integral (keeping the current value); used when
+    the warm-up period ends. *)
+
+val average : t -> upto:float -> float
+(** Time average of the signal on [[start, upto]]; [nan] when the window is
+    empty. *)

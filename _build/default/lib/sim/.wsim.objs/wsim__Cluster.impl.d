@@ -1,0 +1,1 @@
+lib/sim/cluster.ml: Array Desim Dist Fdeque Float Histogram P2_quantile Policy Prob Rng Stats Timeavg

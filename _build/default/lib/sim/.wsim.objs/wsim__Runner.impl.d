@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Cluster Float Prob Rng Stats

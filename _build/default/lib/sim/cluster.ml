@@ -1,0 +1,603 @@
+open Prob
+
+type config = {
+  n : int;
+  arrival_rate : float;
+  spawn_rate : float;
+  service : Dist.service;
+  speeds : float array option;
+  policy : Policy.t;
+  initial_load : int;
+  placement : int;
+  batch_mean : float;
+}
+
+let default =
+  {
+    n = 128;
+    arrival_rate = 0.9;
+    spawn_rate = 0.0;
+    service = Dist.Exponential;
+    speeds = None;
+    policy = Policy.simple;
+    initial_load = 0;
+    placement = 1;
+    batch_mean = 1.0;
+  }
+
+type result = {
+  duration : float;
+  completed : int;
+  mean_sojourn : float;
+  sojourn_ci95 : float;
+  sojourn_p50 : float;
+  sojourn_p95 : float;
+  sojourn_p99 : float;
+  mean_load : float;
+  tail : int -> float;
+  steal_attempts : int;
+  steal_successes : int;
+  tasks_stolen : int;
+  rebalances : int;
+  makespan : float;
+}
+
+type proc = {
+  id : int;
+  speed : float;
+  queue : Fdeque.t; (* arrival stamps of tasks not yet in service *)
+  mutable in_service : float; (* stamp of the task being served *)
+  mutable busy : bool;
+  mutable waiting : bool; (* a stolen task is in flight toward us *)
+  mutable steal_gen : int; (* invalidates Steal_tick *)
+  mutable spawn_gen : int; (* invalidates Spawn *)
+  mutable rebalance_gen : int; (* invalidates Rebalance_tick *)
+  mutable load_since : float; (* start of current load level *)
+}
+
+type event =
+  | Arrival of int
+  | Completion of int
+  | Spawn of int * int
+  | Steal_tick of int * int
+  | Delivery of int * float
+  | Rebalance_tick of int * int
+
+type t = {
+  cfg : config;
+  rng : Rng.t;
+  engine : event Desim.Engine.t;
+  procs : proc array;
+  sojourn : Stats.t;
+  p50 : P2_quantile.t;
+  p95 : P2_quantile.t;
+  p99 : P2_quantile.t;
+  occupancy : Histogram.Counts.t; (* time-weighted load tallies *)
+  transit_avg : Timeavg.t; (* in-transit task count over time *)
+  mutable warmup : float;
+  mutable transit_window_open : bool;
+      (* whether transit_avg has been re-based at the warm-up boundary *)
+  mutable total_tasks : int; (* in queues + in service + in transit *)
+  mutable in_transit : int;
+  mutable steal_attempts : int;
+  mutable steal_successes : int;
+  mutable tasks_stolen : int;
+  mutable rebalances : int;
+  mutable completed : int;
+  mutable last_completion : float;
+}
+
+let load p = Fdeque.length p.queue + if p.busy then 1 else 0
+
+let now t = Desim.Engine.now t.engine
+
+(* ---- time-weighted occupancy ---- *)
+
+let note_load t p =
+  let tnow = now t in
+  if tnow > t.warmup then begin
+    let from = Float.max p.load_since t.warmup in
+    if tnow > from then
+      Histogram.Counts.weighted_add t.occupancy (load p) (tnow -. from)
+  end;
+  p.load_since <- tnow
+
+(* ---- timers ---- *)
+
+let exp_delay t rate = Dist.exponential t.rng ~rate
+
+let arm_spawn t p =
+  p.spawn_gen <- p.spawn_gen + 1;
+  if t.cfg.spawn_rate > 0.0 && load p >= 1 then
+    Desim.Engine.schedule_after t.engine
+      ~delay:(exp_delay t t.cfg.spawn_rate)
+      (Spawn (p.id, p.spawn_gen))
+
+let arm_steal_ticks t p ~retry_rate =
+  p.steal_gen <- p.steal_gen + 1;
+  if retry_rate > 0.0 && load p = 0 then
+    Desim.Engine.schedule_after t.engine ~delay:(exp_delay t retry_rate)
+      (Steal_tick (p.id, p.steal_gen))
+
+let arm_rebalance t p ~rate =
+  p.rebalance_gen <- p.rebalance_gen + 1;
+  let r = rate (load p) in
+  if r > 0.0 then
+    Desim.Engine.schedule_after t.engine ~delay:(exp_delay t r)
+      (Rebalance_tick (p.id, p.rebalance_gen))
+
+(* Called after p's load changed from [old_load]: keep the load-sensitive
+   timers consistent. *)
+let sync_timers t p ~old_load =
+  let new_load = load p in
+  if t.cfg.spawn_rate > 0.0 then begin
+    if old_load = 0 && new_load > 0 then arm_spawn t p
+    else if old_load > 0 && new_load = 0 then p.spawn_gen <- p.spawn_gen + 1
+  end;
+  match t.cfg.policy with
+  | Policy.Repeated { retry_rate; _ } ->
+      if old_load = 0 && new_load > 0 then p.steal_gen <- p.steal_gen + 1
+      else if old_load > 0 && new_load = 0 then
+        arm_steal_ticks t p ~retry_rate
+  | Policy.Rebalance { rate } ->
+      if rate old_load <> rate new_load then arm_rebalance t p ~rate
+  | Policy.No_stealing | Policy.On_empty _ | Policy.Preemptive _
+  | Policy.Transfer _ | Policy.Steal_half _ | Policy.Ring_steal _ ->
+      ()
+
+(* ---- service ---- *)
+
+let start_service t p stamp =
+  p.busy <- true;
+  p.in_service <- stamp;
+  let duration = Dist.service_mean_one t.rng t.cfg.service /. p.speed in
+  Desim.Engine.schedule_after t.engine ~delay:duration (Completion p.id)
+
+(* Add one task (with its original arrival stamp) to p. *)
+let add_task t p stamp =
+  let old_load = load p in
+  note_load t p;
+  if p.busy then Fdeque.push_back p.queue stamp else start_service t p stamp;
+  t.total_tasks <- t.total_tasks + 1;
+  sync_timers t p ~old_load
+
+(* Remove one task from the tail of v's queue, returning its stamp. The
+   in-service task is never taken, so completions stay valid. *)
+let remove_tail_task t v =
+  let old_load = load v in
+  note_load t v;
+  let stamp = Fdeque.pop_back v.queue in
+  t.total_tasks <- t.total_tasks - 1;
+  sync_timers t v ~old_load;
+  stamp
+
+(* ---- victim selection ---- *)
+
+let random_other t self =
+  let r = Rng.int t.rng (t.cfg.n - 1) in
+  if r >= self then r + 1 else r
+
+(* Most loaded of [choices] independent uniform probes (with replacement,
+   excluding the thief), per §3.3. *)
+let best_victim t ~thief ~choices =
+  let best = ref (random_other t thief) in
+  let best_load = ref (load t.procs.(!best)) in
+  for _ = 2 to choices do
+    let candidate = random_other t thief in
+    let l = load t.procs.(candidate) in
+    if l > !best_load then begin
+      best := candidate;
+      best_load := l
+    end
+  done;
+  (t.procs.(!best), !best_load)
+
+(* Move up to [count] tasks from v's queue tail to the thief, preserving
+   the stolen tasks' relative FIFO order. *)
+let transfer_tasks t ~victim ~thief ~count =
+  let stamps = Array.make count 0.0 in
+  for i = count - 1 downto 0 do
+    stamps.(i) <- remove_tail_task t victim
+  done;
+  Array.iter (fun stamp -> add_task t thief stamp) stamps
+
+let attempt_on_empty t p ~threshold ~choices ~steal_count =
+  t.steal_attempts <- t.steal_attempts + 1;
+  let victim, victim_load = best_victim t ~thief:p.id ~choices in
+  if victim_load >= threshold then begin
+    t.steal_successes <- t.steal_successes + 1;
+    let count = min steal_count (victim_load - 1) in
+    t.tasks_stolen <- t.tasks_stolen + count;
+    transfer_tasks t ~victim ~thief:p ~count
+  end
+
+let attempt_steal_half t p ~threshold ~choices =
+  t.steal_attempts <- t.steal_attempts + 1;
+  let victim, victim_load = best_victim t ~thief:p.id ~choices in
+  if victim_load >= threshold then begin
+    t.steal_successes <- t.steal_successes + 1;
+    let count = victim_load / 2 in
+    t.tasks_stolen <- t.tasks_stolen + count;
+    transfer_tasks t ~victim ~thief:p ~count
+  end
+
+(* Victim uniform among the thief's 2·radius nearest ring neighbours. *)
+let attempt_ring_steal t p ~threshold ~radius =
+  t.steal_attempts <- t.steal_attempts + 1;
+  let n = t.cfg.n in
+  let radius = min radius ((n - 1) / 2) in
+  let radius = max radius 1 in
+  let k = 1 + Rng.int t.rng (2 * radius) in
+  let offset = if k <= radius then k else radius - k in
+  let victim = t.procs.(((p.id + offset) mod n + n) mod n) in
+  if load victim >= threshold then begin
+    t.steal_successes <- t.steal_successes + 1;
+    t.tasks_stolen <- t.tasks_stolen + 1;
+    transfer_tasks t ~victim ~thief:p ~count:1
+  end
+
+let attempt_preemptive t p ~offset =
+  t.steal_attempts <- t.steal_attempts + 1;
+  let victim, victim_load = best_victim t ~thief:p.id ~choices:1 in
+  if victim_load >= load p + offset then begin
+    t.steal_successes <- t.steal_successes + 1;
+    t.tasks_stolen <- t.tasks_stolen + 1;
+    transfer_tasks t ~victim ~thief:p ~count:1
+  end
+
+(* Returns true when the steal succeeded (a delivery is now in flight). *)
+let attempt_transfer t p ~transfer_rate ~threshold ~stages =
+  t.steal_attempts <- t.steal_attempts + 1;
+  let victim, victim_load = best_victim t ~thief:p.id ~choices:1 in
+  if victim_load >= threshold then begin
+    t.steal_successes <- t.steal_successes + 1;
+    t.tasks_stolen <- t.tasks_stolen + 1;
+    let stamp = remove_tail_task t victim in
+    (* the task stays "in the system" while in flight *)
+    t.total_tasks <- t.total_tasks + 1;
+    t.in_transit <- t.in_transit + 1;
+    Timeavg.update t.transit_avg ~now:(now t)
+      ~value:(float_of_int t.in_transit);
+    p.waiting <- true;
+    let delay =
+      if stages <= 1 then exp_delay t transfer_rate
+      else
+        Dist.erlang t.rng ~k:stages
+          ~rate:(float_of_int stages *. transfer_rate)
+    in
+    Desim.Engine.schedule_after t.engine ~delay (Delivery (p.id, stamp));
+    true
+  end
+  else false
+
+let do_rebalance t p ~rate =
+  let q = t.procs.(random_other t p.id) in
+  let lp = load p and lq = load q in
+  let big, small, lb, ls = if lp >= lq then (p, q, lp, lq) else (q, p, lq, lp) in
+  let keep = (lb + ls + 1) / 2 in
+  let move = lb - keep in
+  (* the bigger side keeps its in-service task, so it can spare at most
+     its queued tasks *)
+  let move = min move (Fdeque.length big.queue) in
+  if move > 0 then begin
+    t.rebalances <- t.rebalances + 1;
+    transfer_tasks t ~victim:big ~thief:small ~count:move
+  end;
+  arm_rebalance t p ~rate
+
+(* ---- event handlers ---- *)
+
+let post_completion_policy t p =
+  match t.cfg.policy with
+  | Policy.No_stealing -> ()
+  | Policy.On_empty { threshold; choices; steal_count } ->
+      if load p = 0 then
+        attempt_on_empty t p ~threshold ~choices ~steal_count
+  | Policy.Preemptive { begin_at; offset } ->
+      if load p <= begin_at then attempt_preemptive t p ~offset
+  | Policy.Repeated { retry_rate; threshold } ->
+      if load p = 0 then begin
+        attempt_on_empty t p ~threshold ~choices:1 ~steal_count:1;
+        if load p = 0 then arm_steal_ticks t p ~retry_rate
+      end
+  | Policy.Transfer { transfer_rate; threshold; stages } ->
+      if load p = 0 && not p.waiting then
+        ignore (attempt_transfer t p ~transfer_rate ~threshold ~stages)
+  | Policy.Rebalance _ -> ()
+  | Policy.Steal_half { threshold; choices } ->
+      if load p = 0 then attempt_steal_half t p ~threshold ~choices
+  | Policy.Ring_steal { threshold; radius } ->
+      if load p = 0 then attempt_ring_steal t p ~threshold ~radius
+
+let on_completion t p =
+  let old_load = load p in
+  note_load t p;
+  let tnow = now t in
+  if tnow >= t.warmup then begin
+    let sojourn = tnow -. p.in_service in
+    Stats.add t.sojourn sojourn;
+    P2_quantile.add t.p50 sojourn;
+    P2_quantile.add t.p95 sojourn;
+    P2_quantile.add t.p99 sojourn
+  end;
+  t.completed <- t.completed + 1;
+  t.total_tasks <- t.total_tasks - 1;
+  t.last_completion <- tnow;
+  if Fdeque.is_empty p.queue then begin
+    p.busy <- false;
+    p.in_service <- nan
+  end
+  else begin
+    let next = Fdeque.pop_front p.queue in
+    start_service t p next
+  end;
+  sync_timers t p ~old_load;
+  post_completion_policy t p
+
+(* With placement > 1, the arriving task joins the shortest of [placement]
+   uniformly chosen queues (the supermarket discipline of §3.3's
+   motivation); with placement = 1 it stays at its generating processor,
+   which for independent Poisson streams is the same process. *)
+let placement_target t p =
+  if t.cfg.placement <= 1 then p
+  else begin
+    let best = ref (Rng.int t.rng t.cfg.n) in
+    let best_load = ref (load t.procs.(!best)) in
+    for _ = 2 to t.cfg.placement do
+      let candidate = Rng.int t.rng t.cfg.n in
+      let l = load t.procs.(candidate) in
+      if l < !best_load then begin
+        best := candidate;
+        best_load := l
+      end
+    done;
+    t.procs.(!best)
+  end
+
+let on_arrival t p =
+  if t.cfg.arrival_rate > 0.0 then
+    Desim.Engine.schedule_after t.engine
+      ~delay:(exp_delay t t.cfg.arrival_rate)
+      (Arrival p.id);
+  let target = placement_target t p in
+  if t.cfg.batch_mean <= 1.0 then add_task t target (now t)
+  else begin
+    (* a bursty arrival event delivers a geometric batch to one target *)
+    let k = Dist.geometric t.rng ~mean:t.cfg.batch_mean in
+    for _ = 1 to k do
+      add_task t target (now t)
+    done
+  end
+
+let on_spawn t p gen =
+  if gen = p.spawn_gen && load p >= 1 then begin
+    add_task t p (now t);
+    (* add_task's sync does not re-arm on busy->busy; keep spawning *)
+    if load p >= 1 then arm_spawn t p
+  end
+
+let on_steal_tick t p gen ~retry_rate ~threshold =
+  if gen = p.steal_gen && load p = 0 then begin
+    attempt_on_empty t p ~threshold ~choices:1 ~steal_count:1;
+    if load p = 0 then arm_steal_ticks t p ~retry_rate
+  end
+
+let on_delivery t p stamp =
+  t.in_transit <- t.in_transit - 1;
+  t.total_tasks <- t.total_tasks - 1 (* re-added by add_task below *);
+  Timeavg.update t.transit_avg ~now:(now t)
+    ~value:(float_of_int t.in_transit);
+  p.waiting <- false;
+  add_task t p stamp
+
+let handle t _time event =
+  if (not t.transit_window_open) && now t >= t.warmup then begin
+    (* start measuring the in-transit average at the warm-up boundary,
+       keeping the current in-flight count as the initial value *)
+    Timeavg.reset t.transit_avg ~now:t.warmup;
+    t.transit_window_open <- true
+  end;
+  match event with
+  | Arrival id -> on_arrival t t.procs.(id)
+  | Completion id -> on_completion t t.procs.(id)
+  | Spawn (id, gen) -> on_spawn t t.procs.(id) gen
+  | Steal_tick (id, gen) -> (
+      match t.cfg.policy with
+      | Policy.Repeated { retry_rate; threshold } ->
+          on_steal_tick t t.procs.(id) gen ~retry_rate ~threshold
+      | _ -> ())
+  | Delivery (id, stamp) -> on_delivery t t.procs.(id) stamp
+  | Rebalance_tick (id, gen) -> (
+      match t.cfg.policy with
+      | Policy.Rebalance { rate } ->
+          let p = t.procs.(id) in
+          if gen = p.rebalance_gen then do_rebalance t p ~rate
+      | _ -> ())
+
+(* ---- lifecycle ---- *)
+
+let create ~rng cfg =
+  Policy.validate cfg.policy;
+  if cfg.n < 1 then invalid_arg "Cluster.create: need at least 1 processor";
+  (match cfg.policy with
+  | Policy.No_stealing -> ()
+  | _ ->
+      if cfg.n < 2 then
+        invalid_arg "Cluster.create: stealing needs at least 2 processors");
+  if cfg.arrival_rate < 0.0 then
+    invalid_arg "Cluster.create: negative arrival rate";
+  if cfg.spawn_rate < 0.0 then
+    invalid_arg "Cluster.create: negative spawn rate";
+  if cfg.initial_load < 0 then
+    invalid_arg "Cluster.create: negative initial load";
+  if cfg.placement < 1 then
+    invalid_arg "Cluster.create: placement must be at least 1";
+  if cfg.batch_mean < 1.0 then
+    invalid_arg "Cluster.create: batch_mean must be at least 1";
+  (match cfg.speeds with
+  | Some sp ->
+      if Array.length sp <> cfg.n then
+        invalid_arg "Cluster.create: speeds array has wrong length";
+      Array.iter
+        (fun s ->
+          if s <= 0.0 then
+            invalid_arg "Cluster.create: speeds must be positive")
+        sp
+  | None -> ());
+  let engine = Desim.Engine.create ~capacity:(4 * cfg.n) () in
+  let speed i = match cfg.speeds with Some sp -> sp.(i) | None -> 1.0 in
+  let procs =
+    Array.init cfg.n (fun id ->
+        {
+          id;
+          speed = speed id;
+          queue = Fdeque.create ();
+          in_service = nan;
+          busy = false;
+          waiting = false;
+          steal_gen = 0;
+          spawn_gen = 0;
+          rebalance_gen = 0;
+          load_since = 0.0;
+        })
+  in
+  let t =
+    {
+      cfg;
+      rng;
+      engine;
+      procs;
+      sojourn = Stats.create ();
+      p50 = P2_quantile.create ~p:0.50;
+      p95 = P2_quantile.create ~p:0.95;
+      p99 = P2_quantile.create ~p:0.99;
+      occupancy = Histogram.Counts.create ();
+      transit_avg = Timeavg.create ();
+      warmup = 0.0;
+      transit_window_open = false;
+      total_tasks = 0;
+      in_transit = 0;
+      steal_attempts = 0;
+      steal_successes = 0;
+      tasks_stolen = 0;
+      rebalances = 0;
+      completed = 0;
+      last_completion = nan;
+    }
+  in
+  (* seed initial batch *)
+  Array.iter
+    (fun p ->
+      for _ = 1 to cfg.initial_load do
+        add_task t p 0.0
+      done)
+    procs;
+  (* first external arrivals *)
+  if cfg.arrival_rate > 0.0 then
+    Array.iter
+      (fun p ->
+        Desim.Engine.schedule_after engine
+          ~delay:(exp_delay t cfg.arrival_rate)
+          (Arrival p.id))
+      procs;
+  (* rebalance timers run from the start *)
+  (match cfg.policy with
+  | Policy.Rebalance { rate } ->
+      Array.iter (fun p -> arm_rebalance t p ~rate) procs
+  | _ -> ());
+  t
+
+let flush_occupancy t =
+  Array.iter (fun p -> note_load t p) t.procs
+
+let collect t ~duration ~makespan =
+  let tail_src = t.occupancy in
+  let queue_avg =
+    let total = Histogram.Counts.total_weight tail_src in
+    if total <= 0.0 then nan
+    else begin
+      let acc = ref 0.0 in
+      for i = 1 to Histogram.Counts.max_index tail_src do
+        acc := !acc +. (float_of_int i *. Histogram.Counts.probability tail_src i)
+      done;
+      !acc
+    end
+  in
+  let transit_per_proc =
+    let avg = Timeavg.average t.transit_avg ~upto:(now t) in
+    if Float.is_nan avg then 0.0 else avg /. float_of_int t.cfg.n
+  in
+  {
+    duration;
+    completed = Stats.count t.sojourn;
+    mean_sojourn = Stats.mean t.sojourn;
+    sojourn_ci95 = Stats.ci95_halfwidth t.sojourn;
+    sojourn_p50 = P2_quantile.quantile t.p50;
+    sojourn_p95 = P2_quantile.quantile t.p95;
+    sojourn_p99 = P2_quantile.quantile t.p99;
+    mean_load = queue_avg +. transit_per_proc;
+    tail = (fun i -> Histogram.Counts.tail tail_src i);
+    steal_attempts = t.steal_attempts;
+    steal_successes = t.steal_successes;
+    tasks_stolen = t.tasks_stolen;
+    rebalances = t.rebalances;
+    makespan;
+  }
+
+let run t ~horizon ~warmup =
+  if warmup < 0.0 || warmup >= horizon then
+    invalid_arg "Cluster.run: need 0 <= warmup < horizon";
+  t.warmup <- warmup;
+  t.transit_window_open <- warmup = 0.0;
+  Desim.Engine.run ~until:horizon t.engine ~handler:(fun time ev ->
+      handle t time ev);
+  flush_occupancy t;
+  collect t ~duration:(horizon -. warmup) ~makespan:nan
+
+let instantaneous_tail t i =
+  if i <= 0 then 1.0
+  else begin
+    let count = ref 0 in
+    Array.iter (fun p -> if load p >= i then incr count) t.procs;
+    float_of_int !count /. float_of_int t.cfg.n
+  end
+
+let run_observed t ~horizon ~warmup ~sample_every ~observe =
+  if warmup < 0.0 || warmup >= horizon then
+    invalid_arg "Cluster.run_observed: need 0 <= warmup < horizon";
+  if sample_every <= 0.0 then
+    invalid_arg "Cluster.run_observed: sample_every must be positive";
+  t.warmup <- warmup;
+  t.transit_window_open <- warmup = 0.0;
+  observe 0.0 (instantaneous_tail t);
+  let next = ref sample_every in
+  while !next <= horizon +. 1e-9 do
+    Desim.Engine.run ~until:!next t.engine ~handler:(fun time ev ->
+        handle t time ev);
+    observe !next (instantaneous_tail t);
+    next := !next +. sample_every
+  done;
+  Desim.Engine.run ~until:horizon t.engine ~handler:(fun time ev ->
+      handle t time ev);
+  flush_occupancy t;
+  collect t ~duration:(horizon -. warmup) ~makespan:nan
+
+let run_static ?(max_events = 200_000_000) t =
+  if t.cfg.arrival_rate > 0.0 then
+    invalid_arg "Cluster.run_static: external arrivals never stop";
+  t.warmup <- 0.0;
+  let events = ref 0 in
+  let continue = ref (t.total_tasks > 0) in
+  while !continue do
+    match Desim.Engine.next t.engine with
+    | None -> continue := false
+    | Some (time, ev) ->
+        incr events;
+        if !events > max_events then
+          failwith "Cluster.run_static: event budget exceeded";
+        handle t time ev;
+        if t.total_tasks = 0 then continue := false
+  done;
+  flush_occupancy t;
+  let makespan = if Float.is_nan t.last_completion then 0.0 else t.last_completion in
+  collect t ~duration:makespan ~makespan

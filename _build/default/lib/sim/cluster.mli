@@ -1,0 +1,93 @@
+(** Discrete-event simulator of a finite work-stealing cluster.
+
+    This is the paper's experimental apparatus rebuilt: [n] processors,
+    Poisson external arrivals of rate [λ] at each, FIFO service, steals
+    from the tail of the victim's queue, and one {!Policy.t} in force. The
+    mean-field models of {!Meanfield} are the [n → ∞] limits of exactly
+    these dynamics; the tables compare the two at [n = 16 … 128].
+
+    Sojourn time is measured per task from arrival (at its original
+    processor) to completion (wherever it ends up), with a warm-up prefix
+    discarded as in the paper's protocol. Queue-length occupancy is
+    tallied time-weighted per processor, yielding the empirical tail
+    fractions [s_i] for comparison with fixed points. *)
+
+type config = {
+  n : int;  (** Number of processors (≥ 2 for any stealing policy). *)
+  arrival_rate : float;  (** External Poisson rate per processor. *)
+  spawn_rate : float;
+      (** Internal arrival rate while a processor is busy (the
+          [λ_int] of §3.5); 0 for the standard model. *)
+  service : Prob.Dist.service;  (** Mean-1 service-time family. *)
+  speeds : float array option;
+      (** Per-processor service speeds (length [n]); [None] = all 1.
+          A speed-[μ] processor serves a mean-1 sample in mean [1/μ]. *)
+  policy : Policy.t;
+  initial_load : int;  (** Tasks seeded at every processor at time 0. *)
+  placement : int;
+      (** Arrival placement choices: 1 routes every task to the processor
+          whose stream generated it (the paper's base model); [d ≥ 2]
+          sends it to the shortest of [d] uniformly chosen queues — the
+          supermarket discipline that motivates §3.3, enabling
+          work-sharing vs. work-stealing comparisons. *)
+  batch_mean : float;
+      (** Mean size of the geometric task batch delivered by each arrival
+          event (1 = the paper's base model of single arrivals). The
+          per-processor {e task} rate is [arrival_rate · batch_mean]. *)
+}
+
+val default : config
+(** [n = 128], [λ = 0.9], exponential service, simple stealing, no spawn,
+    empty start, dedicated placement. *)
+
+type result = {
+  duration : float;  (** Width of the measurement window. *)
+  completed : int;  (** Tasks completed inside the window. *)
+  mean_sojourn : float;  (** Average time in system — the tables' metric. *)
+  sojourn_ci95 : float;  (** Normal-approximation 95% half-width. *)
+  sojourn_p50 : float;  (** Median sojourn (P² estimate). *)
+  sojourn_p95 : float;  (** 95th-percentile sojourn (P² estimate). *)
+  sojourn_p99 : float;  (** 99th-percentile sojourn (P² estimate). *)
+  mean_load : float;
+      (** Time-average tasks per processor, including in-transit tasks
+          under the Transfer policy. *)
+  tail : int -> float;
+      (** Empirical time-weighted [s_i]: fraction of (processor, time)
+          with at least [i] tasks in queue (in-transit tasks excluded). *)
+  steal_attempts : int;
+  steal_successes : int;
+  tasks_stolen : int;
+  rebalances : int;
+  makespan : float;  (** Static runs: drain time; [nan] for dynamic. *)
+}
+
+type t
+(** A simulation instance (engine + processors + statistics). *)
+
+val create : rng:Prob.Rng.t -> config -> t
+(** @raise Invalid_argument on malformed configuration. *)
+
+val run : t -> horizon:float -> warmup:float -> result
+(** Drive the dynamic system to time [horizon], discarding everything
+    before [warmup]. A [t] is single-use: create a fresh one per run. *)
+
+val run_observed :
+  t ->
+  horizon:float ->
+  warmup:float ->
+  sample_every:float ->
+  observe:(float -> (int -> float) -> unit) ->
+  result
+(** Like {!run}, but additionally calls [observe time tail] at [t = 0]
+    and every [sample_every] time units, where [tail i] is the
+    {e instantaneous} fraction of processors with at least [i] tasks —
+    the finite-system realisation of the paper's [s_i(t)], for transient
+    (trajectory-level) comparisons against the ODE solutions. The [tail]
+    closure is only valid during the callback. *)
+
+val run_static :
+  ?max_events:int -> t -> result
+(** Run until every queue is empty (requires [arrival_rate = 0] and a
+    spawn rate that dies out); all completions are measured. [max_events]
+    (default 200 million) guards against non-terminating configurations.
+    @raise Failure if the guard trips. *)

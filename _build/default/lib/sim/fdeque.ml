@@ -1,0 +1,54 @@
+type t = {
+  mutable buf : float array;
+  mutable head : int; (* index of front element *)
+  mutable len : int;
+}
+
+let create ?(capacity = 8) () =
+  { buf = Array.make (max capacity 1) 0.0; head = 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = Array.length t.buf in
+  let fresh = Array.make (2 * cap) 0.0 in
+  for i = 0 to t.len - 1 do
+    fresh.(i) <- t.buf.((t.head + i) mod cap)
+  done;
+  t.buf <- fresh;
+  t.head <- 0
+
+let push_back t x =
+  if t.len = Array.length t.buf then grow t;
+  let cap = Array.length t.buf in
+  t.buf.((t.head + t.len) mod cap) <- x;
+  t.len <- t.len + 1
+
+let pop_front t =
+  if t.len = 0 then raise Not_found;
+  let x = t.buf.(t.head) in
+  t.head <- (t.head + 1) mod Array.length t.buf;
+  t.len <- t.len - 1;
+  x
+
+let pop_back t =
+  if t.len = 0 then raise Not_found;
+  let cap = Array.length t.buf in
+  let x = t.buf.((t.head + t.len - 1) mod cap) in
+  t.len <- t.len - 1;
+  x
+
+let peek_front t =
+  if t.len = 0 then raise Not_found;
+  t.buf.(t.head)
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0
+
+let iter f t =
+  let cap = Array.length t.buf in
+  for i = 0 to t.len - 1 do
+    f t.buf.((t.head + i) mod cap)
+  done

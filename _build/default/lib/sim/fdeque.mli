@@ -1,0 +1,30 @@
+(** Double-ended queue of unboxed floats.
+
+    Task queues in the simulator hold one float per task (its arrival
+    stamp): tasks are served FIFO from the front while thieves steal from
+    the back, exactly the discipline of Section 2.1. Ring-buffer backed so
+    both ends are O(1) amortised and nothing boxes. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val push_back : t -> float -> unit
+(** Enqueue a new arrival. *)
+
+val pop_front : t -> float
+(** Dequeue the oldest task (next to serve). @raise Not_found if empty. *)
+
+val pop_back : t -> float
+(** Remove the newest task (the one a thief steals).
+    @raise Not_found if empty. *)
+
+val peek_front : t -> float
+(** @raise Not_found if empty. *)
+
+val clear : t -> unit
+
+val iter : (float -> unit) -> t -> unit
+(** Front-to-back iteration. *)

@@ -1,0 +1,72 @@
+type t =
+  | No_stealing
+  | On_empty of { threshold : int; choices : int; steal_count : int }
+  | Preemptive of { begin_at : int; offset : int }
+  | Repeated of { retry_rate : float; threshold : int }
+  | Transfer of { transfer_rate : float; threshold : int; stages : int }
+  | Rebalance of { rate : int -> float }
+  | Steal_half of { threshold : int; choices : int }
+  | Ring_steal of { threshold : int; radius : int }
+
+let simple = On_empty { threshold = 2; choices = 1; steal_count = 1 }
+
+let validate = function
+  | No_stealing -> ()
+  | On_empty { threshold; choices; steal_count } ->
+      if threshold < 2 then
+        invalid_arg "Policy.On_empty: threshold must be at least 2";
+      if choices < 1 then
+        invalid_arg "Policy.On_empty: choices must be at least 1";
+      if steal_count < 1 then
+        invalid_arg "Policy.On_empty: steal_count must be at least 1";
+      if steal_count >= threshold then
+        invalid_arg "Policy.On_empty: steal_count must be below threshold"
+  | Preemptive { begin_at; offset } ->
+      if begin_at < 0 then
+        invalid_arg "Policy.Preemptive: begin_at must be non-negative";
+      if offset < begin_at + 2 then
+        invalid_arg "Policy.Preemptive: need offset >= begin_at + 2"
+  | Repeated { retry_rate; threshold } ->
+      if retry_rate < 0.0 then
+        invalid_arg "Policy.Repeated: retry_rate must be non-negative";
+      if threshold < 2 then
+        invalid_arg "Policy.Repeated: threshold must be at least 2"
+  | Transfer { transfer_rate; threshold; stages } ->
+      if transfer_rate <= 0.0 then
+        invalid_arg "Policy.Transfer: transfer_rate must be positive";
+      if threshold < 2 then
+        invalid_arg "Policy.Transfer: threshold must be at least 2";
+      if stages < 1 then
+        invalid_arg "Policy.Transfer: stages must be at least 1"
+  | Rebalance _ -> ()
+  | Steal_half { threshold; choices } ->
+      if threshold < 2 then
+        invalid_arg "Policy.Steal_half: threshold must be at least 2";
+      if choices < 1 then
+        invalid_arg "Policy.Steal_half: choices must be at least 1"
+  | Ring_steal { threshold; radius } ->
+      if threshold < 2 then
+        invalid_arg "Policy.Ring_steal: threshold must be at least 2";
+      if radius < 1 then
+        invalid_arg "Policy.Ring_steal: radius must be at least 1"
+
+let pp ppf = function
+  | No_stealing -> Format.fprintf ppf "no-stealing"
+  | On_empty { threshold; choices; steal_count } ->
+      Format.fprintf ppf "on-empty(T=%d, d=%d, k=%d)" threshold choices
+        steal_count
+  | Preemptive { begin_at; offset } ->
+      Format.fprintf ppf "preemptive(B=%d, T=%d)" begin_at offset
+  | Repeated { retry_rate; threshold } ->
+      Format.fprintf ppf "repeated(r=%g, T=%d)" retry_rate threshold
+  | Transfer { transfer_rate; threshold; stages } ->
+      if stages = 1 then
+        Format.fprintf ppf "transfer(r=%g, T=%d)" transfer_rate threshold
+      else
+        Format.fprintf ppf "transfer(r=%g, T=%d, stages=%d)" transfer_rate
+          threshold stages
+  | Rebalance _ -> Format.fprintf ppf "rebalance"
+  | Steal_half { threshold; choices } ->
+      Format.fprintf ppf "steal-half(T=%d, d=%d)" threshold choices
+  | Ring_steal { threshold; radius } ->
+      Format.fprintf ppf "ring-steal(T=%d, radius=%d)" threshold radius

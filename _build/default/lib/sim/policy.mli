@@ -1,0 +1,56 @@
+(** Work-stealing policies — one per model variant in the paper.
+
+    Each constructor mirrors a Section of the paper; the simulator
+    implements the exact discipline whose [n → ∞] limit the corresponding
+    {!Meanfield} model describes, so the two can be compared table-style as
+    the paper does. *)
+
+type t =
+  | No_stealing  (** Independent M/M/1 queues (baseline of §2.2). *)
+  | On_empty of { threshold : int; choices : int; steal_count : int }
+      (** A processor that completes its last task probes [choices]
+          uniformly random victims (with replacement, excluding itself) and
+          steals [steal_count] tasks from the most loaded one if that
+          victim holds at least [threshold] tasks. Covers §2.2
+          ([threshold = 2, choices = 1, steal_count = 1]), §2.3 (larger
+          [threshold]), §3.3 ([choices = d]) and §3.4
+          ([steal_count = k]). *)
+  | Preemptive of { begin_at : int; offset : int }
+      (** §2.4: after any completion that leaves it with at most
+          [begin_at] tasks, a processor with [i] tasks steals one task
+          from a random victim holding at least [i + offset] tasks. *)
+  | Repeated of { retry_rate : float; threshold : int }
+      (** §2.5: as On_empty with one choice, but an empty processor keeps
+          retrying at exponential rate [retry_rate] until it gets a task
+          (by theft or arrival). *)
+  | Transfer of { transfer_rate : float; threshold : int; stages : int }
+      (** §3.2: a successful steal removes the task from the victim
+          immediately but delivers it after a delay of mean
+          [1/transfer_rate] — exponential when [stages = 1] (the paper's
+          displayed system), Erlang([stages]) for near-constant delays
+          per §3.1's method of stages. A thief with a delivery in flight
+          does not steal again; waiting processors remain valid
+          victims. *)
+  | Rebalance of { rate : int -> float }
+      (** §3.4 (Rudolph–Slivkin-Allalouf–Upfal): at exponential rate
+          [rate load] a processor splits its load evenly with a uniformly
+          random partner, the initially larger side keeping the ceiling. *)
+  | Steal_half of { threshold : int; choices : int }
+      (** §3.4's adaptive variant (the Cilk-style discipline): on
+          emptying, steal [⌊v/2⌋] tasks from the most loaded of [choices]
+          probes if its load [v] is at least [threshold]. *)
+  | Ring_steal of { threshold : int; radius : int }
+      (** Locality-restricted stealing (the paper deliberately ignores
+          locality; this quantifies its cost): a thief probes one uniform
+          victim among its [2·radius] nearest ring neighbours. As
+          [radius → n/2] this approaches On_empty with one choice. *)
+
+val simple : t
+(** [On_empty { threshold = 2; choices = 1; steal_count = 1 }] — the
+    §2.2 system. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on malformed parameters (negative rates,
+    [threshold < 2], [steal_count < 1], …). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+open Prob
+
+type fidelity = { runs : int; horizon : float; warmup : float }
+
+let paper_fidelity = { runs = 10; horizon = 100_000.0; warmup = 10_000.0 }
+let default_fidelity = { runs = 3; horizon = 20_000.0; warmup = 2_000.0 }
+let quick_fidelity = { runs = 2; horizon = 4_000.0; warmup = 500.0 }
+
+type summary = {
+  runs : int;
+  mean_sojourn : float;
+  sojourn_ci95 : float;
+  mean_load : float;
+  steal_success_rate : float;
+  per_run : Cluster.result array;
+}
+
+let summarize (results : Cluster.result array) =
+  let acc = Stats.create () in
+  let load_acc = Stats.create () in
+  let attempts = ref 0 and successes = ref 0 in
+  Array.iter
+    (fun (r : Cluster.result) ->
+      if not (Float.is_nan r.Cluster.mean_sojourn) then
+        Stats.add acc r.Cluster.mean_sojourn;
+      if not (Float.is_nan r.Cluster.mean_load) then
+        Stats.add load_acc r.Cluster.mean_load;
+      attempts := !attempts + r.Cluster.steal_attempts;
+      successes := !successes + r.Cluster.steal_successes)
+    results;
+  {
+    runs = Array.length results;
+    mean_sojourn = Stats.mean acc;
+    sojourn_ci95 = Stats.ci95_halfwidth acc;
+    mean_load = Stats.mean load_acc;
+    steal_success_rate =
+      (if !attempts = 0 then nan
+       else float_of_int !successes /. float_of_int !attempts);
+    per_run = results;
+  }
+
+let replicate ~seed ~(fidelity : fidelity) config =
+  if fidelity.runs < 1 then invalid_arg "Runner.replicate: need runs >= 1";
+  let root = Rng.create ~seed in
+  let results =
+    Array.init fidelity.runs (fun _ ->
+        let rng = Rng.split root in
+        let sim = Cluster.create ~rng config in
+        Cluster.run sim ~horizon:fidelity.horizon ~warmup:fidelity.warmup)
+  in
+  summarize results
+
+let replicate_static ~seed ~runs config =
+  if runs < 1 then invalid_arg "Runner.replicate_static: need runs >= 1";
+  let root = Rng.create ~seed in
+  let results =
+    Array.init runs (fun _ ->
+        let rng = Rng.split root in
+        let sim = Cluster.create ~rng config in
+        Cluster.run_static sim)
+  in
+  summarize results

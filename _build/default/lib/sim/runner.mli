@@ -1,0 +1,44 @@
+(** Replicated simulation runs.
+
+    The paper averages 10 independent simulations of 100,000 seconds with
+    the first 10,000 discarded; this module reproduces that protocol with
+    configurable fidelity. Each replication draws its stream from the root
+    seed by splitting, so a summary is reproducible from
+    [(seed, config, fidelity)] alone. *)
+
+type fidelity = {
+  runs : int;  (** Independent replications. *)
+  horizon : float;  (** Simulated seconds per replication. *)
+  warmup : float;  (** Discarded prefix. *)
+}
+
+val paper_fidelity : fidelity
+(** The paper's protocol: 10 runs × 100,000 s, 10,000 s warm-up. *)
+
+val default_fidelity : fidelity
+(** 3 runs × 20,000 s, 2,000 s warm-up — minutes-scale for the full bench
+    suite while staying well within the tables' simulation noise. *)
+
+val quick_fidelity : fidelity
+(** 2 runs × 4,000 s, 500 s warm-up — smoke-test scale. *)
+
+type summary = {
+  runs : int;
+  mean_sojourn : float;  (** Mean over replications of per-run means. *)
+  sojourn_ci95 : float;
+      (** 95% half-width over replications (normal approximation); [nan]
+          for a single run. *)
+  mean_load : float;  (** Mean over replications of time-average load. *)
+  steal_success_rate : float;
+      (** Successful steals / attempts, pooled; [nan] if no attempts. *)
+  per_run : Cluster.result array;
+}
+
+val replicate :
+  seed:int -> fidelity:fidelity -> Cluster.config -> summary
+(** Run [fidelity.runs] independent simulations of [config]. *)
+
+val replicate_static : seed:int -> runs:int -> Cluster.config -> summary
+(** Static variant: each run drains the seeded load to empty;
+    [mean_sojourn] aggregates sojourns, and the per-run [makespan]s carry
+    the drain times. *)

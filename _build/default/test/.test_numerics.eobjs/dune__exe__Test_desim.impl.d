@@ -1,0 +1,1 @@
+test/test_desim.ml: Alcotest Desim List QCheck QCheck_alcotest

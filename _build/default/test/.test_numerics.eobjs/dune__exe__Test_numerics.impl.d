@@ -1,0 +1,1 @@
+test/test_numerics.ml: Accel Alcotest Array Fixpoint Float Gen Interp List Numerics Ode QCheck QCheck_alcotest Quadrature Root Series Vec

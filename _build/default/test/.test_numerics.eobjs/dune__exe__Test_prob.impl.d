@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Array Dist Float Format Gen Histogram List P2_quantile Printf Prob QCheck QCheck_alcotest Rng Stats Timeavg

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Format List Meanfield Printf Prob QCheck QCheck_alcotest Wsim

@@ -1,0 +1,193 @@
+(* Tests for the discrete-event engine: heap ordering, FIFO tie-breaking,
+   clock discipline. *)
+
+let check_float = Alcotest.(check (float 1e-12))
+
+(* ---------- Event_heap ---------- *)
+
+let test_heap_ordering () =
+  let h = Desim.Event_heap.create () in
+  List.iter
+    (fun t -> Desim.Event_heap.push h ~time:t (int_of_float (t *. 10.0)))
+    [ 3.0; 1.0; 2.0; 0.5; 2.5 ];
+  let order = ref [] in
+  let rec drain () =
+    match Desim.Event_heap.pop h with
+    | Some (t, _) ->
+        order := t :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (float 1e-12)))
+    "sorted" [ 0.5; 1.0; 2.0; 2.5; 3.0 ] (List.rev !order)
+
+let test_heap_fifo_ties () =
+  let h = Desim.Event_heap.create () in
+  for i = 0 to 9 do
+    Desim.Event_heap.push h ~time:1.0 i
+  done;
+  for expected = 0 to 9 do
+    match Desim.Event_heap.pop h with
+    | Some (_, got) -> Alcotest.(check int) "fifo" expected got
+    | None -> Alcotest.fail "heap drained early"
+  done
+
+let test_heap_interleaved () =
+  (* pops between pushes keep order *)
+  let h = Desim.Event_heap.create ~capacity:1 () in
+  Desim.Event_heap.push h ~time:5.0 'a';
+  Desim.Event_heap.push h ~time:1.0 'b';
+  (match Desim.Event_heap.pop h with
+  | Some (t, c) ->
+      check_float "t" 1.0 t;
+      Alcotest.(check char) "c" 'b' c
+  | None -> Alcotest.fail "empty");
+  Desim.Event_heap.push h ~time:0.5 'c';
+  Desim.Event_heap.push h ~time:9.0 'd';
+  let seq = ref [] in
+  let rec drain () =
+    match Desim.Event_heap.pop h with
+    | Some (_, c) ->
+        seq := c :: !seq;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list char)) "rest" [ 'c'; 'a'; 'd' ] (List.rev !seq)
+
+let test_heap_growth () =
+  let h = Desim.Event_heap.create ~capacity:2 () in
+  for i = 0 to 999 do
+    Desim.Event_heap.push h ~time:(float_of_int (999 - i)) i
+  done;
+  Alcotest.(check int) "length" 1000 (Desim.Event_heap.length h);
+  (match Desim.Event_heap.peek_time h with
+  | Some t -> check_float "peek" 0.0 t
+  | None -> Alcotest.fail "empty");
+  let last = ref neg_infinity in
+  let rec drain () =
+    match Desim.Event_heap.pop h with
+    | Some (t, _) ->
+        Alcotest.(check bool) "monotone" true (t >= !last);
+        last := t;
+        drain ()
+    | None -> ()
+  in
+  drain ()
+
+let test_heap_nan () =
+  Alcotest.check_raises "nan" (Invalid_argument "Event_heap.push: NaN time")
+    (fun () -> Desim.Event_heap.push (Desim.Event_heap.create ()) ~time:nan 0)
+
+let test_heap_clear () =
+  let h = Desim.Event_heap.create () in
+  Desim.Event_heap.push h ~time:1.0 0;
+  Desim.Event_heap.clear h;
+  Alcotest.(check bool) "empty" true (Desim.Event_heap.is_empty h)
+
+let qcheck_heap_sorts =
+  QCheck.Test.make ~count:200 ~name:"heap pops in non-decreasing time order"
+    QCheck.(list (float_bound_inclusive 1000.0))
+    (fun times ->
+      let h = Desim.Event_heap.create () in
+      List.iter (fun t -> Desim.Event_heap.push h ~time:t ()) times;
+      let rec drain last =
+        match Desim.Event_heap.pop h with
+        | Some (t, ()) -> t >= last && drain t
+        | None -> true
+      in
+      drain neg_infinity)
+
+let qcheck_heap_preserves_multiset =
+  QCheck.Test.make ~count:200 ~name:"heap returns exactly what was pushed"
+    QCheck.(list (float_bound_inclusive 100.0))
+    (fun times ->
+      let h = Desim.Event_heap.create () in
+      List.iter (fun t -> Desim.Event_heap.push h ~time:t ()) times;
+      let rec drain acc =
+        match Desim.Event_heap.pop h with
+        | Some (t, ()) -> drain (t :: acc)
+        | None -> acc
+      in
+      let popped = drain [] in
+      List.sort compare popped = List.sort compare times)
+
+(* ---------- Engine ---------- *)
+
+let test_engine_run_order () =
+  let e = Desim.Engine.create () in
+  Desim.Engine.schedule e ~at:2.0 "b";
+  Desim.Engine.schedule e ~at:1.0 "a";
+  Desim.Engine.schedule e ~at:3.0 "c";
+  let seen = ref [] in
+  Desim.Engine.run ~until:2.5 e ~handler:(fun t ev ->
+      seen := (t, ev) :: !seen);
+  Alcotest.(check (list (pair (float 1e-12) string)))
+    "events up to horizon"
+    [ (1.0, "a"); (2.0, "b") ]
+    (List.rev !seen);
+  check_float "clock at horizon" 2.5 (Desim.Engine.now e);
+  Alcotest.(check int) "c still pending" 1 (Desim.Engine.pending e)
+
+let test_engine_handler_schedules () =
+  let e = Desim.Engine.create () in
+  Desim.Engine.schedule e ~at:1.0 1;
+  let count = ref 0 in
+  Desim.Engine.run ~until:10.0 e ~handler:(fun _ n ->
+      incr count;
+      if n < 5 then Desim.Engine.schedule_after e ~delay:1.0 (n + 1));
+  Alcotest.(check int) "cascade" 5 !count
+
+let test_engine_rejects_past () =
+  let e = Desim.Engine.create () in
+  Desim.Engine.schedule e ~at:5.0 ();
+  (match Desim.Engine.next e with Some _ -> () | None -> Alcotest.fail "?");
+  Alcotest.check_raises "past"
+    (Invalid_argument "Engine.schedule: event in the past") (fun () ->
+      Desim.Engine.schedule e ~at:1.0 ())
+
+let test_engine_negative_delay () =
+  let e = Desim.Engine.create () in
+  Alcotest.check_raises "delay"
+    (Invalid_argument "Engine.schedule_after: negative delay") (fun () ->
+      Desim.Engine.schedule_after e ~delay:(-1.0) ())
+
+let test_engine_run_until_empty () =
+  let e = Desim.Engine.create () in
+  Desim.Engine.schedule e ~at:1.0 3;
+  let total = ref 0 in
+  Desim.Engine.run_until_empty e ~handler:(fun _ n ->
+      total := !total + n;
+      if n > 1 then Desim.Engine.schedule_after e ~delay:0.5 (n - 1));
+  Alcotest.(check int) "sum" 6 !total;
+  check_float "final clock" 2.0 (Desim.Engine.now e)
+
+let () =
+  Alcotest.run "desim"
+    [
+      ( "event_heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
+          Alcotest.test_case "growth" `Quick test_heap_growth;
+          Alcotest.test_case "nan rejected" `Quick test_heap_nan;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          QCheck_alcotest.to_alcotest qcheck_heap_sorts;
+          QCheck_alcotest.to_alcotest qcheck_heap_preserves_multiset;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "run order and clock" `Quick
+            test_engine_run_order;
+          Alcotest.test_case "handler schedules more" `Quick
+            test_engine_handler_schedules;
+          Alcotest.test_case "rejects past events" `Quick
+            test_engine_rejects_past;
+          Alcotest.test_case "rejects negative delay" `Quick
+            test_engine_negative_delay;
+          Alcotest.test_case "run until empty" `Quick
+            test_engine_run_until_empty;
+        ] );
+    ]

@@ -1,0 +1,1244 @@
+(* Tests for the mean-field core: state representation, every model
+   variant, the fixed-point driver, metrics and stability checks.
+
+   The strongest checks are structural:
+   - closed-form fixed points are exact zeros of the coded derivatives
+     (they were derived independently, so agreement validates both);
+   - variants reduce to each other at parameter boundaries
+     (threshold T=2 = simple, preemptive B=0 = threshold, choices d=1 =
+     threshold, multisteal k=1 = threshold, repeated r=0 = threshold,
+     erlang c=1 = simple, rebalance rate=0 = M/M/1);
+   - whole-derivative conservation: total-task flux must equal
+     arrivals - completions for every model, because stealing only moves
+     tasks (qcheck over random valid states). *)
+
+open Meanfield
+open Numerics
+
+let check_close eps = Alcotest.(check (float eps))
+
+let fixed_point ?dt ?max_time model =
+  let fp = Drive.fixed_point ?dt ?max_time model in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s converged" model.Model.name)
+    true fp.Drive.converged;
+  fp.Drive.state
+
+(* ---------- Tail ---------- *)
+
+let test_tail_empty () =
+  let s = Tail.empty ~dim:8 ~mass:1.0 in
+  check_close 1e-12 "s0" 1.0 s.(0);
+  check_close 1e-12 "s1" 0.0 s.(1);
+  Alcotest.(check bool) "valid" true (Tail.is_valid s)
+
+let test_tail_geometric () =
+  let s = Tail.geometric ~dim:16 ~ratio:0.5 ~mass:1.0 in
+  check_close 1e-12 "s3" 0.125 s.(3);
+  Alcotest.(check bool) "valid" true (Tail.is_valid s);
+  (* E[N] = sum_{i>=1} 0.5^i = 1 (with closure) *)
+  check_close 1e-9 "mean tasks" 1.0 (Tail.mean_tasks s)
+
+let test_tail_is_valid_rejects () =
+  let s = Tail.geometric ~dim:8 ~ratio:0.5 ~mass:1.0 in
+  s.(4) <- 0.9 (* not monotone *);
+  Alcotest.(check bool) "invalid" false (Tail.is_valid s)
+
+let test_tail_ext () =
+  let s = Tail.geometric ~dim:8 ~ratio:0.5 ~mass:1.0 in
+  let ratio = Tail.boundary_ratio s in
+  check_close 1e-12 "boundary ratio" 0.5 ratio;
+  check_close 1e-12 "inside" s.(3) (Tail.ext s ~ratio 3);
+  check_close 1e-12 "outside" (s.(7) *. 0.25) (Tail.ext s ~ratio 9)
+
+let test_tail_suggested_dim () =
+  Alcotest.(check bool) "monotone in lambda" true
+    (Tail.suggested_dim ~lambda:0.5 () <= Tail.suggested_dim ~lambda:0.9 ());
+  Alcotest.(check int) "cap" 512 (Tail.suggested_dim ~lambda:0.999 ())
+
+(* ---------- closed forms are zeros of the coded derivatives ---------- *)
+
+let deriv_residual_at model state =
+  let dy = Vec.create model.Model.dim in
+  model.Model.deriv ~y:state ~dy;
+  Vec.norm_inf dy
+
+let test_mm1_closed_form_is_fixed_point () =
+  List.iter
+    (fun lambda ->
+      let model = Mm1.model ~lambda ~dim:96 () in
+      let state = Mm1.fixed_point_exact ~lambda ~dim:96 in
+      Alcotest.(check bool)
+        (Printf.sprintf "residual at lambda=%g" lambda)
+        true
+        (deriv_residual_at model state < 1e-10))
+    [ 0.3; 0.5; 0.8; 0.9 ]
+
+let test_simple_closed_form_is_fixed_point () =
+  List.iter
+    (fun lambda ->
+      let model = Simple_ws.model ~lambda ~dim:128 () in
+      let state = Simple_ws.fixed_point_exact ~lambda ~dim:128 in
+      Alcotest.(check bool)
+        (Printf.sprintf "residual at lambda=%g" lambda)
+        true
+        (deriv_residual_at model state < 1e-10))
+    [ 0.3; 0.5; 0.7; 0.9; 0.95 ]
+
+let test_threshold_closed_form_is_fixed_point () =
+  List.iter
+    (fun (lambda, threshold) ->
+      let model = Threshold_ws.model ~lambda ~threshold ~dim:128 () in
+      let state = Threshold_ws.fixed_point_exact ~lambda ~threshold ~dim:128 in
+      Alcotest.(check bool)
+        (Printf.sprintf "residual lambda=%g T=%d" lambda threshold)
+        true
+        (deriv_residual_at model state < 1e-10))
+    [ (0.5, 3); (0.7, 4); (0.9, 5); (0.95, 6); (0.8, 2) ]
+
+(* ---------- paper values ---------- *)
+
+let test_simple_table1_estimates () =
+  (* The estimate column of Table 1, including the golden ratio at 0.5. *)
+  List.iter
+    (fun (lambda, expected) ->
+      check_close 5e-4
+        (Printf.sprintf "E[T] at %g" lambda)
+        expected
+        (Simple_ws.mean_time_exact ~lambda))
+    [ (0.5, 1.618); (0.7, 2.107); (0.8, 2.562); (0.9, 3.541);
+      (0.95, 4.887); (0.99, 10.462) ]
+
+let test_simple_golden_ratio () =
+  check_close 1e-9 "phi" ((1.0 +. sqrt 5.0) /. 2.0)
+    (Simple_ws.mean_time_exact ~lambda:0.5)
+
+let test_pi2_quadratic_identity () =
+  List.iter
+    (fun lambda ->
+      let pi2 = Simple_ws.pi2_exact ~lambda in
+      check_close 1e-12 "quadratic" 0.0
+        ((pi2 *. pi2) -. ((1.0 +. lambda) *. pi2) +. (lambda *. lambda));
+      Alcotest.(check bool) "below lambda" true (pi2 < lambda))
+    [ 0.1; 0.5; 0.9; 0.99 ]
+
+let test_stealing_beats_no_stealing () =
+  List.iter
+    (fun lambda ->
+      Alcotest.(check bool)
+        (Printf.sprintf "E[T] lower at %g" lambda)
+        true
+        (Simple_ws.mean_time_exact ~lambda < Mm1.mean_time_exact ~lambda);
+      Alcotest.(check bool)
+        (Printf.sprintf "tail thinner at %g" lambda)
+        true
+        (Simple_ws.tail_ratio_exact ~lambda < lambda))
+    [ 0.2; 0.5; 0.8; 0.95; 0.99 ]
+
+(* ---------- ODE relaxation agrees with closed forms ---------- *)
+
+let test_ode_matches_closed_form_simple () =
+  List.iter
+    (fun lambda ->
+      let model = Simple_ws.model ~lambda () in
+      let state = fixed_point model in
+      check_close 1e-6
+        (Printf.sprintf "lambda=%g" lambda)
+        (Simple_ws.mean_time_exact ~lambda)
+        (Metrics.mean_time model state))
+    [ 0.5; 0.8; 0.95 ]
+
+let test_ode_matches_closed_form_threshold () =
+  List.iter
+    (fun (lambda, threshold) ->
+      let model = Threshold_ws.model ~lambda ~threshold () in
+      let state = fixed_point model in
+      check_close 1e-6
+        (Printf.sprintf "lambda=%g T=%d" lambda threshold)
+        (Threshold_ws.mean_time_exact ~lambda ~threshold)
+        (Metrics.mean_time model state))
+    [ (0.7, 3); (0.9, 5) ]
+
+let test_fixed_point_from_empty_start () =
+  let model = Simple_ws.model ~lambda:0.8 () in
+  let fp = Drive.fixed_point ~start:`Empty model in
+  Alcotest.(check bool) "converged" true fp.Drive.converged;
+  check_close 1e-6 "same fixed point"
+    (Simple_ws.mean_time_exact ~lambda:0.8)
+    (Metrics.mean_time model fp.Drive.state)
+
+(* ---------- cross-variant reductions ---------- *)
+
+let mean_time_of ?dt ?max_time model =
+  Metrics.mean_time model (fixed_point ?dt ?max_time model)
+
+let test_threshold2_equals_simple () =
+  check_close 1e-9 "exact"
+    (Simple_ws.mean_time_exact ~lambda:0.85)
+    (Threshold_ws.mean_time_exact ~lambda:0.85 ~threshold:2)
+
+let test_preemptive_b0_equals_threshold () =
+  List.iter
+    (fun (lambda, t) ->
+      check_close 1e-6
+        (Printf.sprintf "lambda=%g T=%d" lambda t)
+        (Threshold_ws.mean_time_exact ~lambda ~threshold:t)
+        (mean_time_of (Preemptive_ws.model ~lambda ~begin_at:0 ~offset:t ())))
+    [ (0.7, 2); (0.9, 4) ]
+
+let test_repeated_r0_equals_threshold () =
+  check_close 1e-6 "r=0"
+    (Threshold_ws.mean_time_exact ~lambda:0.8 ~threshold:3)
+    (mean_time_of
+       (Repeated_steal_ws.model ~lambda:0.8 ~retry_rate:0.0 ~threshold:3 ()))
+
+let test_choices1_equals_threshold () =
+  check_close 1e-6 "d=1"
+    (Threshold_ws.mean_time_exact ~lambda:0.9 ~threshold:3)
+    (mean_time_of
+       (Multi_choice_ws.model ~lambda:0.9 ~choices:1 ~threshold:3 ()))
+
+let test_multisteal_k1_equals_threshold () =
+  check_close 1e-6 "k=1"
+    (Threshold_ws.mean_time_exact ~lambda:0.9 ~threshold:4)
+    (mean_time_of
+       (Multi_steal_ws.model ~lambda:0.9 ~steal_count:1 ~threshold:4 ()))
+
+let test_erlang_c1_equals_simple () =
+  (* One exponential stage of rate 1 is exactly the base model. *)
+  check_close 1e-5 "c=1"
+    (Simple_ws.mean_time_exact ~lambda:0.8)
+    (mean_time_of (Erlang_ws.model ~lambda:0.8 ~stages:1 ()))
+
+let test_rebalance_rate0_equals_mm1 () =
+  check_close 1e-6 "rate=0"
+    (Mm1.mean_time_exact ~lambda:0.8)
+    (mean_time_of (Rebalance_ws.model_uniform_rate ~lambda:0.8 ~rate:0.0 ()))
+
+let test_hetero_equal_speeds_equals_simple () =
+  let model =
+    Heterogeneous_ws.model ~lambda:0.8 ~fraction_fast:0.5 ~mu_fast:1.0
+      ~mu_slow:1.0 ~threshold:2 ()
+  in
+  check_close 1e-5 "equal speeds"
+    (Simple_ws.mean_time_exact ~lambda:0.8)
+    (mean_time_of model)
+
+let test_static_constant_arrival_equals_threshold () =
+  (* With a constant arrival rate the "static" builder is the threshold
+     system; relaxing it must find the same fixed point. *)
+  let lambda = 0.75 in
+  let model =
+    Static_ws.model ~arrival:(fun _ -> lambda) ~threshold:3 ~dim:96 ()
+  in
+  check_close 1e-6 "same E[T]"
+    (Threshold_ws.mean_time_exact ~lambda ~threshold:3)
+    (mean_time_of model)
+
+(* ---------- monotonicity / qualitative claims ---------- *)
+
+let test_repeated_monotone_in_rate () =
+  let at r =
+    mean_time_of
+      (Repeated_steal_ws.model ~lambda:0.9 ~retry_rate:r ~threshold:2 ())
+  in
+  let e0 = at 0.0 and e1 = at 1.0 and e2 = at 10.0 in
+  Alcotest.(check bool) "decreasing" true (e0 > e1 && e1 > e2)
+
+let test_choices_monotone () =
+  let at d =
+    mean_time_of (Multi_choice_ws.model ~lambda:0.9 ~choices:d ~threshold:2 ())
+  in
+  let e1 = at 1 and e2 = at 2 and e4 = at 4 in
+  Alcotest.(check bool) "more choices help" true (e1 > e2 && e2 > e4)
+
+let test_multisteal_monotone () =
+  let at k =
+    mean_time_of
+      (Multi_steal_ws.model ~lambda:0.9 ~steal_count:k ~threshold:6 ())
+  in
+  let e1 = at 1 and e2 = at 2 and e3 = at 3 in
+  Alcotest.(check bool) "stealing more helps (T high)" true
+    (e1 > e2 && e2 > e3)
+
+let test_rebalance_monotone () =
+  let at r =
+    mean_time_of (Rebalance_ws.model_uniform_rate ~lambda:0.8 ~rate:r ())
+  in
+  let e0 = at 0.0 and e1 = at 0.5 and e2 = at 2.0 in
+  Alcotest.(check bool) "faster rebalance helps" true (e0 > e1 && e1 > e2)
+
+let test_erlang_beats_exponential () =
+  (* Section 3.1: constant service (approached by growing c) outperforms
+     exponential service. *)
+  let exp_time = Simple_ws.mean_time_exact ~lambda:0.9 in
+  let e5 = mean_time_of (Erlang_ws.model ~lambda:0.9 ~stages:5 ()) in
+  let e10 = mean_time_of (Erlang_ws.model ~lambda:0.9 ~stages:10 ()) in
+  Alcotest.(check bool) "less variable is better" true
+    (exp_time > e5 && e5 > e10)
+
+let test_transfer_degrades_with_slow_transfers () =
+  let at r =
+    mean_time_of
+      (Transfer_ws.model ~lambda:0.8 ~transfer_rate:r ~threshold:4 ())
+  in
+  Alcotest.(check bool) "slower transfer worse" true (at 0.25 > at 4.0)
+
+(* ---------- tail-ratio claims ---------- *)
+
+let test_tail_ratio_simple () =
+  List.iter
+    (fun lambda ->
+      let model = Simple_ws.model ~lambda () in
+      let state = fixed_point model in
+      let predicted = Simple_ws.tail_ratio_exact ~lambda in
+      let fitted = Metrics.empirical_tail_ratio state in
+      check_close 2e-3 (Printf.sprintf "lambda=%g" lambda) predicted fitted)
+    [ 0.5; 0.8; 0.9 ]
+
+let test_tail_ratio_repeated () =
+  let lambda = 0.9 and retry_rate = 5.0 in
+  let model =
+    Repeated_steal_ws.model ~lambda ~retry_rate ~threshold:2 ()
+  in
+  let state = fixed_point model in
+  check_close 2e-3 "repeated ratio"
+    (Repeated_steal_ws.tail_ratio_predicted ~lambda ~retry_rate state)
+    (Metrics.empirical_tail_ratio state)
+
+let test_tail_ratio_preemptive () =
+  let lambda = 0.9 in
+  let model = Preemptive_ws.model ~lambda ~begin_at:2 ~offset:4 () in
+  let state = fixed_point model in
+  check_close 2e-3 "preemptive ratio"
+    (Preemptive_ws.tail_ratio_predicted ~lambda state ~begin_at:2)
+    (Metrics.empirical_tail_ratio ~from:10 state)
+
+(* ---------- transfer model specifics ---------- *)
+
+let test_transfer_conservation () =
+  let model =
+    Transfer_ws.model ~lambda:0.8 ~transfer_rate:0.5 ~threshold:3 ()
+  in
+  (* s0 + w0 = 1 along a trajectory from empty *)
+  let samples =
+    Drive.trajectory ~start:`Empty ~horizon:50.0 ~sample_every:10.0 model
+  in
+  List.iter
+    (fun (t, state) ->
+      check_close 1e-8
+        (Printf.sprintf "mass at t=%g" t)
+        1.0
+        (state.(0) +. Transfer_ws.waiting_fraction model state))
+    samples
+
+let test_transfer_fixed_point_identities () =
+  let lambda = 0.8 in
+  let model =
+    Transfer_ws.model ~lambda ~transfer_rate:0.25 ~threshold:4 ()
+  in
+  let state = fixed_point model in
+  let s, w = Transfer_ws.split model state in
+  check_close 1e-7 "s0+w0" 1.0 (s.(0) +. w.(0));
+  (* service rate balance: busy fraction = lambda *)
+  check_close 1e-7 "s1+w1 = lambda" lambda (s.(1) +. w.(1))
+
+let test_transfer_fast_limit_is_threshold () =
+  (* As r -> infinity the transfer system approaches instantaneous
+     stealing, i.e. the plain threshold system. *)
+  let lambda = 0.8 and threshold = 3 in
+  let fast =
+    mean_time_of
+      (Transfer_ws.model ~lambda ~transfer_rate:200.0 ~threshold ())
+  in
+  check_close 5e-3 "fast transfer limit"
+    (Threshold_ws.mean_time_exact ~lambda ~threshold)
+    fast
+
+(* ---------- heterogeneous specifics ---------- *)
+
+let test_hetero_mass_conservation () =
+  let model =
+    Heterogeneous_ws.model ~lambda:0.7 ~fraction_fast:0.3 ~mu_fast:2.0
+      ~mu_slow:0.8 ~threshold:2 ()
+  in
+  let samples =
+    Drive.trajectory ~start:`Empty ~horizon:40.0 ~sample_every:10.0 model
+  in
+  List.iter
+    (fun (_, state) ->
+      let u, v = Heterogeneous_ws.split model state in
+      check_close 1e-9 "fast mass" 0.3 u.(0);
+      check_close 1e-9 "slow mass" 0.7 v.(0))
+    samples
+
+let test_hetero_overload_stabilised () =
+  (* slow class individually overloaded but pooled capacity suffices *)
+  let model =
+    Heterogeneous_ws.model ~lambda:0.8 ~fraction_fast:0.5 ~mu_fast:1.5
+      ~mu_slow:0.5 ~threshold:2 ()
+  in
+  let state = fixed_point ~max_time:4e5 model in
+  let slow = Heterogeneous_ws.class_mean_tasks model state ~fast:false in
+  let fast = Heterogeneous_ws.class_mean_tasks model state ~fast:true in
+  Alcotest.(check bool) "finite backlog" true (Float.is_finite slow);
+  Alcotest.(check bool) "slow carries more" true (slow > 10.0 *. fast)
+
+let test_hetero_rejects_overload () =
+  Alcotest.check_raises "capacity"
+    (Invalid_argument
+       "Heterogeneous_ws: lambda must be below average capacity") (fun () ->
+      ignore
+        (Heterogeneous_ws.model ~lambda:0.9 ~fraction_fast:0.5 ~mu_fast:1.0
+           ~mu_slow:0.5 ~threshold:2 ()))
+
+(* ---------- static systems ---------- *)
+
+let test_static_drains () =
+  let model =
+    Static_ws.model ~arrival:(fun _ -> 0.0) ~initial_load:6 ~dim:64 ()
+  in
+  match Static_ws.drain_time model with
+  | None -> Alcotest.fail "did not drain"
+  | Some t ->
+      (* needs at least the no-stealing fluid drain of ~L, and finite *)
+      Alcotest.(check bool) "sane drain time" true (t > 6.0 && t < 100.0)
+
+let test_static_stealing_drains_faster () =
+  let drain stealing =
+    match
+      Static_ws.drain_time
+        (Static_ws.model
+           ~arrival:(fun _ -> 0.0)
+           ~stealing ~initial_load:8 ~dim:64 ())
+    with
+    | Some t -> t
+    | None -> infinity
+  in
+  Alcotest.(check bool) "stealing not slower" true
+    (drain true <= drain false +. 1e-6)
+
+let test_static_monotone_in_load () =
+  let drain load =
+    match
+      Static_ws.drain_time
+        (Static_ws.model ~arrival:(fun _ -> 0.0) ~initial_load:load ~dim:96 ())
+    with
+    | Some t -> t
+    | None -> infinity
+  in
+  Alcotest.(check bool) "more work, longer drain" true
+    (drain 4 < drain 8 && drain 8 < drain 16)
+
+let test_static_spawning_extends_drain () =
+  let base =
+    Static_ws.drain_time
+      (Static_ws.model ~arrival:(fun _ -> 0.0) ~initial_load:5 ~dim:64 ())
+  in
+  let spawning =
+    Static_ws.drain_time
+      (Static_ws.model
+         ~arrival:(fun load -> if load > 0 then 0.4 else 0.0)
+         ~initial_load:5 ~dim:64 ())
+  in
+  match (base, spawning) with
+  | Some b, Some s -> Alcotest.(check bool) "spawning longer" true (s > b)
+  | _ -> Alcotest.fail "drain failed"
+
+(* ---------- supermarket (sharing) extension ---------- *)
+
+let test_supermarket_closed_form_is_fixed_point () =
+  List.iter
+    (fun (lambda, d) ->
+      let model = Supermarket.model ~lambda ~choices:d ~dim:96 () in
+      let state = Supermarket.fixed_point_exact ~lambda ~choices:d ~dim:96 in
+      Alcotest.(check bool)
+        (Printf.sprintf "residual lambda=%g d=%d" lambda d)
+        true
+        (deriv_residual_at model state < 1e-10))
+    [ (0.9, 1); (0.9, 2); (0.95, 2); (0.8, 3) ]
+
+let test_supermarket_d1_is_mm1 () =
+  check_close 1e-9 "d=1"
+    (Mm1.mean_time_exact ~lambda:0.9)
+    (Supermarket.mean_time_exact ~lambda:0.9 ~choices:1)
+
+let test_supermarket_ode_matches_exact () =
+  let model = Supermarket.model ~lambda:0.95 ~choices:2 () in
+  check_close 1e-5 "ode vs exact"
+    (Supermarket.mean_time_exact ~lambda:0.95 ~choices:2)
+    (mean_time_of model)
+
+let test_supermarket_doubly_exponential () =
+  (* s_3 = lambda^7 for d = 2: dramatically thinner than stealing's
+     geometric tail *)
+  let s = Supermarket.fixed_point_exact ~lambda:0.9 ~choices:2 ~dim:16 in
+  check_close 1e-12 "s2" (0.9 ** 3.0) s.(2);
+  check_close 1e-12 "s3" (0.9 ** 7.0) s.(3);
+  check_close 1e-12 "s4" (0.9 ** 15.0) s.(4)
+
+let test_supermarket_with_stealing_beats_both () =
+  let lambda = 0.9 in
+  let combined =
+    mean_time_of
+      (Supermarket.model ~lambda ~choices:2 ~steal_threshold:2 ())
+  in
+  Alcotest.(check bool) "beats stealing alone" true
+    (combined < Simple_ws.mean_time_exact ~lambda);
+  Alcotest.(check bool) "beats sharing alone" true
+    (combined < Supermarket.mean_time_exact ~lambda ~choices:2)
+
+(* ---------- hyperexponential service extension ---------- *)
+
+let test_hyperexp_reduces_to_simple () =
+  (* equal phase rates make the phase label irrelevant *)
+  let model = Hyperexp_ws.model ~lambda:0.9 ~p1:0.35 ~mu1:1.0 ~mu2:1.0 () in
+  check_close 1e-5 "mu1=mu2=1"
+    (Simple_ws.mean_time_exact ~lambda:0.9)
+    (mean_time_of model)
+
+let test_hyperexp_worse_than_exponential () =
+  (* higher service variability lengthens sojourns *)
+  let service = Prob.Dist.Hyperexp { p = 0.5; mean1 = 1.8; mean2 = 0.2 } in
+  let model = Hyperexp_ws.of_service ~lambda:0.9 ~service () in
+  Alcotest.(check bool) "scv > 1 hurts" true
+    (mean_time_of ~max_time:4e5 model > Simple_ws.mean_time_exact ~lambda:0.9)
+
+let test_hyperexp_of_service_mean_one () =
+  (* the of_service normalisation keeps the effective mean service at 1,
+     so throughput identity s-busy = lambda holds at the fixed point *)
+  let service = Prob.Dist.Hyperexp { p = 0.3; mean1 = 2.5; mean2 = 0.4 } in
+  let model = Hyperexp_ws.of_service ~lambda:0.8 ~service () in
+  let state = fixed_point ~max_time:4e5 model in
+  let u, v = Hyperexp_ws.split model state in
+  (* completion rate mu1 u1 + mu2 v1 must equal lambda *)
+  let scale = (0.3 *. 2.5) +. (0.7 *. 0.4) in
+  let mu1 = scale /. 2.5 and mu2 = scale /. 0.4 in
+  check_close 1e-6 "throughput" 0.8 ((mu1 *. u.(1)) +. (mu2 *. v.(1)))
+
+let test_hyperexp_rejects_unstable () =
+  Alcotest.check_raises "unstable"
+    (Invalid_argument "Hyperexp_ws: unstable (lambda x mean service >= 1)")
+    (fun () ->
+      ignore (Hyperexp_ws.model ~lambda:0.9 ~p1:0.5 ~mu1:0.5 ~mu2:1.0 ()))
+
+let qcheck_hyperexp_conservation =
+  (* total-task flux = lambda·(arrival mass) - mu-weighted completions *)
+  QCheck.Test.make ~count:100 ~name:"hyperexp_ws conserves tasks"
+    QCheck.(pair (float_range 0.1 0.8) (float_range 0.1 0.9))
+    (fun (tail_ratio, p1) ->
+      let mu1 = 2.0 and mu2 = 0.8 in
+      let lambda = 0.5 in
+      let model = Hyperexp_ws.model ~lambda ~p1 ~mu1 ~mu2 ~depth:24 () in
+      let depth = 24 in
+      let y = Vec.create model.Model.dim in
+      y.(0) <- 1.0;
+      (* compact-support stacked state: busy split p1/p2 *)
+      for k = 1 to depth / 2 do
+        let tail = 0.8 *. (tail_ratio ** float_of_int k) in
+        y.(k) <- p1 *. tail;
+        y.(depth + k) <- (1.0 -. p1) *. tail
+      done;
+      let dy = Vec.create model.Model.dim in
+      model.Model.deriv ~y ~dy;
+      let flux = Vec.sum_from dy 1 in
+      let expected = lambda -. ((mu1 *. y.(1)) +. (mu2 *. y.(depth + 1))) in
+      Float.abs (flux -. expected) < 1e-9)
+
+(* ---------- batch arrivals extension ---------- *)
+
+let test_batch_mean1_equals_threshold () =
+  check_close 1e-6 "batch=1"
+    (Threshold_ws.mean_time_exact ~lambda:0.8 ~threshold:3)
+    (mean_time_of
+       (Batch_ws.model ~event_rate:0.8 ~mean_batch:1.0 ~threshold:3 ()))
+
+let test_batch_burstiness_hurts () =
+  (* equal utilisation 0.8, growing burstiness *)
+  let at mean_batch =
+    mean_time_of
+      (Batch_ws.model ~event_rate:(0.8 /. mean_batch) ~mean_batch ())
+  in
+  let e1 = at 1.0 and e2 = at 2.0 and e4 = at 4.0 in
+  Alcotest.(check bool) "burstier is worse" true (e1 < e2 && e2 < e4)
+
+let test_batch_utilization () =
+  check_close 1e-12 "rho" 0.8
+    (Batch_ws.utilization ~event_rate:0.4 ~mean_batch:2.0)
+
+let test_batch_rejects_overload () =
+  Alcotest.check_raises "overload"
+    (Invalid_argument "Batch_ws: need 0 < event_rate x mean_batch < 1")
+    (fun () ->
+      ignore (Batch_ws.model ~event_rate:0.6 ~mean_batch:2.0 ()))
+
+(* ---------- combined (T, d, k) model ---------- *)
+
+let test_combined_reduces_to_threshold () =
+  check_close 1e-6 "d=1 k=1"
+    (Threshold_ws.mean_time_exact ~lambda:0.85 ~threshold:4)
+    (mean_time_of
+       (Combined_ws.model ~lambda:0.85 ~threshold:4 ~choices:1
+          ~steal_count:1 ()))
+
+let test_combined_reduces_to_multichoice () =
+  check_close 1e-6 "k=1"
+    (mean_time_of
+       (Multi_choice_ws.model ~lambda:0.9 ~choices:3 ~threshold:3 ()))
+    (mean_time_of
+       (Combined_ws.model ~lambda:0.9 ~threshold:3 ~choices:3 ~steal_count:1
+          ()))
+
+let test_combined_reduces_to_multisteal () =
+  check_close 1e-6 "d=1"
+    (mean_time_of
+       (Multi_steal_ws.model ~lambda:0.9 ~steal_count:2 ~threshold:5 ()))
+    (mean_time_of
+       (Combined_ws.model ~lambda:0.9 ~threshold:5 ~choices:1 ~steal_count:2
+          ()))
+
+let test_combined_dominates_parts () =
+  (* d = 2 and k = 2 together beat either alone *)
+  let lambda = 0.95 and threshold = 4 in
+  let combined =
+    mean_time_of
+      (Combined_ws.model ~lambda ~threshold ~choices:2 ~steal_count:2 ())
+  in
+  Alcotest.(check bool) "beats d=2 k=1" true
+    (combined
+    < mean_time_of
+        (Combined_ws.model ~lambda ~threshold ~choices:2 ~steal_count:1 ()));
+  Alcotest.(check bool) "beats d=1 k=2" true
+    (combined
+    < mean_time_of
+        (Combined_ws.model ~lambda ~threshold ~choices:1 ~steal_count:2 ()))
+
+let test_combined_matches_simulator () =
+  let lambda = 0.9 and threshold = 4 and choices = 2 and steal_count = 2 in
+  let model =
+    Combined_ws.model ~lambda ~threshold ~choices ~steal_count ()
+  in
+  let predicted = mean_time_of model in
+  let summary =
+    Wsim.Runner.replicate ~seed:4242
+      ~fidelity:{ Wsim.Runner.runs = 3; horizon = 30_000.0; warmup = 3_000.0 }
+      {
+        Wsim.Cluster.default with
+        n = 128;
+        arrival_rate = lambda;
+        policy = Wsim.Policy.On_empty { threshold; choices; steal_count };
+      }
+  in
+  let sim = summary.Wsim.Runner.mean_sojourn in
+  Alcotest.(check bool)
+    (Printf.sprintf "within 3%% (sim %.3f model %.3f)" sim predicted)
+    true
+    (Float.abs (sim -. predicted) /. predicted < 0.03)
+
+let test_combined_rejects_bad_params () =
+  Alcotest.check_raises "k too large"
+    (Invalid_argument "Combined_ws: need threshold >= steal_count + 1")
+    (fun () ->
+      ignore
+        (Combined_ws.model ~lambda:0.5 ~threshold:2 ~choices:1 ~steal_count:2
+           ()))
+
+(* ---------- steal-half extension ---------- *)
+
+let test_steal_half_beats_single () =
+  (* adaptive stealing levels deep queues: strictly better than k=1 *)
+  List.iter
+    (fun lambda ->
+      Alcotest.(check bool)
+        (Printf.sprintf "better at %g" lambda)
+        true
+        (mean_time_of (Steal_half_ws.model ~lambda ())
+        < Simple_ws.mean_time_exact ~lambda))
+    [ 0.8; 0.95 ]
+
+let test_steal_half_at_threshold2_vs_multisteal () =
+  (* with T = 2, victims hold exactly >= 2; steal-half takes floor(v/2),
+     which dominates fixed k = 1 but the two coincide as lambda -> 0
+     (victims rarely exceed 2 tasks) *)
+  let lambda = 0.05 in
+  check_close 1e-3 "small lambda"
+    (Simple_ws.mean_time_exact ~lambda)
+    (mean_time_of (Steal_half_ws.model ~lambda ()))
+
+let test_steal_half_selfcheck () =
+  let report = Selfcheck.run (Steal_half_ws.model ~lambda:0.9 ()) in
+  Alcotest.(check bool) "passes" true (Selfcheck.passed report)
+
+(* ---------- staged transfer extension ---------- *)
+
+let test_transfer_stages1_unchanged () =
+  (* the generalised implementation at stages = 1 must equal the paper's
+     displayed exponential-delay system *)
+  let lambda = 0.8 in
+  let m1 =
+    Transfer_ws.model ~lambda ~transfer_rate:0.25 ~threshold:4 ~stages:1 ()
+  in
+  let et = mean_time_of m1 in
+  (* from Table 3: estimate 3.996 at lambda = 0.8, T = 4 *)
+  check_close 5e-3 "table 3 cell" 3.996 et
+
+let test_transfer_stages_reduce_variability () =
+  (* Erlang-staged (lower-variance) transfer delays at the same mean *)
+  let lambda = 0.9 in
+  let at stages =
+    mean_time_of
+      (Transfer_ws.model ~lambda ~transfer_rate:0.25 ~threshold:4 ~stages ())
+  in
+  let e1 = at 1 and e4 = at 4 and e8 = at 8 in
+  (* differences are small but must be monotone and finite *)
+  Alcotest.(check bool) "finite" true
+    (Float.is_finite e1 && Float.is_finite e4 && Float.is_finite e8);
+  Alcotest.(check bool) "monotone in stages" true
+    ((e1 -. e4) *. (e4 -. e8) >= -1e-4)
+
+let test_transfer_staged_conservation () =
+  let m =
+    Transfer_ws.model ~lambda:0.8 ~transfer_rate:0.5 ~threshold:3 ~stages:3
+      ()
+  in
+  let samples =
+    Drive.trajectory ~start:`Empty ~horizon:40.0 ~sample_every:10.0 m
+  in
+  List.iter
+    (fun (t, state) ->
+      check_close 1e-8
+        (Printf.sprintf "mass at t=%g" t)
+        1.0
+        (state.(0) +. Transfer_ws.waiting_fraction m state))
+    samples
+
+let test_transfer_staged_identities () =
+  let lambda = 0.85 in
+  let m =
+    Transfer_ws.model ~lambda ~transfer_rate:0.25 ~threshold:4 ~stages:4 ()
+  in
+  let state = fixed_point m in
+  let s, w = Transfer_ws.split m state in
+  check_close 1e-7 "mass" 1.0 (s.(0) +. w.(0));
+  (* busy identity: service happens at non-waiting and waiting procs *)
+  check_close 1e-7 "throughput" lambda (s.(1) +. w.(1))
+
+(* ---------- self-check facility ---------- *)
+
+let test_selfcheck_passes_known_models () =
+  List.iter
+    (fun model ->
+      let report = Selfcheck.run model in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s passes" report.Selfcheck.model_name)
+        true
+        (Selfcheck.passed report))
+    [
+      Simple_ws.model ~lambda:0.8 ();
+      Threshold_ws.model ~lambda:0.7 ~threshold:4 ();
+      Multi_choice_ws.model ~lambda:0.8 ~choices:2 ~threshold:2 ();
+      Supermarket.model ~lambda:0.8 ~choices:2 ();
+      Batch_ws.model ~event_rate:0.3 ~mean_batch:2.0 ();
+    ]
+
+let test_selfcheck_detects_broken_model () =
+  (* sabotage a derivative: conservation-breaking constant leak makes the
+     relaxation run away from a valid state *)
+  let good = Simple_ws.model ~lambda:0.8 ~dim:48 () in
+  let broken =
+    {
+      good with
+      Model.name = "broken";
+      deriv =
+        (fun ~y ~dy ->
+          good.Model.deriv ~y ~dy;
+          dy.(3) <- dy.(3) +. 0.05 (* steady inflation of s3 *));
+    }
+  in
+  let report = Selfcheck.run broken in
+  Alcotest.(check bool) "broken model flagged" false
+    (Selfcheck.passed report)
+
+(* ---------- backlog integral ---------- *)
+
+let test_backlog_integral_positive_and_ordered () =
+  let integral stealing =
+    Static_ws.backlog_integral
+      (Static_ws.model ~arrival:(fun _ -> 0.0) ~stealing ~initial_load:8
+         ~dim:64 ())
+  in
+  let with_steal = integral true and without = integral false in
+  Alcotest.(check bool) "positive" true (with_steal > 0.0);
+  Alcotest.(check bool) "stealing not costlier" true
+    (with_steal <= without +. 1e-6)
+
+let test_backlog_integral_matches_hand_value () =
+  (* no stealing, load L: fluid is L independent M/M/1 drains; backlog
+     integral of the no-steal fluid from load L equals
+     sum over the trajectory; sanity: bounded between L (serial lower
+     bound per unit work) and L * drain_time *)
+  let model =
+    Static_ws.model ~arrival:(fun _ -> 0.0) ~stealing:false ~initial_load:4
+      ~dim:48 ()
+  in
+  let integral = Static_ws.backlog_integral model in
+  Alcotest.(check bool) "lower bound" true (integral > 4.0);
+  Alcotest.(check bool) "upper bound" true (integral < 4.0 *. 30.0)
+
+(* ---------- stability (Section 4) ---------- *)
+
+let test_stable_lambda_bound () =
+  let bound = Stability.simple_ws_stable_lambda_bound in
+  (* closed form: pi2 = 1/2 at lambda = (1+sqrt 5)/4 *)
+  check_close 1e-9 "closed form" ((1.0 +. sqrt 5.0) /. 4.0) bound;
+  check_close 1e-9 "pi2 at bound" 0.5 (Simple_ws.pi2_exact ~lambda:bound)
+
+let test_l1_nonincreasing_inside_theorem () =
+  List.iter
+    (fun lambda ->
+      let model = Simple_ws.model ~lambda () in
+      let fixed_point =
+        Simple_ws.fixed_point_exact ~lambda ~dim:model.Model.dim
+      in
+      let trace =
+        Stability.distance_trace ~start:`Empty ~fixed_point ~horizon:80.0
+          ~sample_every:1.0 model
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "monotone at %g" lambda)
+        true
+        (Stability.is_nonincreasing ~slack:1e-9 trace))
+    [ 0.5; 0.7 ]
+
+let test_l1_nonincreasing_beyond_theorem () =
+  (* the paper's open question: numerically it still holds at 0.9 *)
+  let lambda = 0.9 in
+  let model = Simple_ws.model ~lambda () in
+  let fixed_point = Simple_ws.fixed_point_exact ~lambda ~dim:model.Model.dim in
+  let trace =
+    Stability.distance_trace ~start:`Empty ~fixed_point ~horizon:150.0
+      ~sample_every:1.0 model
+  in
+  Alcotest.(check bool) "monotone beyond bound" true
+    (Stability.is_nonincreasing ~slack:1e-9 trace)
+
+let test_convergence_time_reported () =
+  let lambda = 0.5 in
+  let model = Simple_ws.model ~lambda () in
+  let fixed_point = Simple_ws.fixed_point_exact ~lambda ~dim:model.Model.dim in
+  match
+    Stability.convergence_time ~start:`Empty ~fixed_point ~horizon:200.0
+      model
+  with
+  | Some t -> Alcotest.(check bool) "positive finite" true (t > 0.0)
+  | None -> Alcotest.fail "never converged"
+
+let test_max_uptick () =
+  Alcotest.(check (float 1e-12)) "uptick" 2.0
+    (Stability.max_uptick [ (0.0, 5.0); (1.0, 3.0); (2.0, 5.0); (3.0, 1.0) ])
+
+(* ---------- drive details ---------- *)
+
+let test_trajectory_endpoints () =
+  let model = Simple_ws.model ~lambda:0.6 () in
+  let samples =
+    Drive.trajectory ~start:`Empty ~horizon:10.0 ~sample_every:2.5 model
+  in
+  let times = List.map fst samples in
+  Alcotest.(check bool) "starts at 0" true (List.hd times = 0.0);
+  Alcotest.(check bool) "ends at horizon" true
+    (Float.abs (List.nth times (List.length times - 1) -. 10.0) < 1e-6)
+
+let test_drive_no_accel_agrees () =
+  let model = Simple_ws.model ~lambda:0.8 () in
+  let a = Drive.fixed_point ~accelerate:false model in
+  let b = Drive.fixed_point ~accelerate:true model in
+  check_close 1e-8 "same answer"
+    (Metrics.mean_time model a.Drive.state)
+    (Metrics.mean_time model b.Drive.state)
+
+let test_model_rejects_bad_lambda () =
+  Alcotest.check_raises "lambda >= 1"
+    (Invalid_argument "Model.of_single_tail: need 0 <= lambda < 1 for stability")
+    (fun () -> ignore (Simple_ws.model ~lambda:1.0 ()))
+
+(* ---------- conservation properties (qcheck) ---------- *)
+
+(* Random valid tail state supported on the first half of the vector, so
+   boundary-closure flux is exactly zero and conservation is exact. *)
+let gen_tail_state dim =
+  QCheck.Gen.(
+    let* ratio = float_range 0.05 0.9 in
+    let* mass1 = float_range 0.0 1.0 in
+    return
+      (Vec.init dim (fun i ->
+           if i = 0 then 1.0
+           else if i > dim / 2 then 0.0
+           else mass1 *. (ratio ** float_of_int i))))
+
+let arbitrary_tail dim =
+  QCheck.make ~print:(Format.asprintf "%a" Vec.pp) (gen_tail_state dim)
+
+(* Total-task flux: for a single-tail model, sum_i>=1 ds_i must equal
+   (arrival flux) - (completion flux); stealing only moves tasks. *)
+let conservation_test name build expected_flux =
+  QCheck.Test.make ~count:100 ~name (arbitrary_tail 64) (fun state ->
+      let model : Model.t = build () in
+      assert (model.Model.dim = 64);
+      let dy = Vec.create 64 in
+      model.Model.deriv ~y:state ~dy;
+      let flux = Vec.sum_from dy 1 in
+      Float.abs (flux -. expected_flux state) < 1e-9)
+
+let lambda_c = 0.85
+
+let qcheck_conservation_simple =
+  conservation_test "simple_ws conserves tasks"
+    (fun () -> Simple_ws.model ~lambda:lambda_c ~dim:64 ())
+    (fun s -> lambda_c -. s.(1))
+
+let qcheck_conservation_threshold =
+  conservation_test "threshold_ws conserves tasks"
+    (fun () -> Threshold_ws.model ~lambda:lambda_c ~threshold:4 ~dim:64 ())
+    (fun s -> lambda_c -. s.(1))
+
+let qcheck_conservation_preemptive =
+  conservation_test "preemptive_ws conserves tasks"
+    (fun () ->
+      Preemptive_ws.model ~lambda:lambda_c ~begin_at:2 ~offset:4 ~dim:64 ())
+    (fun s -> lambda_c -. s.(1))
+
+let qcheck_conservation_choices =
+  conservation_test "multi_choice_ws conserves tasks"
+    (fun () ->
+      Multi_choice_ws.model ~lambda:lambda_c ~choices:3 ~threshold:3 ~dim:64
+        ())
+    (fun s -> lambda_c -. s.(1))
+
+let qcheck_conservation_multisteal =
+  conservation_test "multi_steal_ws conserves tasks"
+    (fun () ->
+      Multi_steal_ws.model ~lambda:lambda_c ~steal_count:2 ~threshold:5
+        ~dim:64 ())
+    (fun s -> lambda_c -. s.(1))
+
+let qcheck_conservation_repeated =
+  conservation_test "repeated_steal_ws conserves tasks"
+    (fun () ->
+      Repeated_steal_ws.model ~lambda:lambda_c ~retry_rate:3.0 ~threshold:2
+        ~dim:64 ())
+    (fun s -> lambda_c -. s.(1))
+
+let qcheck_conservation_rebalance =
+  conservation_test "rebalance_ws conserves tasks"
+    (fun () ->
+      Rebalance_ws.model_uniform_rate ~lambda:lambda_c ~rate:1.5 ~dim:64 ())
+    (fun s -> lambda_c -. s.(1))
+
+let qcheck_combined_conservation =
+  conservation_test "combined_ws conserves tasks"
+    (fun () ->
+      Combined_ws.model ~lambda:lambda_c ~threshold:5 ~choices:3
+        ~steal_count:2 ~dim:64 ())
+    (fun s -> lambda_c -. s.(1))
+
+let qcheck_steal_half_conservation =
+  conservation_test "steal_half_ws conserves tasks"
+    (fun () -> Steal_half_ws.model ~lambda:lambda_c ~threshold:3 ~dim:64 ())
+    (fun s -> lambda_c -. s.(1))
+
+let qcheck_supermarket_conservation =
+  conservation_test "supermarket conserves tasks"
+    (fun () -> Supermarket.model ~lambda:lambda_c ~choices:2 ~dim:64 ())
+    (fun s -> lambda_c -. s.(1))
+
+let qcheck_supermarket_ws_conservation =
+  conservation_test "supermarket+stealing conserves tasks"
+    (fun () ->
+      Supermarket.model ~lambda:lambda_c ~choices:2 ~steal_threshold:3
+        ~dim:64 ())
+    (fun s -> lambda_c -. s.(1))
+
+let qcheck_batch_conservation =
+  (* flux = task arrival rate - completions *)
+  QCheck.Test.make ~count:100 ~name:"batch_ws conserves tasks"
+    (arbitrary_tail 64) (fun state ->
+      let event_rate = 0.3 and mean_batch = 2.5 in
+      let model = Batch_ws.model ~event_rate ~mean_batch ~dim:64 () in
+      let dy = Vec.create 64 in
+      model.Model.deriv ~y:state ~dy;
+      let flux = Vec.sum_from dy 1 in
+      let expected = (event_rate *. mean_batch) -. state.(1) in
+      (* the geometric batch tail is genuinely truncated at the state
+         boundary: tolerance covers fail^(dim/2)/(1-fail) ~ 1e-7 *)
+      Float.abs (flux -. expected) < 1e-6)
+
+let qcheck_conservation_erlang =
+  (* stage units: arrivals add c stages, completions drain c * busy *)
+  let c = 4 in
+  QCheck.Test.make ~count:100 ~name:"erlang_ws conserves stages"
+    (arbitrary_tail 64) (fun state ->
+      let model = Erlang_ws.model ~lambda:lambda_c ~stages:c ~task_depth:15 () in
+      assert (model.Model.dim = (15 * c) + 2);
+      (* re-embed the random state into the model's dimension *)
+      let y =
+        Vec.init model.Model.dim (fun i ->
+            if i < 32 then state.(i) else 0.0)
+      in
+      let dy = Vec.create model.Model.dim in
+      model.Model.deriv ~y ~dy;
+      let flux = Vec.sum_from dy 1 in
+      let expected = float_of_int c *. (lambda_c -. y.(1)) in
+      Float.abs (flux -. expected) < 1e-9)
+
+let qcheck_threshold_closed_form_random =
+  QCheck.Test.make ~count:100
+    ~name:"threshold closed form is a fixed point (random params)"
+    QCheck.(pair (float_range 0.05 0.95) (int_range 2 8))
+    (fun (lambda, threshold) ->
+      let dim = 128 in
+      let model = Threshold_ws.model ~lambda ~threshold ~dim () in
+      let state = Threshold_ws.fixed_point_exact ~lambda ~threshold ~dim in
+      deriv_residual_at model state < 1e-8)
+
+let qcheck_valid_state_preserved =
+  QCheck.Test.make ~count:50
+    ~name:"rk4 step preserves tail-state validity"
+    (arbitrary_tail 64) (fun state ->
+      let model = Simple_ws.model ~lambda:0.8 ~dim:64 () in
+      let sys = Model.as_system model in
+      let ws = Ode.workspace sys in
+      let y = Vec.copy state in
+      for _ = 1 to 20 do
+        Ode.rk4_step sys ws ~t:0.0 ~dt:0.1 y
+      done;
+      model.Model.validate y)
+
+let () =
+  Alcotest.run "meanfield"
+    [
+      ( "tail",
+        [
+          Alcotest.test_case "empty" `Quick test_tail_empty;
+          Alcotest.test_case "geometric" `Quick test_tail_geometric;
+          Alcotest.test_case "validity check" `Quick
+            test_tail_is_valid_rejects;
+          Alcotest.test_case "ext" `Quick test_tail_ext;
+          Alcotest.test_case "suggested dim" `Quick test_tail_suggested_dim;
+        ] );
+      ( "closed-forms",
+        [
+          Alcotest.test_case "mm1 zero of deriv" `Quick
+            test_mm1_closed_form_is_fixed_point;
+          Alcotest.test_case "simple zero of deriv" `Quick
+            test_simple_closed_form_is_fixed_point;
+          Alcotest.test_case "threshold zero of deriv" `Quick
+            test_threshold_closed_form_is_fixed_point;
+          Alcotest.test_case "table 1 estimates" `Quick
+            test_simple_table1_estimates;
+          Alcotest.test_case "golden ratio at 1/2" `Quick
+            test_simple_golden_ratio;
+          Alcotest.test_case "pi2 quadratic" `Quick
+            test_pi2_quadratic_identity;
+          Alcotest.test_case "stealing beats none" `Quick
+            test_stealing_beats_no_stealing;
+          QCheck_alcotest.to_alcotest qcheck_threshold_closed_form_random;
+        ] );
+      ( "ode-agreement",
+        [
+          Alcotest.test_case "simple" `Slow test_ode_matches_closed_form_simple;
+          Alcotest.test_case "threshold" `Slow
+            test_ode_matches_closed_form_threshold;
+          Alcotest.test_case "from empty start" `Slow
+            test_fixed_point_from_empty_start;
+          Alcotest.test_case "acceleration consistent" `Slow
+            test_drive_no_accel_agrees;
+        ] );
+      ( "reductions",
+        [
+          Alcotest.test_case "threshold(2) = simple" `Quick
+            test_threshold2_equals_simple;
+          Alcotest.test_case "preemptive(B=0) = threshold" `Slow
+            test_preemptive_b0_equals_threshold;
+          Alcotest.test_case "repeated(r=0) = threshold" `Slow
+            test_repeated_r0_equals_threshold;
+          Alcotest.test_case "choices(1) = threshold" `Slow
+            test_choices1_equals_threshold;
+          Alcotest.test_case "multisteal(1) = threshold" `Slow
+            test_multisteal_k1_equals_threshold;
+          Alcotest.test_case "erlang(1) = simple" `Slow
+            test_erlang_c1_equals_simple;
+          Alcotest.test_case "rebalance(0) = mm1" `Slow
+            test_rebalance_rate0_equals_mm1;
+          Alcotest.test_case "hetero equal speeds = simple" `Slow
+            test_hetero_equal_speeds_equals_simple;
+          Alcotest.test_case "static const arrival = threshold" `Slow
+            test_static_constant_arrival_equals_threshold;
+        ] );
+      ( "qualitative",
+        [
+          Alcotest.test_case "repeated monotone in r" `Slow
+            test_repeated_monotone_in_rate;
+          Alcotest.test_case "choices monotone" `Slow test_choices_monotone;
+          Alcotest.test_case "multisteal monotone" `Slow
+            test_multisteal_monotone;
+          Alcotest.test_case "rebalance monotone" `Slow
+            test_rebalance_monotone;
+          Alcotest.test_case "erlang beats exponential" `Slow
+            test_erlang_beats_exponential;
+          Alcotest.test_case "transfer cost hurts" `Slow
+            test_transfer_degrades_with_slow_transfers;
+        ] );
+      ( "tail-ratios",
+        [
+          Alcotest.test_case "simple" `Slow test_tail_ratio_simple;
+          Alcotest.test_case "repeated" `Slow test_tail_ratio_repeated;
+          Alcotest.test_case "preemptive" `Slow test_tail_ratio_preemptive;
+        ] );
+      ( "transfer",
+        [
+          Alcotest.test_case "mass conservation" `Quick
+            test_transfer_conservation;
+          Alcotest.test_case "fixed-point identities" `Slow
+            test_transfer_fixed_point_identities;
+          Alcotest.test_case "fast-transfer limit" `Slow
+            test_transfer_fast_limit_is_threshold;
+        ] );
+      ( "heterogeneous",
+        [
+          Alcotest.test_case "mass conservation" `Quick
+            test_hetero_mass_conservation;
+          Alcotest.test_case "overload stabilised" `Slow
+            test_hetero_overload_stabilised;
+          Alcotest.test_case "rejects overload" `Quick
+            test_hetero_rejects_overload;
+        ] );
+      ( "supermarket",
+        [
+          Alcotest.test_case "closed form zero of deriv" `Quick
+            test_supermarket_closed_form_is_fixed_point;
+          Alcotest.test_case "d=1 is mm1" `Quick test_supermarket_d1_is_mm1;
+          Alcotest.test_case "ode matches exact" `Slow
+            test_supermarket_ode_matches_exact;
+          Alcotest.test_case "doubly exponential tail" `Quick
+            test_supermarket_doubly_exponential;
+          Alcotest.test_case "sharing+stealing beats both" `Slow
+            test_supermarket_with_stealing_beats_both;
+        ] );
+      ( "hyperexp",
+        [
+          Alcotest.test_case "reduces to simple" `Slow
+            test_hyperexp_reduces_to_simple;
+          Alcotest.test_case "variability hurts" `Slow
+            test_hyperexp_worse_than_exponential;
+          Alcotest.test_case "of_service throughput" `Slow
+            test_hyperexp_of_service_mean_one;
+          Alcotest.test_case "rejects unstable" `Quick
+            test_hyperexp_rejects_unstable;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "batch=1 is threshold" `Slow
+            test_batch_mean1_equals_threshold;
+          Alcotest.test_case "burstiness hurts" `Slow
+            test_batch_burstiness_hurts;
+          Alcotest.test_case "utilization" `Quick test_batch_utilization;
+          Alcotest.test_case "rejects overload" `Quick
+            test_batch_rejects_overload;
+          QCheck_alcotest.to_alcotest qcheck_batch_conservation;
+        ] );
+      ( "combined",
+        [
+          Alcotest.test_case "reduces to threshold" `Slow
+            test_combined_reduces_to_threshold;
+          Alcotest.test_case "reduces to multi-choice" `Slow
+            test_combined_reduces_to_multichoice;
+          Alcotest.test_case "reduces to multi-steal" `Slow
+            test_combined_reduces_to_multisteal;
+          Alcotest.test_case "dominates its parts" `Slow
+            test_combined_dominates_parts;
+          Alcotest.test_case "matches simulator" `Slow
+            test_combined_matches_simulator;
+          Alcotest.test_case "rejects bad params" `Quick
+            test_combined_rejects_bad_params;
+        ] );
+      ( "steal-half",
+        [
+          Alcotest.test_case "beats single steal" `Slow
+            test_steal_half_beats_single;
+          Alcotest.test_case "small-lambda limit" `Slow
+            test_steal_half_at_threshold2_vs_multisteal;
+          Alcotest.test_case "selfcheck" `Slow test_steal_half_selfcheck;
+        ] );
+      ( "staged-transfer",
+        [
+          Alcotest.test_case "stages=1 unchanged" `Slow
+            test_transfer_stages1_unchanged;
+          Alcotest.test_case "monotone in stages" `Slow
+            test_transfer_stages_reduce_variability;
+          Alcotest.test_case "mass conservation" `Quick
+            test_transfer_staged_conservation;
+          Alcotest.test_case "fixed-point identities" `Slow
+            test_transfer_staged_identities;
+        ] );
+      ( "selfcheck",
+        [
+          Alcotest.test_case "known models pass" `Slow
+            test_selfcheck_passes_known_models;
+          Alcotest.test_case "broken model flagged" `Slow
+            test_selfcheck_detects_broken_model;
+        ] );
+      ( "backlog-integral",
+        [
+          Alcotest.test_case "positive and ordered" `Quick
+            test_backlog_integral_positive_and_ordered;
+          Alcotest.test_case "bounded" `Quick
+            test_backlog_integral_matches_hand_value;
+        ] );
+      ( "static",
+        [
+          Alcotest.test_case "drains" `Quick test_static_drains;
+          Alcotest.test_case "stealing not slower" `Quick
+            test_static_stealing_drains_faster;
+          Alcotest.test_case "monotone in load" `Quick
+            test_static_monotone_in_load;
+          Alcotest.test_case "spawning extends drain" `Quick
+            test_static_spawning_extends_drain;
+        ] );
+      ( "stability",
+        [
+          Alcotest.test_case "lambda bound closed form" `Quick
+            test_stable_lambda_bound;
+          Alcotest.test_case "L1 monotone inside theorem" `Slow
+            test_l1_nonincreasing_inside_theorem;
+          Alcotest.test_case "L1 monotone beyond theorem" `Slow
+            test_l1_nonincreasing_beyond_theorem;
+          Alcotest.test_case "convergence time" `Slow
+            test_convergence_time_reported;
+          Alcotest.test_case "max uptick" `Quick test_max_uptick;
+        ] );
+      ( "drive",
+        [
+          Alcotest.test_case "trajectory endpoints" `Quick
+            test_trajectory_endpoints;
+          Alcotest.test_case "rejects bad lambda" `Quick
+            test_model_rejects_bad_lambda;
+        ] );
+      ( "conservation",
+        [
+          QCheck_alcotest.to_alcotest qcheck_conservation_simple;
+          QCheck_alcotest.to_alcotest qcheck_conservation_threshold;
+          QCheck_alcotest.to_alcotest qcheck_conservation_preemptive;
+          QCheck_alcotest.to_alcotest qcheck_conservation_choices;
+          QCheck_alcotest.to_alcotest qcheck_conservation_multisteal;
+          QCheck_alcotest.to_alcotest qcheck_conservation_repeated;
+          QCheck_alcotest.to_alcotest qcheck_conservation_rebalance;
+          QCheck_alcotest.to_alcotest qcheck_conservation_erlang;
+          QCheck_alcotest.to_alcotest qcheck_combined_conservation;
+          QCheck_alcotest.to_alcotest qcheck_steal_half_conservation;
+          QCheck_alcotest.to_alcotest qcheck_supermarket_conservation;
+          QCheck_alcotest.to_alcotest qcheck_supermarket_ws_conservation;
+          QCheck_alcotest.to_alcotest qcheck_hyperexp_conservation;
+          QCheck_alcotest.to_alcotest qcheck_valid_state_preserved;
+        ] );
+    ]

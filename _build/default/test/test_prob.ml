@@ -1,0 +1,447 @@
+(* Tests for the probability substrate: PRNG, samplers, statistics,
+   time averages and histograms. *)
+
+open Prob
+
+let check_close eps = Alcotest.(check (float eps))
+
+(* ---------- Rng ---------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check int) "different seeds differ" 0 !same
+
+let test_rng_copy () =
+  let a = Rng.create ~seed:7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "copy tracks" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:9 in
+  let child = Rng.split parent in
+  (* crude independence check: correlation of floats near zero *)
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.float parent -. 0.5 and y = Rng.float child -. 0.5 in
+    sum := !sum +. (x *. y)
+  done;
+  let corr = !sum /. float_of_int n *. 12.0 in
+  Alcotest.(check bool) "uncorrelated" true (Float.abs corr < 0.05)
+
+let test_rng_float_range () =
+  let g = Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float g in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0);
+    let y = Rng.float_pos g in
+    Alcotest.(check bool) "in (0,1]" true (y > 0.0 && y <= 1.0)
+  done
+
+let test_rng_float_moments () =
+  let g = Rng.create ~seed:17 in
+  let n = 200_000 in
+  let acc = Stats.create () in
+  for _ = 1 to n do
+    Stats.add acc (Rng.float g)
+  done;
+  check_close 0.005 "mean" 0.5 (Stats.mean acc);
+  check_close 0.005 "variance" (1.0 /. 12.0) (Stats.variance acc)
+
+let test_rng_int_uniform () =
+  let g = Rng.create ~seed:23 in
+  let counts = Array.make 7 0 in
+  let n = 140_000 in
+  for _ = 1 to n do
+    let k = Rng.int g 7 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = float_of_int n /. 7.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d near uniform" i)
+        true
+        (Float.abs (float_of_int c -. expected) < 5.0 *. sqrt expected))
+    counts
+
+let test_rng_int_power_of_two () =
+  let g = Rng.create ~seed:29 in
+  for _ = 1 to 10_000 do
+    let k = Rng.int g 8 in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 8)
+  done
+
+let test_rng_int_bad_bound () =
+  Alcotest.check_raises "bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int (Rng.create ~seed:1) 0))
+
+(* ---------- Dist ---------- *)
+
+let sample_stats n f =
+  let acc = Stats.create () in
+  for _ = 1 to n do
+    Stats.add acc (f ())
+  done;
+  acc
+
+let test_exponential_moments () =
+  let g = Rng.create ~seed:101 in
+  let acc = sample_stats 200_000 (fun () -> Dist.exponential g ~rate:2.0) in
+  check_close 0.01 "mean" 0.5 (Stats.mean acc);
+  check_close 0.01 "std" 0.5 (Stats.stddev acc)
+
+let test_erlang_moments () =
+  let g = Rng.create ~seed:102 in
+  let acc = sample_stats 100_000 (fun () -> Dist.erlang g ~k:4 ~rate:4.0) in
+  check_close 0.01 "mean" 1.0 (Stats.mean acc);
+  check_close 0.01 "variance" 0.25 (Stats.variance acc)
+
+let test_poisson_moments () =
+  let g = Rng.create ~seed:103 in
+  List.iter
+    (fun mean ->
+      let acc =
+        sample_stats 60_000 (fun () -> float_of_int (Dist.poisson g ~mean))
+      in
+      check_close (0.05 *. (1.0 +. mean)) "mean" mean (Stats.mean acc);
+      check_close (0.12 *. (1.0 +. mean)) "variance" mean
+        (Stats.variance acc))
+    [ 0.5; 3.0; 50.0 ]
+
+let test_geometric () =
+  let g = Rng.create ~seed:107 in
+  Alcotest.(check int) "mean 1 is constant" 1 (Dist.geometric g ~mean:1.0);
+  let acc =
+    sample_stats 200_000 (fun () ->
+        float_of_int (Dist.geometric g ~mean:3.0))
+  in
+  check_close 0.03 "mean" 3.0 (Stats.mean acc);
+  (* variance of geometric on {1,2,...}: (1-q)/q^2 = 6 for mean 3 *)
+  check_close 0.2 "variance" 6.0 (Stats.variance acc);
+  Alcotest.check_raises "mean < 1"
+    (Invalid_argument "Dist.geometric: mean must be at least 1") (fun () ->
+      ignore (Dist.geometric g ~mean:0.5))
+
+let test_pareto () =
+  let g = Rng.create ~seed:104 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "above xmin" true
+      (Dist.pareto g ~alpha:2.5 ~xmin:1.5 >= 1.5)
+  done;
+  let acc =
+    sample_stats 200_000 (fun () -> Dist.pareto g ~alpha:3.0 ~xmin:1.0)
+  in
+  (* mean = alpha/(alpha-1) = 1.5 *)
+  check_close 0.02 "mean" 1.5 (Stats.mean acc)
+
+let test_service_means_are_one () =
+  let g = Rng.create ~seed:105 in
+  List.iter
+    (fun service ->
+      let acc =
+        sample_stats 150_000 (fun () -> Dist.service_mean_one g service)
+      in
+      check_close 0.01
+        (Format.asprintf "mean of %a" Dist.pp_service service)
+        1.0 (Stats.mean acc))
+    [
+      Dist.Exponential;
+      Dist.Deterministic;
+      Dist.Erlang_stages 7;
+      Dist.Hyperexp { p = 0.3; mean1 = 2.0; mean2 = 0.5 };
+    ]
+
+let test_service_scv_matches_samples () =
+  let g = Rng.create ~seed:106 in
+  List.iter
+    (fun service ->
+      let acc =
+        sample_stats 200_000 (fun () -> Dist.service_mean_one g service)
+      in
+      check_close 0.08
+        (Format.asprintf "scv of %a" Dist.pp_service service)
+        (Dist.service_scv service)
+        (Stats.variance acc))
+    [
+      Dist.Exponential;
+      Dist.Deterministic;
+      Dist.Erlang_stages 4;
+      Dist.Hyperexp { p = 0.5; mean1 = 1.8; mean2 = 0.2 };
+    ]
+
+(* ---------- Stats ---------- *)
+
+let test_welford_matches_direct () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  let acc = Stats.create () in
+  Array.iter (Stats.add acc) xs;
+  check_close 1e-12 "mean" 5.0 (Stats.mean acc);
+  check_close 1e-12 "variance" (32.0 /. 7.0) (Stats.variance acc);
+  Alcotest.(check int) "count" 8 (Stats.count acc)
+
+let test_welford_empty () =
+  let acc = Stats.create () in
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Stats.mean acc));
+  Stats.add acc 1.0;
+  Alcotest.(check bool) "var nan with one" true
+    (Float.is_nan (Stats.variance acc))
+
+let test_stats_merge () =
+  let xs = Array.init 100 (fun i -> sin (float_of_int i)) in
+  let all = Stats.create ()
+  and a = Stats.create ()
+  and b = Stats.create () in
+  Array.iteri
+    (fun i x ->
+      Stats.add all x;
+      if i < 37 then Stats.add a x else Stats.add b x)
+    xs;
+  let merged = Stats.merge a b in
+  check_close 1e-12 "merged mean" (Stats.mean all) (Stats.mean merged);
+  check_close 1e-12 "merged var" (Stats.variance all) (Stats.variance merged)
+
+let test_quantile () =
+  let xs = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  check_close 1e-12 "median" 3.0 (Stats.quantile xs 0.5);
+  check_close 1e-12 "min" 1.0 (Stats.quantile xs 0.0);
+  check_close 1e-12 "max" 5.0 (Stats.quantile xs 1.0);
+  check_close 1e-12 "q25" 2.0 (Stats.quantile xs 0.25)
+
+let test_summarize () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0 |] in
+  check_close 1e-12 "mean" 2.0 s.Stats.mean;
+  check_close 1e-12 "min" 1.0 s.Stats.min;
+  check_close 1e-12 "max" 3.0 s.Stats.max;
+  Alcotest.(check int) "n" 3 s.Stats.n
+
+(* ---------- Timeavg ---------- *)
+
+let test_timeavg_piecewise () =
+  let t = Timeavg.create () in
+  (* value 0 on [0,1), 3 on [1,3), 1 on [3,4] -> integral 0+6+1 = 7 over 4 *)
+  Timeavg.update t ~now:1.0 ~value:3.0;
+  Timeavg.update t ~now:3.0 ~value:1.0;
+  check_close 1e-12 "average" (7.0 /. 4.0) (Timeavg.average t ~upto:4.0)
+
+let test_timeavg_reset () =
+  let t = Timeavg.create () in
+  Timeavg.update t ~now:1.0 ~value:10.0;
+  Timeavg.reset t ~now:2.0;
+  (* after reset: value 10 on [2,4] *)
+  check_close 1e-12 "after reset" 10.0 (Timeavg.average t ~upto:4.0)
+
+let test_timeavg_shift () =
+  let t = Timeavg.create () in
+  Timeavg.shift t ~now:1.0 ~delta:2.0;
+  Timeavg.shift t ~now:2.0 ~delta:(-1.0);
+  check_close 1e-12 "current" 1.0 (Timeavg.current t);
+  (* 0 on [0,1), 2 on [1,2), 1 on [2,3) -> 3/3 *)
+  check_close 1e-12 "average" 1.0 (Timeavg.average t ~upto:3.0)
+
+let test_timeavg_backwards () =
+  let t = Timeavg.create () in
+  Timeavg.update t ~now:5.0 ~value:1.0;
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Timeavg.update: time moved backwards") (fun () ->
+      Timeavg.update t ~now:4.0 ~value:2.0)
+
+(* ---------- Histogram ---------- *)
+
+let test_histogram_binning () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Histogram.add h) [ -1.0; 0.0; 0.5; 5.5; 9.99; 10.0; 42.0 ];
+  Alcotest.(check int) "total" 7 (Histogram.total h);
+  Alcotest.(check int) "under" 1 (Histogram.underflow h);
+  Alcotest.(check int) "over" 2 (Histogram.overflow h);
+  let counts = Histogram.counts h in
+  Alcotest.(check int) "bin0" 2 counts.(0);
+  Alcotest.(check int) "bin5" 1 counts.(5);
+  Alcotest.(check int) "bin9" 1 counts.(9)
+
+let test_counts_tail () =
+  let c = Histogram.Counts.create () in
+  Histogram.Counts.add c 0;
+  Histogram.Counts.add c 1;
+  Histogram.Counts.add c 1;
+  Histogram.Counts.add c 5;
+  check_close 1e-12 "p1" 0.5 (Histogram.Counts.probability c 1);
+  check_close 1e-12 "tail0" 1.0 (Histogram.Counts.tail c 0);
+  check_close 1e-12 "tail1" 0.75 (Histogram.Counts.tail c 1);
+  check_close 1e-12 "tail2" 0.25 (Histogram.Counts.tail c 2);
+  check_close 1e-12 "tail6" 0.0 (Histogram.Counts.tail c 6);
+  Alcotest.(check int) "max idx" 5 (Histogram.Counts.max_index c)
+
+let test_counts_weighted () =
+  let c = Histogram.Counts.create () in
+  Histogram.Counts.weighted_add c 2 3.0;
+  Histogram.Counts.weighted_add c 40 1.0;
+  check_close 1e-12 "total" 4.0 (Histogram.Counts.total_weight c);
+  check_close 1e-12 "p2" 0.75 (Histogram.Counts.probability c 2);
+  check_close 1e-12 "tail39" 0.25 (Histogram.Counts.tail c 39)
+
+(* ---------- P2 quantile ---------- *)
+
+let test_p2_uniform () =
+  let g = Rng.create ~seed:201 in
+  let q50 = P2_quantile.create ~p:0.5 in
+  let q95 = P2_quantile.create ~p:0.95 in
+  for _ = 1 to 100_000 do
+    let x = Rng.float g in
+    P2_quantile.add q50 x;
+    P2_quantile.add q95 x
+  done;
+  check_close 0.01 "median of U(0,1)" 0.5 (P2_quantile.quantile q50);
+  check_close 0.01 "p95 of U(0,1)" 0.95 (P2_quantile.quantile q95);
+  Alcotest.(check int) "count" 100_000 (P2_quantile.count q50)
+
+let test_p2_exponential () =
+  let g = Rng.create ~seed:202 in
+  let q = P2_quantile.create ~p:0.99 in
+  for _ = 1 to 200_000 do
+    P2_quantile.add q (Dist.exponential g ~rate:1.0)
+  done;
+  (* p99 of Exp(1) = ln 100 ~ 4.605 *)
+  check_close 0.15 "p99 of Exp(1)" (log 100.0) (P2_quantile.quantile q)
+
+let test_p2_small_samples () =
+  let q = P2_quantile.create ~p:0.5 in
+  Alcotest.(check bool) "empty is nan" true
+    (Float.is_nan (P2_quantile.quantile q));
+  List.iter (P2_quantile.add q) [ 3.0; 1.0; 2.0 ];
+  check_close 1e-12 "median of three" 2.0 (P2_quantile.quantile q)
+
+let test_p2_rejects_bad_p () =
+  Alcotest.check_raises "p=0"
+    (Invalid_argument "P2_quantile.create: p must lie in (0, 1)") (fun () ->
+      ignore (P2_quantile.create ~p:0.0))
+
+let qcheck_p2_within_range =
+  QCheck.Test.make ~count:100 ~name:"p2 estimate lies within sample range"
+    QCheck.(pair (list_of_size Gen.(int_range 5 200) (float_range 0.0 100.0))
+              (float_range 0.05 0.95))
+    (fun (xs, p) ->
+      let q = P2_quantile.create ~p in
+      List.iter (P2_quantile.add q) xs;
+      let est = P2_quantile.quantile q in
+      let lo = List.fold_left min (List.hd xs) xs in
+      let hi = List.fold_left max (List.hd xs) xs in
+      est >= lo -. 1e-9 && est <= hi +. 1e-9)
+
+(* ---------- properties ---------- *)
+
+let qcheck_quantile_bounds =
+  QCheck.Test.make ~count:300 ~name:"quantile stays within min..max"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 40) (float_range (-100.) 100.))
+        (float_bound_inclusive 1.0))
+    (fun (xs, p) ->
+      let arr = Array.of_list xs in
+      let q = Stats.quantile arr p in
+      let lo = Array.fold_left min arr.(0) arr in
+      let hi = Array.fold_left max arr.(0) arr in
+      q >= lo -. 1e-9 && q <= hi +. 1e-9)
+
+let qcheck_welford_mean =
+  QCheck.Test.make ~count:300 ~name:"welford mean equals arithmetic mean"
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-1e3) 1e3))
+    (fun xs ->
+      let acc = Stats.create () in
+      List.iter (Stats.add acc) xs;
+      let direct =
+        List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+      in
+      Float.abs (Stats.mean acc -. direct)
+      < 1e-6 *. (1.0 +. Float.abs direct))
+
+let qcheck_split_streams_diverge =
+  QCheck.Test.make ~count:50 ~name:"split streams do not repeat the parent"
+    QCheck.int (fun seed ->
+      let parent = Rng.create ~seed in
+      let child = Rng.split parent in
+      let equal = ref 0 in
+      for _ = 1 to 32 do
+        if Rng.bits64 parent = Rng.bits64 child then incr equal
+      done;
+      !equal = 0)
+
+let () =
+  Alcotest.run "prob"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick
+            test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "split independence" `Quick
+            test_rng_split_independent;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "float moments" `Quick test_rng_float_moments;
+          Alcotest.test_case "int uniform" `Quick test_rng_int_uniform;
+          Alcotest.test_case "int power of two" `Quick
+            test_rng_int_power_of_two;
+          Alcotest.test_case "int bad bound" `Quick test_rng_int_bad_bound;
+          QCheck_alcotest.to_alcotest qcheck_split_streams_diverge;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "exponential moments" `Quick
+            test_exponential_moments;
+          Alcotest.test_case "erlang moments" `Quick test_erlang_moments;
+          Alcotest.test_case "poisson moments" `Quick test_poisson_moments;
+          Alcotest.test_case "geometric" `Quick test_geometric;
+          Alcotest.test_case "pareto" `Quick test_pareto;
+          Alcotest.test_case "service means are one" `Quick
+            test_service_means_are_one;
+          Alcotest.test_case "service scv matches samples" `Quick
+            test_service_scv_matches_samples;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "welford vs direct" `Quick
+            test_welford_matches_direct;
+          Alcotest.test_case "empty accumulator" `Quick test_welford_empty;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+          Alcotest.test_case "quantile" `Quick test_quantile;
+          Alcotest.test_case "summarize" `Quick test_summarize;
+          QCheck_alcotest.to_alcotest qcheck_quantile_bounds;
+          QCheck_alcotest.to_alcotest qcheck_welford_mean;
+        ] );
+      ( "timeavg",
+        [
+          Alcotest.test_case "piecewise" `Quick test_timeavg_piecewise;
+          Alcotest.test_case "reset" `Quick test_timeavg_reset;
+          Alcotest.test_case "shift" `Quick test_timeavg_shift;
+          Alcotest.test_case "backwards time" `Quick test_timeavg_backwards;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "binning" `Quick test_histogram_binning;
+          Alcotest.test_case "integer tails" `Quick test_counts_tail;
+          Alcotest.test_case "weighted" `Quick test_counts_weighted;
+        ] );
+      ( "p2-quantile",
+        [
+          Alcotest.test_case "uniform quantiles" `Quick test_p2_uniform;
+          Alcotest.test_case "exponential p99" `Quick test_p2_exponential;
+          Alcotest.test_case "small samples" `Quick test_p2_small_samples;
+          Alcotest.test_case "rejects bad p" `Quick test_p2_rejects_bad_p;
+          QCheck_alcotest.to_alcotest qcheck_p2_within_range;
+        ] );
+    ]

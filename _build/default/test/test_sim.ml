@@ -1,0 +1,673 @@
+(* Tests for the finite-n work-stealing simulator: the task deque, policy
+   validation, queueing-theory ground truths (M/M/1, M/D/1), Little's law,
+   determinism, and agreement with the mean-field fixed points. *)
+
+let check_close eps = Alcotest.(check (float eps))
+
+(* ---------- Fdeque ---------- *)
+
+let test_fdeque_fifo () =
+  let d = Wsim.Fdeque.create ~capacity:2 () in
+  for i = 1 to 10 do
+    Wsim.Fdeque.push_back d (float_of_int i)
+  done;
+  Alcotest.(check int) "length" 10 (Wsim.Fdeque.length d);
+  for i = 1 to 10 do
+    check_close 1e-12 "fifo" (float_of_int i) (Wsim.Fdeque.pop_front d)
+  done;
+  Alcotest.(check bool) "empty" true (Wsim.Fdeque.is_empty d)
+
+let test_fdeque_steal_from_back () =
+  let d = Wsim.Fdeque.create () in
+  List.iter (Wsim.Fdeque.push_back d) [ 1.0; 2.0; 3.0 ];
+  check_close 1e-12 "back" 3.0 (Wsim.Fdeque.pop_back d);
+  check_close 1e-12 "front" 1.0 (Wsim.Fdeque.pop_front d);
+  check_close 1e-12 "last" 2.0 (Wsim.Fdeque.pop_back d)
+
+let test_fdeque_empty_raises () =
+  let d = Wsim.Fdeque.create () in
+  Alcotest.check_raises "front" Not_found (fun () ->
+      ignore (Wsim.Fdeque.pop_front d));
+  Alcotest.check_raises "back" Not_found (fun () ->
+      ignore (Wsim.Fdeque.pop_back d))
+
+let test_fdeque_wraparound () =
+  let d = Wsim.Fdeque.create ~capacity:4 () in
+  (* push/pop around the ring boundary several times *)
+  for round = 0 to 20 do
+    Wsim.Fdeque.push_back d (float_of_int round);
+    Wsim.Fdeque.push_back d (float_of_int (round + 100));
+    check_close 1e-12 "first out" (float_of_int round)
+      (Wsim.Fdeque.pop_front d);
+    check_close 1e-12 "second out" (float_of_int (round + 100))
+      (Wsim.Fdeque.pop_front d)
+  done
+
+let qcheck_fdeque_model =
+  (* compare against a two-list functional deque *)
+  QCheck.Test.make ~count:300 ~name:"fdeque matches reference model"
+    QCheck.(list (int_range 0 3))
+    (fun ops ->
+      let d = Wsim.Fdeque.create ~capacity:1 () in
+      let reference = ref [] in
+      let counter = ref 0.0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | 0 ->
+              counter := !counter +. 1.0;
+              Wsim.Fdeque.push_back d !counter;
+              reference := !reference @ [ !counter ];
+              true
+          | 1 -> (
+              match !reference with
+              | [] -> (
+                  try
+                    ignore (Wsim.Fdeque.pop_front d);
+                    false
+                  with Not_found -> true)
+              | x :: rest ->
+                  reference := rest;
+                  Wsim.Fdeque.pop_front d = x)
+          | 2 -> (
+              match List.rev !reference with
+              | [] -> (
+                  try
+                    ignore (Wsim.Fdeque.pop_back d);
+                    false
+                  with Not_found -> true)
+              | x :: rest_rev ->
+                  reference := List.rev rest_rev;
+                  Wsim.Fdeque.pop_back d = x)
+          | _ -> Wsim.Fdeque.length d = List.length !reference)
+        ops)
+
+(* ---------- Policy ---------- *)
+
+let test_policy_validation () =
+  let bad p msg = Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+      Wsim.Policy.validate p)
+  in
+  bad
+    (Wsim.Policy.On_empty { threshold = 1; choices = 1; steal_count = 1 })
+    "Policy.On_empty: threshold must be at least 2";
+  bad
+    (Wsim.Policy.On_empty { threshold = 3; choices = 0; steal_count = 1 })
+    "Policy.On_empty: choices must be at least 1";
+  bad
+    (Wsim.Policy.On_empty { threshold = 3; choices = 1; steal_count = 3 })
+    "Policy.On_empty: steal_count must be below threshold";
+  bad
+    (Wsim.Policy.Preemptive { begin_at = 2; offset = 3 })
+    "Policy.Preemptive: need offset >= begin_at + 2";
+  bad
+    (Wsim.Policy.Repeated { retry_rate = -1.0; threshold = 2 })
+    "Policy.Repeated: retry_rate must be non-negative";
+  bad
+    (Wsim.Policy.Transfer { transfer_rate = 0.0; threshold = 2; stages = 1 })
+    "Policy.Transfer: transfer_rate must be positive";
+  Wsim.Policy.validate Wsim.Policy.simple
+
+(* ---------- Cluster: ground truths ---------- *)
+
+let run_once ?(n = 1) ?(seed = 1234) ?(horizon = 60_000.0) ?(warmup = 5_000.0)
+    ?(policy = Wsim.Policy.No_stealing) ?(service = Prob.Dist.Exponential)
+    ?(lambda = 0.8) () =
+  let rng = Prob.Rng.create ~seed in
+  let sim =
+    Wsim.Cluster.create ~rng
+      {
+        Wsim.Cluster.default with
+        n;
+        arrival_rate = lambda;
+        service;
+        policy;
+      }
+  in
+  Wsim.Cluster.run sim ~horizon ~warmup
+
+let test_mm1_sojourn () =
+  (* single queue, no stealing: E[T] = 1/(1-lambda) = 5 *)
+  let r = run_once ~lambda:0.8 () in
+  check_close 0.25 "M/M/1 E[T]" 5.0 r.Wsim.Cluster.mean_sojourn;
+  check_close 0.25 "M/M/1 E[N]" 4.0 r.Wsim.Cluster.mean_load
+
+let test_mm1_tail_geometric () =
+  (* P(N >= i) = lambda^i for M/M/1 *)
+  let r = run_once ~lambda:0.7 () in
+  List.iter
+    (fun i ->
+      check_close 0.02
+        (Printf.sprintf "s_%d" i)
+        (0.7 ** float_of_int i)
+        (r.Wsim.Cluster.tail i))
+    [ 1; 2; 3; 4 ]
+
+let test_md1_sojourn () =
+  (* M/D/1: E[T] = 1 + rho/(2(1-rho)) = 1 + 0.8/0.4 = 3 at rho = 0.8.
+     A single queue at rho = 0.8 mixes slowly, so give it a long run. *)
+  let r =
+    run_once ~lambda:0.8 ~service:Prob.Dist.Deterministic ~horizon:400_000.0
+      ~warmup:20_000.0 ()
+  in
+  check_close 0.1 "M/D/1 E[T]" 3.0 r.Wsim.Cluster.mean_sojourn
+
+let test_little_law () =
+  (* E[N] = lambda * E[T] must hold for any policy *)
+  List.iter
+    (fun policy ->
+      let r = run_once ~n:16 ~lambda:0.85 ~policy () in
+      check_close 0.1
+        (Format.asprintf "little for %a" Wsim.Policy.pp policy)
+        (0.85 *. r.Wsim.Cluster.mean_sojourn)
+        r.Wsim.Cluster.mean_load)
+    [
+      Wsim.Policy.No_stealing;
+      Wsim.Policy.simple;
+      Wsim.Policy.On_empty { threshold = 4; choices = 2; steal_count = 2 };
+      Wsim.Policy.Preemptive { begin_at = 1; offset = 3 };
+      Wsim.Policy.Repeated { retry_rate = 2.0; threshold = 2 };
+      Wsim.Policy.Transfer { transfer_rate = 0.5; threshold = 3; stages = 1 };
+      Wsim.Policy.Rebalance { rate = (fun _ -> 0.5) };
+    ]
+
+let test_determinism () =
+  let run () =
+    let r = run_once ~n:8 ~horizon:2_000.0 ~warmup:100.0
+        ~policy:Wsim.Policy.simple ()
+    in
+    ( r.Wsim.Cluster.completed,
+      r.Wsim.Cluster.mean_sojourn,
+      r.Wsim.Cluster.steal_attempts,
+      r.Wsim.Cluster.steal_successes )
+  in
+  let c1, m1, a1, s1 = run () in
+  let c2, m2, a2, s2 = run () in
+  Alcotest.(check int) "completed" c1 c2;
+  check_close 0.0 "sojourn" m1 m2;
+  Alcotest.(check int) "attempts" a1 a2;
+  Alcotest.(check int) "successes" s1 s2
+
+let test_seed_changes_result () =
+  let r1 = run_once ~seed:1 ~n:8 ~horizon:2_000.0 ~warmup:100.0 () in
+  let r2 = run_once ~seed:2 ~n:8 ~horizon:2_000.0 ~warmup:100.0 () in
+  Alcotest.(check bool) "different seeds, different samples" true
+    (r1.Wsim.Cluster.completed <> r2.Wsim.Cluster.completed
+    || r1.Wsim.Cluster.mean_sojourn <> r2.Wsim.Cluster.mean_sojourn)
+
+let test_throughput () =
+  (* completions per unit time per processor ~ lambda *)
+  let horizon = 50_000.0 and warmup = 5_000.0 in
+  let r = run_once ~n:16 ~lambda:0.6 ~policy:Wsim.Policy.simple ~horizon
+      ~warmup ()
+  in
+  let rate =
+    float_of_int r.Wsim.Cluster.completed /. (16.0 *. (horizon -. warmup))
+  in
+  check_close 0.01 "throughput" 0.6 rate
+
+let test_steal_counters_consistent () =
+  let r = run_once ~n:16 ~lambda:0.9 ~policy:Wsim.Policy.simple () in
+  Alcotest.(check bool) "attempts >= successes" true
+    (r.Wsim.Cluster.steal_attempts >= r.Wsim.Cluster.steal_successes);
+  Alcotest.(check bool) "stolen = successes for k=1" true
+    (r.Wsim.Cluster.tasks_stolen = r.Wsim.Cluster.steal_successes);
+  Alcotest.(check bool) "some steals happened" true
+    (r.Wsim.Cluster.steal_successes > 0)
+
+let test_multisteal_counters () =
+  let r =
+    run_once ~n:16 ~lambda:0.9
+      ~policy:
+        (Wsim.Policy.On_empty { threshold = 6; choices = 1; steal_count = 3 })
+      ()
+  in
+  Alcotest.(check bool) "stolen >= successes" true
+    (r.Wsim.Cluster.tasks_stolen >= r.Wsim.Cluster.steal_successes);
+  Alcotest.(check bool) "stolen <= 3x successes" true
+    (r.Wsim.Cluster.tasks_stolen <= 3 * r.Wsim.Cluster.steal_successes)
+
+let test_no_stealing_counters_zero () =
+  let r = run_once ~n:4 ~lambda:0.8 () in
+  Alcotest.(check int) "attempts" 0 r.Wsim.Cluster.steal_attempts;
+  Alcotest.(check int) "rebalances" 0 r.Wsim.Cluster.rebalances
+
+(* ---------- agreement with mean-field fixed points ---------- *)
+
+let sim_mean ~policy ~lambda ?(service = Prob.Dist.Exponential) () =
+  let summary =
+    Wsim.Runner.replicate ~seed:777
+      ~fidelity:{ Wsim.Runner.runs = 3; horizon = 30_000.0; warmup = 3_000.0 }
+      {
+        Wsim.Cluster.default with
+        n = 128;
+        arrival_rate = lambda;
+        service;
+        policy;
+      }
+  in
+  summary.Wsim.Runner.mean_sojourn
+
+let test_sim_matches_simple_model () =
+  List.iter
+    (fun lambda ->
+      let sim = sim_mean ~policy:Wsim.Policy.simple ~lambda () in
+      let model = Meanfield.Simple_ws.mean_time_exact ~lambda in
+      Alcotest.(check bool)
+        (Printf.sprintf "within 3%% at lambda=%g (sim %.3f model %.3f)"
+           lambda sim model)
+        true
+        (Float.abs (sim -. model) /. model < 0.03))
+    [ 0.5; 0.8; 0.9 ]
+
+let test_sim_matches_threshold_model () =
+  let lambda = 0.9 and threshold = 4 in
+  let sim =
+    sim_mean
+      ~policy:
+        (Wsim.Policy.On_empty { threshold; choices = 1; steal_count = 1 })
+      ~lambda ()
+  in
+  let model = Meanfield.Threshold_ws.mean_time_exact ~lambda ~threshold in
+  Alcotest.(check bool)
+    (Printf.sprintf "within 3%% (sim %.3f model %.3f)" sim model)
+    true
+    (Float.abs (sim -. model) /. model < 0.03)
+
+let test_sim_matches_erlang_model () =
+  (* deterministic service vs the c = 20 stage estimate (Table 2) *)
+  let lambda = 0.9 in
+  let sim =
+    sim_mean ~policy:Wsim.Policy.simple ~lambda
+      ~service:Prob.Dist.Deterministic ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "near stage estimate (sim %.3f)" sim)
+    true
+    (Float.abs (sim -. 2.709) /. 2.709 < 0.04)
+
+(* ---------- placement (supermarket) ---------- *)
+
+let test_placement_matches_supermarket () =
+  let lambda = 0.9 in
+  let summary =
+    Wsim.Runner.replicate ~seed:55
+      ~fidelity:{ Wsim.Runner.runs = 3; horizon = 30_000.0; warmup = 3_000.0 }
+      {
+        Wsim.Cluster.default with
+        n = 128;
+        arrival_rate = lambda;
+        policy = Wsim.Policy.No_stealing;
+        placement = 2;
+      }
+  in
+  let exact = Meanfield.Supermarket.mean_time_exact ~lambda ~choices:2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "within 3%% (sim %.3f exact %.3f)"
+       summary.Wsim.Runner.mean_sojourn exact)
+    true
+    (Float.abs (summary.Wsim.Runner.mean_sojourn -. exact) /. exact < 0.03)
+
+let test_placement_one_unchanged () =
+  (* placement = 1 must reproduce the dedicated-stream process exactly
+     (no extra RNG draws) *)
+  let run placement =
+    let rng = Prob.Rng.create ~seed:8 in
+    let sim =
+      Wsim.Cluster.create ~rng
+        { Wsim.Cluster.default with n = 8; arrival_rate = 0.7; placement }
+    in
+    (Wsim.Cluster.run sim ~horizon:2_000.0 ~warmup:200.0)
+      .Wsim.Cluster.mean_sojourn
+  in
+  check_close 0.0 "identical streams" (run 1) (run 1);
+  Alcotest.(check bool) "placement=2 changes the process" true
+    (run 1 <> run 2)
+
+let test_placement_validation () =
+  Alcotest.check_raises "placement"
+    (Invalid_argument "Cluster.create: placement must be at least 1")
+    (fun () ->
+      ignore
+        (Wsim.Cluster.create
+           ~rng:(Prob.Rng.create ~seed:0)
+           { Wsim.Cluster.default with placement = 0 }))
+
+(* ---------- steal-half and ring policies ---------- *)
+
+let test_steal_half_sim_matches_model () =
+  let lambda = 0.9 in
+  let summary =
+    Wsim.Runner.replicate ~seed:88
+      ~fidelity:{ Wsim.Runner.runs = 3; horizon = 30_000.0; warmup = 3_000.0 }
+      {
+        Wsim.Cluster.default with
+        n = 128;
+        arrival_rate = lambda;
+        policy = Wsim.Policy.Steal_half { threshold = 2; choices = 1 };
+      }
+  in
+  let model = Meanfield.Steal_half_ws.model ~lambda () in
+  let fp = Meanfield.Drive.fixed_point model in
+  let predicted = Meanfield.Model.mean_time model fp.Meanfield.Drive.state in
+  Alcotest.(check bool)
+    (Printf.sprintf "within 3%% (sim %.3f model %.3f)"
+       summary.Wsim.Runner.mean_sojourn predicted)
+    true
+    (Float.abs (summary.Wsim.Runner.mean_sojourn -. predicted) /. predicted
+    < 0.03)
+
+let test_ring_converges_to_uniform () =
+  let run policy =
+    (run_once ~n:64 ~lambda:0.9 ~policy ~horizon:30_000.0 ~warmup:3_000.0 ())
+      .Wsim.Cluster.mean_sojourn
+  in
+  let tight = run (Wsim.Policy.Ring_steal { threshold = 2; radius = 1 }) in
+  let wide = run (Wsim.Policy.Ring_steal { threshold = 2; radius = 31 }) in
+  let uniform = run Wsim.Policy.simple in
+  (* radius 31 out of 64 sees nearly everyone: close to uniform *)
+  Alcotest.(check bool)
+    (Printf.sprintf "wide ring ~ uniform (%.3f vs %.3f)" wide uniform)
+    true
+    (Float.abs (wide -. uniform) /. uniform < 0.05);
+  Alcotest.(check bool)
+    (Printf.sprintf "tight ring worse (%.3f vs %.3f)" tight uniform)
+    true (tight > uniform)
+
+let test_staged_transfer_sim_runs () =
+  let r =
+    run_once ~n:32 ~lambda:0.8
+      ~policy:
+        (Wsim.Policy.Transfer
+           { transfer_rate = 0.25; threshold = 4; stages = 4 })
+      ~horizon:20_000.0 ~warmup:2_000.0 ()
+  in
+  Alcotest.(check bool) "finite sojourn" true
+    (Float.is_finite r.Wsim.Cluster.mean_sojourn);
+  Alcotest.(check bool) "steals happened" true
+    (r.Wsim.Cluster.steal_successes > 0)
+
+(* ---------- batch arrivals ---------- *)
+
+let test_batch_matches_model () =
+  (* bursty arrivals at utilisation 0.8 vs the Batch_ws fixed point *)
+  let event_rate = 0.4 and mean_batch = 2.0 in
+  let summary =
+    Wsim.Runner.replicate ~seed:66
+      ~fidelity:{ Wsim.Runner.runs = 3; horizon = 30_000.0; warmup = 3_000.0 }
+      {
+        Wsim.Cluster.default with
+        n = 128;
+        arrival_rate = event_rate;
+        batch_mean = mean_batch;
+        policy = Wsim.Policy.simple;
+      }
+  in
+  let model = Meanfield.Batch_ws.model ~event_rate ~mean_batch () in
+  let fp = Meanfield.Drive.fixed_point model in
+  let predicted = Meanfield.Model.mean_time model fp.Meanfield.Drive.state in
+  Alcotest.(check bool)
+    (Printf.sprintf "within 3%% (sim %.3f model %.3f)"
+       summary.Wsim.Runner.mean_sojourn predicted)
+    true
+    (Float.abs (summary.Wsim.Runner.mean_sojourn -. predicted) /. predicted
+    < 0.03)
+
+let test_batch_validation () =
+  Alcotest.check_raises "batch"
+    (Invalid_argument "Cluster.create: batch_mean must be at least 1")
+    (fun () ->
+      ignore
+        (Wsim.Cluster.create
+           ~rng:(Prob.Rng.create ~seed:0)
+           { Wsim.Cluster.default with batch_mean = 0.5 }))
+
+(* ---------- sojourn quantiles ---------- *)
+
+let test_quantiles_ordered_and_sane () =
+  let r = run_once ~n:16 ~lambda:0.9 ~policy:Wsim.Policy.simple () in
+  Alcotest.(check bool) "p50 < mean" true
+    (r.Wsim.Cluster.sojourn_p50 < r.Wsim.Cluster.mean_sojourn);
+  Alcotest.(check bool) "p50 < p95 < p99" true
+    (r.Wsim.Cluster.sojourn_p50 < r.Wsim.Cluster.sojourn_p95
+    && r.Wsim.Cluster.sojourn_p95 < r.Wsim.Cluster.sojourn_p99)
+
+let test_mm1_quantiles_exact () =
+  (* M/M/1 sojourn is Exp(mu - lambda): quantiles are -ln(1-p)/(mu-lambda) *)
+  let r =
+    run_once ~lambda:0.8 ~horizon:400_000.0 ~warmup:20_000.0 ()
+  in
+  check_close 0.15 "median" (5.0 *. log 2.0) r.Wsim.Cluster.sojourn_p50;
+  check_close 0.6 "p95" (-5.0 *. log 0.05) r.Wsim.Cluster.sojourn_p95;
+  check_close 1.2 "p99" (-5.0 *. log 0.01) r.Wsim.Cluster.sojourn_p99
+
+let test_stealing_cuts_tail_latency () =
+  let p99 policy =
+    (run_once ~n:32 ~lambda:0.9 ~policy ()).Wsim.Cluster.sojourn_p99
+  in
+  Alcotest.(check bool) "stealing cuts p99" true
+    (p99 Wsim.Policy.simple < p99 Wsim.Policy.No_stealing /. 2.0)
+
+(* ---------- static runs ---------- *)
+
+let test_static_drains_and_measures () =
+  let rng = Prob.Rng.create ~seed:5 in
+  let sim =
+    Wsim.Cluster.create ~rng
+      {
+        Wsim.Cluster.default with
+        n = 32;
+        arrival_rate = 0.0;
+        initial_load = 5;
+        policy = Wsim.Policy.simple;
+      }
+  in
+  let r = Wsim.Cluster.run_static sim in
+  Alcotest.(check int) "all tasks completed" 160 r.Wsim.Cluster.completed;
+  Alcotest.(check bool) "makespan below serial bound" true
+    (r.Wsim.Cluster.makespan > 0.0 && r.Wsim.Cluster.makespan < 160.0);
+  (* total work is 160 exponential(1) tasks on 32 processors: makespan at
+     least around 5 on average; sanity lower bound of 1.0 *)
+  Alcotest.(check bool) "makespan nontrivial" true
+    (r.Wsim.Cluster.makespan > 1.0)
+
+let test_static_rejects_arrivals () =
+  let rng = Prob.Rng.create ~seed:6 in
+  let sim =
+    Wsim.Cluster.create ~rng
+      { Wsim.Cluster.default with n = 4; arrival_rate = 0.5; initial_load = 1 }
+  in
+  Alcotest.check_raises "arrivals"
+    (Invalid_argument "Cluster.run_static: external arrivals never stop")
+    (fun () -> ignore (Wsim.Cluster.run_static sim))
+
+let test_static_stealing_helps () =
+  let makespan policy =
+    let summary =
+      Wsim.Runner.replicate_static ~seed:9 ~runs:5
+        {
+          Wsim.Cluster.default with
+          n = 32;
+          arrival_rate = 0.0;
+          initial_load = 10;
+          policy;
+        }
+    in
+    Array.fold_left
+      (fun acc (r : Wsim.Cluster.result) -> acc +. r.Wsim.Cluster.makespan)
+      0.0 summary.Wsim.Runner.per_run
+    /. 5.0
+  in
+  Alcotest.(check bool) "stealing reduces makespan" true
+    (makespan Wsim.Policy.simple < makespan Wsim.Policy.No_stealing)
+
+(* ---------- spawn (internal arrivals) ---------- *)
+
+let test_spawn_increases_load () =
+  let run spawn_rate =
+    let rng = Prob.Rng.create ~seed:20 in
+    let sim =
+      Wsim.Cluster.create ~rng
+        {
+          Wsim.Cluster.default with
+          n = 8;
+          arrival_rate = 0.4;
+          spawn_rate;
+          policy = Wsim.Policy.simple;
+        }
+    in
+    (Wsim.Cluster.run sim ~horizon:20_000.0 ~warmup:2_000.0)
+      .Wsim.Cluster.mean_load
+  in
+  Alcotest.(check bool) "spawning adds load" true (run 0.3 > run 0.0 +. 0.1)
+
+(* ---------- config validation ---------- *)
+
+let test_config_validation () =
+  let make config =
+    ignore (Wsim.Cluster.create ~rng:(Prob.Rng.create ~seed:0) config)
+  in
+  Alcotest.check_raises "stealing needs 2"
+    (Invalid_argument "Cluster.create: stealing needs at least 2 processors")
+    (fun () -> make { Wsim.Cluster.default with n = 1 });
+  Alcotest.check_raises "negative arrival"
+    (Invalid_argument "Cluster.create: negative arrival rate") (fun () ->
+      make { Wsim.Cluster.default with arrival_rate = -0.1 });
+  Alcotest.check_raises "speeds length"
+    (Invalid_argument "Cluster.create: speeds array has wrong length")
+    (fun () ->
+      make { Wsim.Cluster.default with n = 4; speeds = Some [| 1.0 |] });
+  Alcotest.check_raises "bad warmup"
+    (Invalid_argument "Cluster.run: need 0 <= warmup < horizon") (fun () ->
+      let rng = Prob.Rng.create ~seed:0 in
+      let sim =
+        Wsim.Cluster.create ~rng { Wsim.Cluster.default with n = 2 }
+      in
+      ignore (Wsim.Cluster.run sim ~horizon:10.0 ~warmup:20.0))
+
+(* ---------- runner ---------- *)
+
+let test_runner_reproducible () =
+  let fidelity = { Wsim.Runner.runs = 2; horizon = 2_000.0; warmup = 200.0 } in
+  let config = { Wsim.Cluster.default with n = 8; arrival_rate = 0.7 } in
+  let a = Wsim.Runner.replicate ~seed:31 ~fidelity config in
+  let b = Wsim.Runner.replicate ~seed:31 ~fidelity config in
+  check_close 0.0 "same summary" a.Wsim.Runner.mean_sojourn
+    b.Wsim.Runner.mean_sojourn
+
+let test_runner_summary_identities () =
+  let config = { Wsim.Cluster.default with n = 8; arrival_rate = 0.7 } in
+  let summary =
+    Wsim.Runner.replicate ~seed:3
+      ~fidelity:{ Wsim.Runner.runs = 4; horizon = 3_000.0; warmup = 300.0 }
+      config
+  in
+  Alcotest.(check int) "per-run array" 4
+    (Array.length summary.Wsim.Runner.per_run);
+  (* the summary mean is exactly the mean of per-run means *)
+  let direct =
+    Array.fold_left
+      (fun acc (r : Wsim.Cluster.result) -> acc +. r.Wsim.Cluster.mean_sojourn)
+      0.0 summary.Wsim.Runner.per_run
+    /. 4.0
+  in
+  check_close 1e-9 "summary mean" direct summary.Wsim.Runner.mean_sojourn;
+  Alcotest.(check bool) "ci finite and positive" true
+    (summary.Wsim.Runner.sojourn_ci95 > 0.0
+    && Float.is_finite summary.Wsim.Runner.sojourn_ci95)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "fdeque",
+        [
+          Alcotest.test_case "fifo" `Quick test_fdeque_fifo;
+          Alcotest.test_case "steal from back" `Quick
+            test_fdeque_steal_from_back;
+          Alcotest.test_case "empty raises" `Quick test_fdeque_empty_raises;
+          Alcotest.test_case "wraparound" `Quick test_fdeque_wraparound;
+          QCheck_alcotest.to_alcotest qcheck_fdeque_model;
+        ] );
+      ( "policy",
+        [ Alcotest.test_case "validation" `Quick test_policy_validation ] );
+      ( "ground-truth",
+        [
+          Alcotest.test_case "M/M/1 sojourn" `Slow test_mm1_sojourn;
+          Alcotest.test_case "M/M/1 geometric tail" `Slow
+            test_mm1_tail_geometric;
+          Alcotest.test_case "M/D/1 sojourn" `Slow test_md1_sojourn;
+          Alcotest.test_case "Little's law" `Slow test_little_law;
+          Alcotest.test_case "throughput" `Slow test_throughput;
+        ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick
+            test_seed_changes_result;
+          Alcotest.test_case "steal counters" `Slow
+            test_steal_counters_consistent;
+          Alcotest.test_case "multi-steal counters" `Slow
+            test_multisteal_counters;
+          Alcotest.test_case "no stealing, no counters" `Quick
+            test_no_stealing_counters_zero;
+          Alcotest.test_case "spawn adds load" `Slow
+            test_spawn_increases_load;
+          Alcotest.test_case "config validation" `Quick
+            test_config_validation;
+        ] );
+      ( "model-agreement",
+        [
+          Alcotest.test_case "simple WS" `Slow test_sim_matches_simple_model;
+          Alcotest.test_case "threshold WS" `Slow
+            test_sim_matches_threshold_model;
+          Alcotest.test_case "constant service" `Slow
+            test_sim_matches_erlang_model;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "matches supermarket model" `Slow
+            test_placement_matches_supermarket;
+          Alcotest.test_case "placement=1 unchanged" `Quick
+            test_placement_one_unchanged;
+          Alcotest.test_case "validation" `Quick test_placement_validation;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "matches batch model" `Slow
+            test_batch_matches_model;
+          Alcotest.test_case "validation" `Quick test_batch_validation;
+        ] );
+      ( "steal-half-ring",
+        [
+          Alcotest.test_case "steal-half matches model" `Slow
+            test_steal_half_sim_matches_model;
+          Alcotest.test_case "ring converges to uniform" `Slow
+            test_ring_converges_to_uniform;
+          Alcotest.test_case "staged transfer runs" `Slow
+            test_staged_transfer_sim_runs;
+        ] );
+      ( "quantiles",
+        [
+          Alcotest.test_case "ordered and sane" `Slow
+            test_quantiles_ordered_and_sane;
+          Alcotest.test_case "M/M/1 exact quantiles" `Slow
+            test_mm1_quantiles_exact;
+          Alcotest.test_case "stealing cuts p99" `Slow
+            test_stealing_cuts_tail_latency;
+        ] );
+      ( "static",
+        [
+          Alcotest.test_case "drains and measures" `Quick
+            test_static_drains_and_measures;
+          Alcotest.test_case "rejects arrivals" `Quick
+            test_static_rejects_arrivals;
+          Alcotest.test_case "stealing helps" `Slow
+            test_static_stealing_helps;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "reproducible" `Quick test_runner_reproducible;
+          Alcotest.test_case "summary identities" `Slow
+            test_runner_summary_identities;
+        ] );
+    ]
