@@ -1,25 +1,100 @@
-(* Benchmark harness: regenerates every table of the paper (plus the E5-E9
-   studies implied by its analysis sections) and, with the "kernels"
-   argument, times the computational kernels behind each table with
-   Bechamel.
+(* Benchmark harness: regenerates every table of the paper (plus the E5-E14
+   studies implied by its analysis sections), times the computational
+   kernels behind each table with Bechamel, and checks the parallel
+   execution layer against the serial reference.
 
    Usage:
      main.exe                      run every experiment at default fidelity
      main.exe table1 table3 ...    run selected experiments
      main.exe --quick / --paper    fidelity presets
      main.exe --seed N             override root seed
+     main.exe --domains N          domains for simulation maps (1 = serial)
      main.exe kernels              Bechamel micro-benchmarks, one per table
+     main.exe kernels --json F     also write OLS estimates to F as JSON
+     main.exe speedup              serial vs parallel replicate, Table 4 load
 *)
 
 let usage () =
   print_endline
-    "usage: main.exe [kernels] [experiment ...] [--quick|--paper] [--seed N]";
+    "usage: main.exe [kernels] [speedup] [experiment ...]\n\
+    \       [--quick|--paper] [--seed N] [--domains N] [--json FILE]";
   print_endline "experiments:";
   List.iter
     (fun e ->
       Printf.printf "  %-10s %s\n" e.Experiments.Registry.name
         e.Experiments.Registry.paper_ref)
     Experiments.Registry.all
+
+(* ---------- option parsing ---------- *)
+
+type options = {
+  quick : bool;
+  paper : bool;
+  seed : int option;
+  domains : int option;
+  json : string option;
+  kernels : bool;
+  speedup : bool;
+  help : bool;
+  names : string list;  (* experiment names, in command-line order *)
+}
+
+let default_options =
+  {
+    quick = false;
+    paper = false;
+    seed = None;
+    domains = None;
+    json = None;
+    kernels = false;
+    speedup = false;
+    help = false;
+    names = [];
+  }
+
+let is_flag a = String.length a >= 2 && String.sub a 0 2 = "--"
+
+let flag_value flag convert check = function
+  | [] ->
+      Printf.eprintf "%s needs a value\n" flag;
+      exit 2
+  | v :: rest -> (
+      match convert v with
+      | Some x when check x -> (x, rest)
+      | _ ->
+          Printf.eprintf "invalid value %S for %s\n" v flag;
+          exit 2)
+
+let parse_options args =
+  let rec go opts = function
+    | [] -> opts
+    | "--quick" :: rest -> go { opts with quick = true } rest
+    | "--paper" :: rest -> go { opts with paper = true } rest
+    | "--seed" :: rest ->
+        let seed, rest =
+          flag_value "--seed" int_of_string_opt (fun _ -> true) rest
+        in
+        go { opts with seed = Some seed } rest
+    | "--domains" :: rest ->
+        let domains, rest =
+          flag_value "--domains" int_of_string_opt (fun d -> d >= 1) rest
+        in
+        go { opts with domains = Some domains } rest
+    | "--json" :: rest ->
+        let json, rest =
+          flag_value "--json" Option.some (fun f -> f <> "") rest
+        in
+        go { opts with json = Some json } rest
+    | ("--help" | "-h") :: rest | "help" :: rest ->
+        go { opts with help = true } rest
+    | a :: _ when is_flag a ->
+        Printf.eprintf "unknown flag %s\n" a;
+        exit 2
+    | "kernels" :: rest -> go { opts with kernels = true } rest
+    | "speedup" :: rest -> go { opts with speedup = true } rest
+    | name :: rest -> go { opts with names = opts.names @ [ name ] } rest
+  in
+  go default_options args
 
 (* ---------- Bechamel kernels ---------- *)
 
@@ -76,6 +151,29 @@ let kernel_tests () =
             in
             ignore (Wsim.Cluster.run sim ~horizon:50.0 ~warmup:0.0)))
   in
+  (* Parallel kernel: fan eight short simulation slices over the default
+     pool — dispatch overhead plus whatever speedup the domains give. *)
+  let pool_map =
+    let pool = Parallel.Pool.default () in
+    let seeds = Array.init 8 (fun i -> 0x900 + i) in
+    Test.make ~name:"parallel/pool-map"
+      (Staged.stage (fun () ->
+           ignore
+             (Parallel.Pool.map_array pool
+                (fun seed ->
+                  let rng = Prob.Rng.create ~seed in
+                  let sim =
+                    Wsim.Cluster.create ~rng
+                      {
+                        Wsim.Cluster.default with
+                        n = 16;
+                        arrival_rate = 0.9;
+                        policy = Wsim.Policy.simple;
+                      }
+                  in
+                  ignore (Wsim.Cluster.run sim ~horizon:25.0 ~warmup:0.0))
+                seeds)))
+  in
   (* Substrate kernels. *)
   let rk4 =
     let sys =
@@ -106,10 +204,41 @@ let kernel_tests () =
       (Staged.stage (fun () ->
            ignore (Prob.Dist.exponential rng ~rate:1.0)))
   in
-  [ table1; table2; table3; table4; rk4; heap; rng_test ]
+  [ table1; table2; table3; table4; pool_map; rk4; heap; rng_test ]
 
-let run_kernels () =
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Flat object: kernel name -> ns/run, plus run metadata, so per-PR
+   BENCH_*.json trajectories diff cleanly. *)
+let write_kernels_json ~file ~domains ~wall_seconds rows =
+  let oc = open_out file in
+  Printf.fprintf oc "{\n  \"domains\": %d,\n  \"wall_seconds\": %.3f"
+    domains wall_seconds;
+  List.iter
+    (fun (name, est) ->
+      if Float.is_nan est then
+        Printf.fprintf oc ",\n  \"%s\": null" (json_escape name)
+      else Printf.fprintf oc ",\n  \"%s\": %.1f" (json_escape name) est)
+    rows;
+  output_string oc "\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
+let run_kernels ~json () =
   let open Bechamel in
+  let t0 = Unix.gettimeofday () in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -127,10 +256,13 @@ let run_kernels () =
   let results = Analyze.merge ols instances results in
   (* Plain-text report: OLS estimate of ns/run for the monotonic clock. *)
   print_endline "kernel benchmarks (ns per run, OLS fit):";
-  match Hashtbl.find_opt results (Measure.label Toolkit.Instance.monotonic_clock) with
-  | None -> print_endline "  (no results)"
-  | Some by_test ->
-      let rows =
+  let rows =
+    match
+      Hashtbl.find_opt results
+        (Measure.label Toolkit.Instance.monotonic_clock)
+    with
+    | None -> []
+    | Some by_test ->
         Hashtbl.fold
           (fun name ols acc ->
             let est =
@@ -141,70 +273,130 @@ let run_kernels () =
             (name, est) :: acc)
           by_test []
         |> List.sort compare
-      in
-      List.iter
-        (fun (name, est) -> Printf.printf "  %-40s %14.1f\n" name est)
-        rows
+  in
+  if rows = [] then print_endline "  (no results)"
+  else
+    List.iter
+      (fun (name, est) -> Printf.printf "  %-40s %14.1f\n" name est)
+      rows;
+  Option.iter
+    (fun file ->
+      write_kernels_json ~file
+        ~domains:(Parallel.Pool.domains (Parallel.Pool.default ()))
+        ~wall_seconds:(Unix.gettimeofday () -. t0)
+        rows)
+    json
+
+(* ---------- speedup check ---------- *)
+
+(* Serial vs parallel replication of the Table 4 simulation workload:
+   same seed, same configs, a pool of 1 vs the default pool. The two
+   summaries must agree bit-for-bit; the wall-time ratio is the layer's
+   measured speedup on this machine. *)
+let run_speedup (scope : Experiments.Scope.t) =
+  let domains = Parallel.Pool.domains (Parallel.Pool.default ()) in
+  let fidelity =
+    (* enough replicas that every domain gets work *)
+    let f = scope.Experiments.Scope.fidelity in
+    { f with Wsim.Runner.runs = max f.Wsim.Runner.runs (2 * domains) }
+  in
+  let config =
+    {
+      Wsim.Cluster.default with
+      n = List.fold_left max 2 scope.Experiments.Scope.ns;
+      arrival_rate = 0.95;
+      policy =
+        Wsim.Policy.On_empty { threshold = 2; choices = 2; steal_count = 1 };
+    }
+  in
+  let time pool =
+    let t0 = Unix.gettimeofday () in
+    let summary =
+      Wsim.Runner.replicate ~pool ~seed:scope.Experiments.Scope.seed
+        ~fidelity config
+    in
+    (summary, Unix.gettimeofday () -. t0)
+  in
+  Printf.printf
+    "speedup check: Table 4 workload (n=%d, lambda=0.95, 2 choices), %d \
+     runs x %g s\n"
+    config.Wsim.Cluster.n fidelity.Wsim.Runner.runs
+    fidelity.Wsim.Runner.horizon;
+  let serial_pool = Parallel.Pool.create ~domains:1 in
+  let serial, t_serial = time serial_pool in
+  Parallel.Pool.shutdown serial_pool;
+  let parallel, t_parallel = time (Parallel.Pool.default ()) in
+  let identical =
+    serial.Wsim.Runner.mean_sojourn = parallel.Wsim.Runner.mean_sojourn
+    && serial.Wsim.Runner.sojourn_ci95 = parallel.Wsim.Runner.sojourn_ci95
+    && serial.Wsim.Runner.mean_load = parallel.Wsim.Runner.mean_load
+    && serial.Wsim.Runner.steal_success_rate
+       = parallel.Wsim.Runner.steal_success_rate
+  in
+  Printf.printf "  serial (1 domain):      %8.2f s   E[T] = %.6f\n" t_serial
+    serial.Wsim.Runner.mean_sojourn;
+  Printf.printf "  parallel (%d domains):   %8.2f s   E[T] = %.6f\n" domains
+    t_parallel parallel.Wsim.Runner.mean_sojourn;
+  Printf.printf "  speedup: %.2fx   summaries bit-identical: %b\n"
+    (t_serial /. t_parallel) identical;
+  if not identical then begin
+    prerr_endline "speedup check FAILED: serial and parallel summaries differ";
+    exit 1
+  end
 
 (* ---------- driver ---------- *)
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let quick = List.mem "--quick" args in
-  let paper = List.mem "--paper" args in
-  let seed =
-    let rec find = function
-      | "--seed" :: v :: _ -> Some (int_of_string v)
-      | _ :: rest -> find rest
-      | [] -> None
-    in
-    find args
-  in
-  let names =
-    List.filter
-      (fun a -> (not (String.length a >= 2 && String.sub a 0 2 = "--"))
-                && (match seed with
-                    | Some s -> a <> string_of_int s
-                    | None -> true))
-      args
-  in
-  if List.mem "help" names || List.mem "-h" args || List.mem "--help" args
-  then usage ()
+  let opts = parse_options (List.tl (Array.to_list Sys.argv)) in
+  if opts.help then usage ()
   else begin
+    let domains =
+      match opts.domains with
+      | Some d -> d
+      | None -> Domain.recommended_domain_count ()
+    in
+    Parallel.Pool.set_default_domains domains;
     let scope =
       let base =
-        if quick then Experiments.Scope.quick
-        else if paper then Experiments.Scope.paper
+        if opts.quick then Experiments.Scope.quick
+        else if opts.paper then Experiments.Scope.paper
         else Experiments.Scope.default
       in
-      match seed with
+      match opts.seed with
       | Some s -> { base with Experiments.Scope.seed = s }
       | None -> base
     in
     let ppf = Format.std_formatter in
     let t0 = Unix.gettimeofday () in
-    let names, want_kernels =
-      if List.mem "kernels" names then
-        (List.filter (fun n -> n <> "kernels") names, true)
-      else (names, false)
+    let experiments =
+      match opts.names with
+      | [] when opts.kernels || opts.speedup -> []
+      | [] -> Experiments.Registry.all
+      | names ->
+          List.map
+            (fun name ->
+              match Experiments.Registry.find name with
+              | Some e -> e
+              | None ->
+                  Format.fprintf ppf "unknown experiment %S@." name;
+                  usage ();
+                  exit 2)
+            names
     in
-    (match names with
-    | [] when want_kernels -> ()
-    | [] -> Experiments.Registry.run_all scope ppf
-    | names ->
-        List.iter
-          (fun name ->
-            match Experiments.Registry.find name with
-            | Some e ->
-                Format.fprintf ppf "=== %s — %s ===@.@."
-                  e.Experiments.Registry.name e.Experiments.Registry.paper_ref;
-                e.Experiments.Registry.print scope ppf
-            | None ->
-                Format.fprintf ppf "unknown experiment %S@." name;
-                usage ();
-                exit 2)
-          names);
-    if want_kernels then run_kernels ();
+    if experiments <> [] then
+      Format.fprintf ppf "running with %d domain%s@.@." domains
+        (if domains = 1 then "" else "s");
+    List.iter
+      (fun e ->
+        Format.fprintf ppf "=== %s — %s ===@.@." e.Experiments.Registry.name
+          e.Experiments.Registry.paper_ref;
+        let te = Unix.gettimeofday () in
+        e.Experiments.Registry.print scope ppf;
+        Format.fprintf ppf "[%s: %.1f s]@.@." e.Experiments.Registry.name
+          (Unix.gettimeofday () -. te))
+      experiments;
+    if opts.speedup then run_speedup scope;
+    if opts.kernels then run_kernels ~json:opts.json ();
     Format.fprintf ppf "total wall time: %.1f s@."
       (Unix.gettimeofday () -. t0)
   end

@@ -20,15 +20,20 @@ let lambda = 0.95
 let exact = lazy (Meanfield.Simple_ws.mean_time_exact ~lambda)
 
 let compute_depth () =
-  List.map
+  (* force outside the parallel map: concurrent Lazy.force races *)
+  let exact = Lazy.force exact in
+  Parallel.Pool.map
+    (Parallel.Pool.default ())
     (fun dim ->
       let model = Meanfield.Simple_ws.model ~lambda ~dim () in
       let fp = Meanfield.Drive.fixed_point model in
       let et = Meanfield.Model.mean_time model fp.Meanfield.Drive.state in
-      let abs_error = Float.abs (et -. Lazy.force exact) in
-      { dim; abs_error; rel_error = abs_error /. Lazy.force exact })
+      let abs_error = Float.abs (et -. exact) in
+      { dim; abs_error; rel_error = abs_error /. exact })
     [ 16; 24; 32; 48; 96; 192; 384 ]
 
+(* E11b/E11c report wall-clock ablations, so they stay serial: timing
+   rows while sharing cores would measure scheduler noise, not solvers. *)
 let wall f =
   let t0 = Sys.time () in
   let result = f () in

@@ -17,7 +17,7 @@ let compute (scope : Scope.t) =
       .Wsim.Runner.mean_sojourn
   in
   let batch_rows =
-    List.map
+    Scope.par_map scope
       (fun mean_batch ->
         Scope.progress scope "[batch] m=%g@." mean_batch;
         let event_rate = rho /. mean_batch in

@@ -34,10 +34,11 @@ let hetero_speeds n =
 
 let compute_hetero (scope : Scope.t) =
   let n = List.fold_left max 2 scope.Scope.ns in
-  List.concat_map
-    (fun lambda ->
-      List.filter_map
-        (fun (mu_fast, mu_slow) ->
+  (* rows run in parallel; infeasible (lambda, speeds) points return
+     None and are dropped afterwards, preserving the original order *)
+  List.filter_map Fun.id
+    (Scope.par_map scope
+       (fun (lambda, (mu_fast, mu_slow)) ->
           let capacity =
             (fraction_fast *. mu_fast)
             +. ((1.0 -. fraction_fast) *. mu_slow)
@@ -87,14 +88,15 @@ let compute_hetero (scope : Scope.t) =
                 stable;
               }
           end)
-        speed_pairs)
-    hetero_lambdas
+       (List.concat_map
+          (fun lambda -> List.map (fun p -> (lambda, p)) speed_pairs)
+          hetero_lambdas))
 
 let compute_static (scope : Scope.t) =
   let n = List.fold_left max 2 scope.Scope.ns in
   (* drains are short; afford many replications to tame makespan noise *)
   let runs = max 10 (3 * scope.Scope.fidelity.Wsim.Runner.runs) in
-  List.map
+  Scope.par_map scope
     (fun initial_load ->
       Scope.progress scope "[static] load=%d@." initial_load;
       let dim = max 48 (4 * initial_load) in

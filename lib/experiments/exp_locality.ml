@@ -29,7 +29,7 @@ let compute (scope : Scope.t) =
      summary.Wsim.Runner.steal_success_rate)
   in
   let ring_rows =
-    List.map
+    Scope.par_map scope
       (fun radius ->
         Scope.progress scope "[locality] radius=%d@." radius;
         let sim, sim_p99, steal_success_rate =

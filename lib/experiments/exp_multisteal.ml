@@ -20,8 +20,11 @@ let rebalance_rates = [ 0.1; 1.0 ]
 
 let compute_multisteal (scope : Scope.t) =
   let n = List.fold_left max 2 scope.Scope.ns in
-  List.concat_map
-    (fun lambda ->
+  (* one parallel task per lambda; each covers its k-sweep plus the
+     steal-half variant so the grouped output order is preserved *)
+  List.concat
+    (Scope.par_map scope
+       (fun lambda ->
       let fixed =
         List.map
           (fun steal_count ->
@@ -68,37 +71,34 @@ let compute_multisteal (scope : Scope.t) =
               };
         }
       in
-      fixed @ [ half ])
-    lambdas
+         fixed @ [ half ])
+       lambdas)
 
 let compute_rebalance (scope : Scope.t) =
   let n = List.fold_left max 2 scope.Scope.ns in
-  List.concat_map
-    (fun lambda ->
-      List.map
-        (fun rate ->
-          Scope.progress scope "[rebalance] lambda=%g r=%g@." lambda rate;
-          let model =
-            Meanfield.Rebalance_ws.model_uniform_rate ~lambda ~rate ()
-          in
-          let fp = Meanfield.Drive.fixed_point model in
-          let sim =
-            Scope.sim_mean_sojourn scope ~n
-              {
-                Wsim.Cluster.default with
-                arrival_rate = lambda;
-                policy = Wsim.Policy.Rebalance { rate = (fun _ -> rate) };
-              }
-          in
+  Scope.par_map scope
+    (fun (lambda, rate) ->
+      Scope.progress scope "[rebalance] lambda=%g r=%g@." lambda rate;
+      let model = Meanfield.Rebalance_ws.model_uniform_rate ~lambda ~rate () in
+      let fp = Meanfield.Drive.fixed_point model in
+      let sim =
+        Scope.sim_mean_sojourn scope ~n
           {
-            lambda;
-            rate;
-            ode = Meanfield.Model.mean_time model fp.Meanfield.Drive.state;
-            sim;
-            mm1 = Meanfield.Mm1.mean_time_exact ~lambda;
-          })
-        rebalance_rates)
-    lambdas
+            Wsim.Cluster.default with
+            arrival_rate = lambda;
+            policy = Wsim.Policy.Rebalance { rate = (fun _ -> rate) };
+          }
+      in
+      {
+        lambda;
+        rate;
+        ode = Meanfield.Model.mean_time model fp.Meanfield.Drive.state;
+        sim;
+        mm1 = Meanfield.Mm1.mean_time_exact ~lambda;
+      })
+    (List.concat_map
+       (fun lambda -> List.map (fun r -> (lambda, r)) rebalance_rates)
+       lambdas)
 
 let print scope ppf =
   let n = List.fold_left max 2 scope.Scope.ns in

@@ -15,43 +15,39 @@ let sim_rate_cap = 20.0 (* tick volume guard for the simulation side *)
 
 let compute (scope : Scope.t) =
   let n = List.fold_left max 2 scope.Scope.ns in
-  List.concat_map
-    (fun lambda ->
-      List.map
-        (fun retry_rate ->
-          Scope.progress scope "[repeated] lambda=%g r=%g@." lambda
-            retry_rate;
-          let model =
-            Meanfield.Repeated_steal_ws.model ~lambda ~retry_rate ~threshold
-              ()
-          in
-          let fp = Meanfield.Drive.fixed_point model in
-          let state = fp.Meanfield.Drive.state in
-          let sim =
-            if retry_rate > sim_rate_cap then nan
-            else
-              Scope.sim_mean_sojourn scope ~n
-                {
-                  Wsim.Cluster.default with
-                  arrival_rate = lambda;
-                  policy = Wsim.Policy.Repeated { retry_rate; threshold };
-                }
-          in
-          {
-            lambda;
-            retry_rate;
-            ode = Meanfield.Model.mean_time model state;
-            sim;
-            pi_threshold = state.(threshold);
-            ratio_predicted =
-              Meanfield.Repeated_steal_ws.tail_ratio_predicted ~lambda
-                ~retry_rate state;
-            ratio_fitted =
-              Meanfield.Metrics.empirical_tail_ratio ~from:(threshold + 2)
-                state;
-          })
-        rates)
-    lambdas
+  Scope.par_map scope
+    (fun (lambda, retry_rate) ->
+      Scope.progress scope "[repeated] lambda=%g r=%g@." lambda retry_rate;
+      let model =
+        Meanfield.Repeated_steal_ws.model ~lambda ~retry_rate ~threshold ()
+      in
+      let fp = Meanfield.Drive.fixed_point model in
+      let state = fp.Meanfield.Drive.state in
+      let sim =
+        if retry_rate > sim_rate_cap then nan
+        else
+          Scope.sim_mean_sojourn scope ~n
+            {
+              Wsim.Cluster.default with
+              arrival_rate = lambda;
+              policy = Wsim.Policy.Repeated { retry_rate; threshold };
+            }
+      in
+      {
+        lambda;
+        retry_rate;
+        ode = Meanfield.Model.mean_time model state;
+        sim;
+        pi_threshold = state.(threshold);
+        ratio_predicted =
+          Meanfield.Repeated_steal_ws.tail_ratio_predicted ~lambda
+            ~retry_rate state;
+        ratio_fitted =
+          Meanfield.Metrics.empirical_tail_ratio ~from:(threshold + 2) state;
+      })
+    (List.concat_map
+       (fun lambda -> List.map (fun r -> (lambda, r)) rates)
+       lambdas)
 
 let print scope ppf =
   let rows = compute scope in

@@ -48,45 +48,44 @@ let disciplines =
 
 let compute (scope : Scope.t) =
   let n = List.fold_left max 2 scope.Scope.ns in
-  List.concat_map
-    (fun lambda ->
-      List.map
-        (fun d ->
-          Scope.progress scope "[sharing] lambda=%g %s@." lambda d.name;
-          let model_et =
-            let m = d.mf ~lambda in
-            let fp = Meanfield.Drive.fixed_point m in
-            Meanfield.Model.mean_time m fp.Meanfield.Drive.state
-          in
-          let summary =
-            Wsim.Runner.replicate ~seed:scope.Scope.seed
-              ~fidelity:scope.Scope.fidelity
-              {
-                Wsim.Cluster.default with
-                n;
-                arrival_rate = lambda;
-                policy = d.policy;
-                placement = d.placement;
-              }
-          in
-          let p99 =
-            let acc = Prob.Stats.create () in
-            Array.iter
-              (fun (r : Wsim.Cluster.result) ->
-                if not (Float.is_nan r.Wsim.Cluster.sojourn_p99) then
-                  Prob.Stats.add acc r.Wsim.Cluster.sojourn_p99)
-              summary.Wsim.Runner.per_run;
-            Prob.Stats.mean acc
-          in
+  Scope.par_map scope
+    (fun (lambda, d) ->
+      Scope.progress scope "[sharing] lambda=%g %s@." lambda d.name;
+      let model_et =
+        let m = d.mf ~lambda in
+        let fp = Meanfield.Drive.fixed_point m in
+        Meanfield.Model.mean_time m fp.Meanfield.Drive.state
+      in
+      let summary =
+        Wsim.Runner.replicate ~seed:scope.Scope.seed
+          ~fidelity:scope.Scope.fidelity
           {
-            lambda;
-            discipline = d.name;
-            model = model_et;
-            sim = summary.Wsim.Runner.mean_sojourn;
-            sim_p99 = p99;
-          })
-        disciplines)
-    lambdas
+            Wsim.Cluster.default with
+            n;
+            arrival_rate = lambda;
+            policy = d.policy;
+            placement = d.placement;
+          }
+      in
+      let p99 =
+        let acc = Prob.Stats.create () in
+        Array.iter
+          (fun (r : Wsim.Cluster.result) ->
+            if not (Float.is_nan r.Wsim.Cluster.sojourn_p99) then
+              Prob.Stats.add acc r.Wsim.Cluster.sojourn_p99)
+          summary.Wsim.Runner.per_run;
+        Prob.Stats.mean acc
+      in
+      {
+        lambda;
+        discipline = d.name;
+        model = model_et;
+        sim = summary.Wsim.Runner.mean_sojourn;
+        sim_p99 = p99;
+      })
+    (List.concat_map
+       (fun lambda -> List.map (fun d -> (lambda, d)) disciplines)
+       lambdas)
 
 let print scope ppf =
   let rows = compute scope in

@@ -23,8 +23,10 @@ let starts dim =
   ]
 
 let compute ?(threshold = 2) (scope : Scope.t) =
-  List.concat_map
-    (fun lambda ->
+  (* one parallel task per lambda, covering its three starting states *)
+  List.concat
+    (Scope.par_map scope
+       (fun lambda ->
       Scope.progress scope "[stability] lambda=%g T=%d@." lambda threshold;
       let model = Meanfield.Threshold_ws.model ~lambda ~threshold () in
       let dim = model.Meanfield.Model.dim in
@@ -54,8 +56,8 @@ let compute ?(threshold = 2) (scope : Scope.t) =
             max_uptick = Meanfield.Stability.max_uptick trace;
             converge_time;
           })
-        (starts dim))
-    lambdas
+            (starts dim))
+       lambdas)
 
 let print scope ppf =
   let rows = compute scope in

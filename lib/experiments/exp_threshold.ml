@@ -23,78 +23,72 @@ let thresholds = [ 2; 3; 4; 5; 6 ]
 
 let compute_threshold (scope : Scope.t) =
   let n = List.fold_left max 2 scope.Scope.ns in
-  List.concat_map
-    (fun lambda ->
-      List.map
-        (fun threshold ->
-          Scope.progress scope "[threshold] lambda=%g T=%d@." lambda
-            threshold;
-          let model = Meanfield.Threshold_ws.model ~lambda ~threshold () in
-          let fp = Meanfield.Drive.fixed_point model in
-          let state = fp.Meanfield.Drive.state in
-          let config =
-            {
-              Wsim.Cluster.default with
-              arrival_rate = lambda;
-              policy =
-                Wsim.Policy.On_empty
-                  { threshold; choices = 1; steal_count = 1 };
-            }
-          in
-          {
-            lambda;
-            threshold;
-            exact =
-              Meanfield.Threshold_ws.mean_time_exact ~lambda ~threshold;
-            ode = Meanfield.Model.mean_time model state;
-            sim = Scope.sim_mean_sojourn scope ~n config;
-            ratio_predicted =
-              Meanfield.Threshold_ws.tail_ratio_exact ~lambda ~threshold;
-            ratio_fitted =
-              Meanfield.Metrics.empirical_tail_ratio
-                ~from:(threshold + 2) state;
-          })
-        thresholds)
-    lambdas
+  Scope.par_map scope
+    (fun (lambda, threshold) ->
+      Scope.progress scope "[threshold] lambda=%g T=%d@." lambda threshold;
+      let model = Meanfield.Threshold_ws.model ~lambda ~threshold () in
+      let fp = Meanfield.Drive.fixed_point model in
+      let state = fp.Meanfield.Drive.state in
+      let config =
+        {
+          Wsim.Cluster.default with
+          arrival_rate = lambda;
+          policy =
+            Wsim.Policy.On_empty { threshold; choices = 1; steal_count = 1 };
+        }
+      in
+      {
+        lambda;
+        threshold;
+        exact = Meanfield.Threshold_ws.mean_time_exact ~lambda ~threshold;
+        ode = Meanfield.Model.mean_time model state;
+        sim = Scope.sim_mean_sojourn scope ~n config;
+        ratio_predicted =
+          Meanfield.Threshold_ws.tail_ratio_exact ~lambda ~threshold;
+        ratio_fitted =
+          Meanfield.Metrics.empirical_tail_ratio ~from:(threshold + 2) state;
+      })
+    (List.concat_map
+       (fun lambda -> List.map (fun t -> (lambda, t)) thresholds)
+       lambdas)
 
 let preemptive_params = [ (0, 2); (1, 3); (2, 4); (0, 4); (2, 6) ]
 
 let compute_preemptive (scope : Scope.t) =
   let n = List.fold_left max 2 scope.Scope.ns in
-  List.concat_map
-    (fun lambda ->
-      List.map
-        (fun (begin_at, offset) ->
-          Scope.progress scope "[preemptive] lambda=%g B=%d T=%d@." lambda
-            begin_at offset;
-          let model =
-            Meanfield.Preemptive_ws.model ~lambda ~begin_at ~offset ()
-          in
-          let fp = Meanfield.Drive.fixed_point model in
-          let state = fp.Meanfield.Drive.state in
-          let config =
-            {
-              Wsim.Cluster.default with
-              arrival_rate = lambda;
-              policy = Wsim.Policy.Preemptive { begin_at; offset };
-            }
-          in
-          {
-            lambda;
-            begin_at;
-            offset;
-            ode = Meanfield.Model.mean_time model state;
-            sim = Scope.sim_mean_sojourn scope ~n config;
-            ratio_predicted =
-              Meanfield.Preemptive_ws.tail_ratio_predicted ~lambda state
-                ~begin_at;
-            ratio_fitted =
-              Meanfield.Metrics.empirical_tail_ratio
-                ~from:(begin_at + offset + 2)
-                state;
-          })
-        preemptive_params)
-    lambdas
+  Scope.par_map scope
+    (fun (lambda, (begin_at, offset)) ->
+      Scope.progress scope "[preemptive] lambda=%g B=%d T=%d@." lambda
+        begin_at offset;
+      let model =
+        Meanfield.Preemptive_ws.model ~lambda ~begin_at ~offset ()
+      in
+      let fp = Meanfield.Drive.fixed_point model in
+      let state = fp.Meanfield.Drive.state in
+      let config =
+        {
+          Wsim.Cluster.default with
+          arrival_rate = lambda;
+          policy = Wsim.Policy.Preemptive { begin_at; offset };
+        }
+      in
+      {
+        lambda;
+        begin_at;
+        offset;
+        ode = Meanfield.Model.mean_time model state;
+        sim = Scope.sim_mean_sojourn scope ~n config;
+        ratio_predicted =
+          Meanfield.Preemptive_ws.tail_ratio_predicted ~lambda state
+            ~begin_at;
+        ratio_fitted =
+          Meanfield.Metrics.empirical_tail_ratio
+            ~from:(begin_at + offset + 2)
+            state;
+      })
+    (List.concat_map
+       (fun lambda -> List.map (fun p -> (lambda, p)) preemptive_params)
+       lambdas)
 
 let print scope ppf =
   let rows = compute_threshold scope in

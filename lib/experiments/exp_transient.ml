@@ -16,31 +16,49 @@ let simulate (scope : Scope.t) n =
      and the transient comparison wants smooth curves *)
   let runs = max 20 (5 * scope.Scope.fidelity.Wsim.Runner.runs) in
   let samples = 1 + int_of_float (horizon /. sample_every) in
-  let acc = Array.make_matrix samples (Array.length levels) 0.0 in
   let root = Prob.Rng.create ~seed:(scope.Scope.seed + n) in
-  for _ = 1 to runs do
-    let rng = Prob.Rng.split root in
-    let sim =
-      Wsim.Cluster.create ~rng
-        {
-          Wsim.Cluster.default with
-          n;
-          arrival_rate = lambda;
-          policy = Wsim.Policy.simple;
-        }
-    in
-    let idx = ref 0 in
-    ignore
-      (Wsim.Cluster.run_observed sim ~horizon ~warmup:0.0 ~sample_every
-         ~observe:(fun _t tail ->
-           if !idx < samples then begin
-             Array.iteri
-               (fun j level ->
-                 acc.(!idx).(j) <- acc.(!idx).(j) +. tail level)
-               levels;
-             incr idx
-           end))
+  let streams = Array.make runs root in
+  for i = 0 to runs - 1 do
+    streams.(i) <- Prob.Rng.split root
   done;
+  (* one sample matrix per replication, merged in run order afterwards:
+     the same additions in the same order as a serial loop, whatever the
+     domain count *)
+  let per_run =
+    Parallel.Pool.map_array
+      (Parallel.Pool.default ())
+      (fun rng ->
+        let tails = Array.make_matrix samples (Array.length levels) 0.0 in
+        let sim =
+          Wsim.Cluster.create ~rng
+            {
+              Wsim.Cluster.default with
+              n;
+              arrival_rate = lambda;
+              policy = Wsim.Policy.simple;
+            }
+        in
+        let idx = ref 0 in
+        ignore
+          (Wsim.Cluster.run_observed sim ~horizon ~warmup:0.0 ~sample_every
+             ~observe:(fun _t tail ->
+               if !idx < samples then begin
+                 Array.iteri
+                   (fun j level -> tails.(!idx).(j) <- tail level)
+                   levels;
+                 incr idx
+               end));
+        tails)
+      streams
+  in
+  let acc = Array.make_matrix samples (Array.length levels) 0.0 in
+  Array.iter
+    (fun tails ->
+      Array.iteri
+        (fun i row ->
+          Array.iteri (fun j v -> acc.(i).(j) <- acc.(i).(j) +. v) row)
+        tails)
+    per_run;
   Array.map (Array.map (fun v -> v /. float_of_int runs)) acc
 
 let compute (scope : Scope.t) =

@@ -35,9 +35,22 @@ let note t =
     t.fidelity.Wsim.Runner.runs t.fidelity.Wsim.Runner.horizon
     t.fidelity.Wsim.Runner.warmup t.seed
 
+(* Rows report progress from pool workers; shared Format formatters are
+   not domain-safe, so render privately and emit one atomic write. *)
+let progress_lock = Mutex.create ()
+
 let progress t fmt =
-  if t.verbose then Format.eprintf fmt
+  if t.verbose then
+    Format.kasprintf
+      (fun line ->
+        Mutex.lock progress_lock;
+        output_string stderr line;
+        flush stderr;
+        Mutex.unlock progress_lock)
+      fmt
   else Format.ifprintf Format.err_formatter fmt
+
+let par_map _t f rows = Parallel.Pool.map (Parallel.Pool.default ()) f rows
 
 let sim_mean_sojourn t ~n config =
   let summary =

@@ -26,7 +26,16 @@ val note : t -> string
 (** One-line description of the fidelity, embedded under table titles. *)
 
 val progress : t -> ('a, Format.formatter, unit) format -> 'a
-(** Progress logging to stderr when [verbose]. *)
+(** Progress logging to stderr when [verbose]. Safe from pool workers
+    (rows running in parallel may interleave their progress lines). *)
+
+val par_map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Map a row computation over a parameter grid on the default
+    {!Parallel.Pool}, preserving input order. Rows must be independent:
+    each builds its own models and simulations and shares nothing
+    mutable (the invariant documented in {!Parallel.Pool}). Every
+    simulation seeds from the scope's root seed, so results match the
+    serial map bit-for-bit at any domain count. *)
 
 val sim_mean_sojourn : t -> n:int -> Wsim.Cluster.config -> float
 (** Replicated simulation of [config] (with [n] overriding the config's

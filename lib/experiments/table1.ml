@@ -8,7 +8,7 @@ type row = {
 }
 
 let compute (scope : Scope.t) =
-  List.map
+  Scope.par_map scope
     (fun lambda ->
       Scope.progress scope "[table1] lambda=%g@." lambda;
       let config =

@@ -14,7 +14,7 @@ let stage_estimate ~lambda ~stages =
   Meanfield.Model.mean_time model fp.Meanfield.Drive.state
 
 let compute (scope : Scope.t) =
-  List.map
+  Scope.par_map scope
     (fun lambda ->
       Scope.progress scope "[table2] lambda=%g@." lambda;
       let config =

@@ -27,7 +27,9 @@ let argmin_by f = function
 
 let compute (scope : Scope.t) =
   let n = List.fold_left max 2 scope.Scope.ns in
-  List.map
+  (* one parallel task per lambda row; the threshold sweep stays inside
+     the row so its entries land pre-grouped *)
+  Scope.par_map scope
     (fun lambda ->
       let per_threshold =
         List.map

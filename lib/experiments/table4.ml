@@ -10,7 +10,7 @@ type row = {
 
 let compute (scope : Scope.t) =
   let n = List.fold_left max 2 scope.Scope.ns in
-  List.map
+  Scope.par_map scope
     (fun lambda ->
       Scope.progress scope "[table4] lambda=%g@." lambda;
       let config choices =

@@ -1,0 +1,72 @@
+(** Fixed-size domain pool for embarrassingly parallel maps.
+
+    The replication protocol of {!Wsim.Runner} and the experiment grids
+    are independent simulations sharing no state; this pool spreads them
+    over OCaml 5 domains. It is deliberately small: a shared FIFO of
+    closures, [domains - 1] spawned worker domains, and a caller that
+    helps drain the queue while it waits, so nested [map]s on the same
+    pool cannot deadlock.
+
+    {b Domain-locality invariant.} Tasks submitted through {!map} and
+    {!map_array} must not share mutable state with each other: every
+    simulation replica owns its {!Wsim.Cluster.t}, its statistics
+    accumulators and its histograms, and merging (e.g.
+    {!Wsim.Runner.summarize}) happens on the calling domain after the
+    whole batch has completed. Immutable inputs (configs, policies,
+    pre-split {!Prob.Rng.t} streams — each used by exactly one task) may
+    be shared freely. Nothing in this module can enforce the invariant;
+    every call site in this repository is written to respect it.
+
+    {b Determinism.} [map] and [map_array] return results in input
+    order, whatever order tasks actually ran in, so a fold over the
+    result is bit-for-bit independent of the domain count. Callers that
+    consume randomness must split their RNG streams {e before}
+    submitting tasks (one independent stream per task); then the whole
+    computation is reproducible at any pool size. *)
+
+type t
+(** A pool of worker domains. One global {!default} pool normally
+    suffices; extra pools are mainly useful for tests and for forcing a
+    serial run ([create ~domains:1]). *)
+
+val create : domains:int -> t
+(** [create ~domains] is a pool that executes maps on [domains] domains
+    {e in total}: the calling domain plus [domains - 1] spawned workers.
+    [create ~domains:1] spawns nothing and runs every map serially in
+    the caller — the reference behaviour for determinism checks.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val domains : t -> int
+(** Total domains (including the caller) used by maps on this pool. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] computes [List.map f xs] with the elements spread
+    over the pool. Results are in input order. If any [f x] raises, the
+    first exception observed is re-raised after the batch drains. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Array analogue of {!map}; the result at index [i] is [f xs.(i)]. *)
+
+val shutdown : t -> unit
+(** Terminate the workers (after any queued tasks finish) and join
+    them. Only call when no map is in flight; further maps on the pool
+    raise [Invalid_argument]. Idempotent. *)
+
+(** {1 Default pool}
+
+    A process-wide pool in the style of a [Parallel.Scope]: created on
+    first use, sized from [Domain.recommended_domain_count ()] unless
+    overridden, shared by every caller that does not pass an explicit
+    pool, and torn down at exit. *)
+
+val default : unit -> t
+(** The shared pool, creating it on first call. Safe to call from any
+    domain (including pool workers, which is what a nested
+    [Runner.replicate] inside a parallel experiment row does). *)
+
+val set_default_domains : int -> unit
+(** Fix the size of the default pool — the bench harness's [--domains].
+    Call before parallel work starts: if the default pool already
+    exists at a different size it is shut down and recreated on next
+    use, which is only safe while it is idle.
+    @raise Invalid_argument if the argument is [< 1]. *)

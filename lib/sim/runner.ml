@@ -39,24 +39,41 @@ let summarize (results : Cluster.result array) =
     per_run = results;
   }
 
-let replicate ~seed ~(fidelity : fidelity) config =
+(* The root is split [runs] times, in replica order, on the calling
+   domain, BEFORE any task is dispatched: replica i consumes stream i
+   whether the map runs serially or on any number of domains, so the
+   summary is bit-for-bit identical to the historical serial path. *)
+let split_streams root runs =
+  let streams = Array.make runs root in
+  for i = 0 to runs - 1 do
+    streams.(i) <- Rng.split root
+  done;
+  streams
+
+let resolve_pool = function
+  | Some pool -> pool
+  | None -> Parallel.Pool.default ()
+
+let replicate ?pool ~seed ~(fidelity : fidelity) config =
   if fidelity.runs < 1 then invalid_arg "Runner.replicate: need runs >= 1";
-  let root = Rng.create ~seed in
+  let streams = split_streams (Rng.create ~seed) fidelity.runs in
   let results =
-    Array.init fidelity.runs (fun _ ->
-        let rng = Rng.split root in
+    Parallel.Pool.map_array (resolve_pool pool)
+      (fun rng ->
         let sim = Cluster.create ~rng config in
         Cluster.run sim ~horizon:fidelity.horizon ~warmup:fidelity.warmup)
+      streams
   in
   summarize results
 
-let replicate_static ~seed ~runs config =
+let replicate_static ?pool ~seed ~runs config =
   if runs < 1 then invalid_arg "Runner.replicate_static: need runs >= 1";
-  let root = Rng.create ~seed in
+  let streams = split_streams (Rng.create ~seed) runs in
   let results =
-    Array.init runs (fun _ ->
-        let rng = Rng.split root in
+    Parallel.Pool.map_array (resolve_pool pool)
+      (fun rng ->
         let sim = Cluster.create ~rng config in
         Cluster.run_static sim)
+      streams
   in
   summarize results

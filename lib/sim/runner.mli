@@ -4,7 +4,15 @@
     the first 10,000 discarded; this module reproduces that protocol with
     configurable fidelity. Each replication draws its stream from the root
     seed by splitting, so a summary is reproducible from
-    [(seed, config, fidelity)] alone. *)
+    [(seed, config, fidelity)] alone.
+
+    Replications are independent, so they run in parallel on a
+    {!Parallel.Pool}. The root generator is split into [runs] streams in
+    replica order {e before} anything is dispatched, each replica owns
+    all of its mutable state ({!Cluster.t}, statistics, histograms), and
+    {!summarize} merges the per-run results in index order after the
+    batch completes — so summaries are bit-for-bit identical at every
+    domain count, including the serial [domains = 1] pool. *)
 
 type fidelity = {
   runs : int;  (** Independent replications. *)
@@ -34,11 +42,26 @@ type summary = {
   per_run : Cluster.result array;
 }
 
-val replicate :
-  seed:int -> fidelity:fidelity -> Cluster.config -> summary
-(** Run [fidelity.runs] independent simulations of [config]. *)
+val summarize : Cluster.result array -> summary
+(** Merge per-replication results (in array order). Runs whose
+    [mean_sojourn] (resp. [mean_load]) is [nan] — e.g. a window in which
+    nothing completed — are excluded from that statistic; if every run
+    is excluded the statistic is [nan]. [sojourn_ci95] is [nan] below
+    two contributing runs, and [steal_success_rate] is [nan] when no
+    steal was ever attempted. *)
 
-val replicate_static : seed:int -> runs:int -> Cluster.config -> summary
+val replicate :
+  ?pool:Parallel.Pool.t ->
+  seed:int ->
+  fidelity:fidelity ->
+  Cluster.config ->
+  summary
+(** Run [fidelity.runs] independent simulations of [config] across
+    [pool] (default: {!Parallel.Pool.default}). The result does not
+    depend on the pool size; see the module comment. *)
+
+val replicate_static :
+  ?pool:Parallel.Pool.t -> seed:int -> runs:int -> Cluster.config -> summary
 (** Static variant: each run drains the seeded load to empty;
     [mean_sojourn] aggregates sojourns, and the per-run [makespan]s carry
     the drain times. *)

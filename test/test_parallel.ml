@@ -1,0 +1,255 @@
+(* Tests for the domain pool: ordering, exception propagation, nesting,
+   and the load-bearing guarantee that Runner.replicate is bit-for-bit
+   identical at every domain count. *)
+
+let with_pool ~domains f =
+  let pool = Parallel.Pool.create ~domains in
+  Fun.protect ~finally:(fun () -> Parallel.Pool.shutdown pool) (fun () ->
+      f pool)
+
+let pool_sizes = [ 1; 2; 3; 4 ]
+
+(* ---------- pool mechanics ---------- *)
+
+let test_map_matches_list_map () =
+  List.iter
+    (fun domains ->
+      with_pool ~domains (fun pool ->
+          let xs = List.init 25 Fun.id in
+          Alcotest.(check (list int))
+            (Printf.sprintf "%d domains" domains)
+            (List.map (fun x -> (x * x) + 1) xs)
+            (Parallel.Pool.map pool (fun x -> (x * x) + 1) xs)))
+    pool_sizes
+
+let test_map_array_ordering () =
+  with_pool ~domains:4 (fun pool ->
+      (* skewed task durations: late indices finish first unless results
+         are re-ordered correctly *)
+      let xs = Array.init 16 Fun.id in
+      let f i =
+        let spin = ref 0.0 in
+        for _ = 1 to (16 - i) * 10_000 do
+          spin := !spin +. 1.0
+        done;
+        ignore !spin;
+        2 * i
+      in
+      Alcotest.(check (array int))
+        "order preserved" (Array.map (fun i -> 2 * i) xs)
+        (Parallel.Pool.map_array pool f xs))
+
+let test_empty_and_singleton () =
+  with_pool ~domains:3 (fun pool ->
+      Alcotest.(check (list int)) "empty" []
+        (Parallel.Pool.map pool Fun.id []);
+      Alcotest.(check (list string))
+        "singleton" [ "7" ]
+        (Parallel.Pool.map pool string_of_int [ 7 ]))
+
+let test_exception_propagates () =
+  List.iter
+    (fun domains ->
+      with_pool ~domains (fun pool ->
+          Alcotest.check_raises
+            (Printf.sprintf "raises at %d domains" domains)
+            (Failure "task 3") (fun () ->
+              ignore
+                (Parallel.Pool.map pool
+                   (fun i ->
+                     if i = 3 then failwith "task 3" else string_of_int i)
+                   [ 0; 1; 2; 3 ]))))
+    [ 1; 2 ]
+
+let test_nested_maps () =
+  (* a task on the pool issuing its own map on the same pool must not
+     deadlock: exactly what a parallel experiment row running a parallel
+     Runner.replicate does *)
+  with_pool ~domains:2 (fun pool ->
+      let rows =
+        Parallel.Pool.map pool
+          (fun i ->
+            Parallel.Pool.map pool (fun j -> (10 * i) + j) [ 0; 1; 2 ])
+          [ 0; 1; 2; 3 ]
+      in
+      Alcotest.(check (list (list int)))
+        "nested results"
+        (List.map (fun i -> List.map (fun j -> (10 * i) + j) [ 0; 1; 2 ])
+           [ 0; 1; 2; 3 ])
+        rows)
+
+let test_pool_reusable () =
+  with_pool ~domains:2 (fun pool ->
+      for round = 1 to 5 do
+        let n = 4 * round in
+        Alcotest.(check int)
+          (Printf.sprintf "round %d" round)
+          (n * (n - 1) / 2)
+          (List.fold_left ( + ) 0
+             (Parallel.Pool.map pool Fun.id (List.init n Fun.id)))
+      done)
+
+let test_shutdown_rejects_further_maps () =
+  let pool = Parallel.Pool.create ~domains:2 in
+  Alcotest.(check int) "domains" 2 (Parallel.Pool.domains pool);
+  Parallel.Pool.shutdown pool;
+  Parallel.Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "rejects"
+    (Invalid_argument "Pool.map_array: pool is shut down") (fun () ->
+      ignore (Parallel.Pool.map_array pool Fun.id [| 1; 2 |]))
+
+let test_default_pool () =
+  let p = Parallel.Pool.default () in
+  Alcotest.(check bool) "at least one domain" true
+    (Parallel.Pool.domains p >= 1);
+  Alcotest.(check bool) "same pool on second call" true
+    (p == Parallel.Pool.default ());
+  Alcotest.(check (list int)) "usable" [ 2; 4; 6 ]
+    (Parallel.Pool.map p (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let qcheck_pool_map_is_map =
+  QCheck.Test.make ~count:50 ~name:"pool map = List.map at any domain count"
+    QCheck.(pair (list small_int) (int_range 1 4))
+    (fun (xs, domains) ->
+      with_pool ~domains (fun pool ->
+          Parallel.Pool.map pool (fun x -> (3 * x) - 1) xs
+          = List.map (fun x -> (3 * x) - 1) xs))
+
+(* ---------- serial = parallel for the replication protocol ---------- *)
+
+let summary_key (s : Wsim.Runner.summary) =
+  ( s.Wsim.Runner.runs,
+    s.Wsim.Runner.mean_sojourn,
+    s.Wsim.Runner.sojourn_ci95,
+    s.Wsim.Runner.mean_load,
+    s.Wsim.Runner.steal_success_rate )
+
+let per_run_key (s : Wsim.Runner.summary) =
+  Array.to_list
+    (Array.map
+       (fun (r : Wsim.Cluster.result) ->
+         ( r.Wsim.Cluster.completed,
+           r.Wsim.Cluster.mean_sojourn,
+           r.Wsim.Cluster.steal_attempts,
+           r.Wsim.Cluster.steal_successes ))
+       s.Wsim.Runner.per_run)
+
+let replicate_with ~domains ~seed ~runs config =
+  with_pool ~domains (fun pool ->
+      Wsim.Runner.replicate ~pool ~seed
+        ~fidelity:{ Wsim.Runner.runs; horizon = 1_500.0; warmup = 150.0 }
+        config)
+
+let test_replicate_domain_invariance () =
+  let config =
+    {
+      Wsim.Cluster.default with
+      n = 16;
+      arrival_rate = 0.9;
+      policy = Wsim.Policy.simple;
+    }
+  in
+  List.iter
+    (fun seed ->
+      let reference = replicate_with ~domains:1 ~seed ~runs:5 config in
+      List.iter
+        (fun domains ->
+          let parallel = replicate_with ~domains ~seed ~runs:5 config in
+          Alcotest.(check bool)
+            (Printf.sprintf "summary, seed %d, %d domains" seed domains)
+            true
+            (summary_key reference = summary_key parallel);
+          Alcotest.(check bool)
+            (Printf.sprintf "per-run, seed %d, %d domains" seed domains)
+            true
+            (per_run_key reference = per_run_key parallel))
+        [ 2; 3; 4 ])
+    [ 1; 42; 20260704 ]
+
+let test_replicate_matches_unpooled () =
+  (* the default-pool path (no explicit pool) agrees with an explicit
+     serial pool: the pre-split makes the pool size invisible *)
+  let config = { Wsim.Cluster.default with n = 8; arrival_rate = 0.7 } in
+  let fidelity = { Wsim.Runner.runs = 3; horizon = 1_500.0; warmup = 150.0 } in
+  let a = Wsim.Runner.replicate ~seed:11 ~fidelity config in
+  let b =
+    with_pool ~domains:1 (fun pool ->
+        Wsim.Runner.replicate ~pool ~seed:11 ~fidelity config)
+  in
+  Alcotest.(check bool) "identical" true (summary_key a = summary_key b)
+
+let test_replicate_static_domain_invariance () =
+  let config =
+    {
+      Wsim.Cluster.default with
+      n = 16;
+      arrival_rate = 0.0;
+      initial_load = 6;
+      policy = Wsim.Policy.simple;
+    }
+  in
+  let run ~domains =
+    with_pool ~domains (fun pool ->
+        Wsim.Runner.replicate_static ~pool ~seed:77 ~runs:6 config)
+  in
+  let reference = run ~domains:1 in
+  List.iter
+    (fun domains ->
+      let parallel = run ~domains in
+      Alcotest.(check bool)
+        (Printf.sprintf "static summary at %d domains" domains)
+        true
+        (summary_key reference = summary_key parallel
+        && per_run_key reference = per_run_key parallel))
+    [ 2; 4 ]
+
+let qcheck_replicate_serial_equals_parallel =
+  QCheck.Test.make ~count:12
+    ~name:"replicate: serial = parallel across seeds and domain counts"
+    QCheck.(triple (int_bound 10_000) (int_range 2 4) (int_range 1 4))
+    (fun (seed, runs, domains) ->
+      let config =
+        {
+          Wsim.Cluster.default with
+          n = 8;
+          arrival_rate = 0.8;
+          policy = Wsim.Policy.simple;
+        }
+      in
+      let a = replicate_with ~domains:1 ~seed ~runs config in
+      let b = replicate_with ~domains ~seed ~runs config in
+      summary_key a = summary_key b && per_run_key a = per_run_key b)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map = List.map" `Quick
+            test_map_matches_list_map;
+          Alcotest.test_case "ordering under skew" `Quick
+            test_map_array_ordering;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_empty_and_singleton;
+          Alcotest.test_case "exception propagates" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "nested maps" `Quick test_nested_maps;
+          Alcotest.test_case "reusable across batches" `Quick
+            test_pool_reusable;
+          Alcotest.test_case "shutdown" `Quick
+            test_shutdown_rejects_further_maps;
+          Alcotest.test_case "default pool" `Quick test_default_pool;
+          QCheck_alcotest.to_alcotest qcheck_pool_map_is_map;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "replicate invariant in domains" `Slow
+            test_replicate_domain_invariance;
+          Alcotest.test_case "default pool matches serial" `Quick
+            test_replicate_matches_unpooled;
+          Alcotest.test_case "replicate_static invariant" `Quick
+            test_replicate_static_domain_invariance;
+          QCheck_alcotest.to_alcotest
+            qcheck_replicate_serial_equals_parallel;
+        ] );
+    ]

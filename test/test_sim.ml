@@ -576,6 +576,89 @@ let test_runner_summary_identities () =
     (summary.Wsim.Runner.sojourn_ci95 > 0.0
     && Float.is_finite summary.Wsim.Runner.sojourn_ci95)
 
+(* ---------- summarize edge cases ---------- *)
+
+let synthetic_result ?(mean_sojourn = 1.0) ?(mean_load = 0.8)
+    ?(steal_attempts = 0) ?(steal_successes = 0) () =
+  {
+    Wsim.Cluster.duration = 100.0;
+    completed = 50;
+    mean_sojourn;
+    sojourn_ci95 = 0.1;
+    sojourn_p50 = 0.7;
+    sojourn_p95 = 2.0;
+    sojourn_p99 = 3.0;
+    mean_load;
+    tail = (fun _ -> 0.0);
+    steal_attempts;
+    steal_successes;
+    tasks_stolen = steal_successes;
+    rebalances = 0;
+    makespan = nan;
+  }
+
+let test_summarize_all_nan_sojourns () =
+  (* every run's window saw no completions: the mean must be nan, not a
+     division artefact, and the runs count must still be honest *)
+  let s =
+    Wsim.Runner.summarize
+      [|
+        synthetic_result ~mean_sojourn:nan ();
+        synthetic_result ~mean_sojourn:nan ();
+      |]
+  in
+  Alcotest.(check int) "runs" 2 s.Wsim.Runner.runs;
+  Alcotest.(check bool) "mean nan" true
+    (Float.is_nan s.Wsim.Runner.mean_sojourn);
+  Alcotest.(check bool) "ci nan" true
+    (Float.is_nan s.Wsim.Runner.sojourn_ci95);
+  (* loads were finite, so the load average survives *)
+  check_close 1e-12 "load" 0.8 s.Wsim.Runner.mean_load
+
+let test_summarize_nan_runs_excluded () =
+  (* a nan run is dropped from the sojourn statistics, not poisoning them *)
+  let s =
+    Wsim.Runner.summarize
+      [|
+        synthetic_result ~mean_sojourn:2.0 ();
+        synthetic_result ~mean_sojourn:nan ();
+        synthetic_result ~mean_sojourn:4.0 ();
+      |]
+  in
+  Alcotest.(check int) "runs" 3 s.Wsim.Runner.runs;
+  check_close 1e-12 "mean over finite runs" 3.0 s.Wsim.Runner.mean_sojourn
+
+let test_summarize_zero_steal_attempts () =
+  let s =
+    Wsim.Runner.summarize
+      [| synthetic_result (); synthetic_result () |]
+  in
+  Alcotest.(check bool) "success rate nan" true
+    (Float.is_nan s.Wsim.Runner.steal_success_rate);
+  let s' =
+    Wsim.Runner.summarize
+      [|
+        synthetic_result ~steal_attempts:4 ~steal_successes:1 ();
+        synthetic_result ~steal_attempts:4 ~steal_successes:2 ();
+      |]
+  in
+  check_close 1e-12 "pooled rate" 0.375 s'.Wsim.Runner.steal_success_rate
+
+let test_summarize_single_run_ci () =
+  (* one run gives no variance estimate: the CI half-width must be nan,
+     while the mean passes through exactly *)
+  let s = Wsim.Runner.summarize [| synthetic_result ~mean_sojourn:5.5 () |] in
+  Alcotest.(check int) "runs" 1 s.Wsim.Runner.runs;
+  check_close 1e-12 "mean" 5.5 s.Wsim.Runner.mean_sojourn;
+  Alcotest.(check bool) "single-run ci nan" true
+    (Float.is_nan s.Wsim.Runner.sojourn_ci95)
+
+let test_summarize_empty () =
+  let s = Wsim.Runner.summarize [||] in
+  Alcotest.(check int) "runs" 0 s.Wsim.Runner.runs;
+  Alcotest.(check bool) "mean nan" true
+    (Float.is_nan s.Wsim.Runner.mean_sojourn)
+
 let () =
   Alcotest.run "sim"
     [
@@ -669,5 +752,14 @@ let () =
           Alcotest.test_case "reproducible" `Quick test_runner_reproducible;
           Alcotest.test_case "summary identities" `Slow
             test_runner_summary_identities;
+          Alcotest.test_case "summarize all-nan sojourns" `Quick
+            test_summarize_all_nan_sojourns;
+          Alcotest.test_case "summarize drops nan runs" `Quick
+            test_summarize_nan_runs_excluded;
+          Alcotest.test_case "summarize zero steal attempts" `Quick
+            test_summarize_zero_steal_attempts;
+          Alcotest.test_case "summarize single-run ci" `Quick
+            test_summarize_single_run_ci;
+          Alcotest.test_case "summarize empty" `Quick test_summarize_empty;
         ] );
     ]
