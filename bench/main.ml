@@ -272,7 +272,7 @@ let run_kernels ~json () =
             in
             (name, est) :: acc)
           by_test []
-        |> List.sort compare
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   if rows = [] then print_endline "  (no results)"
   else

@@ -33,11 +33,16 @@ let compute_depth () =
     [ 16; 24; 32; 48; 96; 192; 384 ]
 
 (* E11b/E11c report wall-clock ablations, so they stay serial: timing
-   rows while sharing cores would measure scheduler noise, not solvers. *)
+   rows while sharing cores would measure scheduler noise, not solvers.
+   CLOCK_MONOTONIC, not Sys.time: process CPU time aggregates over every
+   domain, so it reads inflated as soon as the pool is warm. *)
 let wall f =
-  let t0 = Sys.time () in
+  let t0 = Monotonic_clock.now () in
   let result = f () in
-  (result, Sys.time () -. t0)
+  let elapsed =
+    Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) *. 1e-9
+  in
+  (result, elapsed)
 
 let compute_solver () =
   let model = Meanfield.Simple_ws.model ~lambda ~dim:128 () in

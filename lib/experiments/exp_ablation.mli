@@ -10,7 +10,17 @@
     - {b integrator}: wall-clock time and residual for Euler, midpoint and
       RK4 relaxation at their stability-limited steps;
     - {b acceleration}: relaxation time to tolerance with and without
-      dominant-mode extrapolation. *)
+      dominant-mode extrapolation.
+
+    {b Timing semantics.} [wall_seconds] is elapsed real time read from
+    the monotonic clock ([CLOCK_MONOTONIC] via bechamel's stubs), not
+    process CPU time: CPU time sums across every domain of the warm
+    pool, so it overstates serial solver cost on a multicore run, while
+    the monotonic clock is immune both to that and to wall-clock
+    adjustments (NTP). This module is on the linter's timing whitelist
+    (tools/lint/config.ml) — clock reads anywhere else in lib/ are a
+    lint error, because table output must depend only on inputs and
+    seeds. *)
 
 type depth_row = { dim : int; abs_error : float; rel_error : float }
 

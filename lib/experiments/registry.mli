@@ -13,5 +13,13 @@ val all : t list
 val find : string -> t option
 (** Lookup by [name] (case-insensitive). *)
 
+val models : (string * (unit -> Meanfield.Model.t)) list
+(** Every mean-field model variant the registered experiments
+    instantiate, under representative parameters. The test suite runs
+    {!Meanfield.Selfcheck} over each entry (one test case per model), so
+    adding a model here is how a new variant opts into the shared
+    runtime diagnostics. [Static_ws] is excluded: a finite drain has no
+    steady state for the fixed-point check. *)
+
 val run_all : Scope.t -> Format.formatter -> unit
 (** Print every experiment in order. *)

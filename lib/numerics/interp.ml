@@ -36,7 +36,7 @@ let pchip_slopes xs ys =
   done;
   (* limit endpoint slopes to preserve shape *)
   let clamp_end i adj =
-    if delta.(adj) = 0.0 then d.(i) <- 0.0
+    if Float.equal delta.(adj) 0.0 then d.(i) <- 0.0
     else if d.(i) *. delta.(adj) < 0.0 then d.(i) <- 0.0
     else if Float.abs d.(i) > 3.0 *. Float.abs delta.(adj) then
       d.(i) <- 3.0 *. delta.(adj)

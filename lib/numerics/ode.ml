@@ -204,7 +204,7 @@ let dopri5 ?(rtol = 1e-8) ?(atol = 1e-12) ?dt0 ?(max_steps = 10_000_000) sys
         incr accepted
       end;
       let factor =
-        if !err = 0.0 then 5.0
+        if Float.equal !err 0.0 then 5.0
         else Float.min 5.0 (Float.max 0.2 (0.9 *. (!err ** -0.2)))
       in
       dt := h *. factor

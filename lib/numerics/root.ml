@@ -2,8 +2,8 @@ exception No_bracket
 
 let bisect ?(tol = 1e-13) ?(max_iter = 200) f ~a ~b =
   let fa = f a and fb = f b in
-  if fa = 0.0 then a
-  else if fb = 0.0 then b
+  if Float.equal fa 0.0 then a
+  else if Float.equal fb 0.0 then b
   else if fa *. fb > 0.0 then raise No_bracket
   else begin
     let lo = ref a and hi = ref b and flo = ref fa in
@@ -12,7 +12,7 @@ let bisect ?(tol = 1e-13) ?(max_iter = 200) f ~a ~b =
        for _ = 1 to max_iter do
          let mid = 0.5 *. (!lo +. !hi) in
          let fmid = f mid in
-         if fmid = 0.0 || !hi -. !lo < tol then begin
+         if Float.equal fmid 0.0 || !hi -. !lo < tol then begin
            result := mid;
            raise Exit
          end;
@@ -30,8 +30,8 @@ let bisect ?(tol = 1e-13) ?(max_iter = 200) f ~a ~b =
 (* Brent's method, following the classical Brent (1973) formulation. *)
 let brent ?(tol = 1e-13) ?(max_iter = 200) f ~a ~b =
   let fa = f a and fb = f b in
-  if fa = 0.0 then a
-  else if fb = 0.0 then b
+  if Float.equal fa 0.0 then a
+  else if Float.equal fb 0.0 then b
   else if fa *. fb > 0.0 then raise No_bracket
   else begin
     let a = ref a and b = ref b and fa = ref fa and fb = ref fb in
@@ -99,7 +99,7 @@ let newton ?(tol = 1e-13) ?(max_iter = 100) ~f ~df x0 =
     if Float.abs fx <= tol then x
     else begin
       let d = df x in
-      if d = 0.0 then failwith "Root.newton: zero derivative";
+      if Float.equal d 0.0 then failwith "Root.newton: zero derivative";
       let x' = x -. (fx /. d) in
       if not (Float.is_finite x') then failwith "Root.newton: diverged";
       if Float.abs (x' -. x) <= tol *. Float.max 1.0 (Float.abs x') then x'
@@ -117,7 +117,7 @@ let solve_quadratic_smaller ~b ~c =
      of b avoids cancellation in the smaller root. *)
   if b >= 0.0 then
     let q = -.(b +. sq) /. 2.0 in
-    if q = 0.0 then 0.0 else Float.min q (c /. q)
+    if Float.equal q 0.0 then 0.0 else Float.min q (c /. q)
   else
     let q = (-.b +. sq) /. 2.0 in
-    if q = 0.0 then 0.0 else Float.min q (c /. q)
+    if Float.equal q 0.0 then 0.0 else Float.min q (c /. q)

@@ -13,7 +13,7 @@ let erlang g ~k ~rate =
 
 let rec poisson g ~mean =
   if mean < 0.0 then invalid_arg "Dist.poisson: mean must be non-negative";
-  if mean = 0.0 then 0
+  if Float.equal mean 0.0 then 0
   else if mean > 30.0 then
     (* Poisson(a+b) = Poisson(a) + Poisson(b): split recursively so the
        multiplication method's exp(-mean) never underflows. *)
@@ -32,7 +32,7 @@ let uniform_range g ~lo ~hi = lo +. ((hi -. lo) *. Rng.float g)
 
 let geometric g ~mean =
   if mean < 1.0 then invalid_arg "Dist.geometric: mean must be at least 1";
-  if mean = 1.0 then 1
+  if Float.equal mean 1.0 then 1
   else begin
     (* P(K > j) = (1-q)^j with q = 1/mean *)
     let log_fail = log (1.0 -. (1.0 /. mean)) in

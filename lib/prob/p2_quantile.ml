@@ -46,7 +46,7 @@ let add t x =
   t.count <- t.count + 1;
   if t.count <= 5 then begin
     t.heights.(t.count - 1) <- x;
-    if t.count = 5 then Array.sort compare t.heights
+    if t.count = 5 then Array.sort Float.compare t.heights
   end
   else begin
     let q = t.heights and n = t.positions in
@@ -95,7 +95,7 @@ let quantile t =
   else if t.count < 5 then begin
     (* with fewer than five samples, sort what we have *)
     let sorted = Array.sub t.heights 0 t.count in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     let pos = t.p *. float_of_int (t.count - 1) in
     sorted.(int_of_float (Float.round pos))
   end

@@ -61,7 +61,7 @@ let quantile xs p =
   if Array.length xs = 0 then invalid_arg "Stats.quantile: empty array";
   if p < 0.0 || p > 1.0 then invalid_arg "Stats.quantile: p outside [0,1]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let pos = p *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor pos) in

@@ -548,7 +548,7 @@ let run t ~horizon ~warmup =
   if warmup < 0.0 || warmup >= horizon then
     invalid_arg "Cluster.run: need 0 <= warmup < horizon";
   t.warmup <- warmup;
-  t.transit_window_open <- warmup = 0.0;
+  t.transit_window_open <- Float.equal warmup 0.0;
   Desim.Engine.run ~until:horizon t.engine ~handler:(fun time ev ->
       handle t time ev);
   flush_occupancy t;
@@ -568,7 +568,7 @@ let run_observed t ~horizon ~warmup ~sample_every ~observe =
   if sample_every <= 0.0 then
     invalid_arg "Cluster.run_observed: sample_every must be positive";
   t.warmup <- warmup;
-  t.transit_window_open <- warmup = 0.0;
+  t.transit_window_open <- Float.equal warmup 0.0;
   observe 0.0 (instantaneous_tail t);
   let next = ref sample_every in
   while !next <= horizon +. 1e-9 do

@@ -111,7 +111,8 @@ let qcheck_heap_preserves_multiset =
         | None -> acc
       in
       let popped = drain [] in
-      List.sort compare popped = List.sort compare times)
+      List.equal Float.equal (List.sort Float.compare popped)
+        (List.sort Float.compare times))
 
 (* ---------- Engine ---------- *)
 

@@ -160,6 +160,36 @@ let test_table3_thresholds () =
     Experiments.Table3.thresholds;
   check_close 1e-9 "rate" 0.25 Experiments.Table3.transfer_rate
 
+(* ---------- registry model selfchecks ----------
+
+   One case per entry of Registry.models: every model variant the
+   experiments instantiate must pass the shared runtime diagnostics
+   (fixed point converges, invariants hold along a trajectory, fitted
+   tail ratio matches the model's prediction when it has one). *)
+
+let selfcheck_cases =
+  List.map
+    (fun (name, make) ->
+      Alcotest.test_case name `Quick (fun () ->
+          let report = Meanfield.Selfcheck.run (make ()) in
+          if not (Meanfield.Selfcheck.passed report) then
+            Alcotest.failf "%s failed selfcheck:@.%a" name
+              Meanfield.Selfcheck.pp report))
+    Experiments.Registry.models
+
+let test_models_cover_experiment_variants () =
+  (* guard against silently dropping a variant from the model registry:
+     the curated names every current experiment depends on must stay *)
+  let names = List.map fst Experiments.Registry.models in
+  List.iter
+    (fun required ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s registered" required)
+        true (List.mem required names))
+    [ "mm1"; "simple"; "erlang"; "threshold"; "preemptive"; "repeated";
+      "multisteal"; "multi-choice"; "combined"; "rebalance"; "steal-half";
+      "transfer"; "hetero"; "hyperexp"; "batch"; "supermarket" ]
+
 let () =
   Alcotest.run "experiments"
     [
@@ -188,6 +218,10 @@ let () =
           Alcotest.test_case "presets" `Quick test_scope_presets;
           Alcotest.test_case "note" `Quick test_scope_note_mentions_seed;
         ] );
+      ( "model-selfcheck",
+        Alcotest.test_case "covers all variants" `Quick
+          test_models_cover_experiment_variants
+        :: selfcheck_cases );
       ( "computations",
         [
           Alcotest.test_case "table1 rows" `Slow test_table1_compute_rows;

@@ -1,0 +1,201 @@
+(* Tests for the loadsteal-lint static analysis pass (tools/lint):
+   one positive and one negative fixture per rule R1-R4, the inline
+   suppression comment, the config whitelists, and a --json round trip.
+   Fixtures are linted from strings; the [path] given to the engine
+   decides which scopes and whitelists apply. *)
+
+open Lint
+
+let rules diags = List.map (fun d -> d.Diag.rule) diags
+
+let lint ?(path = "lib/core/fixture.ml") contents =
+  Engine.lint_source ~path ~contents
+
+let check_rules msg expected ?path contents =
+  Alcotest.(check (list string)) msg expected (rules (lint ?path contents))
+
+(* ---------- R1: determinism ---------- *)
+
+let test_determinism_flags_random () =
+  let diags = lint "let draw () =\n  Random.int 6\n" in
+  Alcotest.(check (list string)) "rule" [ "determinism" ] (rules diags);
+  let d = List.hd diags in
+  Alcotest.(check int) "line" 2 d.Diag.line;
+  Alcotest.(check int) "col" 2 d.Diag.col;
+  check_rules "self_init too" [ "determinism" ] "let () = Random.self_init ()\n"
+
+let test_determinism_flags_clock () =
+  check_rules "Sys.time" [ "determinism" ] "let t () = Sys.time ()\n";
+  check_rules "gettimeofday" [ "determinism" ]
+    "let t () = Unix.gettimeofday ()\n"
+
+let test_determinism_respects_whitelist () =
+  (* the same clock read is fine in bench/ and in the ablation module *)
+  check_rules "bench may time" [] ~path:"bench/main.ml"
+    "let t () = Unix.gettimeofday ()\n";
+  check_rules "ablation may time" [] ~path:"lib/experiments/exp_ablation.ml"
+    "let t () = Monotonic_clock.now ()\n"
+
+let test_determinism_negative () =
+  check_rules "Prob.Rng is the sanctioned path" []
+    "let draw rng = Prob.Rng.float rng\n"
+
+(* ---------- R2: float discipline ---------- *)
+
+let test_float_eq_flags_literal () =
+  let diags = lint "let f x =\n  if x = 0.0 then 1 else 2\n" in
+  Alcotest.(check (list string)) "rule" [ "float-eq" ] (rules diags);
+  Alcotest.(check int) "line" 2 (List.hd diags).Diag.line
+
+let test_float_eq_flags_annotation_and_compare () =
+  check_rules "annotated operand" [ "float-eq" ]
+    "let f (x : float) y = (x : float) = y\n";
+  check_rules "compare on float literal" [ "float-eq" ]
+    "let c x = compare x 1.5\n";
+  check_rules "bare compare as ordering" [ "float-eq" ]
+    "let sort xs = Array.sort compare xs\n";
+  check_rules "physical equality on floats" [ "float-eq" ]
+    "let g x = x == 3.14\n"
+
+let test_float_eq_negative () =
+  check_rules "int equality untouched" [] "let f x = x = 3\n";
+  check_rules "Float.equal is the fix" []
+    "let f x = Float.equal x 0.0 && Float.compare x 1.0 < 0\n";
+  check_rules "float ordering comparisons allowed" []
+    "let f x = x < 0.5 || x >= 1.0\n"
+
+(* ---------- R3: domain safety ---------- *)
+
+let test_domain_safety_flags_toplevel_state () =
+  check_rules "top-level ref" [ "domain-safety" ] "let counter = ref 0\n";
+  check_rules "top-level Hashtbl" [ "domain-safety" ]
+    "let cache = Hashtbl.create 16\n";
+  check_rules "mutable field" [ "domain-safety" ]
+    "type t = { mutable hits : int }\n"
+
+let test_domain_safety_flags_printf_in_pool_lambda () =
+  check_rules "printf under Pool.map" [ "domain-safety" ]
+    "let go pool xs =\n\
+    \  Parallel.Pool.map pool (fun x -> Format.printf \"%d\" x; x) xs\n";
+  check_rules "print_endline under par_map" [ "domain-safety" ]
+    "let go scope xs =\n\
+    \  Scope.par_map scope (fun x -> print_endline \"row\"; x) xs\n"
+
+let test_domain_safety_negative () =
+  (* per-call state, out-of-scope paths, and printing outside the pool *)
+  check_rules "local ref is per-call" [] "let f () = let acc = ref 0 in !acc\n";
+  check_rules "atomics are sanctioned" [] "let hits = Atomic.make 0\n";
+  check_rules "out of parallel scope" [] ~path:"bin/tool.ml"
+    "let counter = ref 0\n";
+  check_rules "printing on the calling domain" []
+    "let go xs = List.iter (fun x -> Format.printf \"%d\" x) xs\n"
+
+let test_domain_safety_whitelisted_file () =
+  check_rules "cluster.ml is whitelisted per-replica state" []
+    ~path:"lib/sim/cluster.ml" "type t = { mutable busy : bool }\n"
+
+(* ---------- R4: interface hygiene ---------- *)
+
+let test_missing_mli_positive () =
+  let diags =
+    Rules.missing_mli
+      ~files:[ "lib/core/model.ml"; "lib/core/model.mli"; "lib/core/new.ml" ]
+  in
+  Alcotest.(check (list string)) "rule" [ "missing-mli" ] (rules diags);
+  Alcotest.(check string) "file" "lib/core/new.ml" (List.hd diags).Diag.file
+
+let test_missing_mli_negative () =
+  Alcotest.(check (list string))
+    "paired modules and non-lib code are fine" []
+    (rules
+       (Rules.missing_mli
+          ~files:
+            [ "lib/core/model.ml"; "lib/core/model.mli"; "bin/tool.ml";
+              "test/test_x.ml" ]))
+
+(* ---------- suppression ---------- *)
+
+let test_suppression_comment () =
+  check_rules "matching rule suppresses" []
+    "let f x = x = 0.0 (* lint: allow float-eq *)\n";
+  check_rules "wrong rule name does not" [ "float-eq" ]
+    "let f x = x = 0.0 (* lint: allow determinism *)\n";
+  check_rules "other lines unaffected" [ "float-eq" ]
+    "(* lint: allow float-eq *)\nlet f x = x = 0.0\n"
+
+(* ---------- --json round trip ---------- *)
+
+let test_json_round_trip () =
+  let diags =
+    lint "let f x =\n  Random.bits () + (if x = 0.5 then 1 else 0)\n"
+  in
+  Alcotest.(check int) "two findings" 2 (List.length diags);
+  let round = Diag.list_of_json (Diag.list_to_json diags) in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "rule" a.Diag.rule b.Diag.rule;
+      Alcotest.(check string) "file" a.Diag.file b.Diag.file;
+      Alcotest.(check int) "line" a.Diag.line b.Diag.line;
+      Alcotest.(check int) "col" a.Diag.col b.Diag.col;
+      Alcotest.(check string) "message" a.Diag.message b.Diag.message)
+    diags round;
+  (* escapes survive: a message with quotes, backslashes and newlines *)
+  let tricky =
+    [ Diag.v ~rule:"float-eq" ~file:{|lib/"odd".ml|} ~line:3 ~col:7
+        "say \"no\" to\n\tpoly\\compare" ]
+  in
+  let round = Diag.list_of_json (Diag.list_to_json tricky) in
+  Alcotest.(check string)
+    "tricky message" (List.hd tricky).Diag.message (List.hd round).Diag.message;
+  Alcotest.(check string)
+    "tricky file" (List.hd tricky).Diag.file (List.hd round).Diag.file
+
+let test_parse_error_reported () =
+  Alcotest.(check (list string))
+    "unparsable fixture" [ "parse-error" ]
+    (rules (lint "let let let\n"))
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "flags Random" `Quick test_determinism_flags_random;
+          Alcotest.test_case "flags clocks" `Quick test_determinism_flags_clock;
+          Alcotest.test_case "timing whitelist" `Quick
+            test_determinism_respects_whitelist;
+          Alcotest.test_case "clean source" `Quick test_determinism_negative;
+        ] );
+      ( "float-eq",
+        [
+          Alcotest.test_case "flags literal =" `Quick test_float_eq_flags_literal;
+          Alcotest.test_case "flags annotation/compare" `Quick
+            test_float_eq_flags_annotation_and_compare;
+          Alcotest.test_case "clean source" `Quick test_float_eq_negative;
+        ] );
+      ( "domain-safety",
+        [
+          Alcotest.test_case "flags top-level state" `Quick
+            test_domain_safety_flags_toplevel_state;
+          Alcotest.test_case "flags printf in pool lambda" `Quick
+            test_domain_safety_flags_printf_in_pool_lambda;
+          Alcotest.test_case "clean source" `Quick test_domain_safety_negative;
+          Alcotest.test_case "file whitelist" `Quick
+            test_domain_safety_whitelisted_file;
+        ] );
+      ( "missing-mli",
+        [
+          Alcotest.test_case "unpaired lib module" `Quick
+            test_missing_mli_positive;
+          Alcotest.test_case "paired or out of scope" `Quick
+            test_missing_mli_negative;
+        ] );
+      ( "suppression",
+        [ Alcotest.test_case "inline comment" `Quick test_suppression_comment ]
+      );
+      ( "report",
+        [
+          Alcotest.test_case "json round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "parse error" `Quick test_parse_error_reported;
+        ] );
+    ]

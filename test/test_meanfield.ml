@@ -845,7 +845,7 @@ let test_trajectory_endpoints () =
     Drive.trajectory ~start:`Empty ~horizon:10.0 ~sample_every:2.5 model
   in
   let times = List.map fst samples in
-  Alcotest.(check bool) "starts at 0" true (List.hd times = 0.0);
+  Alcotest.(check bool) "starts at 0" true (Float.equal (List.hd times) 0.0);
   Alcotest.(check bool) "ends at horizon" true
     (Float.abs (List.nth times (List.length times - 1) -. 10.0) < 1e-6)
 

@@ -1,0 +1,55 @@
+(* Repo-specific policy for loadsteal_lint: which directories are
+   scanned, which files may read clocks, which libraries run inside the
+   domain pool, and whole-file exemptions with their justifications.
+
+   Paths are relative to the repository root, with '/' separators; an
+   entry ending in '/' matches everything under that directory. *)
+
+let scan_dirs = [ "lib"; "bin"; "bench"; "test" ]
+
+(* Rule identifiers, as written in diagnostics and in suppression
+   comments: [(* lint: allow <rule> *)] on the offending line. *)
+let rule_determinism = "determinism"
+let rule_float_eq = "float-eq"
+let rule_domain_safety = "domain-safety"
+let rule_missing_mli = "missing-mli"
+let rule_parse_error = "parse-error"
+
+let all_rules =
+  [ rule_determinism; rule_float_eq; rule_domain_safety; rule_missing_mli ]
+
+(* R1: clock reads allowed here — benchmarks and the wall-clock ablation
+   exist to measure time; everything else must stay clock-free so tables
+   depend only on inputs and seeds. *)
+let timing_whitelist = [ "bench/"; "lib/experiments/exp_ablation.ml" ]
+
+(* R3 scope: libraries whose code runs inside Parallel.Pool workers.
+   Top-level mutable state here is shared across domains. *)
+let parallel_libs = [ "lib/core/"; "lib/sim/"; "lib/experiments/" ]
+
+(* R4 scope: every .ml under these roots needs a sibling .mli. *)
+let mli_required = [ "lib/" ]
+
+(* (rule, path prefix, justification) whole-file exemptions. Prefer the
+   inline suppression comment for single lines; list a file here only
+   when the rule is structurally inapplicable to it. *)
+let file_whitelist =
+  [
+    ( rule_domain_safety,
+      "lib/sim/cluster.ml",
+      "per-replica simulator state: each Cluster.t is built, mutated and \
+       read by exactly one pool task" );
+    ( rule_domain_safety,
+      "lib/sim/fdeque.ml",
+      "per-processor deque owned by a single Cluster.t replica" );
+  ]
+
+let matches path prefix = String.starts_with ~prefix path
+let timing_allowed path = List.exists (matches path) timing_whitelist
+let in_parallel_scope path = List.exists (matches path) parallel_libs
+let mli_required_for path = List.exists (matches path) mli_required
+
+let whitelisted ~rule path =
+  List.exists
+    (fun (r, prefix, _) -> String.equal r rule && matches path prefix)
+    file_whitelist

@@ -1,0 +1,59 @@
+(* A lint violation: where, which rule, and what to do instead. *)
+
+type t = {
+  rule : string;
+  file : string;
+  line : int;  (* 1-based *)
+  col : int;  (* 0-based, as compilers print them *)
+  message : string;
+}
+
+let v ~rule ~file ~line ~col message = { rule; file; line; col; message }
+
+let of_location ~rule ~file (loc : Location.t) message =
+  {
+    rule;
+    file;
+    line = loc.loc_start.pos_lnum;
+    col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+    message;
+  }
+
+let compare_pos a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
+
+let to_json d =
+  Json.Obj
+    [
+      ("rule", Json.String d.rule);
+      ("file", Json.String d.file);
+      ("line", Json.Int d.line);
+      ("col", Json.Int d.col);
+      ("message", Json.String d.message);
+    ]
+
+let of_json j =
+  {
+    rule = Json.to_string_exn (Json.member "rule" j);
+    file = Json.to_string_exn (Json.member "file" j);
+    line = Json.to_int_exn (Json.member "line" j);
+    col = Json.to_int_exn (Json.member "col" j);
+    message = Json.to_string_exn (Json.member "message" j);
+  }
+
+let list_to_json ds = Json.to_string (Json.List (List.map to_json ds))
+
+let list_of_json s =
+  match Json.of_string s with
+  | Json.List items -> List.map of_json items
+  | _ -> raise (Json.Parse_error "expected a JSON array of diagnostics")

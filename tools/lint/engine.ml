@@ -1,0 +1,97 @@
+(* Drives the rules over sources: parse with compiler-libs, collect
+   diagnostics, drop the ones covered by an inline suppression comment
+   or a config whitelist entry. Works from in-memory strings so the test
+   suite can lint fixtures without touching the file system. *)
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1))
+  in
+  nn = 0 || go 0
+
+(* [(* lint: allow <rule> *)] anywhere on the diagnostic's line. *)
+let suppressed ~lines (d : Diag.t) =
+  d.Diag.line >= 1
+  && d.Diag.line <= Array.length lines
+  && contains_sub lines.(d.Diag.line - 1) ("lint: allow " ^ d.Diag.rule)
+
+let split_lines contents = Array.of_list (String.split_on_char '\n' contents)
+
+let parse_error ~file exn =
+  let message =
+    match exn with
+    | Syntaxerr.Error _ -> "syntax error (the file does not compile)"
+    | Lexer.Error _ -> "lexical error (the file does not compile)"
+    | exn -> Printexc.to_string exn
+  in
+  Diag.v ~rule:Config.rule_parse_error ~file ~line:1 ~col:0 message
+
+(* Lint one compilation unit given as a string. [path] is the
+   repo-root-relative name used for whitelists and reporting. *)
+let lint_source ~path ~contents =
+  let raw =
+    if Filename.check_suffix path ".mli" then
+      (* interfaces hold no expressions; parse to catch syntax errors *)
+      let lexbuf = Lexing.from_string contents in
+      Lexing.set_filename lexbuf path;
+      match Parse.interface lexbuf with
+      | (_ : Parsetree.signature) -> []
+      | exception exn -> [ parse_error ~file:path exn ]
+    else
+      let lexbuf = Lexing.from_string contents in
+      Lexing.set_filename lexbuf path;
+      match Parse.implementation lexbuf with
+      | structure -> Rules.check_structure ~file:path structure
+      | exception exn -> [ parse_error ~file:path exn ]
+  in
+  let lines = split_lines contents in
+  List.filter
+    (fun d ->
+      (not (suppressed ~lines d))
+      && not (Config.whitelisted ~rule:d.Diag.rule path))
+    raw
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file path = lint_source ~path ~contents:(read_file path)
+
+(* ---------- discovery ---------- *)
+
+let is_source f =
+  Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if String.length entry > 0 && entry.[0] = '.' then acc
+           else walk acc (Filename.concat path entry))
+         acc
+  else if is_source path then path :: acc
+  else acc
+
+(* Source files under [dirs] (repo-root-relative), sorted. Directories
+   that do not exist are skipped so partial checkouts still lint. *)
+let discover dirs =
+  List.fold_left
+    (fun acc dir -> if Sys.file_exists dir then walk acc dir else acc)
+    [] dirs
+  |> List.sort String.compare
+
+(* Full run: per-file rules plus the cross-file interface check.
+   Returns the scanned files alongside the surviving diagnostics. *)
+let lint_tree dirs =
+  let files = discover dirs in
+  let per_file = List.concat_map lint_file files in
+  let interface =
+    List.filter
+      (fun d -> not (Config.whitelisted ~rule:d.Diag.rule d.Diag.file))
+      (Rules.missing_mli ~files)
+  in
+  (files, List.sort Diag.compare_pos (per_file @ interface))

@@ -1,0 +1,229 @@
+(* Minimal JSON tree, emitter and parser — just enough for the linter's
+   own report format (arrays of flat objects with string/int fields), so
+   the --json artifact round-trips without an external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ---------- emitter ---------- *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | String s -> escape_string b s
+  | List items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char b ',';
+          emit b item)
+        items;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape_string b k;
+          Buffer.add_char b ':';
+          emit b v)
+        fields;
+      Buffer.add_char b '}'
+
+let to_string t =
+  let b = Buffer.create 256 in
+  emit b t;
+  Buffer.contents b
+
+(* ---------- parser ---------- *)
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "at offset %d: %s" st.pos msg))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some d when Char.equal c d -> advance st
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+let literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.equal (String.sub st.src st.pos n) word
+  then (
+    st.pos <- st.pos + n;
+    value)
+  else fail st (Printf.sprintf "expected %s" word)
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+        advance st;
+        (match peek st with
+        | Some '"' -> Buffer.add_char b '"'
+        | Some '\\' -> Buffer.add_char b '\\'
+        | Some '/' -> Buffer.add_char b '/'
+        | Some 'n' -> Buffer.add_char b '\n'
+        | Some 'r' -> Buffer.add_char b '\r'
+        | Some 't' -> Buffer.add_char b '\t'
+        | Some 'b' -> Buffer.add_char b '\b'
+        | Some 'f' -> Buffer.add_char b '\012'
+        | Some 'u' ->
+            if st.pos + 4 >= String.length st.src then
+              fail st "truncated \\u escape";
+            let hex = String.sub st.src (st.pos + 1) 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail st "bad \\u escape"
+            in
+            (* report files are ASCII; only control characters appear *)
+            if code > 0xff then fail st "non-latin \\u escape unsupported";
+            Buffer.add_char b (Char.chr code);
+            st.pos <- st.pos + 4
+        | _ -> fail st "bad escape");
+        advance st;
+        go ()
+    | Some c ->
+        Buffer.add_char b c;
+        advance st;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_int st =
+  let start = st.pos in
+  (match peek st with Some '-' -> advance st | _ -> ());
+  let rec digits () =
+    match peek st with
+    | Some ('0' .. '9') ->
+        advance st;
+        digits ()
+    | _ -> ()
+  in
+  digits ();
+  if st.pos = start then fail st "expected number";
+  match int_of_string_opt (String.sub st.src start (st.pos - start)) with
+  | Some n -> n
+  | None -> fail st "bad number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | Some '"' -> String (parse_string st)
+  | Some '{' -> parse_obj st
+  | Some '[' -> parse_list st
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> Int (parse_int st)
+  | _ -> fail st "expected a JSON value"
+
+and parse_obj st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then (
+    advance st;
+    Obj [])
+  else
+    let rec fields acc =
+      skip_ws st;
+      let key = parse_string st in
+      skip_ws st;
+      expect st ':';
+      let value = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+          advance st;
+          fields ((key, value) :: acc)
+      | Some '}' ->
+          advance st;
+          Obj (List.rev ((key, value) :: acc))
+      | _ -> fail st "expected ',' or '}'"
+    in
+    fields []
+
+and parse_list st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then (
+    advance st;
+    List [])
+  else
+    let rec items acc =
+      let value = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+          advance st;
+          items (value :: acc)
+      | Some ']' ->
+          advance st;
+          List (List.rev (value :: acc))
+      | _ -> fail st "expected ',' or ']'"
+    in
+    items []
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v
+
+(* ---------- accessors ---------- *)
+
+let member key = function
+  | Obj fields -> ( try List.assoc key fields with Not_found -> Null)
+  | _ -> Null
+
+let to_int_exn = function
+  | Int n -> n
+  | _ -> raise (Parse_error "expected an integer field")
+
+let to_string_exn = function
+  | String s -> s
+  | _ -> raise (Parse_error "expected a string field")

@@ -1,0 +1,47 @@
+(* loadsteal-lint: repo-specific static analysis for the loadsteal tree.
+
+   Usage: loadsteal_lint [--root DIR] [--json FILE] [DIR ...]
+
+   Scans the given directories (default: lib bin bench test) for .ml and
+   .mli files, reports violations of the determinism / float-eq /
+   domain-safety / missing-mli rules as file:line:col diagnostics, and
+   exits 1 if any survive suppression. [--json -] writes the report as a
+   JSON array to stdout, [--json FILE] to a file (for CI artifacts). *)
+
+open Lint
+
+let usage = "loadsteal_lint [--root DIR] [--json FILE|-] [DIR ...]"
+
+let () =
+  let root = ref "." in
+  let json_out = ref None in
+  let dirs = ref [] in
+  let spec =
+    [
+      ( "--root",
+        Arg.Set_string root,
+        "DIR  repository root to scan from (default: .)" );
+      ( "--json",
+        Arg.String (fun f -> json_out := Some f),
+        "FILE  also write the report as a JSON array (- for stdout)" );
+    ]
+  in
+  Arg.parse spec (fun dir -> dirs := dir :: !dirs) usage;
+  let dirs = match List.rev !dirs with [] -> Config.scan_dirs | ds -> ds in
+  (try Sys.chdir !root
+   with Sys_error msg ->
+     Printf.eprintf "loadsteal-lint: cannot enter root: %s\n" msg;
+     exit 2);
+  let files, diags = Engine.lint_tree dirs in
+  List.iter (fun d -> print_endline (Diag.to_string d)) diags;
+  (match !json_out with
+  | None -> ()
+  | Some "-" -> print_endline (Diag.list_to_json diags)
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Diag.list_to_json diags);
+      output_char oc '\n';
+      close_out oc);
+  Printf.eprintf "loadsteal-lint: %d file(s) scanned, %d violation(s)\n"
+    (List.length files) (List.length diags);
+  exit (if diags = [] then 0 else 1)

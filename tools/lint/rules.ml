@@ -1,0 +1,323 @@
+(* The four loadsteal-specific rules, as Parsetree walks.
+
+   R1 "determinism"   — no global Random state, no clock reads outside
+                        the timing whitelist.
+   R2 "float-eq"      — no polymorphic =, <>, ==, != or compare on
+                        float-shaped expressions, and no bare [compare]
+                        passed as an ordering.
+   R3 "domain-safety" — no top-level refs / hash tables and no mutable
+                        record fields in libraries linked into the
+                        domain pool; no printing to shared stdout from
+                        lambdas handed to Pool.map / Scope.par_map.
+   R4 "missing-mli"   — every .ml under lib/ has a sibling .mli.
+
+   Rules are purely syntactic (Parsetree, not Typedtree), so R2 detects
+   float shape from literals, annotations and float-arithmetic heads
+   rather than from inference — the cases that actually occur here. *)
+
+open Parsetree
+
+let rec flatten (lid : Longident.t) =
+  match lid with
+  | Lident s -> [ s ]
+  | Ldot (l, s) -> flatten l @ [ s ]
+  | Lapply _ -> []
+
+(* [Stdlib.compare] and [compare] are the same violation. *)
+let strip_stdlib = function "Stdlib" :: rest -> rest | path -> path
+
+let ident_path e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (strip_stdlib (flatten txt))
+  | _ -> None
+
+(* ---------- R1: determinism ---------- *)
+
+let clock_idents =
+  [
+    [ "Sys"; "time" ];
+    [ "Unix"; "time" ];
+    [ "Unix"; "gettimeofday" ];
+    [ "Monotonic_clock"; "now" ];
+  ]
+
+let check_determinism ~file ~timing_allowed push e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; loc } -> (
+      match strip_stdlib (flatten txt) with
+      | "Random" :: rest ->
+          let what =
+            match rest with
+            | [ "self_init" ] | [ "State"; "make_self_init" ] ->
+                "Random self-seeding makes every run different"
+            | _ -> "the global Random state is not replayable across domains"
+          in
+          push
+            (Diag.of_location ~rule:Config.rule_determinism ~file loc
+               (what ^ "; draw from an explicitly seeded Prob.Rng stream"))
+      | path when (not timing_allowed) && List.mem path clock_idents ->
+          push
+            (Diag.of_location ~rule:Config.rule_determinism ~file loc
+               (String.concat "." path
+              ^ " makes output depend on the host clock; timing belongs in \
+                 bench/ or a whitelisted ablation (tools/lint/config.ml)"))
+      | _ -> ())
+  | _ -> ()
+
+(* ---------- R2: float discipline ---------- *)
+
+let poly_eq_ops = [ "="; "<>"; "=="; "!=" ]
+let float_arith = [ "+."; "-."; "*."; "/."; "**"; "~-." ]
+
+let float_fns =
+  [
+    [ "sqrt" ]; [ "exp" ]; [ "log" ]; [ "log10" ]; [ "floor" ]; [ "ceil" ];
+    [ "abs_float" ]; [ "float_of_int" ]; [ "float" ];
+  ]
+
+let is_float_type ct =
+  match ct.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, []) -> (
+      match strip_stdlib (flatten txt) with
+      | [ "float" ] | [ "Float"; "t" ] -> true
+      | _ -> false)
+  | _ -> false
+
+(* Syntactic evidence that [e] is a float: a literal, a float constant
+   ident, a float annotation, or an application whose head is float
+   arithmetic or a [Float.*] producer. *)
+let float_shaped e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_ident { txt; _ } -> (
+      match strip_stdlib (flatten txt) with
+      | [ "nan" ] | [ "infinity" ] | [ "neg_infinity" ] | [ "epsilon_float" ]
+      | [ "max_float" ] | [ "min_float" ] ->
+          true
+      | [ "Float"; ("nan" | "infinity" | "neg_infinity" | "epsilon" | "pi") ]
+        ->
+          true
+      | _ -> false)
+  | Pexp_constraint (_, ct) -> is_float_type ct
+  | Pexp_apply (f, _) -> (
+      match ident_path f with
+      | Some [ op ] when List.mem op float_arith -> true
+      | Some path when List.mem path float_fns -> true
+      | Some [ "Float"; fn ] ->
+          not
+            (List.mem fn
+               [ "equal"; "compare"; "is_nan"; "is_finite"; "is_integer";
+                 "to_int"; "to_string"; "sign_bit" ])
+      | _ -> false)
+  | _ -> false
+
+let check_float_eq ~file push e =
+  match e.pexp_desc with
+  | Pexp_apply (f, [ (_, a); (_, b) ]) -> (
+      match ident_path f with
+      | Some [ op ] when List.mem op poly_eq_ops ->
+          if float_shaped a || float_shaped b then
+            push
+              (Diag.of_location ~rule:Config.rule_float_eq ~file e.pexp_loc
+                 (Printf.sprintf
+                    "structural (%s) on a float; use Float.equal or a \
+                     tolerance helper from lib/numerics"
+                    op))
+      | Some [ "compare" ] ->
+          if float_shaped a || float_shaped b then
+            push
+              (Diag.of_location ~rule:Config.rule_float_eq ~file e.pexp_loc
+                 "polymorphic compare on a float; use Float.compare")
+      | _ -> ())
+  | _ -> ()
+
+(* [Array.sort compare xs] and friends: a bare polymorphic [compare]
+   passed as an ordering hides the element type from review — the float
+   case is exactly the bug class R2 exists for. *)
+let check_bare_compare_arg ~file push e =
+  match e.pexp_desc with
+  | Pexp_apply (f, args) ->
+      let head_is_compare = ident_path f = Some [ "compare" ] in
+      List.iter
+        (fun (_, arg) ->
+          if (not head_is_compare) && ident_path arg = Some [ "compare" ] then
+            push
+              (Diag.of_location ~rule:Config.rule_float_eq ~file arg.pexp_loc
+                 "bare polymorphic compare passed as an ordering; spell the \
+                  element comparison (Float.compare, Int.compare, ...)"))
+        args
+  | _ -> ()
+
+(* ---------- R3: domain safety ---------- *)
+
+(* Lambdas handed to the pool: the function position's last component. *)
+let is_pool_map_path = function
+  | Some path -> (
+      match List.rev path with
+      | "par_map" :: _ -> true
+      | ("map" | "map_array") :: qualifier :: _ ->
+          String.equal qualifier "Pool"
+      | _ -> false)
+  | None -> false
+
+let stdout_printers =
+  [
+    [ "Format"; "printf" ];
+    [ "Printf"; "printf" ];
+    [ "Format"; "print_string" ];
+    [ "Format"; "print_newline" ];
+    [ "print_string" ];
+    [ "print_endline" ];
+    [ "print_newline" ];
+    [ "print_int" ];
+    [ "print_float" ];
+  ]
+
+let check_printf_under ~file push lambda =
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; loc } ->
+              if List.mem (strip_stdlib (flatten txt)) stdout_printers then
+                push
+                  (Diag.of_location ~rule:Config.rule_domain_safety ~file loc
+                     "printing to shared stdout from a pool task interleaves \
+                      across domains; use Scope.progress or return rows and \
+                      print after the map")
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iter.expr iter lambda
+
+let check_pool_lambdas ~file push e =
+  match e.pexp_desc with
+  | Pexp_apply (f, args) when is_pool_map_path (ident_path f) ->
+      List.iter
+        (fun (_, arg) ->
+          match arg.pexp_desc with
+          | Pexp_fun _ | Pexp_function _ -> check_printf_under ~file push arg
+          | _ -> ())
+        args
+  | _ -> ()
+
+(* Top-level state in a parallel-linked library. Walks structure items
+   (descending into plain nested modules) but never into expressions:
+   a [ref] inside a function body is per-call and fine. *)
+let mutable_state_head e =
+  let rec strip e =
+    match e.pexp_desc with
+    | Pexp_constraint (e, _) | Pexp_open (_, e) | Pexp_let (_, _, e)
+    | Pexp_sequence (_, e) ->
+        strip e
+    | _ -> e
+  in
+  let e = strip e in
+  match e.pexp_desc with
+  | Pexp_apply (f, _) -> (
+      match ident_path f with
+      | Some [ "ref" ] -> Some "a top-level ref"
+      | Some [ "Hashtbl"; ("create" | "of_seq") ] -> Some "a top-level Hashtbl"
+      | Some [ "Atomic"; "make" ] -> None (* atomics are the sanctioned escape *)
+      | _ -> None)
+  | _ -> None
+
+let check_parallel_structure ~file push structure =
+  let rec items sts = List.iter item sts
+  and item st =
+    match st.pstr_desc with
+    | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            match mutable_state_head vb.pvb_expr with
+            | Some what ->
+                push
+                  (Diag.of_location ~rule:Config.rule_domain_safety ~file
+                     vb.pvb_loc
+                     (what
+                    ^ " is state shared by every pool worker; allocate it \
+                       per task, or guard it and whitelist the file in \
+                       tools/lint/config.ml"))
+            | None -> ())
+          vbs
+    | Pstr_type (_, decls) ->
+        List.iter
+          (fun decl ->
+            match decl.ptype_kind with
+            | Ptype_record labels ->
+                List.iter
+                  (fun label ->
+                    match label.pld_mutable with
+                    | Asttypes.Mutable ->
+                        push
+                          (Diag.of_location ~rule:Config.rule_domain_safety
+                             ~file label.pld_loc
+                             (Printf.sprintf
+                                "mutable field %s in a library linked into \
+                                 the domain pool; keep values task-private \
+                                 or whitelist the file with a justification"
+                                label.pld_name.txt))
+                    | Asttypes.Immutable -> ())
+                  labels
+            | _ -> ())
+          decls
+    | Pstr_module mb -> module_expr mb.pmb_expr
+    | Pstr_recmodule mbs -> List.iter (fun mb -> module_expr mb.pmb_expr) mbs
+    | Pstr_include { pincl_mod; _ } -> module_expr pincl_mod
+    | _ -> ()
+  and module_expr me =
+    match me.pmod_desc with
+    | Pmod_structure sts -> items sts
+    | Pmod_constraint (me, _) -> module_expr me
+    | _ -> ()
+  in
+  items structure
+
+(* ---------- structure entry point (R1-R3) ---------- *)
+
+let check_structure ~file structure =
+  let acc = ref [] in
+  let push d = acc := d :: !acc in
+  let timing_allowed = Config.timing_allowed file in
+  let expr self e =
+    check_determinism ~file ~timing_allowed push e;
+    check_float_eq ~file push e;
+    check_bare_compare_arg ~file push e;
+    check_pool_lambdas ~file push e;
+    Ast_iterator.default_iterator.expr self e
+  in
+  let iter = { Ast_iterator.default_iterator with expr } in
+  iter.structure iter structure;
+  if Config.in_parallel_scope file then
+    check_parallel_structure ~file push structure;
+  List.sort Diag.compare_pos !acc
+
+(* ---------- R4: interface hygiene ---------- *)
+
+(* Operates on the scanned path list, so the engine and the tests can
+   feed it real or synthetic trees alike. *)
+let missing_mli ~files =
+  let mlis =
+    List.filter_map
+      (fun f -> if Filename.check_suffix f ".mli" then Some f else None)
+      files
+  in
+  List.filter_map
+    (fun f ->
+      if
+        Filename.check_suffix f ".ml"
+        && Config.mli_required_for f
+        && not (List.mem (f ^ "i") mlis)
+      then
+        Some
+          (Diag.v ~rule:Config.rule_missing_mli ~file:f ~line:1 ~col:0
+             (Printf.sprintf
+                "%s has no %si: every library module must state its \
+                 interface"
+                (Filename.basename f)
+                (Filename.basename f)))
+      else None)
+    files
