@@ -12,12 +12,18 @@
      main.exe kernels              Bechamel micro-benchmarks, one per table
      main.exe kernels --json F     also write OLS estimates to F as JSON
      main.exe speedup              serial vs parallel replicate, Table 4 load
+     main.exe hotpath              events/sec + minor-words/event kernels
+     main.exe hotpath --json F     also write the two metrics to F as JSON
+     main.exe compare --baseline F [--tolerance PCT] [--warn-only]
+                                   re-measure hotpath, diff vs committed
+                                   baseline (e.g. BENCH_0003.json)
 *)
 
 let usage () =
   print_endline
-    "usage: main.exe [kernels] [speedup] [experiment ...]\n\
-    \       [--quick|--paper] [--seed N] [--domains N] [--json FILE]";
+    "usage: main.exe [kernels] [speedup] [hotpath] [compare] [experiment ...]\n\
+    \       [--quick|--paper] [--seed N] [--domains N] [--json FILE]\n\
+    \       [--baseline FILE] [--tolerance PCT] [--warn-only]";
   print_endline "experiments:";
   List.iter
     (fun e ->
@@ -35,6 +41,11 @@ type options = {
   json : string option;
   kernels : bool;
   speedup : bool;
+  hotpath : bool;
+  compare : bool;
+  baseline : string option;
+  tolerance : float;
+  warn_only : bool;
   help : bool;
   names : string list;  (* experiment names, in command-line order *)
 }
@@ -48,6 +59,11 @@ let default_options =
     json = None;
     kernels = false;
     speedup = false;
+    hotpath = false;
+    compare = false;
+    baseline = None;
+    tolerance = 25.0;
+    warn_only = false;
     help = false;
     names = [];
   }
@@ -85,6 +101,17 @@ let parse_options args =
           flag_value "--json" Option.some (fun f -> f <> "") rest
         in
         go { opts with json = Some json } rest
+    | "--baseline" :: rest ->
+        let baseline, rest =
+          flag_value "--baseline" Option.some (fun f -> f <> "") rest
+        in
+        go { opts with baseline = Some baseline } rest
+    | "--tolerance" :: rest ->
+        let tolerance, rest =
+          flag_value "--tolerance" float_of_string_opt (fun t -> t >= 0.0) rest
+        in
+        go { opts with tolerance } rest
+    | "--warn-only" :: rest -> go { opts with warn_only = true } rest
     | ("--help" | "-h") :: rest | "help" :: rest ->
         go { opts with help = true } rest
     | a :: _ when is_flag a ->
@@ -92,6 +119,8 @@ let parse_options args =
         exit 2
     | "kernels" :: rest -> go { opts with kernels = true } rest
     | "speedup" :: rest -> go { opts with speedup = true } rest
+    | "hotpath" :: rest -> go { opts with hotpath = true } rest
+    | "compare" :: rest -> go { opts with compare = true } rest
     | name :: rest -> go { opts with names = opts.names @ [ name ] } rest
   in
   go default_options args
@@ -287,6 +316,148 @@ let run_kernels ~json () =
         rows)
     json
 
+(* ---------- hot-path kernels ---------- *)
+
+(* Steady-state dispatch metrics of the simulator loop on the paper's
+   base system (exponential service, simple stealing): events/sec and
+   minor-heap words/event, measured with Gc counters over an [advance]
+   window rather than Bechamel — the denominator is the engine's own
+   dispatch count, and the allocation rate is a correctness property
+   (the loop is designed to allocate nothing), not just a speed one.
+
+   Numbers are only meaningful from a release-profile build: the dev
+   profile disables cross-module inlining, which reintroduces float
+   boxing on the hot path. *)
+let hotpath_measure () =
+  let cfg =
+    {
+      Wsim.Cluster.default with
+      n = 64;
+      arrival_rate = 0.9;
+      policy = Wsim.Policy.simple;
+    }
+  in
+  print_endline
+    "hotpath kernels (n=64, lambda=0.9, simple stealing, exponential):";
+  let best_eps = ref 0.0 and best_words = ref infinity in
+  for rep = 1 to 3 do
+    let rng = Prob.Rng.create ~seed:(100 + rep) in
+    let sim = Wsim.Cluster.create ~rng cfg in
+    (* warm the system into steady state before opening the window *)
+    Wsim.Cluster.advance sim ~until:2_000.0;
+    let e0 = Wsim.Cluster.events_dispatched sim in
+    let w0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    Wsim.Cluster.advance sim ~until:22_000.0;
+    let dt = Unix.gettimeofday () -. t0 in
+    let dw = Gc.minor_words () -. w0 in
+    let de = Wsim.Cluster.events_dispatched sim - e0 in
+    let eps = float_of_int de /. dt in
+    let words = dw /. float_of_int de in
+    if eps > !best_eps then best_eps := eps;
+    if words < !best_words then best_words := words;
+    Printf.printf
+      "  rep%d: %9d events  %6.3f s  %9.0f events/sec  %6.3f words/event\n"
+      rep de dt eps words
+  done;
+  Printf.printf "  best: %.0f events/sec, %.3f minor-words/event\n" !best_eps
+    !best_words;
+  (!best_eps, !best_words)
+
+let write_hotpath_json ~file ~eps ~words =
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"events_per_sec\": %.0f,\n\
+    \  \"minor_words_per_event\": %.3f\n\
+     }\n"
+    eps words;
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
+let run_hotpath ~json () =
+  let eps, words = hotpath_measure () in
+  Option.iter (fun file -> write_hotpath_json ~file ~eps ~words) json
+
+(* Minimal reader for the flat ["key": number] objects this binary (and
+   the committed BENCH_*.json baselines) write; non-numeric values are
+   ignored. *)
+let parse_flat_json file =
+  let ic = open_in file in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match String.index_opt line '"' with
+       | None -> ()
+       | Some q1 -> (
+           match String.index_from_opt line (q1 + 1) '"' with
+           | None -> ()
+           | Some q2 -> (
+               let key = String.sub line (q1 + 1) (q2 - q1 - 1) in
+               match String.index_from_opt line q2 ':' with
+               | None -> ()
+               | Some c ->
+                   let v =
+                     String.trim
+                       (String.sub line (c + 1) (String.length line - c - 1))
+                   in
+                   let v =
+                     if v <> "" && v.[String.length v - 1] = ',' then
+                       String.trim (String.sub v 0 (String.length v - 1))
+                     else v
+                   in
+                   (match float_of_string_opt v with
+                   | Some f -> entries := (key, f) :: !entries
+                   | None -> ())))
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !entries
+
+(* Re-measure the hotpath kernels and diff against a committed baseline.
+   A baseline written by [hotpath --json] carries bare keys; a committed
+   BENCH_*.json carries the expectation under "after/" — prefer that. *)
+let run_compare ~baseline ~tolerance ~warn_only ~json () =
+  let entries = parse_flat_json baseline in
+  let lookup key =
+    match List.assoc_opt ("after/" ^ key) entries with
+    | Some v -> Some v
+    | None -> List.assoc_opt key entries
+  in
+  let base_eps, base_words =
+    match (lookup "events_per_sec", lookup "minor_words_per_event") with
+    | Some e, Some w -> (e, w)
+    | _ ->
+        Printf.eprintf
+          "baseline %s lacks events_per_sec/minor_words_per_event\n" baseline;
+        exit 2
+  in
+  let eps, words = hotpath_measure () in
+  Option.iter (fun file -> write_hotpath_json ~file ~eps ~words) json;
+  let eps_floor = base_eps *. (1.0 -. (tolerance /. 100.0)) in
+  (* allow one word of absolute slack: the baseline may legitimately
+     be 0.0, where a pure percentage band has no width *)
+  let words_ceil =
+    base_words +. Float.max (base_words *. tolerance /. 100.0) 1.0
+  in
+  Printf.printf "compare vs %s (tolerance %.0f%%):\n" baseline tolerance;
+  let eps_ok = eps >= eps_floor in
+  let words_ok = words <= words_ceil in
+  Printf.printf "  events/sec:        %12.0f  baseline %12.0f  floor %12.0f  %s\n"
+    eps base_eps eps_floor
+    (if eps_ok then "ok" else "REGRESSION");
+  Printf.printf "  minor-words/event: %12.3f  baseline %12.3f  ceil  %12.3f  %s\n"
+    words base_words words_ceil
+    (if words_ok then "ok" else "REGRESSION");
+  if not (eps_ok && words_ok) then
+    if warn_only then
+      print_endline "  regression detected (warn-only mode, not failing)"
+    else begin
+      prerr_endline "hotpath regression exceeds tolerance";
+      exit 1
+    end
+
 (* ---------- speedup check ---------- *)
 
 (* Serial vs parallel replication of the Table 4 simulation workload:
@@ -370,7 +541,9 @@ let () =
     let t0 = Unix.gettimeofday () in
     let experiments =
       match opts.names with
-      | [] when opts.kernels || opts.speedup -> []
+      | [] when opts.kernels || opts.speedup || opts.hotpath || opts.compare
+        ->
+          []
       | [] -> Experiments.Registry.all
       | names ->
           List.map
@@ -397,6 +570,16 @@ let () =
       experiments;
     if opts.speedup then run_speedup scope;
     if opts.kernels then run_kernels ~json:opts.json ();
+    if opts.hotpath then run_hotpath ~json:opts.json ();
+    if opts.compare then begin
+      match opts.baseline with
+      | None ->
+          prerr_endline "compare needs --baseline FILE";
+          exit 2
+      | Some baseline ->
+          run_compare ~baseline ~tolerance:opts.tolerance
+            ~warn_only:opts.warn_only ~json:opts.json ()
+    end;
     Format.fprintf ppf "total wall time: %.1f s@."
       (Unix.gettimeofday () -. t0)
   end

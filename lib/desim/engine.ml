@@ -1,10 +1,15 @@
-type 'a t = { mutable clock : float; heap : 'a Event_heap.t }
+type 'a t = {
+  mutable clock : float;
+  heap : 'a Event_heap.t;
+  mutable dispatched : int;
+}
 
 let create ?capacity () =
-  { clock = 0.0; heap = Event_heap.create ?capacity () }
+  { clock = 0.0; heap = Event_heap.create ?capacity (); dispatched = 0 }
 
 let now t = t.clock
 let pending t = Event_heap.length t.heap
+let dispatched t = t.dispatched
 
 let schedule t ~at payload =
   if at < t.clock then invalid_arg "Engine.schedule: event in the past";
@@ -19,6 +24,7 @@ let next t =
   | None -> None
   | Some (time, payload) ->
       t.clock <- time;
+      t.dispatched <- t.dispatched + 1;
       Some (time, payload)
 
 let run ~until t ~handler =
@@ -29,6 +35,7 @@ let run ~until t ~handler =
         match Event_heap.pop t.heap with
         | Some (time, payload) ->
             t.clock <- time;
+            t.dispatched <- t.dispatched + 1;
             handler time payload
         | None -> assert false)
     | Some _ | None -> continue := false

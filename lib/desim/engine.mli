@@ -16,6 +16,10 @@ val now : 'a t -> float
 val pending : 'a t -> int
 (** Number of scheduled events. *)
 
+val dispatched : 'a t -> int
+(** Total events handed to handlers (or returned by {!next}) since
+    creation — the denominator for events/sec and words/event metrics. *)
+
 val schedule : 'a t -> at:float -> 'a -> unit
 (** Schedule an event at absolute time [at].
     @raise Invalid_argument if [at] precedes the current clock. *)
@@ -30,9 +34,9 @@ val next : 'a t -> (float * 'a) option
 val run :
   until:float -> 'a t -> handler:(float -> 'a -> unit) -> unit
 (** Dispatch events in time order while their time is at most [until]
-    (handlers may schedule more); on return the clock sits at [until] (or
-    at the last event if the queue drained first... the clock is advanced
-    to [until] in all cases). *)
+    (handlers may schedule more). On return the clock is advanced to
+    [until] in all cases — also when the queue drained before reaching
+    it — so consecutive [run] calls tile the timeline without gaps. *)
 
 val run_until_empty : 'a t -> handler:(float -> 'a -> unit) -> unit
 (** Dispatch until no events remain (e.g. static drain experiments — the

@@ -33,10 +33,12 @@ let grow t =
   t.seqs <- seqs;
   t.payloads <- payloads
 
-(* (time, seq) lexicographic order. *)
+(* (time, seq) lexicographic order. [Float.equal] rather than polymorphic
+   [=]: the intent is an IEEE bit-level tie check, not structural
+   equality, and [push] rejects NaN so the two never differ here. *)
 let precedes t i j =
   t.times.(i) < t.times.(j)
-  || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
+  || (Float.equal t.times.(i) t.times.(j) && t.seqs.(i) < t.seqs.(j))
 
 let swap t i j =
   let tm = t.times.(i) in

@@ -1,0 +1,87 @@
+(* Engine over {!Packed_heap}. The shape differs from {!Engine} in three
+   deliberate ways, all serving a zero-allocation dispatch loop without
+   flambda:
+
+   - The clock and the current event's aux float live in single-field
+     float records ([cell]): such records are flat, so advancing the
+     clock is an unboxed store. A [mutable float] field in the engine
+     record itself (which also holds pointers) would box on every
+     event.
+
+   - The handler receives only the immediate [int] payload. Passing the
+     time or aux as float arguments would box them at the call boundary
+     (the handler is a closure, never inlined); handlers read them
+     through the inlined {!now} and {!aux} accessors instead.
+
+   - The drain loop is a top-level tail recursion over pointer arguments
+     only, with the [until] bound parked in a cell; a float parameter
+     threaded through a recursive call would be boxed per iteration, and
+     a [bool ref] loop flag would allocate per call. *)
+
+type cell = { mutable v : float }
+
+type t = {
+  clock : cell;
+  limit : cell;
+  current_aux : cell;
+  mutable current_payload : int;
+  mutable dispatched : int;
+  heap : Packed_heap.t;
+}
+
+let create ?capacity () =
+  {
+    clock = { v = 0.0 };
+    limit = { v = 0.0 };
+    current_aux = { v = 0.0 };
+    current_payload = 0;
+    dispatched = 0;
+    heap = Packed_heap.create ?capacity ();
+  }
+
+let[@inline] now t = t.clock.v
+let[@inline] payload t = t.current_payload
+let[@inline] aux t = t.current_aux.v
+let pending t = Packed_heap.length t.heap
+let dispatched t = t.dispatched
+
+let[@inline] schedule t ~at ~payload ~aux =
+  if at < t.clock.v then invalid_arg "Packed_engine.schedule: event in the past";
+  Packed_heap.push t.heap ~time:at ~payload ~aux
+
+let[@inline] schedule_after t ~delay ~payload ~aux =
+  if delay < 0.0 then
+    invalid_arg "Packed_engine.schedule_after: negative delay";
+  Packed_heap.push t.heap ~time:(t.clock.v +. delay) ~payload ~aux
+
+let[@inline] take_root t =
+  let heap = t.heap in
+  t.clock.v <- Packed_heap.root_time heap;
+  t.current_aux.v <- Packed_heap.root_aux heap;
+  t.current_payload <- Packed_heap.root_payload heap;
+  t.dispatched <- t.dispatched + 1;
+  Packed_heap.drop_root heap
+
+let next t =
+  if Packed_heap.is_empty t.heap then false
+  else begin
+    take_root t;
+    true
+  end
+
+let rec drain t ~handler =
+  if not (Packed_heap.is_empty t.heap) then
+    if Packed_heap.root_time t.heap <= t.limit.v then begin
+      take_root t;
+      handler t.current_payload;
+      drain t ~handler
+    end
+
+let run ~until t ~handler =
+  t.limit.v <- until;
+  drain t ~handler;
+  t.clock.v <- until
+
+let run_until_empty t ~handler =
+  t.limit.v <- infinity;
+  drain t ~handler

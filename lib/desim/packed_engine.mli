@@ -1,0 +1,58 @@
+(** Allocation-free discrete-event engine.
+
+    The packed counterpart of {!Engine}: events are an immediate [int]
+    payload plus one auxiliary [float] (see {!Packed_heap}), and the
+    dispatch loop allocates nothing per event. Ordering semantics are
+    identical to {!Engine} — time order, FIFO among equal times — so a
+    simulation ported onto this engine fires the same events in the same
+    sequence.
+
+    The handler is called as [handler payload] with the clock already
+    advanced to the event's time; the event's time and aux float are
+    read through {!now} and {!aux}. They are NOT passed as arguments
+    because a float crossing a closure boundary is boxed, which would
+    put an allocation back on every event. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh engine with the clock at 0. *)
+
+val now : t -> float
+(** Current simulation time. During a handler call this is the
+    dispatched event's timestamp. *)
+
+val payload : t -> int
+(** Payload of the most recently dispatched event. *)
+
+val aux : t -> float
+(** Auxiliary float of the most recently dispatched event; 0 before any
+    dispatch. *)
+
+val pending : t -> int
+(** Number of scheduled events. *)
+
+val dispatched : t -> int
+(** Total events dispatched since creation — the denominator for
+    events/sec and words/event metrics. *)
+
+val schedule : t -> at:float -> payload:int -> aux:float -> unit
+(** Schedule an event at absolute time [at].
+    @raise Invalid_argument if [at] precedes the current clock. *)
+
+val schedule_after : t -> delay:float -> payload:int -> aux:float -> unit
+(** Schedule an event [delay] time units from now ([delay >= 0]). *)
+
+val next : t -> bool
+(** Dispatch the earliest event, if any, advancing the clock and the
+    {!payload}/{!aux} registers; [false] when no events remain. *)
+
+val run : until:float -> t -> handler:(int -> unit) -> unit
+(** Dispatch events in time order while their time is at most [until]
+    (handlers may schedule more). On return the clock is advanced to
+    [until] in all cases — also when the queue drained before reaching
+    it — so consecutive [run] calls tile the timeline without gaps. *)
+
+val run_until_empty : t -> handler:(int -> unit) -> unit
+(** Dispatch until no events remain (the caller must guarantee the
+    event population dies out). *)

@@ -1,15 +1,22 @@
-let exponential g ~rate =
+(* Inlined so the result stays in a float register: [exponential] fires
+   on every arrival and completion of the simulator. [log] is an
+   unboxed-noalloc external, so the inlined body allocates nothing. *)
+let[@inline] exponential g ~rate =
   if rate <= 0.0 then invalid_arg "Dist.exponential: rate must be positive";
   -.log (Rng.float_pos g) /. rate
+
+(* Single-field float record: flat, so the loop's store is unboxed. A
+   polymorphic [ref] here would box the float on every iteration. *)
+type acc = { mutable prod : float }
 
 let erlang g ~k ~rate =
   if k <= 0 then invalid_arg "Dist.erlang: k must be positive";
   (* Product of uniforms needs a single log instead of k. *)
-  let prod = ref 1.0 in
+  let acc = { prod = 1.0 } in
   for _ = 1 to k do
-    prod := !prod *. Rng.float_pos g
+    acc.prod <- acc.prod *. Rng.float_pos g
   done;
-  -.log !prod /. rate
+  -.log acc.prod /. rate
 
 let rec poisson g ~mean =
   if mean < 0.0 then invalid_arg "Dist.poisson: mean must be non-negative";
@@ -52,7 +59,7 @@ type service =
 
 let hyperexp_mean p mean1 mean2 = (p *. mean1) +. ((1.0 -. p) *. mean2)
 
-let service_mean_one g = function
+let[@inline] service_mean_one g = function
   | Exponential -> exponential g ~rate:1.0
   | Deterministic -> 1.0
   | Erlang_stages c -> erlang g ~k:c ~rate:(float_of_int c)

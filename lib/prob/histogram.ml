@@ -45,23 +45,27 @@ let pp ppf t =
   done
 
 module Counts = struct
-  type t = { mutable weights : float array; mutable total : float }
+  (* The running total lives in its own single-field float record: a
+     record of only floats is stored flat, so bumping it in
+     [weighted_add] writes a raw double. Keeping it as a [mutable float]
+     field next to the array pointer would box on every store, and
+     [weighted_add] runs once per queue-length change in the simulator. *)
+  type cell = { mutable v : float }
+  type t = { mutable weights : float array; total : cell }
 
-  let create () = { weights = Array.make 16 0.0; total = 0.0 }
+  let create () = { weights = Array.make 16 0.0; total = { v = 0.0 } }
 
-  let ensure t i =
-    if i >= Array.length t.weights then begin
-      let n = max (i + 1) (2 * Array.length t.weights) in
-      let fresh = Array.make n 0.0 in
-      Array.blit t.weights 0 fresh 0 (Array.length t.weights);
-      t.weights <- fresh
-    end
+  let grow t i =
+    let n = max (i + 1) (2 * Array.length t.weights) in
+    let fresh = Array.make n 0.0 in
+    Array.blit t.weights 0 fresh 0 (Array.length t.weights);
+    t.weights <- fresh
 
-  let weighted_add t i w =
+  let[@inline] weighted_add t i w =
     if i < 0 then invalid_arg "Histogram.Counts: negative index";
-    ensure t i;
+    if i >= Array.length t.weights then grow t i;
     t.weights.(i) <- t.weights.(i) +. w;
-    t.total <- t.total +. w
+    t.total.v <- t.total.v +. w
 
   let add t i = weighted_add t i 1.0
 
@@ -71,18 +75,18 @@ module Counts = struct
     !m
 
   let probability t i =
-    if t.total <= 0.0 || i < 0 || i >= Array.length t.weights then 0.0
-    else t.weights.(i) /. t.total
+    if t.total.v <= 0.0 || i < 0 || i >= Array.length t.weights then 0.0
+    else t.weights.(i) /. t.total.v
 
   let tail t i =
-    if t.total <= 0.0 then 0.0
+    if t.total.v <= 0.0 then 0.0
     else begin
       let acc = ref 0.0 in
       for j = max i 0 to Array.length t.weights - 1 do
         acc := !acc +. t.weights.(j)
       done;
-      !acc /. t.total
+      !acc /. t.total.v
     end
 
-  let total_weight t = t.total
+  let total_weight t = t.total.v
 end

@@ -26,7 +26,11 @@ let create ~p =
 let p t = t.p
 let count t = t.count
 
-let parabolic t i d =
+(* [parabolic], [linear] and [add] are inlined so their float arguments
+   and results stay in registers: without flambda a float crossing a
+   non-inlined call boundary is boxed, and [add] runs once per completed
+   task on the simulator's hot path. *)
+let[@inline] parabolic t i d =
   let q = t.heights and n = t.positions in
   let ni = float_of_int n.(i) in
   let nm = float_of_int n.(i - 1) and np = float_of_int n.(i + 1) in
@@ -35,14 +39,14 @@ let parabolic t i d =
       *. (((ni -. nm +. d) *. (q.(i + 1) -. q.(i)) /. (np -. ni))
          +. ((np -. ni -. d) *. (q.(i) -. q.(i - 1)) /. (ni -. nm))))
 
-let linear t i d =
+let[@inline] linear t i d =
   let q = t.heights and n = t.positions in
   let j = i + int_of_float d in
   q.(i)
   +. (d *. (q.(j) -. q.(i))
       /. float_of_int (n.(j) - n.(i)))
 
-let add t x =
+let[@inline] add t x =
   t.count <- t.count + 1;
   if t.count <= 5 then begin
     t.heights.(t.count - 1) <- x;

@@ -1,9 +1,20 @@
-type t = {
-  mutable s0 : int64;
-  mutable s1 : int64;
-  mutable s2 : int64;
-  mutable s3 : int64;
-}
+(* xoshiro256++ over a 32-byte state buffer.
+
+   The four 64-bit lanes s0..s3 live in a Bytes.t and are accessed with
+   the compiler's raw 64-bit load/store primitives. A record of four
+   [mutable int64] fields would box a fresh Int64 on every lane store —
+   four minor-heap allocations per draw — which is what made the
+   simulator's RNG its largest allocation source. With the byte buffer,
+   the loads and stores stay unboxed and a draw allocates nothing; the
+   output sequence is bit-identical to the record-based implementation
+   because the lane values and update order are unchanged. The buffer is
+   only ever read back through the same native-endian primitives, so the
+   host's byte order never leaks into results. *)
+
+type t = Bytes.t
+
+external get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
 
 (* SplitMix64: used only for seeding and splitting, where its weaker
    equidistribution does not matter. *)
@@ -15,6 +26,14 @@ let splitmix64_next state =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
+let of_lanes s0 s1 s2 s3 =
+  let g = Bytes.create 32 in
+  set64 g 0 s0;
+  set64 g 8 s1;
+  set64 g 16 s2;
+  set64 g 24 s3;
+  g
+
 let of_splitmix state =
   let s0 = splitmix64_next state in
   let s1 = splitmix64_next state in
@@ -23,24 +42,31 @@ let of_splitmix state =
   (* The all-zero state is a fixed point of xoshiro; SplitMix64 outputs are
      never all zero in practice, but guard anyway. *)
   if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
-    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
-  else { s0; s1; s2; s3 }
+    of_lanes 1L 2L 3L 4L
+  else of_lanes s0 s1 s2 s3
 
 let create ~seed = of_splitmix (ref (Int64.of_int seed))
 
-let rotl x k =
+let[@inline] rotl x k =
   Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
-let bits64 g =
-  let open Int64 in
-  let result = add (rotl (add g.s0 g.s3) 23) g.s0 in
-  let t = shift_left g.s1 17 in
-  g.s2 <- logxor g.s2 g.s0;
-  g.s3 <- logxor g.s3 g.s1;
-  g.s1 <- logxor g.s1 g.s2;
-  g.s0 <- logxor g.s0 g.s3;
-  g.s2 <- logxor g.s2 t;
-  g.s3 <- rotl g.s3 45;
+let[@inline] bits64 g =
+  let s0 = get64 g 0 in
+  let s1 = get64 g 8 in
+  let s2 = get64 g 16 in
+  let s3 = get64 g 24 in
+  let result = Int64.add (rotl (Int64.add s0 s3) 23) s0 in
+  let t = Int64.shift_left s1 17 in
+  let s2 = Int64.logxor s2 s0 in
+  let s3 = Int64.logxor s3 s1 in
+  let s1 = Int64.logxor s1 s2 in
+  let s0 = Int64.logxor s0 s3 in
+  let s2 = Int64.logxor s2 t in
+  let s3 = rotl s3 45 in
+  set64 g 0 s0;
+  set64 g 8 s1;
+  set64 g 16 s2;
+  set64 g 24 s3;
   result
 
 let split g =
@@ -49,31 +75,31 @@ let split g =
   let mix = ref (bits64 g) in
   of_splitmix mix
 
-let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+let copy g = Bytes.copy g
 
 let two53_inv = 1.0 /. 9007199254740992.0 (* 2^-53 *)
 
-let float g =
+let[@inline] float g =
   let bits = Int64.shift_right_logical (bits64 g) 11 in
   Int64.to_float bits *. two53_inv
 
-let float_pos g = 1.0 -. float g
+let[@inline] float_pos g = 1.0 -. float g
 
-let int g bound =
+(* Rejection sampling on 62 bits to avoid modulo bias. A top-level
+   recursive function rather than an inner [let rec]: an inner recursive
+   closure would be allocated on every call, and victim selection draws
+   bounded ints on the simulator's hot path. *)
+let rec reject_mod g bound =
+  let r =
+    Int64.to_int (Int64.shift_right_logical (bits64 g) 2) land max_int
+  in
+  let v = r mod bound in
+  if r - v + (bound - 1) < 0 then reject_mod g bound else v
+
+let[@inline] int g bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   if bound land (bound - 1) = 0 then
     Int64.to_int (Int64.shift_right_logical (bits64 g) 2) land (bound - 1)
-  else begin
-    (* rejection sampling on 62 bits to avoid modulo bias *)
-    let rec draw () =
-      let r =
-        Int64.to_int (Int64.shift_right_logical (bits64 g) 2)
-        land max_int
-      in
-      let v = r mod bound in
-      if r - v + (bound - 1) < 0 then draw () else v
-    in
-    draw ()
-  end
+  else reject_mod g bound
 
 let bool g = Int64.logand (bits64 g) 1L = 1L

@@ -1,37 +1,42 @@
-type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+(* Welford's online mean/variance. The record is all-float on purpose:
+   a record whose fields are all [float] is stored flat, so the three
+   stores in [add] write raw doubles instead of boxing. The count is kept
+   as a float ([nf]); incrementing by 1.0 is exact far beyond any
+   achievable sample count (2^53), so every derived quantity is
+   bit-identical to the previous int-counted implementation. *)
+type t = { mutable nf : float; mutable mean : float; mutable m2 : float }
 
-let create () = { n = 0; mean = 0.0; m2 = 0.0 }
+let create () = { nf = 0.0; mean = 0.0; m2 = 0.0 }
 
 let reset t =
-  t.n <- 0;
+  t.nf <- 0.0;
   t.mean <- 0.0;
   t.m2 <- 0.0
 
-let add t x =
-  t.n <- t.n + 1;
+let[@inline] add t x =
+  t.nf <- t.nf +. 1.0;
   let delta = x -. t.mean in
-  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.mean <- t.mean +. (delta /. t.nf);
   t.m2 <- t.m2 +. (delta *. (x -. t.mean))
 
-let count t = t.n
-let total t = t.mean *. float_of_int t.n
-let mean t = if t.n = 0 then nan else t.mean
-let variance t = if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
+let count t = int_of_float t.nf
+let total t = t.mean *. t.nf
+let mean t = if count t = 0 then nan else t.mean
+let variance t = if count t < 2 then nan else t.m2 /. (t.nf -. 1.0)
 let stddev t = sqrt (variance t)
 
 let ci95_halfwidth t =
-  if t.n < 2 then nan else 1.96 *. stddev t /. sqrt (float_of_int t.n)
+  if count t < 2 then nan else 1.96 *. stddev t /. sqrt t.nf
 
 let merge a b =
-  if a.n = 0 then { n = b.n; mean = b.mean; m2 = b.m2 }
-  else if b.n = 0 then { n = a.n; mean = a.mean; m2 = a.m2 }
+  if count a = 0 then { nf = b.nf; mean = b.mean; m2 = b.m2 }
+  else if count b = 0 then { nf = a.nf; mean = a.mean; m2 = a.m2 }
   else begin
-    let na = float_of_int a.n and nb = float_of_int b.n in
-    let n = a.n + b.n in
+    let na = a.nf and nb = b.nf in
     let delta = b.mean -. a.mean in
     let mean = a.mean +. (delta *. nb /. (na +. nb)) in
     let m2 = a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. (na +. nb)) in
-    { n; mean; m2 }
+    { nf = na +. nb; mean; m2 }
   end
 
 type summary = {

@@ -8,15 +8,17 @@ type t = {
 let create ?(start = 0.0) ?(value = 0.0) () =
   { start; last = start; value; integral = 0.0 }
 
-let update t ~now ~value =
+(* All-float record: stores in [update] stay unboxed. Inlined so [now]
+   and [value] arrive in float registers rather than as boxed args. *)
+let[@inline] update t ~now ~value =
   if now < t.last -. 1e-9 then
     invalid_arg "Timeavg.update: time moved backwards";
   t.integral <- t.integral +. (t.value *. (now -. t.last));
   t.last <- now;
   t.value <- value
 
-let shift t ~now ~delta = update t ~now ~value:(t.value +. delta)
-let current t = t.value
+let[@inline] shift t ~now ~delta = update t ~now ~value:(t.value +. delta)
+let[@inline] current t = t.value
 
 let reset t ~now =
   t.integral <- 0.0;

@@ -42,31 +42,59 @@ type result = {
   makespan : float;
 }
 
+(* The two per-processor floats live in their own all-float record so
+   stores stay unboxed; as [mutable float] fields of [proc] (which also
+   holds pointers) every assignment would box. *)
+type pstate = {
+  mutable in_service : float; (* stamp of the task being served *)
+  mutable load_since : float; (* start of current load level *)
+}
+
 type proc = {
   id : int;
   speed : float;
   queue : Fdeque.t; (* arrival stamps of tasks not yet in service *)
-  mutable in_service : float; (* stamp of the task being served *)
+  st : pstate;
   mutable busy : bool;
   mutable waiting : bool; (* a stolen task is in flight toward us *)
   mutable steal_gen : int; (* invalidates Steal_tick *)
   mutable spawn_gen : int; (* invalidates Spawn *)
   mutable rebalance_gen : int; (* invalidates Rebalance_tick *)
-  mutable load_since : float; (* start of current load level *)
 }
 
-type event =
-  | Arrival of int
-  | Completion of int
-  | Spawn of int * int
-  | Steal_tick of int * int
-  | Delivery of int * float
-  | Rebalance_tick of int * int
+(* ---- packed event encoding ----
+
+   Events are immediate ints for the allocation-free engine:
+
+     bits 0..2   tag (0 Arrival, 1 Completion, 2 Spawn, 3 Steal_tick,
+                      4 Delivery, 5 Rebalance_tick)
+     bits 3..22  processor id (so n <= 2^20)
+     bits 23..62 generation counter (events that carry none encode 0)
+
+   A Delivery's payload — the stolen task's arrival stamp — rides the
+   engine's auxiliary float lane instead of a constructor argument.
+   Generation counters are bounded by the event count, so 40 bits
+   outlast any feasible run. *)
+
+let tag_arrival = 0
+let tag_completion = 1
+let tag_spawn = 2
+let tag_steal_tick = 3
+let tag_delivery = 4
+let tag_rebalance_tick = 5
+let max_procs = 1 lsl 20
+let[@inline] ev ~tag ~id ~gen = tag lor (id lsl 3) lor (gen lsl 23)
+let[@inline] ev_tag p = p land 7
+let[@inline] ev_id p = (p lsr 3) land (max_procs - 1)
+let[@inline] ev_gen p = p lsr 23
+
+(* Single-field float record: flat, so updating it is an unboxed store. *)
+type cell = { mutable v : float }
 
 type t = {
   cfg : config;
   rng : Rng.t;
-  engine : event Desim.Engine.t;
+  engine : Desim.Packed_engine.t;
   procs : proc array;
   sojourn : Stats.t;
   p50 : P2_quantile.t;
@@ -84,47 +112,57 @@ type t = {
   mutable tasks_stolen : int;
   mutable rebalances : int;
   mutable completed : int;
-  mutable last_completion : float;
+  last_completion : cell;
+  mutable scratch : float array; (* reused stamp buffer for multi-steals *)
+  mutable handler : int -> unit; (* dispatch closure, built once *)
 }
 
 let load p = Fdeque.length p.queue + if p.busy then 1 else 0
-
-let now t = Desim.Engine.now t.engine
+let[@inline] now t = Desim.Packed_engine.now t.engine
+let events_dispatched t = Desim.Packed_engine.dispatched t.engine
 
 (* ---- time-weighted occupancy ---- *)
 
 let note_load t p =
   let tnow = now t in
   if tnow > t.warmup then begin
-    let from = Float.max p.load_since t.warmup in
+    (* branchy max: Float.max is not inlined without flambda, and both
+       operands are non-NaN times *)
+    let from =
+      if p.st.load_since > t.warmup then p.st.load_since else t.warmup
+    in
     if tnow > from then
       Histogram.Counts.weighted_add t.occupancy (load p) (tnow -. from)
   end;
-  p.load_since <- tnow
+  p.st.load_since <- tnow
 
 (* ---- timers ---- *)
 
-let exp_delay t rate = Dist.exponential t.rng ~rate
+let[@inline] exp_delay t rate = Dist.exponential t.rng ~rate
 
 let arm_spawn t p =
   p.spawn_gen <- p.spawn_gen + 1;
   if t.cfg.spawn_rate > 0.0 && load p >= 1 then
-    Desim.Engine.schedule_after t.engine
+    Desim.Packed_engine.schedule_after t.engine
       ~delay:(exp_delay t t.cfg.spawn_rate)
-      (Spawn (p.id, p.spawn_gen))
+      ~payload:(ev ~tag:tag_spawn ~id:p.id ~gen:p.spawn_gen)
+      ~aux:0.0
 
 let arm_steal_ticks t p ~retry_rate =
   p.steal_gen <- p.steal_gen + 1;
   if retry_rate > 0.0 && load p = 0 then
-    Desim.Engine.schedule_after t.engine ~delay:(exp_delay t retry_rate)
-      (Steal_tick (p.id, p.steal_gen))
+    Desim.Packed_engine.schedule_after t.engine
+      ~delay:(exp_delay t retry_rate)
+      ~payload:(ev ~tag:tag_steal_tick ~id:p.id ~gen:p.steal_gen)
+      ~aux:0.0
 
 let arm_rebalance t p ~rate =
   p.rebalance_gen <- p.rebalance_gen + 1;
   let r = rate (load p) in
   if r > 0.0 then
-    Desim.Engine.schedule_after t.engine ~delay:(exp_delay t r)
-      (Rebalance_tick (p.id, p.rebalance_gen))
+    Desim.Packed_engine.schedule_after t.engine ~delay:(exp_delay t r)
+      ~payload:(ev ~tag:tag_rebalance_tick ~id:p.id ~gen:p.rebalance_gen)
+      ~aux:0.0
 
 (* Called after p's load changed from [old_load]: keep the load-sensitive
    timers consistent. *)
@@ -140,21 +178,24 @@ let sync_timers t p ~old_load =
       else if old_load > 0 && new_load = 0 then
         arm_steal_ticks t p ~retry_rate
   | Policy.Rebalance { rate } ->
-      if rate old_load <> rate new_load then arm_rebalance t p ~rate
+      if not (Float.equal (rate old_load) (rate new_load)) then
+        arm_rebalance t p ~rate
   | Policy.No_stealing | Policy.On_empty _ | Policy.Preemptive _
   | Policy.Transfer _ | Policy.Steal_half _ | Policy.Ring_steal _ ->
       ()
 
 (* ---- service ---- *)
 
-let start_service t p stamp =
+let[@inline] start_service t p stamp =
   p.busy <- true;
-  p.in_service <- stamp;
+  p.st.in_service <- stamp;
   let duration = Dist.service_mean_one t.rng t.cfg.service /. p.speed in
-  Desim.Engine.schedule_after t.engine ~delay:duration (Completion p.id)
+  Desim.Packed_engine.schedule_after t.engine ~delay:duration
+    ~payload:(ev ~tag:tag_completion ~id:p.id ~gen:0)
+    ~aux:0.0
 
 (* Add one task (with its original arrival stamp) to p. *)
-let add_task t p stamp =
+let[@inline] add_task t p stamp =
   let old_load = load p in
   note_load t p;
   if p.busy then Fdeque.push_back p.queue stamp else start_service t p stamp;
@@ -163,7 +204,7 @@ let add_task t p stamp =
 
 (* Remove one task from the tail of v's queue, returning its stamp. The
    in-service task is never taken, so completions stay valid. *)
-let remove_tail_task t v =
+let[@inline] remove_tail_task t v =
   let old_load = load v in
   note_load t v;
   let stamp = Fdeque.pop_back v.queue in
@@ -178,32 +219,45 @@ let random_other t self =
   if r >= self then r + 1 else r
 
 (* Most loaded of [choices] independent uniform probes (with replacement,
-   excluding the thief), per §3.3. *)
-let best_victim t ~thief ~choices =
-  let best = ref (random_other t thief) in
-  let best_load = ref (load t.procs.(!best)) in
-  for _ = 2 to choices do
+   excluding the thief), per §3.3. Written as a tail recursion over int
+   arguments — int refs would allocate on every steal attempt — and
+   returning the victim's index rather than a (proc, load) tuple. *)
+let rec victim_probe t ~thief ~remaining best best_load =
+  if remaining = 0 then best
+  else begin
     let candidate = random_other t thief in
     let l = load t.procs.(candidate) in
-    if l > !best_load then begin
-      best := candidate;
-      best_load := l
-    end
-  done;
-  (t.procs.(!best), !best_load)
+    if l > best_load then
+      victim_probe t ~thief ~remaining:(remaining - 1) candidate l
+    else victim_probe t ~thief ~remaining:(remaining - 1) best best_load
+  end
+
+let best_victim t ~thief ~choices =
+  let first = random_other t thief in
+  victim_probe t ~thief ~remaining:(choices - 1) first
+    (load t.procs.(first))
 
 (* Move up to [count] tasks from v's queue tail to the thief, preserving
-   the stolen tasks' relative FIFO order. *)
+   the stolen tasks' relative FIFO order. Stamps stage through a buffer
+   owned by [t] — never a fresh array per steal. This is safe because
+   [add_task] only schedules events; nothing it calls steals
+   synchronously, so the buffer cannot be clobbered reentrantly. *)
 let transfer_tasks t ~victim ~thief ~count =
-  let stamps = Array.make count 0.0 in
+  if count > Array.length t.scratch then
+    t.scratch <- Array.make (max count (2 * Array.length t.scratch)) 0.0;
+  let stamps = t.scratch in
   for i = count - 1 downto 0 do
     stamps.(i) <- remove_tail_task t victim
   done;
-  Array.iter (fun stamp -> add_task t thief stamp) stamps
+  for i = 0 to count - 1 do
+    add_task t thief stamps.(i)
+  done
 
 let attempt_on_empty t p ~threshold ~choices ~steal_count =
   t.steal_attempts <- t.steal_attempts + 1;
-  let victim, victim_load = best_victim t ~thief:p.id ~choices in
+  let v = best_victim t ~thief:p.id ~choices in
+  let victim = t.procs.(v) in
+  let victim_load = load victim in
   if victim_load >= threshold then begin
     t.steal_successes <- t.steal_successes + 1;
     let count = min steal_count (victim_load - 1) in
@@ -213,7 +267,9 @@ let attempt_on_empty t p ~threshold ~choices ~steal_count =
 
 let attempt_steal_half t p ~threshold ~choices =
   t.steal_attempts <- t.steal_attempts + 1;
-  let victim, victim_load = best_victim t ~thief:p.id ~choices in
+  let v = best_victim t ~thief:p.id ~choices in
+  let victim = t.procs.(v) in
+  let victim_load = load victim in
   if victim_load >= threshold then begin
     t.steal_successes <- t.steal_successes + 1;
     let count = victim_load / 2 in
@@ -238,7 +294,9 @@ let attempt_ring_steal t p ~threshold ~radius =
 
 let attempt_preemptive t p ~offset =
   t.steal_attempts <- t.steal_attempts + 1;
-  let victim, victim_load = best_victim t ~thief:p.id ~choices:1 in
+  let v = best_victim t ~thief:p.id ~choices:1 in
+  let victim = t.procs.(v) in
+  let victim_load = load victim in
   if victim_load >= load p + offset then begin
     t.steal_successes <- t.steal_successes + 1;
     t.tasks_stolen <- t.tasks_stolen + 1;
@@ -248,7 +306,9 @@ let attempt_preemptive t p ~offset =
 (* Returns true when the steal succeeded (a delivery is now in flight). *)
 let attempt_transfer t p ~transfer_rate ~threshold ~stages =
   t.steal_attempts <- t.steal_attempts + 1;
-  let victim, victim_load = best_victim t ~thief:p.id ~choices:1 in
+  let v = best_victim t ~thief:p.id ~choices:1 in
+  let victim = t.procs.(v) in
+  let victim_load = load victim in
   if victim_load >= threshold then begin
     t.steal_successes <- t.steal_successes + 1;
     t.tasks_stolen <- t.tasks_stolen + 1;
@@ -265,7 +325,9 @@ let attempt_transfer t p ~transfer_rate ~threshold ~stages =
         Dist.erlang t.rng ~k:stages
           ~rate:(float_of_int stages *. transfer_rate)
     in
-    Desim.Engine.schedule_after t.engine ~delay (Delivery (p.id, stamp));
+    Desim.Packed_engine.schedule_after t.engine ~delay
+      ~payload:(ev ~tag:tag_delivery ~id:p.id ~gen:0)
+      ~aux:stamp;
     true
   end
   else false
@@ -314,7 +376,7 @@ let on_completion t p =
   note_load t p;
   let tnow = now t in
   if tnow >= t.warmup then begin
-    let sojourn = tnow -. p.in_service in
+    let sojourn = tnow -. p.st.in_service in
     Stats.add t.sojourn sojourn;
     P2_quantile.add t.p50 sojourn;
     P2_quantile.add t.p95 sojourn;
@@ -322,10 +384,10 @@ let on_completion t p =
   end;
   t.completed <- t.completed + 1;
   t.total_tasks <- t.total_tasks - 1;
-  t.last_completion <- tnow;
+  t.last_completion.v <- tnow;
   if Fdeque.is_empty p.queue then begin
     p.busy <- false;
-    p.in_service <- nan
+    p.st.in_service <- nan
   end
   else begin
     let next = Fdeque.pop_front p.queue in
@@ -337,28 +399,35 @@ let on_completion t p =
 (* With placement > 1, the arriving task joins the shortest of [placement]
    uniformly chosen queues (the supermarket discipline of §3.3's
    motivation); with placement = 1 it stays at its generating processor,
-   which for independent Poisson streams is the same process. *)
+   which for independent Poisson streams is the same process. Tail
+   recursion over ints for the same reason as [victim_probe]. *)
+let rec placement_probe t ~remaining best best_load =
+  if remaining = 0 then best
+  else begin
+    let candidate = Rng.int t.rng t.cfg.n in
+    let l = load t.procs.(candidate) in
+    if l < best_load then
+      placement_probe t ~remaining:(remaining - 1) candidate l
+    else placement_probe t ~remaining:(remaining - 1) best best_load
+  end
+
 let placement_target t p =
   if t.cfg.placement <= 1 then p
   else begin
-    let best = ref (Rng.int t.rng t.cfg.n) in
-    let best_load = ref (load t.procs.(!best)) in
-    for _ = 2 to t.cfg.placement do
-      let candidate = Rng.int t.rng t.cfg.n in
-      let l = load t.procs.(candidate) in
-      if l < !best_load then begin
-        best := candidate;
-        best_load := l
-      end
-    done;
-    t.procs.(!best)
+    let first = Rng.int t.rng t.cfg.n in
+    let best =
+      placement_probe t ~remaining:(t.cfg.placement - 1) first
+        (load t.procs.(first))
+    in
+    t.procs.(best)
   end
 
 let on_arrival t p =
   if t.cfg.arrival_rate > 0.0 then
-    Desim.Engine.schedule_after t.engine
+    Desim.Packed_engine.schedule_after t.engine
       ~delay:(exp_delay t t.cfg.arrival_rate)
-      (Arrival p.id);
+      ~payload:(ev ~tag:tag_arrival ~id:p.id ~gen:0)
+      ~aux:0.0;
   let target = placement_target t p in
   if t.cfg.batch_mean <= 1.0 then add_task t target (now t)
   else begin
@@ -382,7 +451,7 @@ let on_steal_tick t p gen ~retry_rate ~threshold =
     if load p = 0 then arm_steal_ticks t p ~retry_rate
   end
 
-let on_delivery t p stamp =
+let[@inline] on_delivery t p stamp =
   t.in_transit <- t.in_transit - 1;
   t.total_tasks <- t.total_tasks - 1 (* re-added by add_task below *);
   Timeavg.update t.transit_avg ~now:(now t)
@@ -390,35 +459,38 @@ let on_delivery t p stamp =
   p.waiting <- false;
   add_task t p stamp
 
-let handle t _time event =
+let handle t packed =
   if (not t.transit_window_open) && now t >= t.warmup then begin
     (* start measuring the in-transit average at the warm-up boundary,
        keeping the current in-flight count as the initial value *)
     Timeavg.reset t.transit_avg ~now:t.warmup;
     t.transit_window_open <- true
   end;
-  match event with
-  | Arrival id -> on_arrival t t.procs.(id)
-  | Completion id -> on_completion t t.procs.(id)
-  | Spawn (id, gen) -> on_spawn t t.procs.(id) gen
-  | Steal_tick (id, gen) -> (
+  let p = t.procs.(ev_id packed) in
+  match ev_tag packed with
+  | 0 (* Arrival *) -> on_arrival t p
+  | 1 (* Completion *) -> on_completion t p
+  | 2 (* Spawn *) -> on_spawn t p (ev_gen packed)
+  | 3 (* Steal_tick *) -> (
       match t.cfg.policy with
       | Policy.Repeated { retry_rate; threshold } ->
-          on_steal_tick t t.procs.(id) gen ~retry_rate ~threshold
+          on_steal_tick t p (ev_gen packed) ~retry_rate ~threshold
       | _ -> ())
-  | Delivery (id, stamp) -> on_delivery t t.procs.(id) stamp
-  | Rebalance_tick (id, gen) -> (
+  | 4 (* Delivery *) -> on_delivery t p (Desim.Packed_engine.aux t.engine)
+  | 5 (* Rebalance_tick *) -> (
       match t.cfg.policy with
       | Policy.Rebalance { rate } ->
-          let p = t.procs.(id) in
-          if gen = p.rebalance_gen then do_rebalance t p ~rate
+          if ev_gen packed = p.rebalance_gen then do_rebalance t p ~rate
       | _ -> ())
+  | _ -> assert false
 
 (* ---- lifecycle ---- *)
 
 let create ~rng cfg =
   Policy.validate cfg.policy;
   if cfg.n < 1 then invalid_arg "Cluster.create: need at least 1 processor";
+  if cfg.n > max_procs then
+    invalid_arg "Cluster.create: more than 2^20 processors";
   (match cfg.policy with
   | Policy.No_stealing -> ()
   | _ ->
@@ -444,7 +516,7 @@ let create ~rng cfg =
             invalid_arg "Cluster.create: speeds must be positive")
         sp
   | None -> ());
-  let engine = Desim.Engine.create ~capacity:(4 * cfg.n) () in
+  let engine = Desim.Packed_engine.create ~capacity:(4 * cfg.n) () in
   let speed i = match cfg.speeds with Some sp -> sp.(i) | None -> 1.0 in
   let procs =
     Array.init cfg.n (fun id ->
@@ -452,13 +524,12 @@ let create ~rng cfg =
           id;
           speed = speed id;
           queue = Fdeque.create ();
-          in_service = nan;
+          st = { in_service = nan; load_since = 0.0 };
           busy = false;
           waiting = false;
           steal_gen = 0;
           spawn_gen = 0;
           rebalance_gen = 0;
-          load_since = 0.0;
         })
   in
   let t =
@@ -482,9 +553,12 @@ let create ~rng cfg =
       tasks_stolen = 0;
       rebalances = 0;
       completed = 0;
-      last_completion = nan;
+      last_completion = { v = nan };
+      scratch = Array.make 8 0.0;
+      handler = ignore;
     }
   in
+  t.handler <- (fun packed -> handle t packed);
   (* seed initial batch *)
   Array.iter
     (fun p ->
@@ -496,9 +570,10 @@ let create ~rng cfg =
   if cfg.arrival_rate > 0.0 then
     Array.iter
       (fun p ->
-        Desim.Engine.schedule_after engine
+        Desim.Packed_engine.schedule_after engine
           ~delay:(exp_delay t cfg.arrival_rate)
-          (Arrival p.id))
+          ~payload:(ev ~tag:tag_arrival ~id:p.id ~gen:0)
+          ~aux:0.0)
       procs;
   (* rebalance timers run from the start *)
   (match cfg.policy with
@@ -544,13 +619,15 @@ let collect t ~duration ~makespan =
     makespan;
   }
 
+let advance t ~until =
+  Desim.Packed_engine.run ~until t.engine ~handler:t.handler
+
 let run t ~horizon ~warmup =
   if warmup < 0.0 || warmup >= horizon then
     invalid_arg "Cluster.run: need 0 <= warmup < horizon";
   t.warmup <- warmup;
   t.transit_window_open <- Float.equal warmup 0.0;
-  Desim.Engine.run ~until:horizon t.engine ~handler:(fun time ev ->
-      handle t time ev);
+  advance t ~until:horizon;
   flush_occupancy t;
   collect t ~duration:(horizon -. warmup) ~makespan:nan
 
@@ -572,13 +649,11 @@ let run_observed t ~horizon ~warmup ~sample_every ~observe =
   observe 0.0 (instantaneous_tail t);
   let next = ref sample_every in
   while !next <= horizon +. 1e-9 do
-    Desim.Engine.run ~until:!next t.engine ~handler:(fun time ev ->
-        handle t time ev);
+    advance t ~until:!next;
     observe !next (instantaneous_tail t);
     next := !next +. sample_every
   done;
-  Desim.Engine.run ~until:horizon t.engine ~handler:(fun time ev ->
-      handle t time ev);
+  advance t ~until:horizon;
   flush_occupancy t;
   collect t ~duration:(horizon -. warmup) ~makespan:nan
 
@@ -589,15 +664,17 @@ let run_static ?(max_events = 200_000_000) t =
   let events = ref 0 in
   let continue = ref (t.total_tasks > 0) in
   while !continue do
-    match Desim.Engine.next t.engine with
-    | None -> continue := false
-    | Some (time, ev) ->
-        incr events;
-        if !events > max_events then
-          failwith "Cluster.run_static: event budget exceeded";
-        handle t time ev;
-        if t.total_tasks = 0 then continue := false
+    if Desim.Packed_engine.next t.engine then begin
+      incr events;
+      if !events > max_events then
+        failwith "Cluster.run_static: event budget exceeded";
+      handle t (Desim.Packed_engine.payload t.engine);
+      if t.total_tasks = 0 then continue := false
+    end
+    else continue := false
   done;
   flush_occupancy t;
-  let makespan = if Float.is_nan t.last_completion then 0.0 else t.last_completion in
+  let makespan =
+    if Float.is_nan t.last_completion.v then 0.0 else t.last_completion.v
+  in
   collect t ~duration:makespan ~makespan

@@ -67,6 +67,18 @@ type t
 val create : rng:Prob.Rng.t -> config -> t
 (** @raise Invalid_argument on malformed configuration. *)
 
+val events_dispatched : t -> int
+(** Events the underlying engine has dispatched so far — the denominator
+    of the events/sec and minor-words/event benchmark metrics. *)
+
+val advance : t -> until:float -> unit
+(** Dispatch events up to absolute time [until] without collecting a
+    result; consecutive calls tile the timeline. This is the raw window
+    primitive underneath {!run} — the benchmark kernels and the
+    allocation-budget test use it to measure steady-state windows in
+    isolation. Statistics accumulate exactly as during {!run} (with the
+    warm-up boundary at 0 unless {!run} set one). *)
+
 val run : t -> horizon:float -> warmup:float -> result
 (** Drive the dynamic system to time [horizon], discarding everything
     before [warmup]. A [t] is single-use: create a fresh one per run. *)

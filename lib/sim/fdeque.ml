@@ -19,27 +19,30 @@ let grow t =
   t.buf <- fresh;
   t.head <- 0
 
-let push_back t x =
+(* The push/pop/peek quartet is inlined so the float payload moves
+   through registers: stores into a float array are unboxed, but a float
+   returned from (or passed to) a non-inlined function is boxed. *)
+let[@inline] push_back t x =
   if t.len = Array.length t.buf then grow t;
   let cap = Array.length t.buf in
   t.buf.((t.head + t.len) mod cap) <- x;
   t.len <- t.len + 1
 
-let pop_front t =
+let[@inline] pop_front t =
   if t.len = 0 then raise Not_found;
   let x = t.buf.(t.head) in
   t.head <- (t.head + 1) mod Array.length t.buf;
   t.len <- t.len - 1;
   x
 
-let pop_back t =
+let[@inline] pop_back t =
   if t.len = 0 then raise Not_found;
   let cap = Array.length t.buf in
   let x = t.buf.((t.head + t.len - 1) mod cap) in
   t.len <- t.len - 1;
   x
 
-let peek_front t =
+let[@inline] peek_front t =
   if t.len = 0 then raise Not_found;
   t.buf.(t.head)
 

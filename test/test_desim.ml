@@ -114,6 +114,180 @@ let qcheck_heap_preserves_multiset =
       List.equal Float.equal (List.sort Float.compare popped)
         (List.sort Float.compare times))
 
+(* ---------- Packed_heap ---------- *)
+
+let test_packed_ordering () =
+  let h = Desim.Packed_heap.create () in
+  List.iteri
+    (fun i t -> Desim.Packed_heap.push h ~time:t ~payload:i ~aux:(t *. 2.0))
+    [ 3.0; 1.0; 2.0; 0.5; 2.5 ];
+  let rec drain acc =
+    match Desim.Packed_heap.pop h with
+    | Some (t, p, a) -> drain ((t, p, a) :: acc)
+    | None -> List.rev acc
+  in
+  Alcotest.(check (list (triple (float 1e-12) int (float 1e-12))))
+    "sorted with payload and aux"
+    [ (0.5, 3, 1.0); (1.0, 1, 2.0); (2.0, 2, 4.0); (2.5, 4, 5.0); (3.0, 0, 6.0) ]
+    (drain [])
+
+let test_packed_fifo_bursts () =
+  (* interleaved bursts of equal times: FIFO must hold within each time
+     value even across bursts and intervening pops *)
+  let h = Desim.Packed_heap.create ~capacity:1 () in
+  for i = 0 to 4 do
+    Desim.Packed_heap.push h ~time:1.0 ~payload:i ~aux:0.0;
+    Desim.Packed_heap.push h ~time:2.0 ~payload:(100 + i) ~aux:0.0
+  done;
+  (match Desim.Packed_heap.pop h with
+  | Some (_, p, _) -> Alcotest.(check int) "first of t=1" 0 p
+  | None -> Alcotest.fail "empty");
+  for i = 5 to 9 do
+    Desim.Packed_heap.push h ~time:1.0 ~payload:i ~aux:0.0
+  done;
+  let rec drain acc =
+    match Desim.Packed_heap.pop h with
+    | Some (_, p, _) -> drain (p :: acc)
+    | None -> List.rev acc
+  in
+  Alcotest.(check (list int))
+    "fifo within equal times"
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 100; 101; 102; 103; 104 ]
+    (drain [])
+
+let test_packed_accessor_protocol () =
+  let h = Desim.Packed_heap.create () in
+  Desim.Packed_heap.push h ~time:2.0 ~payload:7 ~aux:0.25;
+  Desim.Packed_heap.push h ~time:1.0 ~payload:9 ~aux:0.75;
+  check_float "root time" 1.0 (Desim.Packed_heap.root_time h);
+  Alcotest.(check int) "root payload" 9 (Desim.Packed_heap.root_payload h);
+  check_float "root aux" 0.75 (Desim.Packed_heap.root_aux h);
+  Desim.Packed_heap.drop_root h;
+  Alcotest.(check int) "next payload" 7 (Desim.Packed_heap.root_payload h);
+  Desim.Packed_heap.drop_root h;
+  Alcotest.(check bool) "drained" true (Desim.Packed_heap.is_empty h);
+  Alcotest.check_raises "drop on empty"
+    (Invalid_argument "Packed_heap.drop_root: empty heap") (fun () ->
+      Desim.Packed_heap.drop_root h)
+
+let test_packed_nan () =
+  Alcotest.check_raises "nan" (Invalid_argument "Packed_heap.push: NaN time")
+    (fun () ->
+      Desim.Packed_heap.push
+        (Desim.Packed_heap.create ())
+        ~time:nan ~payload:0 ~aux:0.0)
+
+(* Model check: the packed heap must pop exactly the sequence that the
+   generic [Event_heap] pops for the same pushes — same times, same
+   FIFO tie-breaks — since the simulator's bit-reproducibility rests on
+   the two heaps being order-equivalent. *)
+let qcheck_packed_matches_event_heap =
+  QCheck.Test.make ~count:200 ~name:"packed heap order-equivalent to Event_heap"
+    QCheck.(list (float_bound_inclusive 100.0))
+    (fun times ->
+      let ph = Desim.Packed_heap.create () in
+      let eh = Desim.Event_heap.create () in
+      List.iteri
+        (fun i t ->
+          Desim.Packed_heap.push ph ~time:t ~payload:i ~aux:(float_of_int i);
+          Desim.Event_heap.push eh ~time:t i)
+        times;
+      let rec drain acc =
+        match (Desim.Packed_heap.pop ph, Desim.Event_heap.pop eh) with
+        | Some (pt, pp, pa), Some (et, ep) ->
+            Float.equal pt et && pp = ep
+            && Float.equal pa (float_of_int pp)
+            && drain (acc + 1)
+        | None, None -> acc = List.length times
+        | _ -> false
+      in
+      drain 0)
+
+let qcheck_packed_interleaved_pops =
+  (* random push/pop interleaving: pops are globally non-decreasing in
+     time provided pushes never go below the last popped time (mirrors
+     how the engine uses the heap: never schedule in the past) *)
+  QCheck.Test.make ~count:200 ~name:"packed heap monotone under interleaving"
+    QCheck.(list (pair (float_bound_inclusive 10.0) bool))
+    (fun ops ->
+      let h = Desim.Packed_heap.create ~capacity:1 () in
+      let last = ref 0.0 in
+      let ok = ref true in
+      List.iteri
+        (fun i (dt, do_pop) ->
+          Desim.Packed_heap.push h ~time:(!last +. dt) ~payload:i ~aux:0.0;
+          if do_pop then begin
+            let t = Desim.Packed_heap.root_time h in
+            if t < !last then ok := false;
+            last := t;
+            Desim.Packed_heap.drop_root h
+          end)
+        ops;
+      let rec drain () =
+        if Desim.Packed_heap.is_empty h then true
+        else begin
+          let t = Desim.Packed_heap.root_time h in
+          if t < !last then false
+          else begin
+            last := t;
+            Desim.Packed_heap.drop_root h;
+            drain ()
+          end
+        end
+      in
+      !ok && drain ())
+
+(* ---------- Packed_engine ---------- *)
+
+let test_packed_engine_run () =
+  let e = Desim.Packed_engine.create () in
+  Desim.Packed_engine.schedule e ~at:2.0 ~payload:2 ~aux:0.2;
+  Desim.Packed_engine.schedule e ~at:1.0 ~payload:1 ~aux:0.1;
+  Desim.Packed_engine.schedule e ~at:3.0 ~payload:3 ~aux:0.3;
+  let seen = ref [] in
+  Desim.Packed_engine.run ~until:2.5 e ~handler:(fun p ->
+      seen :=
+        (Desim.Packed_engine.now e, p, Desim.Packed_engine.aux e) :: !seen);
+  Alcotest.(check (list (triple (float 1e-12) int (float 1e-12))))
+    "events up to horizon, clock and aux visible in handler"
+    [ (1.0, 1, 0.1); (2.0, 2, 0.2) ]
+    (List.rev !seen);
+  check_float "clock advanced to horizon" 2.5 (Desim.Packed_engine.now e);
+  Alcotest.(check int) "third still pending" 1 (Desim.Packed_engine.pending e);
+  Alcotest.(check int) "dispatched" 2 (Desim.Packed_engine.dispatched e)
+
+let test_packed_engine_handler_schedules () =
+  let e = Desim.Packed_engine.create () in
+  Desim.Packed_engine.schedule e ~at:1.0 ~payload:1 ~aux:0.0;
+  let count = ref 0 in
+  Desim.Packed_engine.run ~until:10.0 e ~handler:(fun n ->
+      incr count;
+      if n < 5 then
+        Desim.Packed_engine.schedule_after e ~delay:1.0 ~payload:(n + 1)
+          ~aux:0.0);
+  Alcotest.(check int) "cascade" 5 !count
+
+let test_packed_engine_rejects () =
+  let e = Desim.Packed_engine.create () in
+  Desim.Packed_engine.schedule e ~at:5.0 ~payload:0 ~aux:0.0;
+  Alcotest.(check bool) "next" true (Desim.Packed_engine.next e);
+  Alcotest.check_raises "past"
+    (Invalid_argument "Packed_engine.schedule: event in the past") (fun () ->
+      Desim.Packed_engine.schedule e ~at:1.0 ~payload:0 ~aux:0.0);
+  Alcotest.check_raises "delay"
+    (Invalid_argument "Packed_engine.schedule_after: negative delay")
+    (fun () ->
+      Desim.Packed_engine.schedule_after e ~delay:(-1.0) ~payload:0 ~aux:0.0)
+
+let test_packed_engine_next () =
+  let e = Desim.Packed_engine.create () in
+  Desim.Packed_engine.schedule e ~at:1.5 ~payload:42 ~aux:2.5;
+  Alcotest.(check bool) "has event" true (Desim.Packed_engine.next e);
+  check_float "clock" 1.5 (Desim.Packed_engine.now e);
+  Alcotest.(check int) "payload" 42 (Desim.Packed_engine.payload e);
+  check_float "aux" 2.5 (Desim.Packed_engine.aux e);
+  Alcotest.(check bool) "drained" false (Desim.Packed_engine.next e)
+
 (* ---------- Engine ---------- *)
 
 let test_engine_run_order () =
@@ -190,5 +364,26 @@ let () =
             test_engine_negative_delay;
           Alcotest.test_case "run until empty" `Quick
             test_engine_run_until_empty;
+        ] );
+      ( "packed_heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_packed_ordering;
+          Alcotest.test_case "fifo bursts" `Quick test_packed_fifo_bursts;
+          Alcotest.test_case "accessor protocol" `Quick
+            test_packed_accessor_protocol;
+          Alcotest.test_case "nan rejected" `Quick test_packed_nan;
+          QCheck_alcotest.to_alcotest qcheck_packed_matches_event_heap;
+          QCheck_alcotest.to_alcotest qcheck_packed_interleaved_pops;
+        ] );
+      ( "packed_engine",
+        [
+          Alcotest.test_case "run order and clock" `Quick
+            test_packed_engine_run;
+          Alcotest.test_case "handler schedules more" `Quick
+            test_packed_engine_handler_schedules;
+          Alcotest.test_case "rejects invalid schedules" `Quick
+            test_packed_engine_rejects;
+          Alcotest.test_case "next/payload/aux" `Quick
+            test_packed_engine_next;
         ] );
     ]

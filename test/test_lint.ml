@@ -57,12 +57,32 @@ let test_float_eq_flags_annotation_and_compare () =
   check_rules "physical equality on floats" [ "float-eq" ]
     "let g x = x == 3.14\n"
 
+let test_float_eq_flags_record_labels () =
+  (* regression: Event_heap.precedes compared parallel-array elements
+     with polymorphic (=) — nothing at the use site was float-shaped,
+     only the record declaration. The lint now reads file-local labels. *)
+  check_rules "float-array label element" [ "float-eq" ]
+    "type t = { times : float array; seqs : int array }\n\
+     let precedes t i j = t.times.(i) = t.times.(j)\n";
+  check_rules "float label field" [ "float-eq" ]
+    "type cell = { v : float }\n\
+     let same a b = a.v = b.v\n";
+  check_rules "floatarray label too" [ "float-eq" ]
+    "type t = { lanes : floatarray }\n\
+     let f t i = Array.unsafe_get t.lanes i <> 0.0\n"
+
 let test_float_eq_negative () =
   check_rules "int equality untouched" [] "let f x = x = 3\n";
   check_rules "Float.equal is the fix" []
     "let f x = Float.equal x 0.0 && Float.compare x 1.0 < 0\n";
   check_rules "float ordering comparisons allowed" []
-    "let f x = x < 0.5 || x >= 1.0\n"
+    "let f x = x < 0.5 || x >= 1.0\n";
+  check_rules "int labels stay quiet" []
+    "type t = { seqs : int array; len : int }\n\
+     let precedes t i j = t.seqs.(i) = t.seqs.(j) && t.len = 0\n";
+  check_rules "float label ordering comparisons allowed" []
+    "type t = { times : float array }\n\
+     let before t i j = t.times.(i) < t.times.(j)\n"
 
 (* ---------- R3: domain safety ---------- *)
 
@@ -171,6 +191,8 @@ let () =
           Alcotest.test_case "flags literal =" `Quick test_float_eq_flags_literal;
           Alcotest.test_case "flags annotation/compare" `Quick
             test_float_eq_flags_annotation_and_compare;
+          Alcotest.test_case "flags float record labels" `Quick
+            test_float_eq_flags_record_labels;
           Alcotest.test_case "clean source" `Quick test_float_eq_negative;
         ] );
       ( "domain-safety",

@@ -659,6 +659,289 @@ let test_summarize_empty () =
   Alcotest.(check bool) "mean nan" true
     (Float.is_nan s.Wsim.Runner.mean_sojourn)
 
+(* ---------- golden bit-identity ---------- *)
+
+(* The packed-payload hot path rewrite promises bit-identical output at
+   the same seed. These goldens were captured from the pre-rewrite
+   simulator (record events, option-returning engine) and are compared
+   hex-exactly: "%h" prints the full mantissa, so any drift in event
+   ordering, RNG draw order or float arithmetic shows up as a failure,
+   not a tolerance blur. *)
+
+let golden_line name (r : Wsim.Cluster.result) =
+  Printf.sprintf
+    "%s: completed=%d mean=%h ci=%h p50=%h p95=%h p99=%h load=%h att=%d \
+     succ=%d stolen=%d reb=%d makespan=%h tail1=%h tail2=%h tail3=%h"
+    name r.completed r.mean_sojourn r.sojourn_ci95 r.sojourn_p50 r.sojourn_p95
+    r.sojourn_p99 r.mean_load r.steal_attempts r.steal_successes
+    r.tasks_stolen r.rebalances r.makespan (r.tail 1) (r.tail 2) (r.tail 3)
+
+let golden_run ?(horizon = 2_000.0) ?(warmup = 200.0) ~seed cfg =
+  let rng = Prob.Rng.create ~seed in
+  let sim = Wsim.Cluster.create ~rng cfg in
+  Wsim.Cluster.run sim ~horizon ~warmup
+
+let golden_case (name, seed, cfg, expected) =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check string) name expected (golden_line name (golden_run ~seed cfg)))
+
+let golden_cases =
+  let d = Wsim.Cluster.default in
+  [
+    ( "simple",
+      42,
+      { d with n = 16; arrival_rate = 0.9; policy = Wsim.Policy.simple },
+      "simple: completed=26069 mean=0x1.e33d686bb2e8fp+1 \
+       ci=0x1.63ed8e1faae76p-5 p50=0x1.5539fe4ffe5c4p+1 \
+       p95=0x1.6d1ac4f6e381ap+3 p99=0x1.10ff9a94037d3p+4 \
+       load=0x1.b8009d715902ep+1 att=7946 succ=5005 stolen=5005 reb=0 \
+       makespan=nan tail1=0x1.ce0765bbf9886p-1 tail2=0x1.512cb554bb92cp-1 \
+       tail3=0x1.f032a7d8a0354p-2" );
+    ( "multisteal",
+      7,
+      {
+        d with
+        n = 16;
+        arrival_rate = 0.9;
+        policy =
+          Wsim.Policy.On_empty { threshold = 6; choices = 2; steal_count = 3 };
+      },
+      "multisteal: completed=25962 mean=0x1.0b66c26d24dedp+2 \
+       ci=0x1.2cc6170e5bffbp-5 p50=0x1.c9c0083f2f97cp+1 \
+       p95=0x1.3c8b392760ffap+3 p99=0x1.c6f10be09a6bdp+3 \
+       load=0x1.e210fd8be1ffep+1 att=3819 succ=1193 stolen=3579 reb=0 \
+       makespan=nan tail1=0x1.d2b2b8a20183ep-1 tail2=0x1.966d28ee7916p-1 \
+       tail3=0x1.497a93e2c289ap-1" );
+    ( "repeated",
+      11,
+      {
+        d with
+        n = 8;
+        arrival_rate = 0.85;
+        policy = Wsim.Policy.Repeated { retry_rate = 1.5; threshold = 2 };
+      },
+      "repeated: completed=12295 mean=0x1.2e5286d04c2dep+1 \
+       ci=0x1.464516e2b5eb2p-5 p50=0x1.baeaff45fd294p+0 \
+       p95=0x1.bf4917fec2a12p+2 p99=0x1.7a8260c865ffp+3 \
+       load=0x1.0247651f29942p+1 att=9463 succ=4017 stolen=4017 reb=0 \
+       makespan=nan tail1=0x1.b86cd69590833p-1 tail2=0x1.edad104cac38cp-2 \
+       tail3=0x1.178a9157a8732p-2" );
+    ( "transfer",
+      13,
+      {
+        d with
+        n = 16;
+        arrival_rate = 0.85;
+        policy =
+          Wsim.Policy.Transfer { transfer_rate = 0.5; threshold = 3; stages = 2 };
+      },
+      "transfer: completed=24432 mean=0x1.325c8dbf3df4bp+2 \
+       ci=0x1.aefe43db3f2c1p-5 p50=0x1.d77777d8fe77cp+1 \
+       p95=0x1.b8e96e857a37bp+3 p99=0x1.39149927e19fcp+4 \
+       load=0x1.0449a57f86586p+2 att=3869 succ=2068 stolen=2068 reb=0 \
+       makespan=nan tail1=0x1.b622f32212c88p-1 tail2=0x1.66f940676f115p-1 \
+       tail3=0x1.1a2f418d96b06p-1" );
+    ( "rebalance",
+      15,
+      {
+        d with
+        n = 8;
+        arrival_rate = 0.8;
+        policy =
+          Wsim.Policy.Rebalance { rate = (fun l -> if l = 0 then 1.0 else 0.2) };
+      },
+      "rebalance: completed=11428 mean=0x1.37310d1ddf366p+1 \
+       ci=0x1.1bb6d675f6cccp-5 p50=0x1.017a00d6a7132p+1 \
+       p95=0x1.8e2eceb1d3db4p+2 p99=0x1.0e058816f4017p+3 \
+       load=0x1.ee850d7b4b119p+0 att=0 succ=0 stolen=0 reb=2439 makespan=nan \
+       tail1=0x1.9725cd9d335eap-1 tail2=0x1.0ed3af8e3a585p-1 \
+       tail3=0x1.36c3284c1bd79p-2" );
+    ( "spawn",
+      17,
+      {
+        d with
+        n = 8;
+        arrival_rate = 0.5;
+        spawn_rate = 0.3;
+        policy = Wsim.Policy.simple;
+      },
+      "spawn: completed=10284 mean=0x1.60c09c1e5378p+1 \
+       ci=0x1.8734da95c0a9bp-5 p50=0x1.07bfceef0edc3p+1 \
+       p95=0x1.eaa167022adb8p+2 p99=0x1.872786142378ep+3 \
+       load=0x1.f7e7e63274ff7p+0 att=4202 succ=1983 stolen=1983 reb=0 \
+       makespan=nan tail1=0x1.739f8c0ee56f8p-1 tail2=0x1.d6d1d2d6530acp-2 \
+       tail3=0x1.2b3408cb30d25p-2" );
+    ( "batch-placement",
+      19,
+      {
+        d with
+        n = 16;
+        arrival_rate = 0.4;
+        batch_mean = 2.0;
+        placement = 2;
+        policy = Wsim.Policy.No_stealing;
+      },
+      "batch-placement: completed=23224 mean=0x1.f18ac7b61dda6p+1 \
+       ci=0x1.43721bf716281p-5 p50=0x1.976308b3ee62fp+1 \
+       p95=0x1.3e11873d5c51bp+3 p99=0x1.af484e8d0f0abp+3 \
+       load=0x1.9174c23dd197cp+1 att=0 succ=0 stolen=0 reb=0 makespan=nan \
+       tail1=0x1.9e36585aeda61p-1 tail2=0x1.5af453c8b9ccap-1 \
+       tail3=0x1.128ebf948b6cfp-1" );
+    ( "steal-half",
+      23,
+      {
+        d with
+        n = 16;
+        arrival_rate = 0.9;
+        policy = Wsim.Policy.Steal_half { threshold = 2; choices = 1 };
+      },
+      "steal-half: completed=26022 mean=0x1.8e4bccf4aeb29p+1 \
+       ci=0x1.e7a2151ba832ap-6 p50=0x1.44de9b391052p+1 \
+       p95=0x1.014478afeda01p+3 p99=0x1.6ff90af5841cdp+3 \
+       load=0x1.676dbe9f4ba4ep+1 att=7544 succ=4720 stolen=7662 reb=0 \
+       makespan=nan tail1=0x1.cda4834b169d8p-1 tail2=0x1.563334cf6de42p-1 \
+       tail3=0x1.cf6a0592e0c39p-2" );
+    ( "ring",
+      29,
+      {
+        d with
+        n = 16;
+        arrival_rate = 0.9;
+        policy = Wsim.Policy.Ring_steal { threshold = 2; radius = 2 };
+      },
+      "ring: completed=25726 mean=0x1.041276e6be6fep+2 \
+       ci=0x1.99a8140abed7ep-5 p50=0x1.6381f0332fc0ap+1 \
+       p95=0x1.95dbc985c8b65p+3 p99=0x1.55154fd3e7542p+4 \
+       load=0x1.d0c9681f61596p+1 att=7442 succ=4610 stolen=4610 reb=0 \
+       makespan=nan tail1=0x1.cdcad6659a968p-1 tail2=0x1.545593dd61a2ap-1 \
+       tail3=0x1.f70d732a1ba1p-2" );
+    ( "preemptive",
+      31,
+      {
+        d with
+        n = 8;
+        arrival_rate = 0.8;
+        policy = Wsim.Policy.Preemptive { begin_at = 1; offset = 3 };
+      },
+      "preemptive: completed=11714 mean=0x1.58744e69c1285p+1 \
+       ci=0x1.4d9aaa962305ap-5 p50=0x1.0d54319a3bc48p+1 \
+       p95=0x1.ce10d601b7952p+2 p99=0x1.50f1bbfe69f06p+3 \
+       load=0x1.17fcbb2410235p+1 att=7447 succ=2038 stolen=2038 reb=0 \
+       makespan=nan tail1=0x1.a101bd95cea63p-1 tail2=0x1.2b57d4fbb557p-1 \
+       tail3=0x1.6544062433f38p-2" );
+    ( "hetero",
+      41,
+      {
+        d with
+        n = 4;
+        arrival_rate = 0.5;
+        speeds = Some [| 0.5; 1.0; 1.5; 2.0 |];
+        policy = Wsim.Policy.No_stealing;
+      },
+      "hetero: completed=3523 mean=0x1.31d36dda994fbp+4 \
+       ci=0x1.0c80643aa166ep+0 p50=0x1.5157e71723353p+0 \
+       p95=0x1.5505591c595adp+6 p99=0x1.814df7fd3b447p+6 \
+       load=0x1.2bddc7d46d9e7p+3 att=0 succ=0 stolen=0 reb=0 makespan=nan \
+       tail1=0x1.0a82f7d475131p-1 tail2=0x1.6d0089ae3a729p-2 \
+       tail3=0x1.3466c8c740f83p-2" );
+  ]
+
+let test_golden_static () =
+  let rng = Prob.Rng.create ~seed:37 in
+  let sim =
+    Wsim.Cluster.create ~rng
+      {
+        Wsim.Cluster.default with
+        n = 16;
+        arrival_rate = 0.0;
+        initial_load = 4;
+        policy = Wsim.Policy.simple;
+      }
+  in
+  Alcotest.(check string) "static"
+    "static: completed=64 mean=0x1.1e9fedfeb0fbcp+1 ci=0x1.dc6e449d260b1p-2 \
+     p50=0x1.b7733a3ebc4ffp+0 p95=0x1.8a4a29c578572p+2 \
+     p99=0x1.a03b07b3925f2p+2 load=0x1.42686cb790904p+0 att=25 succ=9 \
+     stolen=9 reb=0 makespan=0x1.c72cac27ec3ep+2 tail1=0x1.0fd47181483a7p-1 \
+     tail2=0x1.73ddb691985p-2 tail3=0x1.08210aa17bbe9p-2"
+    (golden_line "static" (Wsim.Cluster.run_static sim))
+
+let test_golden_observed () =
+  let rng = Prob.Rng.create ~seed:43 in
+  let sim =
+    Wsim.Cluster.create ~rng
+      {
+        Wsim.Cluster.default with
+        n = 16;
+        arrival_rate = 0.9;
+        policy = Wsim.Policy.simple;
+      }
+  in
+  let acc = ref 0.0 in
+  let r =
+    Wsim.Cluster.run_observed sim ~horizon:500.0 ~warmup:50.0
+      ~sample_every:25.0 ~observe:(fun time tail ->
+        acc := !acc +. (time *. 1e-3) +. tail 1 +. (2.0 *. tail 3))
+  in
+  Alcotest.(check string) "observed"
+    "observed: checksum=0x1.578p+5 completed=6501 mean=0x1.92e00730b0072p+1"
+    (Printf.sprintf "observed: checksum=%h completed=%d mean=%h" !acc
+       r.Wsim.Cluster.completed r.Wsim.Cluster.mean_sojourn)
+
+(* ---------- allocation budget ---------- *)
+
+(* The steady-state event loop must not touch the minor heap. This is
+   only achievable when cross-module [@inline] is honoured: dune's dev
+   profile compiles with -opaque, which disables it, so a dev build
+   legitimately boxes floats at module boundaries. We calibrate at
+   runtime: a loop over Prob.Rng.float allocates ~0 words/call when
+   inlining is active and a boxed float per call otherwise. In an
+   inlined (release) build the budget is essentially zero; in an opaque
+   build we still enforce a regression bound well below the ~59
+   words/event the pre-rewrite hot path allocated. *)
+
+let test_allocation_budget () =
+  match Sys.backend_type with
+  | Sys.Bytecode | Sys.Other _ -> ()
+  | Sys.Native ->
+      let sink = Array.make 1 0.0 in
+      let g = Prob.Rng.create ~seed:1 in
+      let iters = 100_000 in
+      let w0 = Gc.minor_words () in
+      for _ = 1 to iters do
+        sink.(0) <- sink.(0) +. Prob.Rng.float g
+      done;
+      let calib = (Gc.minor_words () -. w0) /. float_of_int iters in
+      let inlined = calib < 0.5 in
+      let rng = Prob.Rng.create ~seed:5 in
+      let sim =
+        Wsim.Cluster.create ~rng
+          {
+            Wsim.Cluster.default with
+            n = 64;
+            arrival_rate = 0.9;
+            policy = Wsim.Policy.simple;
+          }
+      in
+      (* warm-up: grows the heap lanes, deques and the steal scratch
+         buffer to steady-state size so the measured window sees no
+         capacity doubling *)
+      Wsim.Cluster.advance sim ~until:2_000.0;
+      let e0 = Wsim.Cluster.events_dispatched sim in
+      let w0 = Gc.minor_words () in
+      Wsim.Cluster.advance sim ~until:12_000.0;
+      let dw = Gc.minor_words () -. w0 in
+      let de = Wsim.Cluster.events_dispatched sim - e0 in
+      let per_event = dw /. float_of_int de in
+      let budget = if inlined then 0.05 else 40.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "steady-state hot path within budget: %.3f words/event over %d \
+            events (calibration %.2f words/draw, budget %.2f)"
+           per_event de calib budget)
+        true
+        (per_event < budget)
+
 let () =
   Alcotest.run "sim"
     [
@@ -761,5 +1044,16 @@ let () =
           Alcotest.test_case "summarize single-run ci" `Quick
             test_summarize_single_run_ci;
           Alcotest.test_case "summarize empty" `Quick test_summarize_empty;
+        ] );
+      ( "golden",
+        List.map golden_case golden_cases
+        @ [
+            Alcotest.test_case "static" `Quick test_golden_static;
+            Alcotest.test_case "observed" `Quick test_golden_observed;
+          ] );
+      ( "allocation",
+        [
+          Alcotest.test_case "steady-state budget" `Quick
+            test_allocation_budget;
         ] );
     ]

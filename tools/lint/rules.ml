@@ -12,8 +12,10 @@
    R4 "missing-mli"   — every .ml under lib/ has a sibling .mli.
 
    Rules are purely syntactic (Parsetree, not Typedtree), so R2 detects
-   float shape from literals, annotations and float-arithmetic heads
-   rather than from inference — the cases that actually occur here. *)
+   float shape from literals, annotations, float-arithmetic heads and
+   file-local record labels declared float / float array (parallel-array
+   fields like [t.times.(i)]) rather than from inference — the cases
+   that actually occur here. *)
 
 open Parsetree
 
@@ -83,10 +85,59 @@ let is_float_type ct =
       | _ -> false)
   | _ -> false
 
+let is_float_array_type ct =
+  match ct.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, [ elt ]) -> (
+      match strip_stdlib (flatten txt) with
+      | [ "array" ] | [ "Array"; "t" ] -> is_float_type elt
+      | _ -> false)
+  | Ptyp_constr ({ txt; _ }, []) -> (
+      match strip_stdlib (flatten txt) with
+      | [ "floatarray" ] | [ "Float"; "Array"; "t" ] -> true
+      | _ -> false)
+  | _ -> false
+
+(* Record labels declared in this file with a float or float-array
+   type. A parallel-array engine reads as [t.times.(i)]: the element is
+   a float even though nothing at the use site says so, which is how a
+   polymorphic (=) slipped into Event_heap.precedes. Labels are
+   collected file-wide (purely syntactic, no scoping) — a false "float"
+   label would only make the lint stricter, never quieter. *)
+type label_kind = Lfloat | Lfloat_array
+
+let collect_float_labels structure =
+  let tbl = Hashtbl.create 16 in
+  let type_declaration self decl =
+    (match decl.ptype_kind with
+    | Ptype_record labels ->
+        List.iter
+          (fun l ->
+            if is_float_type l.pld_type then
+              Hashtbl.replace tbl l.pld_name.txt Lfloat
+            else if is_float_array_type l.pld_type then
+              Hashtbl.replace tbl l.pld_name.txt Lfloat_array)
+          labels
+    | _ -> ());
+    Ast_iterator.default_iterator.type_declaration self decl
+  in
+  let iter = { Ast_iterator.default_iterator with type_declaration } in
+  iter.structure iter structure;
+  tbl
+
+let field_label e =
+  match e.pexp_desc with
+  | Pexp_field (_, { txt; _ }) -> (
+      match List.rev (flatten txt) with l :: _ -> Some l | [] -> None)
+  | _ -> None
+
+let label_kind labels e =
+  match field_label e with Some l -> Hashtbl.find_opt labels l | None -> None
+
 (* Syntactic evidence that [e] is a float: a literal, a float constant
-   ident, a float annotation, or an application whose head is float
-   arithmetic or a [Float.*] producer. *)
-let float_shaped e =
+   ident, a float annotation, an application whose head is float
+   arithmetic or a [Float.*] producer, a field access through a
+   float-typed label, or an [Array.get] from a float-array label. *)
+let float_shaped ~labels e =
   match e.pexp_desc with
   | Pexp_constant (Pconst_float _) -> true
   | Pexp_ident { txt; _ } -> (
@@ -99,7 +150,8 @@ let float_shaped e =
           true
       | _ -> false)
   | Pexp_constraint (_, ct) -> is_float_type ct
-  | Pexp_apply (f, _) -> (
+  | Pexp_field _ -> label_kind labels e = Some Lfloat
+  | Pexp_apply (f, args) -> (
       match ident_path f with
       | Some [ op ] when List.mem op float_arith -> true
       | Some path when List.mem path float_fns -> true
@@ -108,15 +160,20 @@ let float_shaped e =
             (List.mem fn
                [ "equal"; "compare"; "is_nan"; "is_finite"; "is_integer";
                  "to_int"; "to_string"; "sign_bit" ])
+      | Some [ "Array"; ("get" | "unsafe_get") ] -> (
+          (* t.times.(i) parses as Array.get t.times i *)
+          match args with
+          | (_, arr) :: _ -> label_kind labels arr = Some Lfloat_array
+          | [] -> false)
       | _ -> false)
   | _ -> false
 
-let check_float_eq ~file push e =
+let check_float_eq ~file ~labels push e =
   match e.pexp_desc with
   | Pexp_apply (f, [ (_, a); (_, b) ]) -> (
       match ident_path f with
       | Some [ op ] when List.mem op poly_eq_ops ->
-          if float_shaped a || float_shaped b then
+          if float_shaped ~labels a || float_shaped ~labels b then
             push
               (Diag.of_location ~rule:Config.rule_float_eq ~file e.pexp_loc
                  (Printf.sprintf
@@ -124,7 +181,7 @@ let check_float_eq ~file push e =
                      tolerance helper from lib/numerics"
                     op))
       | Some [ "compare" ] ->
-          if float_shaped a || float_shaped b then
+          if float_shaped ~labels a || float_shaped ~labels b then
             push
               (Diag.of_location ~rule:Config.rule_float_eq ~file e.pexp_loc
                  "polymorphic compare on a float; use Float.compare")
@@ -282,9 +339,10 @@ let check_structure ~file structure =
   let acc = ref [] in
   let push d = acc := d :: !acc in
   let timing_allowed = Config.timing_allowed file in
+  let labels = collect_float_labels structure in
   let expr self e =
     check_determinism ~file ~timing_allowed push e;
-    check_float_eq ~file push e;
+    check_float_eq ~file ~labels push e;
     check_bare_compare_arg ~file push e;
     check_pool_lambdas ~file push e;
     Ast_iterator.default_iterator.expr self e
