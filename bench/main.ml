@@ -14,16 +14,22 @@
      main.exe speedup              serial vs parallel replicate, Table 4 load
      main.exe hotpath              events/sec + minor-words/event kernels
      main.exe hotpath --json F     also write the two metrics to F as JSON
-     main.exe compare --baseline F [--tolerance PCT] [--warn-only]
+     main.exe scaling              events/sec vs n, heap vs calendar queue
+     main.exe scaling --sizes 64,1024 --json F
+                                   restrict the n-sweep / write JSON
+     main.exe compare [--baseline F] [--tolerance PCT] [--warn-only]
                                    re-measure hotpath, diff vs committed
-                                   baseline (e.g. BENCH_0003.json)
+                                   baseline; defaults to the newest
+                                   BENCH_*.json in the working directory
 *)
 
 let usage () =
   print_endline
-    "usage: main.exe [kernels] [speedup] [hotpath] [compare] [experiment ...]\n\
+    "usage: main.exe [kernels] [speedup] [hotpath] [scaling] [compare]\n\
+    \       [experiment ...]\n\
     \       [--quick|--paper] [--seed N] [--domains N] [--json FILE]\n\
-    \       [--baseline FILE] [--tolerance PCT] [--warn-only]";
+    \       [--sizes N,N,...] [--baseline FILE] [--tolerance PCT] \
+     [--warn-only]";
   print_endline "experiments:";
   List.iter
     (fun e ->
@@ -42,6 +48,8 @@ type options = {
   kernels : bool;
   speedup : bool;
   hotpath : bool;
+  scaling : bool;
+  sizes : int list option;
   compare : bool;
   baseline : string option;
   tolerance : float;
@@ -60,6 +68,8 @@ let default_options =
     kernels = false;
     speedup = false;
     hotpath = false;
+    scaling = false;
+    sizes = None;
     compare = false;
     baseline = None;
     tolerance = 25.0;
@@ -101,6 +111,17 @@ let parse_options args =
           flag_value "--json" Option.some (fun f -> f <> "") rest
         in
         go { opts with json = Some json } rest
+    | "--sizes" :: rest ->
+        let sizes, rest =
+          flag_value "--sizes"
+            (fun v ->
+              let parts = String.split_on_char ',' v in
+              let ints = List.filter_map int_of_string_opt parts in
+              if List.length ints = List.length parts then Some ints else None)
+            (fun l -> l <> [] && List.for_all (fun n -> n >= 2) l)
+            rest
+        in
+        go { opts with sizes = Some sizes } rest
     | "--baseline" :: rest ->
         let baseline, rest =
           flag_value "--baseline" Option.some (fun f -> f <> "") rest
@@ -120,6 +141,7 @@ let parse_options args =
     | "kernels" :: rest -> go { opts with kernels = true } rest
     | "speedup" :: rest -> go { opts with speedup = true } rest
     | "hotpath" :: rest -> go { opts with hotpath = true } rest
+    | "scaling" :: rest -> go { opts with scaling = true } rest
     | "compare" :: rest -> go { opts with compare = true } rest
     | name :: rest -> go { opts with names = opts.names @ [ name ] } rest
   in
@@ -379,6 +401,91 @@ let run_hotpath ~json () =
   let eps, words = hotpath_measure () in
   Option.iter (fun file -> write_hotpath_json ~file ~eps ~words) json
 
+(* ---------- scaling kernels ---------- *)
+
+(* Dispatch throughput as a function of system size, heap vs calendar
+   queue. The binary heap pays O(log n) per event once the pending set
+   holds ~n timers; the calendar queue's O(1) buckets are what make the
+   n >= 1e5 regime affordable. Both schedulers dispatch the identical
+   event sequence, so the ratio is pure scheduler cost. *)
+let default_scaling_sizes = [ 64; 1024; 16384; 131072 ]
+
+let scaling_measure ~scheduler ~n =
+  let cfg =
+    {
+      Wsim.Cluster.default with
+      n;
+      arrival_rate = 0.9;
+      policy = Wsim.Policy.simple;
+      scheduler;
+    }
+  in
+  (* the simple system at lambda = 0.9 dispatches ~1.8n events per
+     simulated time unit; size the window for ~3M events so every n
+     gets a comparable measurement *)
+  let window = 3_000_000.0 /. (1.8 *. float_of_int n) in
+  let best = ref 0.0 in
+  for rep = 1 to 2 do
+    let rng = Prob.Rng.create ~seed:(200 + rep) in
+    let sim = Wsim.Cluster.create ~rng cfg in
+    Wsim.Cluster.advance sim ~until:30.0;
+    let e0 = Wsim.Cluster.events_dispatched sim in
+    let t0 = Unix.gettimeofday () in
+    Wsim.Cluster.advance sim ~until:(30.0 +. window);
+    let dt = Unix.gettimeofday () -. t0 in
+    let de = Wsim.Cluster.events_dispatched sim - e0 in
+    let eps = float_of_int de /. dt in
+    if eps > !best then best := eps
+  done;
+  !best
+
+let run_scaling ~sizes ~json () =
+  let sizes = Option.value sizes ~default:default_scaling_sizes in
+  print_endline
+    "scaling kernels (lambda=0.9, simple stealing; best of 2 reps over a \
+     ~3M-event window):";
+  let rows =
+    List.map
+      (fun n ->
+        let heap = scaling_measure ~scheduler:Wsim.Cluster.Heap ~n in
+        let calendar = scaling_measure ~scheduler:Wsim.Cluster.Calendar ~n in
+        Printf.printf
+          "  n=%-7d heap %10.0f ev/s   calendar %10.0f ev/s   ratio %5.2fx\n%!"
+          n heap calendar (calendar /. heap);
+        (n, heap, calendar))
+      sizes
+  in
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      output_string oc "{";
+      List.iteri
+        (fun i (n, heap, calendar) ->
+          Printf.fprintf oc
+            "%s\n\
+            \  \"scaling/n%d/heap_events_per_sec\": %.0f,\n\
+            \  \"scaling/n%d/calendar_events_per_sec\": %.0f"
+            (if i = 0 then "" else ",")
+            n heap n calendar)
+        rows;
+      output_string oc "\n}\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" file)
+    json
+
+(* Newest committed baseline: BENCH_ names carry a zero-padded PR
+   number, so the lexicographically greatest file is the latest. *)
+let newest_committed_baseline () =
+  Sys.readdir "." |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f > 6
+         && String.sub f 0 6 = "BENCH_"
+         && Filename.check_suffix f ".json")
+  |> List.sort (fun a b -> String.compare b a)
+  |> function
+  | best :: _ -> Some best
+  | [] -> None
+
 (* Minimal reader for the flat ["key": number] objects this binary (and
    the committed BENCH_*.json baselines) write; non-numeric values are
    ignored. *)
@@ -541,8 +648,9 @@ let () =
     let t0 = Unix.gettimeofday () in
     let experiments =
       match opts.names with
-      | [] when opts.kernels || opts.speedup || opts.hotpath || opts.compare
-        ->
+      | []
+        when opts.kernels || opts.speedup || opts.hotpath || opts.scaling
+             || opts.compare ->
           []
       | [] -> Experiments.Registry.all
       | names ->
@@ -571,14 +679,24 @@ let () =
     if opts.speedup then run_speedup scope;
     if opts.kernels then run_kernels ~json:opts.json ();
     if opts.hotpath then run_hotpath ~json:opts.json ();
+    if opts.scaling then run_scaling ~sizes:opts.sizes ~json:opts.json ();
     if opts.compare then begin
-      match opts.baseline with
-      | None ->
-          prerr_endline "compare needs --baseline FILE";
-          exit 2
-      | Some baseline ->
-          run_compare ~baseline ~tolerance:opts.tolerance
-            ~warn_only:opts.warn_only ~json:opts.json ()
+      let baseline =
+        match opts.baseline with
+        | Some b -> b
+        | None -> (
+            match newest_committed_baseline () with
+            | Some b ->
+                Printf.printf "compare: auto-selected baseline %s\n" b;
+                b
+            | None ->
+                prerr_endline
+                  "compare: no --baseline given and no committed \
+                   BENCH_*.json found";
+                exit 2)
+      in
+      run_compare ~baseline ~tolerance:opts.tolerance
+        ~warn_only:opts.warn_only ~json:opts.json ()
     end;
     Format.fprintf ppf "total wall time: %.1f s@."
       (Unix.gettimeofday () -. t0)

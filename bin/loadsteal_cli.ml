@@ -79,7 +79,7 @@ let trajectory_cmd =
           $ Model_args.params_term $ horizon $ sample_every $ start)
 
 let print_simulate policy_name params n horizon warmup runs seed service
-    initial_load =
+    initial_load scheduler =
   let policy = Model_args.build_policy policy_name params in
   let service =
     match service with
@@ -101,6 +101,7 @@ let print_simulate policy_name params n horizon warmup runs seed service
       initial_load;
       placement = 1;
       batch_mean = 1.0;
+      scheduler;
     }
   in
   let fidelity = { Wsim.Runner.runs; horizon; warmup } in
@@ -149,12 +150,24 @@ let simulate_cmd =
     Arg.(value & opt int 0 & info [ "initial-load" ] ~docv:"L"
          ~doc:"Tasks seeded per processor at time 0.")
   in
+  let scheduler =
+    Arg.(value
+         & opt
+             (enum
+                [ ("heap", Wsim.Cluster.Heap);
+                  ("calendar", Wsim.Cluster.Calendar) ])
+             Wsim.Cluster.Heap
+         & info [ "scheduler" ] ~docv:"SCHED"
+             ~doc:"Future-event set: $(b,heap) (binary heap) or \
+                   $(b,calendar) (calendar queue, faster for large N). \
+                   Results are bit-identical either way.")
+  in
   let doc = "Simulate a finite cluster under a stealing policy." in
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(const print_simulate $ Model_args.policy_term
           $ Model_args.params_term $ n $ horizon $ warmup $ runs $ seed
-          $ service $ initial_load)
+          $ service $ initial_load $ scheduler)
 
 let scope_term =
   let quick =

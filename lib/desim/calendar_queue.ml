@@ -1,0 +1,504 @@
+(* Bucketed calendar queue (Brown 1988) over the same four parallel
+   lanes as {!Packed_heap}: time, insertion seq, int payload, aux float.
+
+   Events hash into a power-of-two ring of buckets by their *virtual
+   bucket* vb = trunc (time / width). Truncation is monotone
+   non-decreasing in time, so the event with the minimum (time, seq) key
+   always lives in the smallest occupied vb, and equal times always
+   share a vb — which is what lets extract-min scan forward to the first
+   occupied bucket and compare only inside it. Events whose vb falls
+   beyond the current window of [nbuckets] consecutive vbs go to an
+   unsorted overflow with a cached minimum; the true root is the
+   (time, seq)-min of the first occupied bucket's min and the overflow
+   min, so dispatch order is bit-identical to {!Packed_heap} even when
+   equal-time events straddle the bucket/overflow split.
+
+   The bucket width is performance-only — it can never change the
+   dispatch order, only how many events share a bucket — and adapts to
+   the observed gap between consecutively dequeued times: every resize
+   re-derives it, and extract-min checks a rolling gap sample every
+   ~size dequeues, rebuilding when the sample says the width is more
+   than 2x off target. Stationary populations (whose size never crosses
+   a resize threshold) therefore still converge to a width that spreads
+   events a few per bucket, keeping insert and extract-min O(1)
+   amortized. *)
+
+(* Single-field float record: flat, so the per-event stores to the gap
+   accumulator and last-dequeue stamp are unboxed (see Packed_engine). *)
+type cell = { mutable v : float }
+
+type t = {
+  (* bucket ring, structure-of-arrays; rows grow on demand and empty
+     rows alias the shared [||] *)
+  mutable bucket_times : float array array;
+  mutable bucket_seqs : int array array;
+  mutable bucket_payloads : int array array;
+  mutable bucket_aux : float array array;
+  mutable bucket_len : int array;
+  mutable nbuckets : int; (* power of two *)
+  mutable cur_vb : int; (* window front: bucket events have
+                           vb in [cur_vb, cur_vb + nbuckets) *)
+  width : cell; (* bucket width; > 0, finite *)
+  (* far-future overflow, unsorted *)
+  mutable ov_times : float array;
+  mutable ov_seqs : int array;
+  mutable ov_payloads : int array;
+  mutable ov_aux : float array;
+  mutable ov_len : int;
+  mutable ov_min : int; (* index of the overflow min; -1 = recompute *)
+  mutable size : int;
+  mutable next_seq : int;
+  (* cached root location, valid while [root_known] *)
+  mutable root_known : bool;
+  mutable root_in_ov : bool;
+  mutable root_bucket : int;
+  mutable root_pos : int;
+  (* width adaptation: gaps between consecutively dequeued times *)
+  last_time : cell; (* nan before the first dequeue *)
+  gap_sum : cell;
+  mutable gap_count : int;
+}
+
+let min_buckets = 16
+let max_buckets = 1 lsl 20
+let no_row : float array = [||]
+let no_irow : int array = [||]
+
+let rec pow2_at_least k n = if n >= k then n else pow2_at_least k (2 * n)
+
+let create ?(capacity = 256) () =
+  let nbuckets =
+    min max_buckets (pow2_at_least (max min_buckets (capacity / 4)) min_buckets)
+  in
+  {
+    bucket_times = Array.make nbuckets no_row;
+    bucket_seqs = Array.make nbuckets no_irow;
+    bucket_payloads = Array.make nbuckets no_irow;
+    bucket_aux = Array.make nbuckets no_row;
+    bucket_len = Array.make nbuckets 0;
+    nbuckets;
+    cur_vb = 0;
+    width = { v = 1.0 };
+    ov_times = Array.make 16 0.0;
+    ov_seqs = Array.make 16 0;
+    ov_payloads = Array.make 16 0;
+    ov_aux = Array.make 16 0.0;
+    ov_len = 0;
+    ov_min = -1;
+    size = 0;
+    next_seq = 0;
+    root_known = false;
+    root_in_ov = false;
+    root_bucket = 0;
+    root_pos = 0;
+    last_time = { v = nan };
+    gap_sum = { v = 0.0 };
+    gap_count = 0;
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+(* (time, seq) lexicographic order, exactly Packed_heap.precedes. *)
+let[@inline] precedes_key t1 s1 t2 s2 =
+  t1 < t2 || (Float.equal t1 t2 && s1 < s2)
+
+(* Virtual bucket of [time]. The quotient is clamped well inside int
+   range (1e15 < 2^53 < max_int on 64-bit), so a huge time or a tiny
+   width cannot overflow the conversion; clamped events collapse into
+   one far bucket where the in-bucket (time, seq) scan still orders
+   them exactly. *)
+let[@inline] vb_of t time =
+  let q = time /. t.width.v in
+  if q >= 1e15 then 1_000_000_000_000_000
+  else if q <= -1e15 then -1_000_000_000_000_000
+  else int_of_float q
+
+(* ---- raw insertion (no root-cache maintenance) ---- *)
+
+let bucket_add_raw t b time seq payload aux =
+  let len = t.bucket_len.(b) in
+  if len = Array.length t.bucket_times.(b) then begin
+    let cap = if len = 0 then 4 else 2 * len in
+    let times = Array.make cap 0.0 in
+    let seqs = Array.make cap 0 in
+    let payloads = Array.make cap 0 in
+    let auxs = Array.make cap 0.0 in
+    Array.blit t.bucket_times.(b) 0 times 0 len;
+    Array.blit t.bucket_seqs.(b) 0 seqs 0 len;
+    Array.blit t.bucket_payloads.(b) 0 payloads 0 len;
+    Array.blit t.bucket_aux.(b) 0 auxs 0 len;
+    t.bucket_times.(b) <- times;
+    t.bucket_seqs.(b) <- seqs;
+    t.bucket_payloads.(b) <- payloads;
+    t.bucket_aux.(b) <- auxs
+  end;
+  t.bucket_times.(b).(len) <- time;
+  t.bucket_seqs.(b).(len) <- seq;
+  t.bucket_payloads.(b).(len) <- payload;
+  t.bucket_aux.(b).(len) <- aux;
+  t.bucket_len.(b) <- len + 1
+
+let ov_add_raw t time seq payload aux =
+  let len = t.ov_len in
+  if len = Array.length t.ov_times then begin
+    let cap = 2 * len in
+    let times = Array.make cap 0.0 in
+    let seqs = Array.make cap 0 in
+    let payloads = Array.make cap 0 in
+    let auxs = Array.make cap 0.0 in
+    Array.blit t.ov_times 0 times 0 len;
+    Array.blit t.ov_seqs 0 seqs 0 len;
+    Array.blit t.ov_payloads 0 payloads 0 len;
+    Array.blit t.ov_aux 0 auxs 0 len;
+    t.ov_times <- times;
+    t.ov_seqs <- seqs;
+    t.ov_payloads <- payloads;
+    t.ov_aux <- auxs
+  end;
+  t.ov_times.(len) <- time;
+  t.ov_seqs.(len) <- seq;
+  t.ov_payloads.(len) <- payload;
+  t.ov_aux.(len) <- aux;
+  t.ov_len <- len + 1
+
+let ov_ensure_min t =
+  if t.ov_min < 0 && t.ov_len > 0 then begin
+    let best = ref 0 in
+    for i = 1 to t.ov_len - 1 do
+      if
+        precedes_key t.ov_times.(i) t.ov_seqs.(i) t.ov_times.(!best)
+          t.ov_seqs.(!best)
+      then best := i
+    done;
+    t.ov_min <- !best
+  end
+
+(* ---- rehash: new geometry (resize, width change, window rewind) ---- *)
+
+(* Next width from the dequeue-gap sample, falling back to the current
+   one. The window spans nbuckets * width; with resize keeping nbuckets
+   within [size, 4*size] and a width of [width_factor] average gaps,
+   that span covers several mean event lifetimes, so almost every
+   insert lands in a bucket (not the overflow) while a bucket still
+   holds only a handful of events. The width only ever influences
+   bucket placement, never comparison results. *)
+let width_factor = 4.0
+
+let adapted_width t =
+  if t.gap_count >= 16 then begin
+    let avg = t.gap_sum.v /. float_of_int t.gap_count in
+    t.gap_sum.v <- 0.0;
+    t.gap_count <- 0;
+    let w = width_factor *. avg in
+    if Float.is_finite w && w > 0.0 then w else t.width.v
+  end
+  else t.width.v
+
+let rehash t new_nbuckets =
+  let n = t.size in
+  let times = Array.make (max n 1) 0.0 in
+  let seqs = Array.make (max n 1) 0 in
+  let payloads = Array.make (max n 1) 0 in
+  let auxs = Array.make (max n 1) 0.0 in
+  let k = ref 0 in
+  for b = 0 to t.nbuckets - 1 do
+    let bt = t.bucket_times.(b) in
+    let bs = t.bucket_seqs.(b) in
+    let bp = t.bucket_payloads.(b) in
+    let ba = t.bucket_aux.(b) in
+    for j = 0 to t.bucket_len.(b) - 1 do
+      times.(!k) <- bt.(j);
+      seqs.(!k) <- bs.(j);
+      payloads.(!k) <- bp.(j);
+      auxs.(!k) <- ba.(j);
+      incr k
+    done
+  done;
+  for i = 0 to t.ov_len - 1 do
+    times.(!k) <- t.ov_times.(i);
+    seqs.(!k) <- t.ov_seqs.(i);
+    payloads.(!k) <- t.ov_payloads.(i);
+    auxs.(!k) <- t.ov_aux.(i);
+    incr k
+  done;
+  t.nbuckets <- new_nbuckets;
+  t.width.v <- adapted_width t;
+  t.bucket_times <- Array.make new_nbuckets no_row;
+  t.bucket_seqs <- Array.make new_nbuckets no_irow;
+  t.bucket_payloads <- Array.make new_nbuckets no_irow;
+  t.bucket_aux <- Array.make new_nbuckets no_row;
+  t.bucket_len <- Array.make new_nbuckets 0;
+  t.ov_len <- 0;
+  t.ov_min <- -1;
+  t.root_known <- false;
+  if n = 0 then t.cur_vb <- 0
+  else begin
+    let minvb = ref max_int in
+    for i = 0 to n - 1 do
+      let vb = vb_of t times.(i) in
+      if vb < !minvb then minvb := vb
+    done;
+    t.cur_vb <- !minvb;
+    let mask = new_nbuckets - 1 in
+    for i = 0 to n - 1 do
+      let vb = vb_of t times.(i) in
+      if vb < t.cur_vb + new_nbuckets then
+        bucket_add_raw t (vb land mask) times.(i) seqs.(i) payloads.(i)
+          auxs.(i)
+      else ov_add_raw t times.(i) seqs.(i) payloads.(i) auxs.(i)
+    done
+  end
+
+(* ---- push ---- *)
+
+let[@inline] cached_root_time t =
+  if t.root_in_ov then t.ov_times.(t.root_pos)
+  else t.bucket_times.(t.root_bucket).(t.root_pos)
+
+let[@inline] cached_root_seq t =
+  if t.root_in_ov then t.ov_seqs.(t.root_pos)
+  else t.bucket_seqs.(t.root_bucket).(t.root_pos)
+
+(* A freshly inserted event can only displace the cached root, never
+   invalidate its location: insertions append, removals go through
+   {!drop_root} which drops the cache. *)
+let[@inline] note_candidate t ~in_ov ~bucket ~pos ~time ~seq =
+  if t.root_known then
+    if precedes_key time seq (cached_root_time t) (cached_root_seq t) then begin
+      t.root_in_ov <- in_ov;
+      t.root_bucket <- bucket;
+      t.root_pos <- pos
+    end
+
+let push t ~time ~payload ~aux =
+  if Float.is_nan time then invalid_arg "Calendar_queue.push: NaN time";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.size <- t.size + 1;
+  let vb = vb_of t time in
+  if vb < t.cur_vb then begin
+    (* past-window insert: park it in overflow and rebuild the window
+       from the new minimum vb (rare — the engine never schedules in
+       the past, so only tests and ad-hoc callers land here) *)
+    ov_add_raw t time seq payload aux;
+    rehash t t.nbuckets
+  end
+  else if vb >= t.cur_vb + t.nbuckets then begin
+    ov_add_raw t time seq payload aux;
+    let pos = t.ov_len - 1 in
+    if t.ov_len = 1 then t.ov_min <- 0
+    else if
+      t.ov_min >= 0
+      && precedes_key time seq t.ov_times.(t.ov_min) t.ov_seqs.(t.ov_min)
+    then t.ov_min <- pos;
+    note_candidate t ~in_ov:true ~bucket:0 ~pos ~time ~seq
+  end
+  else begin
+    let b = vb land (t.nbuckets - 1) in
+    bucket_add_raw t b time seq payload aux;
+    note_candidate t ~in_ov:false ~bucket:b ~pos:(t.bucket_len.(b) - 1) ~time
+      ~seq
+  end;
+  if t.size > t.nbuckets && t.nbuckets < max_buckets then
+    rehash t (2 * t.nbuckets)
+
+(* ---- extract-min ---- *)
+
+(* Advance the window front to the first occupied bucket and point the
+   root cache at that bucket's (time, seq) minimum. Requires at least
+   one bucket event. Skipped buckets hold no events (each bucket holds
+   only its unique in-window vb), so moving [cur_vb] forward preserves
+   the window invariant; the scan resumes from wherever the last
+   extraction left the front, so empty-bucket skips are paid once. *)
+let bucket_candidate t =
+  let mask = t.nbuckets - 1 in
+  let vb = ref t.cur_vb in
+  while t.bucket_len.(!vb land mask) = 0 do
+    incr vb
+  done;
+  t.cur_vb <- !vb;
+  let b = !vb land mask in
+  let bt = t.bucket_times.(b) in
+  let bs = t.bucket_seqs.(b) in
+  let best = ref 0 in
+  for j = 1 to t.bucket_len.(b) - 1 do
+    if precedes_key bt.(j) bs.(j) bt.(!best) bs.(!best) then best := j
+  done;
+  t.root_in_ov <- false;
+  t.root_bucket <- b;
+  t.root_pos <- !best
+
+(* Recompute the overflow minimum and, in the same pass, migrate into
+   the bucket ring every overflow event whose vb has entered the
+   current window: the front only advances, so far-future events become
+   near-future ones, and draining them here keeps later extract-mins on
+   the cheap bucket path instead of re-scanning the overflow per
+   dequeue. Events whose vb has fallen *behind* the front stay in
+   overflow (filing them under a wrapped ring slot would break the
+   one-vb-per-bucket invariant); the root comparison below dispatches
+   them promptly. *)
+let ov_migrate_and_min t =
+  let mask = t.nbuckets - 1 in
+  let limit = t.cur_vb + t.nbuckets in
+  let w = ref 0 in
+  let best = ref (-1) in
+  for i = 0 to t.ov_len - 1 do
+    let time = t.ov_times.(i) in
+    let vb = vb_of t time in
+    if vb >= t.cur_vb && vb < limit then
+      bucket_add_raw t (vb land mask) time t.ov_seqs.(i) t.ov_payloads.(i)
+        t.ov_aux.(i)
+    else begin
+      t.ov_times.(!w) <- time;
+      t.ov_seqs.(!w) <- t.ov_seqs.(i);
+      t.ov_payloads.(!w) <- t.ov_payloads.(i);
+      t.ov_aux.(!w) <- t.ov_aux.(i);
+      if
+        !best < 0
+        || precedes_key time t.ov_seqs.(!w) t.ov_times.(!best)
+             t.ov_seqs.(!best)
+      then best := !w;
+      incr w
+    end
+  done;
+  t.ov_len <- !w;
+  t.ov_min <- !best
+
+let ensure_root t =
+  if (not t.root_known) && t.size > 0 then begin
+    (* a dirty overflow minimum forces a full overflow scan anyway, so
+       fold the window migration into it *)
+    if t.ov_len > 0 && t.ov_min < 0 then ov_migrate_and_min t;
+    if t.size - t.ov_len = 0 then begin
+      (* every pending event sits beyond the window: jump the front to
+         the overflow minimum's vb and migrate — its min lands in the
+         front bucket, so the scan below terminates immediately *)
+      ov_ensure_min t;
+      t.cur_vb <- vb_of t t.ov_times.(t.ov_min);
+      ov_migrate_and_min t
+    end;
+    bucket_candidate t;
+    (* an overflow event can precede every bucket event (it was filed
+       under an earlier window); the root is the precedes-min of the
+       two candidates, which also breaks equal-time ties that straddle
+       the bucket/overflow split by seq. [ov_min] is valid here: every
+       path that dirtied it above also recomputed it *)
+    if t.ov_len > 0 then begin
+      let m = t.ov_min in
+      if
+        precedes_key t.ov_times.(m) t.ov_seqs.(m) (cached_root_time t)
+          (cached_root_seq t)
+      then begin
+        t.root_in_ov <- true;
+        t.root_pos <- m
+      end
+    end;
+    t.root_known <- true
+  end
+
+let[@inline] root_time t =
+  if t.size = 0 then 0.0
+  else begin
+    ensure_root t;
+    cached_root_time t
+  end
+
+let[@inline] root_payload t =
+  if t.size = 0 then 0
+  else begin
+    ensure_root t;
+    if t.root_in_ov then t.ov_payloads.(t.root_pos)
+    else t.bucket_payloads.(t.root_bucket).(t.root_pos)
+  end
+
+let[@inline] root_aux t =
+  if t.size = 0 then 0.0
+  else begin
+    ensure_root t;
+    if t.root_in_ov then t.ov_aux.(t.root_pos)
+    else t.bucket_aux.(t.root_bucket).(t.root_pos)
+  end
+
+let drop_root t =
+  if t.size = 0 then invalid_arg "Calendar_queue.drop_root: empty queue";
+  ensure_root t;
+  let time = cached_root_time t in
+  (* sample the inter-dequeue gap for the next width adaptation *)
+  if not (Float.is_nan t.last_time.v) then begin
+    let gap = time -. t.last_time.v in
+    if gap > 0.0 && Float.is_finite gap then begin
+      t.gap_sum.v <- t.gap_sum.v +. gap;
+      t.gap_count <- t.gap_count + 1
+    end
+  end;
+  t.last_time.v <- time;
+  (* remove by swap-with-last at the cached location *)
+  if t.root_in_ov then begin
+    let last = t.ov_len - 1 in
+    let p = t.root_pos in
+    t.ov_times.(p) <- t.ov_times.(last);
+    t.ov_seqs.(p) <- t.ov_seqs.(last);
+    t.ov_payloads.(p) <- t.ov_payloads.(last);
+    t.ov_aux.(p) <- t.ov_aux.(last);
+    t.ov_len <- last;
+    t.ov_min <- -1
+  end
+  else begin
+    let b = t.root_bucket in
+    let last = t.bucket_len.(b) - 1 in
+    let p = t.root_pos in
+    t.bucket_times.(b).(p) <- t.bucket_times.(b).(last);
+    t.bucket_seqs.(b).(p) <- t.bucket_seqs.(b).(last);
+    t.bucket_payloads.(b).(p) <- t.bucket_payloads.(b).(last);
+    t.bucket_aux.(b).(p) <- t.bucket_aux.(b).(last);
+    t.bucket_len.(b) <- last
+  end;
+  t.size <- t.size - 1;
+  t.root_known <- false;
+  if t.nbuckets > min_buckets && t.size < t.nbuckets / 4 then
+    rehash t (t.nbuckets / 2)
+  else if t.gap_count >= max 64 (t.size / 2) then begin
+    (* The width only changes inside a rehash, and a stationary
+       population never crosses the size thresholds — so without this
+       check a bad initial width (all events in two or three buckets,
+       O(size) scans per dequeue) would persist forever. Every ~size
+       dequeues, compare the rolling gap sample's target against the
+       current width and rebuild when it is more than 2x off; the
+       rebuild costs O(size + nbuckets) amortized over at least
+       max(64, size/2) dequeues, and a converged width never
+       triggers. *)
+    let target = width_factor *. (t.gap_sum.v /. float_of_int t.gap_count) in
+    if
+      Float.is_finite target
+      && target > 0.0
+      && (target < 0.5 *. t.width.v || target > 2.0 *. t.width.v)
+    then rehash t t.nbuckets
+    else begin
+      t.gap_sum.v <- 0.0;
+      t.gap_count <- 0
+    end
+  end
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let time = root_time t in
+    let payload = root_payload t in
+    let aux = root_aux t in
+    drop_root t;
+    Some (time, payload, aux)
+  end
+
+let clear t =
+  Array.fill t.bucket_len 0 t.nbuckets 0;
+  t.ov_len <- 0;
+  t.ov_min <- -1;
+  t.size <- 0;
+  t.next_seq <- 0;
+  t.cur_vb <- 0;
+  t.root_known <- false;
+  t.width.v <- 1.0;
+  t.last_time.v <- nan;
+  t.gap_sum.v <- 0.0;
+  t.gap_count <- 0

@@ -1,0 +1,54 @@
+(** Bucketed calendar queue (timing wheel) over the same packed lanes as
+    {!Packed_heap}: O(1) amortized insert and extract-min instead of the
+    heap's O(log m), which is what makes simulations with pending-event
+    sets in the hundreds of thousands (n >= 1e5 processors) tractable.
+
+    Dispatch order is {e exactly} the heap's (time, insertion-seq)
+    lexicographic order: the bucket width only decides which bucket an
+    event waits in, never how two events compare, so swapping this
+    structure for {!Packed_heap} leaves every simulation trajectory
+    bit-identical (see DESIGN.md section 5.7 for the argument). The
+    width adapts to the observed inter-dequeue gap at each resize; a
+    far-future overflow list keeps bursty or long-horizon schedules from
+    degrading the bucket ring.
+
+    Not thread-safe; one queue per domain, like the rest of [Desim]. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [create ?capacity ()] sizes the bucket ring for roughly [capacity]
+    pending events (default 256). The ring grows and shrinks
+    automatically; the hint only avoids early rehashes. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val push : t -> time:float -> payload:int -> aux:float -> unit
+(** O(1) amortized. Raises [Invalid_argument] if [time] is NaN. Events
+    with equal times dequeue in push order (FIFO), exactly like
+    {!Packed_heap.push}. Times in the past (before the last extracted
+    event) are accepted and trigger a window rebuild. *)
+
+val root_time : t -> float
+(** Time of the next event, 0.0 if empty. O(1) amortized: the root
+    location is found once and cached until the queue changes. *)
+
+val root_payload : t -> int
+(** Payload of the next event, 0 if empty. *)
+
+val root_aux : t -> float
+(** Aux float of the next event, 0.0 if empty. *)
+
+val drop_root : t -> unit
+(** Remove the next event. Raises [Invalid_argument] if empty. *)
+
+val pop : t -> (float * int * float) option
+(** [pop t] removes and returns [(time, payload, aux)] of the next
+    event. Allocates; the engine hot path uses the [root_*]/[drop_root]
+    protocol instead. *)
+
+val clear : t -> unit
+(** Reset to empty — length, FIFO sequence counter, window position and
+    adaptive width all return to their initial state — while keeping
+    the bucket and overflow arrays allocated for reuse. *)

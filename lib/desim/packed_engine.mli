@@ -15,8 +15,21 @@
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** Fresh engine with the clock at 0. *)
+type scheduler = Heap | Calendar
+(** The future-event set implementation. [Heap] is {!Packed_heap}:
+    O(log m) per operation, the leanest constant factor for small
+    pending sets. [Calendar] is {!Calendar_queue}: O(1) amortized,
+    which wins once the pending set grows with the simulated system
+    size. Both dispatch in the exact same (time, FIFO seq) order, so
+    the selection can never change a simulation's trajectory — only
+    its speed. *)
+
+val create : ?capacity:int -> ?scheduler:scheduler -> unit -> t
+(** Fresh engine with the clock at 0, using the given future-event set
+    implementation (default [Heap]). *)
+
+val scheduler : t -> scheduler
+(** Which future-event set this engine was created with. *)
 
 val now : t -> float
 (** Current simulation time. During a handler call this is the
@@ -56,3 +69,10 @@ val run : until:float -> t -> handler:(int -> unit) -> unit
 val run_until_empty : t -> handler:(int -> unit) -> unit
 (** Dispatch until no events remain (the caller must guarantee the
     event population dies out). *)
+
+val clear : t -> unit
+(** Reset the engine to its freshly created state — clock at 0, no
+    pending events, dispatch counter and FIFO sequence numbering back
+    to 0 — without freeing the underlying event lanes. Replication
+    sweeps use this to reuse one engine's buffers across replicas
+    while keeping every replica bit-identical to a fresh-engine run. *)

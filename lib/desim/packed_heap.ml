@@ -123,4 +123,6 @@ let pop t =
     Some (time, payload, aux)
   end
 
-let clear t = t.size <- 0
+let clear t =
+  t.size <- 0;
+  t.next_seq <- 0

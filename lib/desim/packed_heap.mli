@@ -42,3 +42,7 @@ val pop : t -> (float * int * float) option
     Allocates the tuple — use the accessors on hot paths. *)
 
 val clear : t -> unit
+(** Reset to empty — both the length and the FIFO sequence counter —
+    without freeing the lanes, so an engine reused across replicas
+    keeps its warmed buffers and still dispatches identically to a
+    freshly created one. *)

@@ -1,0 +1,21 @@
+(** Experiment E15: empirical rate of convergence to the mean-field limit.
+
+    The paper's mean-field estimates are exact only as [n → ∞]; Kurtz's
+    theorem bounds the finite-[n] deviation by [O(1/√n)]. This experiment
+    measures that rate directly: for system sizes doubling from 16 past
+    the scope's largest size, it simulates the simple work-stealing
+    system (on the calendar-queue scheduler, which is what makes the
+    large-[n] end of the sweep affordable) and reports the max-norm
+    distance between the replication-averaged steady-state tails
+    [s₁ … s₈] and the closed-form fixed point [π]. Each doubling should
+    shrink the distance by roughly [√2]. *)
+
+type row = {
+  n : int;
+  distance : float;  (** [maxᵢ |s̄ᵢ(n) − πᵢ|] over levels 1–8. *)
+  ratio : float;  (** [distance(n/2) / distance(n)]; [nan] on the first row. *)
+}
+
+val lambda : float
+val compute : Scope.t -> row list
+val print : Scope.t -> Format.formatter -> unit

@@ -78,6 +78,11 @@ let all =
       paper_ref = "E14: trajectory-level ODE vs simulation (Kurtz limit)";
       print = Exp_transient.print;
     };
+    {
+      name = "convergence";
+      paper_ref = "E15: empirical convergence rate to the mean-field limit";
+      print = Exp_convergence.print;
+    };
   ]
 
 (* Every mean-field model variant the experiments above instantiate,

@@ -1,5 +1,9 @@
 open Prob
 
+(* Re-exported so callers pick a future-event set with
+   [Wsim.Cluster.Calendar] and no direct Desim dependency. *)
+type scheduler = Desim.Packed_engine.scheduler = Heap | Calendar
+
 type config = {
   n : int;
   arrival_rate : float;
@@ -10,6 +14,7 @@ type config = {
   initial_load : int;
   placement : int;
   batch_mean : float;
+  scheduler : scheduler;
 }
 
 let default =
@@ -23,6 +28,7 @@ let default =
     initial_load = 0;
     placement = 1;
     batch_mean = 1.0;
+    scheduler = Heap;
   }
 
 type result = {
@@ -114,12 +120,38 @@ type t = {
   mutable completed : int;
   last_completion : cell;
   mutable scratch : float array; (* reused stamp buffer for multi-steals *)
+  mutable occ : int array; (* occ.(i): processors with load >= i *)
   mutable handler : int -> unit; (* dispatch closure, built once *)
 }
 
 let load p = Fdeque.length p.queue + if p.busy then 1 else 0
 let[@inline] now t = Desim.Packed_engine.now t.engine
 let events_dispatched t = Desim.Packed_engine.dispatched t.engine
+
+(* ---- incremental load-level occupancy ----
+
+   A processor's load only ever changes by exactly 1, in exactly three
+   places: [add_task] (+1), [remove_tail_task] (-1) and [on_completion]
+   (-1; both its branches net one task out). Maintaining the >= i
+   counts at those three hooks makes [instantaneous_tail] a single
+   array read instead of an O(n) scan per sampled level — the same
+   integer count divided by the same n, so observed trajectories stay
+   bit-identical. *)
+
+let occ_grow t level =
+  let len = Array.length t.occ in
+  let bigger = Array.make (max (2 * len) (level + 1)) 0 in
+  Array.blit t.occ 0 bigger 0 len;
+  t.occ <- bigger
+
+(* a processor's load just rose to [level] *)
+let[@inline] occ_raise t level =
+  if level >= Array.length t.occ then occ_grow t level;
+  t.occ.(level) <- t.occ.(level) + 1
+
+(* a processor's load just fell from [level] (raised earlier, so the
+   slot exists) *)
+let[@inline] occ_fall t level = t.occ.(level) <- t.occ.(level) - 1
 
 (* ---- time-weighted occupancy ---- *)
 
@@ -200,6 +232,7 @@ let[@inline] add_task t p stamp =
   note_load t p;
   if p.busy then Fdeque.push_back p.queue stamp else start_service t p stamp;
   t.total_tasks <- t.total_tasks + 1;
+  occ_raise t (old_load + 1);
   sync_timers t p ~old_load
 
 (* Remove one task from the tail of v's queue, returning its stamp. The
@@ -209,6 +242,7 @@ let[@inline] remove_tail_task t v =
   note_load t v;
   let stamp = Fdeque.pop_back v.queue in
   t.total_tasks <- t.total_tasks - 1;
+  occ_fall t old_load;
   sync_timers t v ~old_load;
   stamp
 
@@ -393,6 +427,7 @@ let on_completion t p =
     let next = Fdeque.pop_front p.queue in
     start_service t p next
   end;
+  occ_fall t old_load;
   sync_timers t p ~old_load;
   post_completion_policy t p
 
@@ -486,7 +521,7 @@ let handle t packed =
 
 (* ---- lifecycle ---- *)
 
-let create ~rng cfg =
+let create ?engine ~rng cfg =
   Policy.validate cfg.policy;
   if cfg.n < 1 then invalid_arg "Cluster.create: need at least 1 processor";
   if cfg.n > max_procs then
@@ -516,7 +551,21 @@ let create ~rng cfg =
             invalid_arg "Cluster.create: speeds must be positive")
         sp
   | None -> ());
-  let engine = Desim.Packed_engine.create ~capacity:(4 * cfg.n) () in
+  let engine =
+    (* reuse a caller-provided engine (cleared, so the run is
+       bit-identical to a fresh one) when its future-event set matches
+       the requested one; otherwise build a fresh engine *)
+    match engine with
+    | Some e
+      when match (Desim.Packed_engine.scheduler e, cfg.scheduler) with
+           | Heap, Heap | Calendar, Calendar -> true
+           | (Heap | Calendar), _ -> false ->
+        Desim.Packed_engine.clear e;
+        e
+    | Some _ | None ->
+        Desim.Packed_engine.create ~capacity:(4 * cfg.n)
+          ~scheduler:cfg.scheduler ()
+  in
   let speed i = match cfg.speeds with Some sp -> sp.(i) | None -> 1.0 in
   let procs =
     Array.init cfg.n (fun id ->
@@ -555,6 +604,7 @@ let create ~rng cfg =
       completed = 0;
       last_completion = { v = nan };
       scratch = Array.make 8 0.0;
+      occ = Array.make 64 0;
       handler = ignore;
     }
   in
@@ -633,11 +683,8 @@ let run t ~horizon ~warmup =
 
 let instantaneous_tail t i =
   if i <= 0 then 1.0
-  else begin
-    let count = ref 0 in
-    Array.iter (fun p -> if load p >= i then incr count) t.procs;
-    float_of_int !count /. float_of_int t.cfg.n
-  end
+  else if i >= Array.length t.occ then 0.0
+  else float_of_int t.occ.(i) /. float_of_int t.cfg.n
 
 let run_observed t ~horizon ~warmup ~sample_every ~observe =
   if warmup < 0.0 || warmup >= horizon then
@@ -647,11 +694,16 @@ let run_observed t ~horizon ~warmup ~sample_every ~observe =
   t.warmup <- warmup;
   t.transit_window_open <- Float.equal warmup 0.0;
   observe 0.0 (instantaneous_tail t);
+  (* sample times come from an integer tick counter: [k *. sample_every]
+     does not accumulate rounding error the way repeated [+.] does over
+     long horizons, so no epsilon slack is needed on the loop bound *)
+  let k = ref 1 in
   let next = ref sample_every in
-  while !next <= horizon +. 1e-9 do
+  while !next <= horizon do
     advance t ~until:!next;
     observe !next (instantaneous_tail t);
-    next := !next +. sample_every
+    incr k;
+    next := float_of_int !k *. sample_every
   done;
   advance t ~until:horizon;
   flush_occupancy t;

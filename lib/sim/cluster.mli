@@ -12,6 +12,15 @@
     tallied time-weighted per processor, yielding the empirical tail
     fractions [s_i] for comparison with fixed points. *)
 
+type scheduler = Desim.Packed_engine.scheduler = Heap | Calendar
+(** Future-event set used by the engine, re-exported from
+    {!Desim.Packed_engine} so callers need no direct [Desim]
+    dependency. [Heap] (binary heap, O(log m)) has the leanest
+    constants for small [n]; [Calendar] (calendar queue, O(1)
+    amortized) wins once the pending set grows with [n]. Both dispatch
+    in the exact same (time, FIFO) order, so the choice never changes
+    any simulated trajectory — only wall-clock speed. *)
+
 type config = {
   n : int;  (** Number of processors (≥ 2 for any stealing policy). *)
   arrival_rate : float;  (** External Poisson rate per processor. *)
@@ -34,11 +43,14 @@ type config = {
       (** Mean size of the geometric task batch delivered by each arrival
           event (1 = the paper's base model of single arrivals). The
           per-processor {e task} rate is [arrival_rate · batch_mean]. *)
+  scheduler : scheduler;
+      (** Future-event set implementation; {!Heap} by default. Use
+          {!Calendar} for large [n] (≳ 10⁴). *)
 }
 
 val default : config
 (** [n = 128], [λ = 0.9], exponential service, simple stealing, no spawn,
-    empty start, dedicated placement. *)
+    empty start, dedicated placement, heap scheduler. *)
 
 type result = {
   duration : float;  (** Width of the measurement window. *)
@@ -64,8 +76,15 @@ type result = {
 type t
 (** A simulation instance (engine + processors + statistics). *)
 
-val create : rng:Prob.Rng.t -> config -> t
-(** @raise Invalid_argument on malformed configuration. *)
+val create : ?engine:Desim.Packed_engine.t -> rng:Prob.Rng.t -> config -> t
+(** [create ?engine ~rng cfg] builds a simulation instance. When
+    [engine] is provided and was created with the same scheduler as
+    [cfg.scheduler], it is {!Desim.Packed_engine.clear}ed and reused —
+    replication sweeps use this to keep one warm engine per domain
+    instead of re-allocating lanes per replica; a cleared engine
+    dispatches bit-identically to a fresh one. A mismatched engine is
+    ignored and a fresh one is built.
+    @raise Invalid_argument on malformed configuration. *)
 
 val events_dispatched : t -> int
 (** Events the underlying engine has dispatched so far — the denominator
@@ -95,7 +114,11 @@ val run_observed :
     {e instantaneous} fraction of processors with at least [i] tasks —
     the finite-system realisation of the paper's [s_i(t)], for transient
     (trajectory-level) comparisons against the ODE solutions. The [tail]
-    closure is only valid during the callback. *)
+    closure is only valid during the callback; it reads an incrementally
+    maintained occupancy count, so each call is O(1) regardless of [n].
+    Sample times are computed as [k *. sample_every] from an integer
+    tick counter, so they carry no accumulated rounding error even over
+    very long horizons. *)
 
 val run_static :
   ?max_events:int -> t -> result

@@ -54,13 +54,41 @@ let resolve_pool = function
   | Some pool -> pool
   | None -> Parallel.Pool.default ()
 
+(* Each domain keeps one engine and reuses it across the replicas it
+   executes: the event lanes stay warm instead of being re-allocated
+   per run. Safe because pool tasks run to completion on their domain
+   (the engine is only live inside one replica's lambda at a time), and
+   deterministic because [Cluster.create ?engine] clears the engine to
+   its freshly created state — so results cannot depend on how replicas
+   were distributed over domains. An engine built for the wrong
+   scheduler is simply replaced. *)
+let engine_slot : Desim.Packed_engine.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let borrowed_engine (config : Cluster.config) =
+  let slot = Domain.DLS.get engine_slot in
+  (match !slot with
+  | Some e
+    when match (Desim.Packed_engine.scheduler e, config.Cluster.scheduler) with
+         | Cluster.Heap, Cluster.Heap | Cluster.Calendar, Cluster.Calendar ->
+             true
+         | (Cluster.Heap | Cluster.Calendar), _ -> false ->
+      ()
+  | Some _ | None ->
+      slot :=
+        Some
+          (Desim.Packed_engine.create
+             ~capacity:(4 * config.Cluster.n)
+             ~scheduler:config.Cluster.scheduler ()));
+  match !slot with Some e -> e | None -> assert false
+
 let replicate ?pool ~seed ~(fidelity : fidelity) config =
   if fidelity.runs < 1 then invalid_arg "Runner.replicate: need runs >= 1";
   let streams = split_streams (Rng.create ~seed) fidelity.runs in
   let results =
     Parallel.Pool.map_array (resolve_pool pool)
       (fun rng ->
-        let sim = Cluster.create ~rng config in
+        let sim = Cluster.create ~engine:(borrowed_engine config) ~rng config in
         Cluster.run sim ~horizon:fidelity.horizon ~warmup:fidelity.warmup)
       streams
   in
@@ -72,7 +100,7 @@ let replicate_static ?pool ~seed ~runs config =
   let results =
     Parallel.Pool.map_array (resolve_pool pool)
       (fun rng ->
-        let sim = Cluster.create ~rng config in
+        let sim = Cluster.create ~engine:(borrowed_engine config) ~rng config in
         Cluster.run_static sim)
       streams
   in

@@ -237,6 +237,197 @@ let qcheck_packed_interleaved_pops =
       in
       !ok && drain ())
 
+(* ---------- Calendar_queue ---------- *)
+
+let test_calendar_ordering () =
+  let q = Desim.Calendar_queue.create () in
+  List.iteri
+    (fun i t -> Desim.Calendar_queue.push q ~time:t ~payload:i ~aux:(t *. 2.0))
+    [ 3.0; 1.0; 2.0; 0.5; 2.5 ];
+  let rec drain acc =
+    match Desim.Calendar_queue.pop q with
+    | Some (t, p, a) -> drain ((t, p, a) :: acc)
+    | None -> List.rev acc
+  in
+  Alcotest.(check (list (triple (float 1e-12) int (float 1e-12))))
+    "sorted with payload and aux"
+    [ (0.5, 3, 1.0); (1.0, 1, 2.0); (2.0, 2, 4.0); (2.5, 4, 5.0); (3.0, 0, 6.0) ]
+    (drain [])
+
+let test_calendar_fifo_ties () =
+  let q = Desim.Calendar_queue.create () in
+  for i = 0 to 9 do
+    Desim.Calendar_queue.push q ~time:1.0 ~payload:i ~aux:0.0
+  done;
+  for expected = 0 to 9 do
+    match Desim.Calendar_queue.pop q with
+    | Some (_, got, _) -> Alcotest.(check int) "fifo" expected got
+    | None -> Alcotest.fail "queue drained early"
+  done
+
+let test_calendar_accessor_protocol () =
+  let q = Desim.Calendar_queue.create () in
+  Desim.Calendar_queue.push q ~time:2.0 ~payload:7 ~aux:0.25;
+  Desim.Calendar_queue.push q ~time:1.0 ~payload:9 ~aux:0.75;
+  check_float "root time" 1.0 (Desim.Calendar_queue.root_time q);
+  Alcotest.(check int) "root payload" 9 (Desim.Calendar_queue.root_payload q);
+  check_float "root aux" 0.75 (Desim.Calendar_queue.root_aux q);
+  Desim.Calendar_queue.drop_root q;
+  Alcotest.(check int) "next payload" 7 (Desim.Calendar_queue.root_payload q);
+  Desim.Calendar_queue.drop_root q;
+  Alcotest.(check bool) "drained" true (Desim.Calendar_queue.is_empty q);
+  Alcotest.check_raises "drop on empty"
+    (Invalid_argument "Calendar_queue.drop_root: empty queue") (fun () ->
+      Desim.Calendar_queue.drop_root q)
+
+let test_calendar_nan () =
+  Alcotest.check_raises "nan" (Invalid_argument "Calendar_queue.push: NaN time")
+    (fun () ->
+      Desim.Calendar_queue.push
+        (Desim.Calendar_queue.create ())
+        ~time:nan ~payload:0 ~aux:0.0)
+
+let test_calendar_clear_resets_fifo () =
+  let q = Desim.Calendar_queue.create () in
+  for i = 0 to 5 do
+    Desim.Calendar_queue.push q ~time:(float_of_int i) ~payload:i ~aux:0.0
+  done;
+  ignore (Desim.Calendar_queue.pop q);
+  Desim.Calendar_queue.clear q;
+  Alcotest.(check bool) "empty" true (Desim.Calendar_queue.is_empty q);
+  (* equal-time FIFO after clear proves the seq counter was reset *)
+  Desim.Calendar_queue.push q ~time:1.0 ~payload:10 ~aux:0.0;
+  Desim.Calendar_queue.push q ~time:1.0 ~payload:11 ~aux:0.0;
+  (match Desim.Calendar_queue.pop q with
+  | Some (_, p, _) -> Alcotest.(check int) "fifo restarts" 10 p
+  | None -> Alcotest.fail "empty after clear+push");
+  Alcotest.(check int) "one left" 1 (Desim.Calendar_queue.length q)
+
+let test_calendar_rewind () =
+  (* pushing far in the past of the current window forces a rebuild and
+     must not lose ordering or events *)
+  let q = Desim.Calendar_queue.create () in
+  for i = 0 to 63 do
+    Desim.Calendar_queue.push q ~time:(1.0e6 +. float_of_int i) ~payload:i
+      ~aux:0.0
+  done;
+  (match Desim.Calendar_queue.pop q with
+  | Some (t, _, _) -> check_float "first" 1.0e6 t
+  | None -> Alcotest.fail "empty");
+  Desim.Calendar_queue.push q ~time:0.125 ~payload:1000 ~aux:0.0;
+  (match Desim.Calendar_queue.pop q with
+  | Some (t, p, _) ->
+      check_float "rewound" 0.125 t;
+      Alcotest.(check int) "payload" 1000 p
+  | None -> Alcotest.fail "empty");
+  Alcotest.(check int) "rest intact" 63 (Desim.Calendar_queue.length q)
+
+(* Bursty then sparse: thousands of near-equal times (everything lands
+   in a handful of buckets, forcing row growth and a ring resize), then
+   a drain to trigger shrink + width re-adaptation, then a few events
+   spread over a vastly larger span (exercising the overflow list), then
+   a rewind back to small times. The packed heap runs the same script as
+   the order oracle. *)
+let test_calendar_resize_stress () =
+  let cq = Desim.Calendar_queue.create ~capacity:4 () in
+  let ph = Desim.Packed_heap.create () in
+  let counter = ref 0 in
+  let push time =
+    let payload = !counter in
+    incr counter;
+    Desim.Calendar_queue.push cq ~time ~payload ~aux:(float_of_int payload);
+    Desim.Packed_heap.push ph ~time ~payload ~aux:(float_of_int payload)
+  in
+  let pop_both_equal () =
+    match (Desim.Calendar_queue.pop cq, Desim.Packed_heap.pop ph) with
+    | Some (ct, cp, ca), Some (pt, pp, pa) ->
+        Float.equal ct pt && cp = pp && Float.equal ca pa
+    | None, None -> true
+    | _ -> false
+  in
+  for i = 0 to 1999 do
+    push (float_of_int (i land 7) /. 8.0)
+  done;
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "burst drain matches heap" true (pop_both_equal ())
+  done;
+  for i = 1 to 64 do
+    push (float_of_int i *. 1.0e6)
+  done;
+  for _ = 1 to 1032 do
+    Alcotest.(check bool) "sparse drain matches heap" true (pop_both_equal ())
+  done;
+  for i = 1 to 64 do
+    push (float_of_int i /. 4.0)
+  done;
+  while not (Desim.Calendar_queue.is_empty cq) do
+    Alcotest.(check bool) "final drain matches heap" true (pop_both_equal ())
+  done;
+  Alcotest.(check bool) "heap drained too" true (Desim.Packed_heap.is_empty ph)
+
+(* Model check: the calendar queue must pop exactly the sequence the
+   packed heap pops for the same pushes — the simulator's bit-identical
+   scheduler swap rests on this. Times come from a coarse grid so exact
+   ties are frequent and the FIFO tie-break is really exercised. *)
+let qcheck_calendar_matches_packed_heap =
+  QCheck.Test.make ~count:300
+    ~name:"calendar queue order-equivalent to packed heap"
+    QCheck.(list (int_bound 400))
+    (fun grid ->
+      let cq = Desim.Calendar_queue.create () in
+      let ph = Desim.Packed_heap.create () in
+      List.iteri
+        (fun i k ->
+          let t = float_of_int k /. 8.0 in
+          Desim.Calendar_queue.push cq ~time:t ~payload:i
+            ~aux:(float_of_int i);
+          Desim.Packed_heap.push ph ~time:t ~payload:i ~aux:0.0)
+        grid;
+      let rec drain n =
+        match (Desim.Calendar_queue.pop cq, Desim.Packed_heap.pop ph) with
+        | Some (ct, cp, ca), Some (pt, pp, _) ->
+            Float.equal ct pt && cp = pp
+            && Float.equal ca (float_of_int cp)
+            && drain (n + 1)
+        | None, None -> n = List.length grid
+        | _ -> false
+      in
+      drain 0)
+
+let qcheck_calendar_interleaved_matches =
+  (* random push/pop interleaving, including pushes below already
+     dequeued times (window rewinds) and long forward jumps (overflow
+     migration) *)
+  QCheck.Test.make ~count:300
+    ~name:"calendar matches packed heap under interleaving"
+    QCheck.(list (pair (int_bound 200) bool))
+    (fun ops ->
+      let cq = Desim.Calendar_queue.create ~capacity:4 () in
+      let ph = Desim.Packed_heap.create () in
+      let ok = ref true in
+      let pop_match () =
+        match (Desim.Calendar_queue.pop cq, Desim.Packed_heap.pop ph) with
+        | Some (ct, cp, _), Some (pt, pp, _) ->
+            Float.equal ct pt && cp = pp
+        | None, None -> true
+        | _ -> false
+      in
+      List.iteri
+        (fun i (k, do_pop) ->
+          (* stretch every 7th time by 1e5 to exercise the overflow *)
+          let t =
+            float_of_int k /. 4.0
+            +. if k mod 7 = 0 then float_of_int k *. 1.0e5 else 0.0
+          in
+          Desim.Calendar_queue.push cq ~time:t ~payload:i ~aux:0.0;
+          Desim.Packed_heap.push ph ~time:t ~payload:i ~aux:0.0;
+          if do_pop && not (pop_match ()) then ok := false)
+        ops;
+      while not (Desim.Calendar_queue.is_empty cq) do
+        if not (pop_match ()) then ok := false
+      done;
+      !ok && Desim.Packed_heap.is_empty ph)
+
 (* ---------- Packed_engine ---------- *)
 
 let test_packed_engine_run () =
@@ -278,6 +469,52 @@ let test_packed_engine_rejects () =
     (Invalid_argument "Packed_engine.schedule_after: negative delay")
     (fun () ->
       Desim.Packed_engine.schedule_after e ~delay:(-1.0) ~payload:0 ~aux:0.0)
+
+let test_packed_engine_scheduler_equivalence () =
+  (* the same cascading workload on both schedulers dispatches the same
+     (time, payload) sequence *)
+  let trace scheduler =
+    let e = Desim.Packed_engine.create ~scheduler () in
+    Alcotest.(check bool)
+      "scheduler accessor" true
+      (Desim.Packed_engine.scheduler e = scheduler);
+    Desim.Packed_engine.schedule e ~at:1.0 ~payload:1 ~aux:0.0;
+    Desim.Packed_engine.schedule e ~at:1.0 ~payload:2 ~aux:0.0;
+    let seen = ref [] in
+    Desim.Packed_engine.run ~until:50.0 e ~handler:(fun p ->
+        seen := (Desim.Packed_engine.now e, p) :: !seen;
+        if p < 40 then
+          Desim.Packed_engine.schedule_after e ~delay:(0.25 *. float_of_int p)
+            ~payload:(p + 2) ~aux:0.0);
+    List.rev !seen
+  in
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "heap and calendar traces identical"
+    (trace Desim.Packed_engine.Heap)
+    (trace Desim.Packed_engine.Calendar)
+
+let test_packed_engine_clear () =
+  List.iter
+    (fun scheduler ->
+      let e = Desim.Packed_engine.create ~scheduler () in
+      Desim.Packed_engine.schedule e ~at:1.0 ~payload:1 ~aux:0.5;
+      Desim.Packed_engine.run ~until:2.0 e ~handler:ignore;
+      Desim.Packed_engine.schedule e ~at:3.0 ~payload:9 ~aux:0.0;
+      Desim.Packed_engine.clear e;
+      check_float "clock reset" 0.0 (Desim.Packed_engine.now e);
+      Alcotest.(check int) "nothing pending" 0 (Desim.Packed_engine.pending e);
+      Alcotest.(check int)
+        "dispatch counter reset" 0
+        (Desim.Packed_engine.dispatched e);
+      (* a cleared engine must behave exactly like a fresh one,
+         including FIFO ordering of equal times *)
+      Desim.Packed_engine.schedule e ~at:1.0 ~payload:7 ~aux:0.0;
+      Desim.Packed_engine.schedule e ~at:1.0 ~payload:8 ~aux:0.0;
+      let seen = ref [] in
+      Desim.Packed_engine.run ~until:2.0 e ~handler:(fun p ->
+          seen := p :: !seen);
+      Alcotest.(check (list int)) "fifo after clear" [ 7; 8 ] (List.rev !seen))
+    [ Desim.Packed_engine.Heap; Desim.Packed_engine.Calendar ]
 
 let test_packed_engine_next () =
   let e = Desim.Packed_engine.create () in
@@ -375,6 +612,21 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_packed_matches_event_heap;
           QCheck_alcotest.to_alcotest qcheck_packed_interleaved_pops;
         ] );
+      ( "calendar_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_calendar_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_calendar_fifo_ties;
+          Alcotest.test_case "accessor protocol" `Quick
+            test_calendar_accessor_protocol;
+          Alcotest.test_case "nan rejected" `Quick test_calendar_nan;
+          Alcotest.test_case "clear resets fifo" `Quick
+            test_calendar_clear_resets_fifo;
+          Alcotest.test_case "past-window rewind" `Quick test_calendar_rewind;
+          Alcotest.test_case "resize stress (bursty then sparse)" `Quick
+            test_calendar_resize_stress;
+          QCheck_alcotest.to_alcotest qcheck_calendar_matches_packed_heap;
+          QCheck_alcotest.to_alcotest qcheck_calendar_interleaved_matches;
+        ] );
       ( "packed_engine",
         [
           Alcotest.test_case "run order and clock" `Quick
@@ -383,6 +635,9 @@ let () =
             test_packed_engine_handler_schedules;
           Alcotest.test_case "rejects invalid schedules" `Quick
             test_packed_engine_rejects;
+          Alcotest.test_case "scheduler equivalence" `Quick
+            test_packed_engine_scheduler_equivalence;
+          Alcotest.test_case "clear" `Quick test_packed_engine_clear;
           Alcotest.test_case "next/payload/aux" `Quick
             test_packed_engine_next;
         ] );

@@ -31,7 +31,8 @@ let test_registry_complete () =
   Alcotest.(check (list string))
     "all experiments present"
     [ "table1"; "table2"; "table3"; "table4"; "threshold"; "repeated";
-      "multisteal"; "hetero"; "stability"; "sharing"; "ablation"; "batch"; "locality"; "transient" ]
+      "multisteal"; "hetero"; "stability"; "sharing"; "ablation"; "batch";
+      "locality"; "transient"; "convergence" ]
     names
 
 let test_registry_find () =
@@ -155,6 +156,27 @@ let test_stability_compute_rows () =
         (r.Experiments.Exp_stability.max_uptick < 1e-6))
     rows
 
+let test_convergence_compute_rows () =
+  (* tiny scope: the doubling sweep floors at 16 and stops at twice the
+     scope's largest size, so ns = [8] yields [16; 32] — enough to check
+     the plumbing (calendar-queue replication, exact fixed point,
+     max-norm distance) without a long simulation *)
+  let rows = Experiments.Exp_convergence.compute tiny_scope in
+  Alcotest.(check (list int))
+    "sizes" [ 16; 32 ]
+    (List.map (fun r -> r.Experiments.Exp_convergence.n) rows);
+  List.iter
+    (fun (r : Experiments.Exp_convergence.row) ->
+      Alcotest.(check bool) "distance finite" true
+        (Float.is_finite r.Experiments.Exp_convergence.distance);
+      Alcotest.(check bool) "distance small" true
+        (r.Experiments.Exp_convergence.distance < 0.25))
+    rows;
+  Alcotest.(check bool) "first ratio is nan" true
+    (Float.is_nan (List.hd rows).Experiments.Exp_convergence.ratio);
+  Alcotest.(check bool) "second ratio finite" true
+    (Float.is_finite (List.nth rows 1).Experiments.Exp_convergence.ratio)
+
 let test_table3_thresholds () =
   Alcotest.(check (list int)) "thresholds" [ 3; 4; 5; 6 ]
     Experiments.Table3.thresholds;
@@ -227,6 +249,8 @@ let () =
           Alcotest.test_case "table1 rows" `Slow test_table1_compute_rows;
           Alcotest.test_case "stability rows" `Slow
             test_stability_compute_rows;
+          Alcotest.test_case "convergence rows" `Slow
+            test_convergence_compute_rows;
           Alcotest.test_case "table3 constants" `Quick
             test_table3_thresholds;
         ] );

@@ -71,6 +71,27 @@ let test_float_eq_flags_record_labels () =
     "type t = { lanes : floatarray }\n\
      let f t i = Array.unsafe_get t.lanes i <> 0.0\n"
 
+let test_float_eq_flags_nested_array_labels () =
+  (* the calendar queue's bucket lanes are [float array array]: an
+     element read peels two Array.get layers off the label before
+     anything float-shaped appears at the use site *)
+  check_rules "float array array element" [ "float-eq" ]
+    "type t = { bucket_times : float array array; bucket_len : int array }\n\
+     let f t b i j = t.bucket_times.(b).(i) = t.bucket_times.(b).(j)\n";
+  check_rules "nested element under polymorphic compare" [ "float-eq" ]
+    "type t = { lanes : float array array }\n\
+     let stale t b j x = compare t.lanes.(b).(j) x\n"
+
+let test_float_eq_nested_array_negative () =
+  (* int-element counters with the same nesting stay quiet, and so do
+     ordering comparisons on the float lanes *)
+  check_rules "occupancy counters are ints" []
+    "type t = { occ : int array; bucket_seqs : int array array }\n\
+     let f t b i = t.occ.(i) = t.bucket_seqs.(b).(i)\n";
+  check_rules "ordering on nested float lanes allowed" []
+    "type t = { bucket_times : float array array }\n\
+     let before t b i j = t.bucket_times.(b).(i) < t.bucket_times.(b).(j)\n"
+
 let test_float_eq_negative () =
   check_rules "int equality untouched" [] "let f x = x = 3\n";
   check_rules "Float.equal is the fix" []
@@ -193,6 +214,10 @@ let () =
             test_float_eq_flags_annotation_and_compare;
           Alcotest.test_case "flags float record labels" `Quick
             test_float_eq_flags_record_labels;
+          Alcotest.test_case "flags nested array labels" `Quick
+            test_float_eq_flags_nested_array_labels;
+          Alcotest.test_case "nested int arrays stay quiet" `Quick
+            test_float_eq_nested_array_negative;
           Alcotest.test_case "clean source" `Quick test_float_eq_negative;
         ] );
       ( "domain-safety",

@@ -888,6 +888,42 @@ let test_golden_observed () =
     (Printf.sprintf "observed: checksum=%h completed=%d mean=%h" !acc
        r.Wsim.Cluster.completed r.Wsim.Cluster.mean_sojourn)
 
+(* The calendar queue promises the same dispatch order as the binary
+   heap, not just the same multiset of events: at n = 1024 a single
+   busy window produces hundreds of thousands of heap operations, so
+   any divergence in tie-breaking or bucket bookkeeping shows up as a
+   hex mismatch here. Both schedulers must reproduce one shared golden
+   string. *)
+
+let golden_n1024 scheduler =
+  golden_line "n1024"
+    (golden_run ~horizon:60.0 ~warmup:10.0 ~seed:1024
+       {
+         Wsim.Cluster.default with
+         n = 1024;
+         arrival_rate = 0.9;
+         policy = Wsim.Policy.simple;
+         scheduler;
+       })
+
+let golden_n1024_expected =
+  "n1024: completed=45176 mean=0x1.897d13b0d0a2p+1 \
+   ci=0x1.9d926c91b41cfp-6 p50=0x1.29090b36c3797p+1 \
+   p95=0x1.209e97d46e647p+3 p99=0x1.b43166fd05979p+3 \
+   load=0x1.6c75bddc51ad1p+1 att=16781 succ=9569 stolen=9569 reb=0 \
+   makespan=nan tail1=0x1.c500cb3e0b143p-1 tail2=0x1.3b9405d574632p-1 \
+   tail3=0x1.b33293d927c98p-2"
+
+let test_golden_n1024_heap () =
+  Alcotest.(check string)
+    "n1024 heap" golden_n1024_expected
+    (golden_n1024 Wsim.Cluster.Heap)
+
+let test_golden_n1024_calendar () =
+  Alcotest.(check string)
+    "n1024 calendar" golden_n1024_expected
+    (golden_n1024 Wsim.Cluster.Calendar)
+
 (* ---------- allocation budget ---------- *)
 
 (* The steady-state event loop must not touch the minor heap. This is
@@ -1050,6 +1086,9 @@ let () =
         @ [
             Alcotest.test_case "static" `Quick test_golden_static;
             Alcotest.test_case "observed" `Quick test_golden_observed;
+            Alcotest.test_case "n1024 heap" `Quick test_golden_n1024_heap;
+            Alcotest.test_case "n1024 calendar" `Quick
+              test_golden_n1024_calendar;
           ] );
       ( "allocation",
         [

@@ -97,13 +97,23 @@ let is_float_array_type ct =
       | _ -> false)
   | _ -> false
 
-(* Record labels declared in this file with a float or float-array
-   type. A parallel-array engine reads as [t.times.(i)]: the element is
-   a float even though nothing at the use site says so, which is how a
-   polymorphic (=) slipped into Event_heap.precedes. Labels are
-   collected file-wide (purely syntactic, no scoping) — a false "float"
-   label would only make the lint stricter, never quieter. *)
-type label_kind = Lfloat | Lfloat_array
+(* Record labels declared in this file with a float, float-array or
+   float-array-array type. A parallel-array engine reads as
+   [t.times.(i)]: the element is a float even though nothing at the use
+   site says so, which is how a polymorphic (=) slipped into
+   Event_heap.precedes; the calendar queue's bucket lanes add one more
+   array layer ([t.bucket_times.(b).(j)]). Labels are collected
+   file-wide (purely syntactic, no scoping) — a false "float" label
+   would only make the lint stricter, never quieter. *)
+type label_kind = Lfloat | Lfloat_array | Lfloat_array_array
+
+let is_float_array_array_type ct =
+  match ct.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, [ elt ]) -> (
+      match strip_stdlib (flatten txt) with
+      | [ "array" ] | [ "Array"; "t" ] -> is_float_array_type elt
+      | _ -> false)
+  | _ -> false
 
 let collect_float_labels structure =
   let tbl = Hashtbl.create 16 in
@@ -115,7 +125,9 @@ let collect_float_labels structure =
             if is_float_type l.pld_type then
               Hashtbl.replace tbl l.pld_name.txt Lfloat
             else if is_float_array_type l.pld_type then
-              Hashtbl.replace tbl l.pld_name.txt Lfloat_array)
+              Hashtbl.replace tbl l.pld_name.txt Lfloat_array
+            else if is_float_array_array_type l.pld_type then
+              Hashtbl.replace tbl l.pld_name.txt Lfloat_array_array)
           labels
     | _ -> ());
     Ast_iterator.default_iterator.type_declaration self decl
@@ -133,10 +145,28 @@ let field_label e =
 let label_kind labels e =
   match field_label e with Some l -> Hashtbl.find_opt labels l | None -> None
 
+(* Float-container shape of [e]: a labelled field keeps its declared
+   kind, and each [Array.get] (the sugar behind [t.lanes.(b)]) peels
+   one array layer off it — so [t.bucket_times.(b).(j)] comes out
+   [Lfloat] even though two indexings separate it from the label. *)
+let rec float_container_kind ~labels e =
+  match e.pexp_desc with
+  | Pexp_field _ -> label_kind labels e
+  | Pexp_apply (f, (_, arr) :: _) -> (
+      match ident_path f with
+      | Some [ "Array"; ("get" | "unsafe_get") ] -> (
+          match float_container_kind ~labels arr with
+          | Some Lfloat_array_array -> Some Lfloat_array
+          | Some Lfloat_array -> Some Lfloat
+          | Some Lfloat | None -> None)
+      | _ -> None)
+  | _ -> None
+
 (* Syntactic evidence that [e] is a float: a literal, a float constant
    ident, a float annotation, an application whose head is float
    arithmetic or a [Float.*] producer, a field access through a
-   float-typed label, or an [Array.get] from a float-array label. *)
+   float-typed label, or [Array.get] chains bottoming out in a
+   float-array / float-array-array label. *)
 let float_shaped ~labels e =
   match e.pexp_desc with
   | Pexp_constant (Pconst_float _) -> true
@@ -151,7 +181,7 @@ let float_shaped ~labels e =
       | _ -> false)
   | Pexp_constraint (_, ct) -> is_float_type ct
   | Pexp_field _ -> label_kind labels e = Some Lfloat
-  | Pexp_apply (f, args) -> (
+  | Pexp_apply (f, _) -> (
       match ident_path f with
       | Some [ op ] when List.mem op float_arith -> true
       | Some path when List.mem path float_fns -> true
@@ -160,11 +190,10 @@ let float_shaped ~labels e =
             (List.mem fn
                [ "equal"; "compare"; "is_nan"; "is_finite"; "is_integer";
                  "to_int"; "to_string"; "sign_bit" ])
-      | Some [ "Array"; ("get" | "unsafe_get") ] -> (
-          (* t.times.(i) parses as Array.get t.times i *)
-          match args with
-          | (_, arr) :: _ -> label_kind labels arr = Some Lfloat_array
-          | [] -> false)
+      | Some [ "Array"; ("get" | "unsafe_get") ] ->
+          (* t.times.(i) parses as Array.get t.times i; nested gets
+             peel float array array labels layer by layer *)
+          float_container_kind ~labels e = Some Lfloat
       | _ -> false)
   | _ -> false
 
