@@ -12,6 +12,9 @@
      main.exe kernels              Bechamel micro-benchmarks, one per table
      main.exe kernels --json F     also write OLS estimates to F as JSON
      main.exe speedup              serial vs parallel replicate, Table 4 load
+     main.exe meanfield            fixed-point solver cost: seed RK4 path vs
+                                   adaptive+Anderson with lambda-continuation
+     main.exe meanfield --json F   also write evals/wall-time metrics to F
      main.exe hotpath              events/sec + minor-words/event kernels
      main.exe hotpath --json F     also write the two metrics to F as JSON
      main.exe scaling              events/sec vs n, heap vs calendar queue
@@ -25,7 +28,8 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [kernels] [speedup] [hotpath] [scaling] [compare]\n\
+    "usage: main.exe [kernels] [speedup] [hotpath] [meanfield] [scaling] \
+     [compare]\n\
     \       [experiment ...]\n\
     \       [--quick|--paper] [--seed N] [--domains N] [--json FILE]\n\
     \       [--sizes N,N,...] [--baseline FILE] [--tolerance PCT] \
@@ -48,6 +52,7 @@ type options = {
   kernels : bool;
   speedup : bool;
   hotpath : bool;
+  meanfield : bool;
   scaling : bool;
   sizes : int list option;
   compare : bool;
@@ -68,6 +73,7 @@ let default_options =
     kernels = false;
     speedup = false;
     hotpath = false;
+    meanfield = false;
     scaling = false;
     sizes = None;
     compare = false;
@@ -141,6 +147,7 @@ let parse_options args =
     | "kernels" :: rest -> go { opts with kernels = true } rest
     | "speedup" :: rest -> go { opts with speedup = true } rest
     | "hotpath" :: rest -> go { opts with hotpath = true } rest
+    | "meanfield" :: rest -> go { opts with meanfield = true } rest
     | "scaling" :: rest -> go { opts with scaling = true } rest
     | "compare" :: rest -> go { opts with compare = true } rest
     | name :: rest -> go { opts with names = opts.names @ [ name ] } rest
@@ -401,6 +408,106 @@ let run_hotpath ~json () =
   let eps, words = hotpath_measure () in
   Option.iter (fun file -> write_hotpath_json ~file ~eps ~words) json
 
+(* ---------- mean-field solver kernels ---------- *)
+
+(* Derivative evaluations and wall time to converge the Table 1 / Table 2
+   fixed-point sweeps over the paper's lambda grid. "seed" is the path
+   PRs <= 4 shipped: an independent fixed-step RK4 relaxation per lambda
+   at that lambda's default truncation. "new" is the current default:
+   adaptive RK45 relaxation + Anderson mixing, warm-started along the
+   sweep by lambda-continuation (dimension pinned across the chain). The
+   Table 2 evals ratio is this PR's headline acceptance metric and what
+   CI's perf-smoke prints in its job summary. *)
+let meanfield_case ~name ~seed_build ~cont_build lambdas =
+  let t0 = Unix.gettimeofday () in
+  let seed_evals =
+    List.fold_left
+      (fun acc lambda ->
+        let fp =
+          Meanfield.Drive.fixed_point ~solver:`Rk4 (seed_build lambda)
+        in
+        acc + fp.Meanfield.Drive.evals)
+      0 lambdas
+  in
+  let t1 = Unix.gettimeofday () in
+  let chain = Experiments.Sweep.along_lambda ~build:cont_build lambdas in
+  let t2 = Unix.gettimeofday () in
+  let new_evals = Experiments.Sweep.total_evals chain in
+  let converged =
+    List.for_all (fun (_, fp) -> fp.Meanfield.Drive.converged) chain
+  in
+  let ratio = float_of_int seed_evals /. float_of_int new_evals in
+  Printf.printf
+    "  %-18s seed %9d evals %6.2f s   new %8d evals %6.2f s   %5.1fx%s\n%!"
+    name seed_evals (t1 -. t0) new_evals (t2 -. t1) ratio
+    (if converged then "" else "  NOT CONVERGED");
+  (name, seed_evals, t1 -. t0, new_evals, t2 -. t1, ratio)
+
+let run_meanfield ~json () =
+  print_endline
+    "meanfield solver kernels (fixed-point sweeps over the paper's lambda \
+     grid;\n\
+    \ seed = per-lambda fixed-step RK4, new = adaptive+Anderson with \
+     lambda-continuation):";
+  let lambdas = Experiments.Paper_values.table1_lambdas in
+  let dim = Experiments.Sweep.pinned_dim lambdas in
+  (* sequenced lets: list elements would evaluate (and print) in
+     right-to-left order otherwise *)
+  let simple =
+    meanfield_case ~name:"table1/simple"
+      ~seed_build:(fun lambda -> Meanfield.Simple_ws.model ~lambda ())
+      ~cont_build:(fun lambda -> Meanfield.Simple_ws.model ~lambda ~dim ())
+      lambdas
+  in
+  let c10 =
+    meanfield_case ~name:"table2/erlang-c10"
+      ~seed_build:(fun lambda -> Meanfield.Erlang_ws.model ~lambda ~stages:10 ())
+      ~cont_build:(fun lambda ->
+        Meanfield.Erlang_ws.model ~lambda ~stages:10 ~task_depth:60 ())
+      lambdas
+  in
+  let c20 =
+    meanfield_case ~name:"table2/erlang-c20"
+      ~seed_build:(fun lambda -> Meanfield.Erlang_ws.model ~lambda ~stages:20 ())
+      ~cont_build:(fun lambda ->
+        Meanfield.Erlang_ws.model ~lambda ~stages:20 ~task_depth:60 ())
+      lambdas
+  in
+  let rows = [ simple; c10; c20 ] in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  let t2_seed =
+    sum (fun (n, s, _, _, _, _) ->
+        if String.length n >= 6 && String.sub n 0 6 = "table2" then s else 0)
+  in
+  let t2_new =
+    sum (fun (n, _, _, v, _, _) ->
+        if String.length n >= 6 && String.sub n 0 6 = "table2" then v else 0)
+  in
+  let t2_ratio = float_of_int t2_seed /. float_of_int t2_new in
+  Printf.printf "  table2 sweep total: %d -> %d evals, %.1fx fewer\n" t2_seed
+    t2_new t2_ratio;
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      output_string oc "{";
+      List.iteri
+        (fun i (name, seed_evals, seed_s, new_evals, new_s, ratio) ->
+          Printf.fprintf oc
+            "%s\n\
+            \  \"meanfield/%s/seed_evals\": %d,\n\
+            \  \"meanfield/%s/seed_seconds\": %.3f,\n\
+            \  \"meanfield/%s/new_evals\": %d,\n\
+            \  \"meanfield/%s/new_seconds\": %.3f,\n\
+            \  \"meanfield/%s/evals_ratio\": %.2f"
+            (if i = 0 then "" else ",")
+            name seed_evals name seed_s name new_evals name new_s name ratio)
+        rows;
+      Printf.fprintf oc
+        ",\n  \"meanfield/table2_sweep_evals_ratio\": %.2f\n}\n" t2_ratio;
+      close_out oc;
+      Printf.printf "wrote %s\n" file)
+    json
+
 (* ---------- scaling kernels ---------- *)
 
 (* Dispatch throughput as a function of system size, heap vs calendar
@@ -649,8 +756,8 @@ let () =
     let experiments =
       match opts.names with
       | []
-        when opts.kernels || opts.speedup || opts.hotpath || opts.scaling
-             || opts.compare ->
+        when opts.kernels || opts.speedup || opts.hotpath || opts.meanfield
+             || opts.scaling || opts.compare ->
           []
       | [] -> Experiments.Registry.all
       | names ->
@@ -679,6 +786,7 @@ let () =
     if opts.speedup then run_speedup scope;
     if opts.kernels then run_kernels ~json:opts.json ();
     if opts.hotpath then run_hotpath ~json:opts.json ();
+    if opts.meanfield then run_meanfield ~json:opts.json ();
     if opts.scaling then run_scaling ~sizes:opts.sizes ~json:opts.json ();
     if opts.compare then begin
       let baseline =

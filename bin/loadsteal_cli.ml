@@ -2,6 +2,7 @@
 
    Subcommands:
      fixed-point   solve a mean-field model and print its predictions
+     fixpoint      same solve, focused on solver choice and cost stats
      trajectory    integrate a model and print E[N](t)
      simulate      run the finite-n simulator under a policy
      experiment    regenerate a paper table / analysis experiment
@@ -43,6 +44,53 @@ let fixed_point_cmd =
     (Cmd.info "fixed-point" ~doc)
     Term.(const print_fixed_point $ Model_args.model_term
           $ Model_args.params_term)
+
+let print_fixpoint name params solver stats =
+  let model = Model_args.build_model name params in
+  let fp = Meanfield.Drive.fixed_point ~solver model in
+  let state = fp.Meanfield.Drive.state in
+  Printf.printf "model:     %s\n" model.Meanfield.Model.name;
+  Printf.printf "solver:    %s (used %s)\n"
+    (Meanfield.Drive.solver_name solver)
+    (Meanfield.Drive.solver_name fp.Meanfield.Drive.method_used);
+  Printf.printf "converged: %b\n" fp.Meanfield.Drive.converged;
+  Printf.printf "residual:  %.3e\n" fp.Meanfield.Drive.residual;
+  let et = Meanfield.Metrics.mean_time model state in
+  if Float.is_nan et then print_endline "E[T]: n/a (no throughput)"
+  else Printf.printf "E[T]:      %.6f\n" et;
+  if stats then begin
+    Printf.printf "iterations: %d\n" fp.Meanfield.Drive.iterations;
+    Printf.printf "evals:      %d\n" fp.Meanfield.Drive.evals;
+    Printf.printf "relaxation time: %.1f\n" fp.Meanfield.Drive.elapsed
+  end;
+  if fp.Meanfield.Drive.converged then 0 else 1
+
+let fixpoint_cmd =
+  let solver =
+    Arg.(
+      value
+      & opt
+          (enum [ ("rk4", `Rk4); ("rk45", `Rk45); ("anderson", `Anderson) ])
+          `Anderson
+      & info [ "solver" ] ~docv:"SOLVER"
+          ~doc:
+            "Fixed-point solver: $(b,rk4) (fixed-step relaxation, the seed \
+             path), $(b,rk45) (adaptive relaxation) or $(b,anderson) \
+             (adaptive relaxation + Anderson mixing, the default).")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Also print iterations, derivative evaluations and the \
+                simulated relaxation time.")
+  in
+  let doc =
+    "Solve a model's fixed point with an explicit solver and report cost."
+  in
+  Cmd.v (Cmd.info "fixpoint" ~doc)
+    Term.(const print_fixpoint $ Model_args.model_term
+          $ Model_args.params_term $ solver $ stats)
 
 let print_trajectory name params horizon sample_every start =
   let model = Model_args.build_model name params in
@@ -334,7 +382,8 @@ let main_cmd =
   Cmd.group
     (Cmd.info "loadsteal_cli" ~version:"1.0.0" ~doc)
     [
-      fixed_point_cmd; trajectory_cmd; simulate_cmd; experiment_cmd;
+      fixed_point_cmd; fixpoint_cmd; trajectory_cmd; simulate_cmd;
+      experiment_cmd;
       list_cmd; stability_cmd; check_cmd; drain_cmd;
     ]
 

@@ -1,10 +1,27 @@
 open Numerics
 
+type solver = [ `Rk4 | `Rk45 | `Anderson ]
+
+let solver_name = function
+  | `Rk4 -> "rk4"
+  | `Rk45 -> "rk45"
+  | `Anderson -> "anderson"
+
+let solver_of_name name =
+  match String.lowercase_ascii name with
+  | "rk4" -> Some `Rk4
+  | "rk45" -> Some `Rk45
+  | "anderson" -> Some `Anderson
+  | _ -> None
+
 type fixed_point = {
   state : Vec.t;
   residual : float;
   converged : bool;
   elapsed : float;
+  evals : int;
+  iterations : int;
+  method_used : solver;
 }
 
 let residual model state =
@@ -20,75 +37,251 @@ let initial model = function
         invalid_arg "Drive: start state has wrong dimension";
       Vec.copy s
 
-(* The approach to the fixed point is asymptotically x(t) = x* + C·e^(-t/τ):
-   three snapshots Δ apart determine x* by a dominant-mode extrapolation.
-   Only accept it if it actually reduces the residual — near-degenerate
-   differences can produce garbage. *)
-let try_accelerate model sys ~dt y =
-  let delta = 100.0 in
-  let y0 = Vec.copy y in
-  Ode.integrate sys ~y ~t0:0.0 ~t1:delta ~dt;
-  let y1 = Vec.copy y in
-  Ode.integrate sys ~y ~t0:delta ~t1:(2.0 *. delta) ~dt;
-  let y2 = Vec.copy y in
-  let r_plain = residual model y2 in
-  let best = ref y2 and best_r = ref r_plain in
-  let consider candidate =
-    if model.Model.validate candidate then begin
-      let r = residual model candidate in
-      if r < !best_r then begin
-        best := candidate;
-        best_r := r
-      end
-    end
-  in
-  consider (Accel.extrapolate_dominant y0 y1 y2);
-  consider (Accel.aitken_vec y0 y1 y2);
-  Vec.blit ~src:!best ~dst:y;
-  !best_r
+(* Residual level below which the iteration is close enough to the fixed
+   point for algebraic acceleration (Anderson, Aitken) to be trustworthy:
+   the dynamics are in the linear contraction regime. *)
+let basin_residual = 1e-4
+
+(* Relaxation tolerances: the adaptive path only has to *transport* the
+   state into the basin of the fixed point (which convergence is checked
+   against the exact derivative), so a mid-accuracy tolerance buys large
+   steps without risking convergence to a displaced point. *)
+let relax_rtol = 1e-7
+let relax_atol = 1e-12
 
 let fixed_point ?dt ?(tol = 1e-11) ?(max_time = 2e5) ?(accelerate = true)
-    ?(start = `Warm) model =
+    ?(solver = `Anderson) ?(start = `Warm) model =
   let dt = match dt with Some d -> d | None -> model.Model.suggested_dt in
+  let n = model.Model.dim in
   let y = initial model start in
-  let sys = Model.as_system model in
-  let check_every = 25.0 in
+  let base = Model.as_system model in
+  let evals = ref 0 and iterations = ref 0 in
+  let sys =
+    {
+      base with
+      Ode.deriv =
+        (fun ~t ~y ~dy ->
+          incr evals;
+          base.Ode.deriv ~t ~y ~dy);
+    }
+  in
+  let dy = Vec.create n in
+  let resid v =
+    sys.Ode.deriv ~t:0.0 ~y:v ~dy;
+    Vec.norm_inf dy
+  in
+  let ws = Ode.workspace sys in
   let elapsed = ref 0.0 in
   let budget_left () = max_time -. !elapsed in
-  let rec loop () =
-    let r = residual model y in
-    if r <= tol then { state = y; residual = r; converged = true;
-                       elapsed = !elapsed }
-    else if budget_left () <= 0.0 then
-      { state = y; residual = r; converged = false; elapsed = !elapsed }
-    else if accelerate && r < 1e-3 then begin
-      (* Close enough that the slowest mode dominates: extrapolate. *)
-      let r' = try_accelerate model sys ~dt y in
-      elapsed := !elapsed +. 200.0;
-      if r' <= tol then
-        { state = y; residual = r'; converged = true; elapsed = !elapsed }
-      else if r' >= r *. 0.999 then begin
-        (* Extrapolation stalled; fall back to plain integration. *)
-        let chunk = Float.min (budget_left ()) 200.0 in
-        Ode.integrate sys ~y ~t0:0.0 ~t1:chunk ~dt;
-        elapsed := !elapsed +. chunk;
+  let finish ~r ~converged method_used =
+    {
+      state = y;
+      residual = r;
+      converged;
+      elapsed = !elapsed;
+      evals = !evals;
+      iterations = !iterations;
+      method_used;
+    }
+  in
+  (* Advance [y] by [span] time units with the method's relaxation
+     integrator (the systems are autonomous, so t0 = 0 throughout). *)
+  let rk4_chunk span = Ode.integrate ~stepper:Ode.Rk4 sys ~y ~t0:0.0 ~t1:span ~dt in
+  (* The adaptive tolerance follows the residual down: transporting into
+     the basin only needs mid accuracy, but finishing a solve demands the
+     integration-error floor sit well below the residual target, or the
+     state hovers in a noise ball the tolerance wide. *)
+  let cur_rtol = ref relax_rtol in
+  let note_residual r =
+    cur_rtol := Float.min relax_rtol (Float.max 1e-13 (r *. 0.01))
+  in
+  let rk45_chunk span =
+    let atol = Float.max 1e-14 (relax_atol *. (!cur_rtol /. relax_rtol)) in
+    ignore
+      (Ode.adaptive ~pair:Ode.Rk45 ~rtol:!cur_rtol ~atol ~dt0:dt ~ws sys ~y
+         ~t0:0.0 ~t1:span)
+  in
+  let check_every = 25.0 in
+  (* The approach to the fixed point is asymptotically x(t) = x* + C·e^(-t/τ):
+     three snapshots Δ apart determine x* by a dominant-mode extrapolation.
+     Only accept it if it actually reduces the residual — near-degenerate
+     differences can produce garbage. *)
+  let try_accelerate chunk =
+    let delta = 100.0 in
+    let y0 = Vec.copy y in
+    chunk delta;
+    let y1 = Vec.copy y in
+    chunk delta;
+    let y2 = Vec.copy y in
+    let r_plain = resid y2 in
+    let best = ref y2 and best_r = ref r_plain in
+    let consider candidate =
+      if model.Model.validate candidate then begin
+        let r = resid candidate in
+        if r < !best_r then begin
+          best := candidate;
+          best_r := r
+        end
+      end
+    in
+    consider (Accel.extrapolate_dominant y0 y1 y2);
+    consider (Accel.aitken_vec y0 y1 y2);
+    Vec.blit ~src:!best ~dst:y;
+    !best_r
+  in
+  (* The seed solver shape: integrate in chunks, and once inside the basin
+     try Aitken/dominant-mode extrapolation between chunks. *)
+  let relax_loop method_used chunk =
+    let rec loop () =
+      incr iterations;
+      let r = resid y in
+      note_residual r;
+      if r <= tol then finish ~r ~converged:true method_used
+      else if budget_left () <= 0.0 then finish ~r ~converged:false method_used
+      else if accelerate && r < 1e-3 then begin
+        let r' = try_accelerate chunk in
+        elapsed := !elapsed +. 200.0;
+        if r' <= tol then finish ~r:r' ~converged:true method_used
+        else if r' >= r *. 0.999 then begin
+          (* Extrapolation stalled; fall back to plain integration. *)
+          let span = Float.min (budget_left ()) 200.0 in
+          chunk span;
+          elapsed := !elapsed +. span;
+          loop ()
+        end
+        else loop ()
+      end
+      else begin
+        let span = Float.min (budget_left ()) check_every in
+        chunk span;
+        elapsed := !elapsed +. span;
         loop ()
       end
-      else loop ()
-    end
+    in
+    loop ()
+  in
+  (* Hybrid: short adaptive relaxation into the basin, then Anderson
+     mixing on the algebraic map g(s) = s + h·f(s) (whose fixed points
+     are exactly the zeros of f). Falls back to the relaxation path when
+     Anderson stalls, produces invalid states, or diverges. *)
+  let solve_anderson () =
+    let r = ref (resid y) in
+    incr iterations;
+    while !r > basin_residual && budget_left () > 0.0 do
+      incr iterations;
+      let span = Float.min (budget_left ()) check_every in
+      rk45_chunk span;
+      elapsed := !elapsed +. span;
+      r := resid y
+    done;
+    if !r <= tol then finish ~r:!r ~converged:true `Rk45
+    else if !r > basin_residual then finish ~r:!r ~converged:false `Rk45
     else begin
-      let chunk = Float.min (budget_left ()) check_every in
-      Ode.integrate sys ~y ~t0:0.0 ~t1:chunk ~dt;
-      elapsed := !elapsed +. chunk;
-      loop ()
+      let st = Accel.anderson ~depth:5 ~beta:1.0 n in
+      (* Map step for g(s) = s + h·f(s): roughly one mean service time.
+         Larger than the integration dt — the mixing does not need Euler
+         stability, and a bigger h lets the residual history span the
+         slow modes (stage chains) that a dt-sized step barely excites. *)
+      let h = Float.min 1.0 (4.0 *. dt) in
+      let x = Vec.copy y in
+      let gx = Vec.create n in
+      let best = Vec.copy y and best_r = ref !r in
+      let max_iters = 600 and stall_limit = 60 in
+      let fallback () =
+        (* The relaxation + Aitken path, restarted from the best mixing
+           iterate: integration damps every mode uniformly, which is
+           exactly what a depth-m history cannot do when the spectrum is
+           wide (long stage chains), and the extrapolation then finishes
+           the dominant mode. *)
+        Vec.blit ~src:best ~dst:y;
+        relax_loop `Rk45 rk45_chunk
+      in
+      let rec iterate k stall =
+        if k >= max_iters || stall >= stall_limit then fallback ()
+        else begin
+          incr iterations;
+          sys.Ode.deriv ~t:0.0 ~y:x ~dy;
+          let rx = Vec.norm_inf dy in
+          if rx <= tol then begin
+            Vec.blit ~src:x ~dst:y;
+            finish ~r:rx ~converged:true `Anderson
+          end
+          else if (not (Float.is_finite rx)) || rx > 1.0 then
+            (* The mixing escaped the basin entirely: abandon it.
+               (Transient excursions above [basin_residual] are normal —
+               type-II mixing recovers through the least squares — so
+               only an O(1) residual counts as escape.) *)
+            fallback ()
+          else begin
+            let stall =
+              if rx < !best_r *. 0.9 then begin
+                Vec.blit ~src:x ~dst:best;
+                best_r := rx;
+                0
+              end
+              else stall + 1
+            in
+            for i = 0 to n - 1 do
+              gx.(i) <- x.(i) +. (h *. dy.(i))
+            done;
+            let next = Accel.anderson_step st ~x ~gx in
+            (* Project onto the domain: every state component is a
+               population fraction, so negatives are always algebraic
+               overshoot (the deep tail sits at the scale of the mixing
+               noise) and zero is the nearest admissible value. *)
+            for i = 0 to n - 1 do
+              if next.(i) < 0.0 then next.(i) <- 0.0
+            done;
+            if model.Model.validate next then begin
+              Vec.blit ~src:next ~dst:x;
+              iterate (k + 1) stall
+            end
+            else begin
+              (* Rejected iterate: drop the history that produced it and
+                 restart from a dt-sized forward-Euler step — the mixing
+                 step h is too large for a stable plain iteration. *)
+              Accel.anderson_reset st;
+              for i = 0 to n - 1 do
+                x.(i) <- x.(i) +. (dt *. dy.(i))
+              done;
+              iterate (k + 1) (stall + 1)
+            end
+          end
+        end
+      in
+      iterate 0 0
     end
   in
-  loop ()
+  match (solver, accelerate) with
+  | `Rk4, _ -> relax_loop `Rk4 rk4_chunk
+  | `Rk45, _ -> relax_loop `Rk45 rk45_chunk
+  | `Anderson, true -> solve_anderson ()
+  | `Anderson, false ->
+      (* With acceleration ablated away the hybrid reduces to its
+         relaxation phase. *)
+      relax_loop `Rk45 rk45_chunk
 
-let trajectory ?(dt = 0.05) ?(start = `Empty) ~horizon ~sample_every model =
+let trajectory ?(dt = 0.05) ?(adaptive = false) ?(rtol = 1e-10)
+    ?(start = `Empty) ~horizon ~sample_every model =
   let y = initial model start in
   let sys = Model.as_system model in
   let samples = ref [] in
-  Ode.observe sys ~y ~t0:0.0 ~t1:horizon ~dt ~sample_every (fun t s ->
-      samples := (t, Vec.copy s) :: !samples);
+  if adaptive then begin
+    if sample_every <= 0.0 then
+      invalid_arg "Drive.trajectory: sample_every must be positive";
+    let ws = Ode.workspace sys in
+    samples := [ (0.0, Vec.copy y) ];
+    let t = ref 0.0 in
+    while !t < horizon -. 1e-14 do
+      let target = Float.min horizon (!t +. sample_every) in
+      ignore
+        (Ode.adaptive ~pair:Ode.Rk45 ~rtol ~atol:1e-14 ~dt0:dt ~ws sys ~y
+           ~t0:!t ~t1:target);
+      t := target;
+      samples := (!t, Vec.copy y) :: !samples
+    done
+  end
+  else
+    Ode.observe sys ~y ~t0:0.0 ~t1:horizon ~dt ~sample_every (fun t s ->
+        samples := (t, Vec.copy s) :: !samples);
   List.rev !samples

@@ -3,15 +3,39 @@
     The paper's methodology is to (i) follow trajectories of the limiting
     differential equations and (ii) solve for the fixed point where all
     [dsᵢ/dt = 0], which predicts steady-state performance. Fixed points
-    with no closed form are obtained here by long-horizon relaxation of the
-    ODEs, optionally accelerated by Aitken extrapolation of the (linearly
-    converging) approach to equilibrium. *)
+    with no closed form are obtained here by a hybrid solver: adaptive
+    Runge–Kutta relaxation carries the state into the basin of the fixed
+    point, then Anderson mixing on the algebraic map [s ← s + h·ds/dt]
+    finishes the solve in a handful of derivative evaluations, falling
+    back to relaxation plus Aitken extrapolation whenever the mixing
+    stalls or leaves the model's domain. *)
+
+type solver = [ `Rk4 | `Rk45 | `Anderson ]
+(** [`Rk4] — the seed path: fixed-step RK4 relaxation (plus Aitken/
+    dominant-mode extrapolation when [accelerate]). [`Rk45] — the same
+    loop over the adaptive Dormand–Prince pair. [`Anderson] — adaptive
+    relaxation into the basin, then Anderson mixing (the default). *)
+
+val solver_name : solver -> string
+(** ["rk4"], ["rk45"] or ["anderson"] — stable CLI/JSON spelling. *)
+
+val solver_of_name : string -> solver option
+(** Inverse of {!solver_name}, case-insensitive. *)
 
 type fixed_point = {
   state : Numerics.Vec.t;  (** Approximate fixed point. *)
   residual : float;  (** [‖ds/dt‖∞] at [state]. *)
   converged : bool;  (** Whether [residual ≤ tol] was reached. *)
-  elapsed : float;  (** Simulated relaxation time used. *)
+  elapsed : float;
+      (** Simulated relaxation time used by the integration phases
+          (Anderson iterations are algebraic and do not advance it). *)
+  evals : int;  (** Derivative evaluations consumed — the solver cost. *)
+  iterations : int;
+      (** Solver-loop iterations: relaxation chunks, extrapolation
+          attempts and Anderson steps combined. *)
+  method_used : solver;
+      (** Which path produced the returned state; a hybrid solve that
+          fell back from Anderson reports the fallback method. *)
 }
 
 val fixed_point :
@@ -19,19 +43,29 @@ val fixed_point :
   ?tol:float ->
   ?max_time:float ->
   ?accelerate:bool ->
+  ?solver:solver ->
   ?start:[ `Empty | `Warm | `State of Numerics.Vec.t ] ->
   Model.t ->
   fixed_point
-(** Relax the model to its fixed point. Defaults: [dt] from
+(** Solve the model for its fixed point. Defaults: [dt] from
     {!Model.t.suggested_dt}, [tol = 1e-11], [max_time = 2e5],
-    [accelerate = true], [start = `Warm]. The returned state is freshly
-    allocated. *)
+    [accelerate = true], [solver = `Anderson], [start = `Warm]. The
+    returned state is freshly allocated. Convergence always means the
+    exact residual [‖ds/dt‖∞ ≤ tol], whatever the method; [max_time]
+    bounds the simulated relaxation time as before. With
+    [accelerate = false] every algebraic acceleration (Aitken and
+    Anderson) is disabled, leaving pure relaxation — the ablation knob.
+    [start = `State s] requires [s] to have the model's dimension; sweeps
+    use it to warm-start each solve from the neighbouring λ's fixed point
+    (see [Experiments.Sweep]). *)
 
 val residual : Model.t -> Numerics.Vec.t -> float
 (** [‖ds/dt‖∞] at the given state. *)
 
 val trajectory :
   ?dt:float ->
+  ?adaptive:bool ->
+  ?rtol:float ->
   ?start:[ `Empty | `Warm | `State of Numerics.Vec.t ] ->
   horizon:float ->
   sample_every:float ->
@@ -40,4 +74,7 @@ val trajectory :
 (** Sampled trajectory from the chosen start; each sample is a fresh copy,
     in increasing time order, including both endpoints. Default
     [start = `Empty] (matching how the paper's simulations begin),
-    [dt = 0.05]. *)
+    [dt = 0.05]. With [adaptive = true] the segments between samples are
+    integrated by the Dormand–Prince pair at [rtol] (default [1e-10],
+    i.e. well below the tables' printed precision) instead of fixed-step
+    RK4, using [dt] only as the initial step guess. *)

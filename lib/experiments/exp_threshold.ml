@@ -23,11 +23,28 @@ let thresholds = [ 2; 3; 4; 5; 6 ]
 
 let compute_threshold (scope : Scope.t) =
   let n = List.fold_left max 2 scope.Scope.ns in
+  (* One λ-continuation chain per threshold (dimension pinned across the
+     chain), solved before the simulations fan out in parallel. *)
+  let chains =
+    List.map
+      (fun threshold ->
+        let dim =
+          max (threshold + 8) (Sweep.pinned_dim lambdas)
+        in
+        ( threshold,
+          (dim,
+           Sweep.along_lambda
+             ~build:(fun lambda ->
+               Meanfield.Threshold_ws.model ~lambda ~threshold ~dim ())
+             lambdas) ))
+      thresholds
+  in
   Scope.par_map scope
     (fun (lambda, threshold) ->
       Scope.progress scope "[threshold] lambda=%g T=%d@." lambda threshold;
-      let model = Meanfield.Threshold_ws.model ~lambda ~threshold () in
-      let fp = Meanfield.Drive.fixed_point model in
+      let dim, chain = List.assoc threshold chains in
+      let model = Meanfield.Threshold_ws.model ~lambda ~threshold ~dim () in
+      let fp = Sweep.lookup chain lambda in
       let state = fp.Meanfield.Drive.state in
       let config =
         {
@@ -56,14 +73,30 @@ let preemptive_params = [ (0, 2); (1, 3); (2, 4); (0, 4); (2, 6) ]
 
 let compute_preemptive (scope : Scope.t) =
   let n = List.fold_left max 2 scope.Scope.ns in
+  let chains =
+    List.map
+      (fun (begin_at, offset) ->
+        let dim =
+          max (begin_at + offset + 8) (Sweep.pinned_dim lambdas)
+        in
+        ( (begin_at, offset),
+          (dim,
+           Sweep.along_lambda
+             ~build:(fun lambda ->
+               Meanfield.Preemptive_ws.model ~lambda ~begin_at ~offset ~dim
+                 ())
+             lambdas) ))
+      preemptive_params
+  in
   Scope.par_map scope
     (fun (lambda, (begin_at, offset)) ->
       Scope.progress scope "[preemptive] lambda=%g B=%d T=%d@." lambda
         begin_at offset;
+      let dim, chain = List.assoc (begin_at, offset) chains in
       let model =
-        Meanfield.Preemptive_ws.model ~lambda ~begin_at ~offset ()
+        Meanfield.Preemptive_ws.model ~lambda ~begin_at ~offset ~dim ()
       in
-      let fp = Meanfield.Drive.fixed_point model in
+      let fp = Sweep.lookup chain lambda in
       let state = fp.Meanfield.Drive.state in
       let config =
         {

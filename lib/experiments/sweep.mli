@@ -1,0 +1,47 @@
+(** λ-continuation for fixed-point sweeps.
+
+    Every table in the paper evaluates a model family along a grid of
+    arrival rates. The fixed point varies continuously with λ, so solving
+    the grid in ascending order and warm-starting each solve from the
+    neighbouring λ's fixed point skips the whole relaxation transport
+    phase for all but the first point — the dominant cost near λ → 1.
+
+    The continuation itself is deliberately {e serial}: solve-to-solve
+    data dependence is the point. Experiments therefore run their sweeps
+    once, up front, and only then fan simulations out through
+    [Scope.par_map]; results are returned in input order so the
+    deterministic parallel mapping (and hence every printed table) is
+    independent of the continuation's visiting order.
+
+    For the warm start to transfer, consecutive models must share a
+    dimension: builders should pin their truncation depth (e.g. via
+    {!pinned_dim}) rather than let it vary with λ. A dimension mismatch
+    is not an error — that solve just falls back to [`Warm]. *)
+
+val along_lambda :
+  ?solver:Meanfield.Drive.solver ->
+  ?tol:float ->
+  ?max_time:float ->
+  ?accelerate:bool ->
+  build:(float -> Meanfield.Model.t) ->
+  float list ->
+  (float * Meanfield.Drive.fixed_point) list
+(** [along_lambda ~build lambdas] solves [build λ] for each λ, in
+    ascending-λ order with warm-start continuation, and returns
+    [(λ, fixed point)] pairs in the {e input} order of [lambdas].
+    Optional arguments are passed through to {!Meanfield.Drive.fixed_point}
+    and keep its defaults. *)
+
+val lookup : (float * Meanfield.Drive.fixed_point) list -> float -> Meanfield.Drive.fixed_point
+(** Exact-λ lookup (by [Float.equal]) in a sweep's result — for use with
+    the same float constants the sweep was built from.
+    @raise Invalid_argument when λ was not in the sweep. *)
+
+val total_evals : (float * Meanfield.Drive.fixed_point) list -> int
+(** Total derivative evaluations across the sweep — the solver cost the
+    bench and CI perf-smoke report. *)
+
+val pinned_dim : ?floor:int -> ?cap:int -> float list -> int
+(** Truncation dimension large enough for every λ in the list (the
+    {!Meanfield.Tail.suggested_dim} of the largest), so a whole sweep can
+    share one state dimension and warm starts always transfer. *)

@@ -2,12 +2,22 @@ type row = {
   lambda : float;
   sims : (int * float) list;
   estimate : float;
+  estimate_ode : float;
   rel_error_pct : float;
   paper_sim128 : float;
   paper_estimate : float;
 }
 
+let build ~dim lambda = Meanfield.Simple_ws.model ~lambda ~dim ()
+
 let compute (scope : Scope.t) =
+  (* ODE cross-check of the closed form: one λ-continuation chain over
+     the grid, solved up front so the parallel fan-out below only runs
+     simulations. *)
+  let dim = Sweep.pinned_dim Paper_values.table1_lambdas in
+  let chain =
+    Sweep.along_lambda ~build:(build ~dim) Paper_values.table1_lambdas
+  in
   Scope.par_map scope
     (fun lambda ->
       Scope.progress scope "[table1] lambda=%g@." lambda;
@@ -24,11 +34,17 @@ let compute (scope : Scope.t) =
           scope.Scope.ns
       in
       let estimate = Meanfield.Simple_ws.mean_time_exact ~lambda in
+      let estimate_ode =
+        let fp = Sweep.lookup chain lambda in
+        Meanfield.Model.mean_time (build ~dim lambda)
+          fp.Meanfield.Drive.state
+      in
       let sim_big = snd (List.nth sims (List.length sims - 1)) in
       {
         lambda;
         sims;
         estimate;
+        estimate_ode;
         rel_error_pct = Float.abs (sim_big -. estimate) /. estimate *. 100.;
         paper_sim128 = Paper_values.table1_sim128 lambda;
         paper_estimate = Paper_values.table1_estimate lambda;
@@ -40,7 +56,7 @@ let print scope ppf =
   let headers =
     "lambda"
     :: List.map (fun n -> Printf.sprintf "Sim(%d)" n) scope.Scope.ns
-    @ [ "Estimate"; "RelErr(%)"; "paper S128"; "paper Est" ]
+    @ [ "Estimate"; "ODE"; "RelErr(%)"; "paper S128"; "paper Est" ]
   in
   let body =
     List.map
@@ -49,6 +65,7 @@ let print scope ppf =
         :: List.map (fun (_, v) -> Table_fmt.cell v) r.sims
         @ [
             Table_fmt.cell r.estimate;
+            Table_fmt.cell r.estimate_ode;
             Table_fmt.cell_pct r.rel_error_pct;
             Table_fmt.cell r.paper_sim128;
             Table_fmt.cell r.paper_estimate;

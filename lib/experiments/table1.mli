@@ -10,6 +10,10 @@ type row = {
   lambda : float;
   sims : (int * float) list;  (** (n, simulated mean sojourn). *)
   estimate : float;  (** Closed-form fixed-point prediction. *)
+  estimate_ode : float;
+      (** The same fixed point solved from the differential equations
+          (λ-continuation sweep) — agreement is the solver's cross-check
+          against the closed form. *)
   rel_error_pct : float;
       (** |Sim(max n) - estimate| / estimate × 100, as in the paper. *)
   paper_sim128 : float;

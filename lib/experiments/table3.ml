@@ -25,8 +25,24 @@ let argmin_by f = function
              if v < bv then (fst item, v) else (bk, bv))
            (fst x, f x) rest)
 
+let build ~threshold ~depth lambda =
+  Meanfield.Transfer_ws.model ~lambda ~transfer_rate ~threshold ~depth ()
+
 let compute (scope : Scope.t) =
   let n = List.fold_left max 2 scope.Scope.ns in
+  (* One λ-continuation chain per threshold, solved before the parallel
+     fan-out; the task depth is pinned across each chain so the warm
+     starts transfer. *)
+  let depth = Sweep.pinned_dim Paper_values.table3_lambdas in
+  let chains =
+    List.map
+      (fun threshold ->
+        ( threshold,
+          Sweep.along_lambda
+            ~build:(build ~threshold ~depth)
+            Paper_values.table3_lambdas ))
+      thresholds
+  in
   (* one parallel task per lambda row; the threshold sweep stays inside
      the row so its entries land pre-grouped *)
   Scope.par_map scope
@@ -44,13 +60,11 @@ let compute (scope : Scope.t) =
               }
             in
             let sim = Scope.sim_mean_sojourn scope ~n config in
-            let model =
-              Meanfield.Transfer_ws.model ~lambda ~transfer_rate ~threshold
-                ()
-            in
-            let fp = Meanfield.Drive.fixed_point model in
+            let fp = Sweep.lookup (List.assoc threshold chains) lambda in
             let estimate =
-              Meanfield.Model.mean_time model fp.Meanfield.Drive.state
+              Meanfield.Model.mean_time
+                (build ~threshold ~depth lambda)
+                fp.Meanfield.Drive.state
             in
             ( threshold,
               {

@@ -8,8 +8,17 @@ type row = {
   paper_estimate : float;
 }
 
+let build ~dim lambda =
+  Meanfield.Multi_choice_ws.model ~lambda ~choices:2 ~threshold:2 ~dim ()
+
 let compute (scope : Scope.t) =
   let n = List.fold_left max 2 scope.Scope.ns in
+  (* Fixed points by λ-continuation (serial, dimension pinned across the
+     chain) before the parallel simulation fan-out. *)
+  let dim = Sweep.pinned_dim Paper_values.table1_lambdas in
+  let chain =
+    Sweep.along_lambda ~build:(build ~dim) Paper_values.table1_lambdas
+  in
   Scope.par_map scope
     (fun lambda ->
       Scope.progress scope "[table4] lambda=%g@." lambda;
@@ -21,10 +30,8 @@ let compute (scope : Scope.t) =
             Wsim.Policy.On_empty { threshold = 2; choices; steal_count = 1 };
         }
       in
-      let model =
-        Meanfield.Multi_choice_ws.model ~lambda ~choices:2 ~threshold:2 ()
-      in
-      let fp = Meanfield.Drive.fixed_point model in
+      let model = build ~dim lambda in
+      let fp = Sweep.lookup chain lambda in
       {
         lambda;
         sim_1choice = Scope.sim_mean_sojourn scope ~n (config 1);

@@ -16,13 +16,56 @@ val aitken_vec : Vec.t -> Vec.t -> Vec.t -> Vec.t
 val dominant_ratio : Vec.t -> Vec.t -> Vec.t -> float
 (** Power-method estimate of the dominant contraction ratio from three
     equally spaced snapshots: [⟨x₂-x₁, x₁-x₀⟩ / ⟨x₁-x₀, x₁-x₀⟩]. [nan]
-    when the first difference vanishes. *)
+    when the first difference vanishes — callers must screen the result
+    with {!ratio_usable} before extrapolating with it. *)
+
+val ratio_usable : float -> bool
+(** Whether a contraction-ratio estimate can back an extrapolation: finite
+    and strictly inside [(-1, 1)]. [nan], infinities and ratios of
+    non-contracting modes are all rejected by the same predicate so every
+    caller treats the degenerate cases identically. *)
 
 val extrapolate_dominant : Vec.t -> Vec.t -> Vec.t -> Vec.t
 (** Vector Shanks-type extrapolation assuming a single dominant mode with
     the {!dominant_ratio}: [x₂ + (x₂-x₁)·ρ/(1-ρ)]. More robust than
     per-component Aitken when component second differences are tiny.
     Falls back to [x₂] when the ratio is not in [(−1, 1)]. *)
+
+(** {1 Anderson mixing}
+
+    Accelerates fixed-point iterations [x ← g(x)] by combining the last
+    [depth] residuals [f_k = g(x_k) − x_k] through a regularised least
+    squares over their differences (type-II Anderson acceleration). Where
+    Aitken extrapolates a single dominant mode from three snapshots,
+    Anderson mixes up to [depth] modes and typically converges the
+    mean-field fixed-point maps in tens of evaluations where plain
+    relaxation needs thousands of time units. *)
+
+type anderson
+(** Mutable accelerator state: iterate/residual difference histories plus
+    the previous point. Not shareable between concurrent iterations. *)
+
+val anderson : ?depth:int -> ?beta:float -> ?reg:float -> int -> anderson
+(** [anderson dim] allocates accelerator state for [dim]-vector iterates.
+    [depth] (default [5]) is the history length [m]; [beta] (default
+    [1.0]) the mixing/damping factor applied to residuals; [reg] (default
+    [1e-10]) the relative Tikhonov ridge added to the normal-equation
+    diagonal. *)
+
+val anderson_step : anderson -> x:Vec.t -> gx:Vec.t -> Vec.t
+(** [anderson_step st ~x ~gx] consumes one evaluation [gx = g(x)] and
+    returns the next iterate (freshly allocated; [x] and [gx] are not
+    modified). Falls back to plain damped mixing [x + β·(g(x) − x)]
+    whenever the least-squares solve is degenerate or produces non-finite
+    values, so a step never goes backwards catastrophically — callers
+    still must validate iterates against domain constraints. *)
+
+val anderson_reset : anderson -> unit
+(** Drop all history (e.g. after an iterate was rejected and replaced by
+    a relaxation restart); the next step is a plain mixing step. *)
+
+val anderson_depth_in_use : anderson -> int
+(** Number of history pairs currently backing the least squares. *)
 
 val richardson : order:int -> h_ratio:float -> float -> float -> float
 (** [richardson ~order ~h_ratio coarse fine] removes the leading

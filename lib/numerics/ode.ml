@@ -126,91 +126,198 @@ let e5 = b5 -. (-92097.0 /. 339200.0)
 let e6 = b6 -. (187.0 /. 2100.0)
 let e7 = -1.0 /. 40.0
 
-let dopri5 ?(rtol = 1e-8) ?(atol = 1e-12) ?dt0 ?(max_steps = 10_000_000) sys
-    ~y ~t0 ~t1 =
-  if t1 <= t0 then 0
+(* Bogacki-Shampine 3(2) tableau: the cheap embedded pair (3 fresh stages
+   per step with FSAL) for loose-tolerance relaxation phases. *)
+let bs_a21 = 1.0 /. 2.0
+let bs_a32 = 3.0 /. 4.0
+let bs_b1 = 2.0 /. 9.0
+let bs_b2 = 1.0 /. 3.0
+let bs_b3 = 4.0 /. 9.0
+
+(* 3rd-order minus 2nd-order weights. *)
+let bs_e1 = bs_b1 -. (7.0 /. 24.0)
+let bs_e2 = bs_b2 -. (1.0 /. 4.0)
+let bs_e3 = bs_b3 -. (1.0 /. 3.0)
+let bs_e4 = -1.0 /. 8.0
+
+type pair = Rk23 | Rk45
+
+type stats = { accepted : int; rejected : int; evals : int }
+
+let no_stats = { accepted = 0; rejected = 0; evals = 0 }
+
+(* One Dormand-Prince 5(4) attempt from (t, y) with step h. ws.k1 must
+   already hold f(t, y); fills ws.trial with the 5th-order solution,
+   ws.k7 with f(t+h, trial) (the FSAL stage), and returns the scaled
+   max-norm error estimate. 6 derivative evaluations. *)
+let dp_attempt sys ws ~rtol ~atol ~t ~h y =
+  let n = sys.dim in
+  for i = 0 to n - 1 do
+    ws.tmp.(i) <- y.(i) +. (h *. a21 *. ws.k1.(i))
+  done;
+  sys.deriv ~t:(t +. (0.2 *. h)) ~y:ws.tmp ~dy:ws.k2;
+  for i = 0 to n - 1 do
+    ws.tmp.(i) <- y.(i) +. (h *. ((a31 *. ws.k1.(i)) +. (a32 *. ws.k2.(i))))
+  done;
+  sys.deriv ~t:(t +. (0.3 *. h)) ~y:ws.tmp ~dy:ws.k3;
+  for i = 0 to n - 1 do
+    ws.tmp.(i) <-
+      y.(i)
+      +. (h
+          *. ((a41 *. ws.k1.(i)) +. (a42 *. ws.k2.(i)) +. (a43 *. ws.k3.(i))))
+  done;
+  sys.deriv ~t:(t +. (0.8 *. h)) ~y:ws.tmp ~dy:ws.k4;
+  for i = 0 to n - 1 do
+    ws.tmp.(i) <-
+      y.(i)
+      +. (h
+          *. ((a51 *. ws.k1.(i)) +. (a52 *. ws.k2.(i)) +. (a53 *. ws.k3.(i))
+             +. (a54 *. ws.k4.(i))))
+  done;
+  sys.deriv ~t:(t +. (8.0 /. 9.0 *. h)) ~y:ws.tmp ~dy:ws.k5;
+  for i = 0 to n - 1 do
+    ws.tmp.(i) <-
+      y.(i)
+      +. (h
+          *. ((a61 *. ws.k1.(i)) +. (a62 *. ws.k2.(i)) +. (a63 *. ws.k3.(i))
+             +. (a64 *. ws.k4.(i)) +. (a65 *. ws.k5.(i))))
+  done;
+  sys.deriv ~t:(t +. h) ~y:ws.tmp ~dy:ws.k6;
+  for i = 0 to n - 1 do
+    ws.trial.(i) <-
+      y.(i)
+      +. (h
+          *. ((b1 *. ws.k1.(i)) +. (b3 *. ws.k3.(i)) +. (b4 *. ws.k4.(i))
+             +. (b5 *. ws.k5.(i)) +. (b6 *. ws.k6.(i))))
+  done;
+  sys.deriv ~t:(t +. h) ~y:ws.trial ~dy:ws.k7;
+  let err = ref 0.0 in
+  for i = 0 to n - 1 do
+    let e =
+      h
+      *. ((e1 *. ws.k1.(i)) +. (e3 *. ws.k3.(i)) +. (e4 *. ws.k4.(i))
+         +. (e5 *. ws.k5.(i)) +. (e6 *. ws.k6.(i)) +. (e7 *. ws.k7.(i)))
+    in
+    let scale =
+      atol +. (rtol *. Float.max (Float.abs y.(i)) (Float.abs ws.trial.(i)))
+    in
+    let r = Float.abs e /. scale in
+    if r > !err then err := r
+  done;
+  !err
+
+(* One Bogacki-Shampine 3(2) attempt; same contract as {!dp_attempt} with
+   the FSAL stage landing in ws.k4. 3 derivative evaluations. *)
+let bs_attempt sys ws ~rtol ~atol ~t ~h y =
+  let n = sys.dim in
+  for i = 0 to n - 1 do
+    ws.tmp.(i) <- y.(i) +. (h *. bs_a21 *. ws.k1.(i))
+  done;
+  sys.deriv ~t:(t +. (0.5 *. h)) ~y:ws.tmp ~dy:ws.k2;
+  for i = 0 to n - 1 do
+    ws.tmp.(i) <- y.(i) +. (h *. bs_a32 *. ws.k2.(i))
+  done;
+  sys.deriv ~t:(t +. (0.75 *. h)) ~y:ws.tmp ~dy:ws.k3;
+  for i = 0 to n - 1 do
+    ws.trial.(i) <-
+      y.(i)
+      +. (h
+          *. ((bs_b1 *. ws.k1.(i)) +. (bs_b2 *. ws.k2.(i))
+             +. (bs_b3 *. ws.k3.(i))))
+  done;
+  sys.deriv ~t:(t +. h) ~y:ws.trial ~dy:ws.k4;
+  let err = ref 0.0 in
+  for i = 0 to n - 1 do
+    let e =
+      h
+      *. ((bs_e1 *. ws.k1.(i)) +. (bs_e2 *. ws.k2.(i)) +. (bs_e3 *. ws.k3.(i))
+         +. (bs_e4 *. ws.k4.(i)))
+    in
+    let scale =
+      atol +. (rtol *. Float.max (Float.abs y.(i)) (Float.abs ws.trial.(i)))
+    in
+    let r = Float.abs e /. scale in
+    if r > !err then err := r
+  done;
+  !err
+
+let adaptive ?(pair = Rk45) ?(rtol = 1e-8) ?(atol = 1e-12) ?dt0 ?dt_min
+    ?(dt_max = infinity) ?(max_steps = 10_000_000) ?ws sys ~y ~t0 ~t1 =
+  if dt_max <= 0.0 then invalid_arg "Ode.adaptive: dt_max must be positive";
+  if t1 <= t0 then no_stats
   else begin
-    let ws = workspace sys in
-    let n = sys.dim in
+    let ws = match ws with Some w -> w | None -> workspace sys in
+    let attempt, fsal_stage, embedded_order, fresh_evals =
+      match pair with
+      | Rk45 -> (dp_attempt, ws.k7, 4, 6)
+      | Rk23 -> (bs_attempt, ws.k4, 2, 3)
+    in
+    (* PI (Gustafsson) controller exponents for an embedded pair whose
+       error estimate has order q: err ~ h^(q+1). *)
+    let expo = 1.0 /. float_of_int (embedded_order + 1) in
+    let alpha = 0.7 *. expo and beta = 0.4 *. expo in
     let t = ref t0 in
-    let dt = ref (match dt0 with Some h -> h | None -> (t1 -. t0) /. 100.0) in
-    let accepted = ref 0 in
-    let steps = ref 0 in
+    let dt =
+      ref
+        (Float.min dt_max
+           (match dt0 with Some h -> h | None -> (t1 -. t0) /. 100.0))
+    in
+    let floor_dt t = match dt_min with
+      | Some m -> m
+      | None -> 1e-14 *. Float.max 1.0 (Float.abs t)
+    in
+    let accepted = ref 0 and rejected = ref 0 and evals = ref 0 in
+    (* Memory of the previous accepted error for the PI term; Hairer's
+       err_old floor keeps the controller from over-reacting to a nearly
+       exact step. *)
+    let err_prev = ref 1e-4 in
+    let just_rejected = ref false in
+    (* FSAL: after an accepted step the last stage is f(t, y) for the new
+       (t, y); only the very first step pays for k1. *)
+    sys.deriv ~t:!t ~y ~dy:ws.k1;
+    incr evals;
     while !t < t1 -. 1e-14 do
-      incr steps;
-      if !steps > max_steps then failwith "Ode.dopri5: max_steps exceeded";
-      if !dt < 1e-14 *. Float.max 1.0 (Float.abs !t) then
-        failwith "Ode.dopri5: step size underflow";
+      if !accepted + !rejected >= max_steps then
+        failwith "Ode.adaptive: max_steps exceeded";
+      if !dt < floor_dt !t then failwith "Ode.adaptive: step size underflow";
       let h = Float.min !dt (t1 -. !t) in
-      sys.deriv ~t:!t ~y ~dy:ws.k1;
-      for i = 0 to n - 1 do
-        ws.tmp.(i) <- y.(i) +. (h *. a21 *. ws.k1.(i))
-      done;
-      sys.deriv ~t:(!t +. (0.2 *. h)) ~y:ws.tmp ~dy:ws.k2;
-      for i = 0 to n - 1 do
-        ws.tmp.(i) <- y.(i) +. (h *. ((a31 *. ws.k1.(i)) +. (a32 *. ws.k2.(i))))
-      done;
-      sys.deriv ~t:(!t +. (0.3 *. h)) ~y:ws.tmp ~dy:ws.k3;
-      for i = 0 to n - 1 do
-        ws.tmp.(i) <-
-          y.(i)
-          +. (h
-              *. ((a41 *. ws.k1.(i)) +. (a42 *. ws.k2.(i))
-                 +. (a43 *. ws.k3.(i))))
-      done;
-      sys.deriv ~t:(!t +. (0.8 *. h)) ~y:ws.tmp ~dy:ws.k4;
-      for i = 0 to n - 1 do
-        ws.tmp.(i) <-
-          y.(i)
-          +. (h
-              *. ((a51 *. ws.k1.(i)) +. (a52 *. ws.k2.(i))
-                 +. (a53 *. ws.k3.(i)) +. (a54 *. ws.k4.(i))))
-      done;
-      sys.deriv ~t:(!t +. (8.0 /. 9.0 *. h)) ~y:ws.tmp ~dy:ws.k5;
-      for i = 0 to n - 1 do
-        ws.tmp.(i) <-
-          y.(i)
-          +. (h
-              *. ((a61 *. ws.k1.(i)) +. (a62 *. ws.k2.(i))
-                 +. (a63 *. ws.k3.(i)) +. (a64 *. ws.k4.(i))
-                 +. (a65 *. ws.k5.(i))))
-      done;
-      sys.deriv ~t:(!t +. h) ~y:ws.tmp ~dy:ws.k6;
-      for i = 0 to n - 1 do
-        ws.trial.(i) <-
-          y.(i)
-          +. (h
-              *. ((b1 *. ws.k1.(i)) +. (b3 *. ws.k3.(i)) +. (b4 *. ws.k4.(i))
-                 +. (b5 *. ws.k5.(i)) +. (b6 *. ws.k6.(i))))
-      done;
-      sys.deriv ~t:(!t +. h) ~y:ws.trial ~dy:ws.k7;
-      (* Scaled max-norm of the embedded error estimate. *)
-      let err = ref 0.0 in
-      for i = 0 to n - 1 do
-        let e =
-          h
-          *. ((e1 *. ws.k1.(i)) +. (e3 *. ws.k3.(i)) +. (e4 *. ws.k4.(i))
-             +. (e5 *. ws.k5.(i)) +. (e6 *. ws.k6.(i)) +. (e7 *. ws.k7.(i)))
-        in
-        let scale =
-          atol +. (rtol *. Float.max (Float.abs y.(i)) (Float.abs ws.trial.(i)))
-        in
-        let r = Float.abs e /. scale in
-        if r > !err then err := r
-      done;
-      if !err <= 1.0 then begin
+      let err = attempt sys ws ~rtol ~atol ~t:!t ~h y in
+      evals := !evals + fresh_evals;
+      if err <= 1.0 then begin
         Vec.blit ~src:ws.trial ~dst:y;
+        Vec.blit ~src:fsal_stage ~dst:ws.k1;
         t := !t +. h;
-        incr accepted
-      end;
-      let factor =
-        if Float.equal !err 0.0 then 5.0
-        else Float.min 5.0 (Float.max 0.2 (0.9 *. (!err ** -0.2)))
-      in
-      dt := h *. factor
+        incr accepted;
+        let factor =
+          if not (Float.is_finite err) then 0.2
+          else if err <= 1e-300 then 5.0
+          else
+            Float.min 5.0
+              (Float.max 0.2
+                 (0.9 *. (err ** -.alpha) *. (!err_prev ** beta)))
+        in
+        (* No growth immediately after a rejection: the controller has
+           just learned the local error is at the acceptance boundary. *)
+        let factor = if !just_rejected then Float.min 1.0 factor else factor in
+        just_rejected := false;
+        err_prev := Float.max err 1e-4;
+        dt := Float.min dt_max (h *. factor)
+      end
+      else begin
+        incr rejected;
+        just_rejected := true;
+        let factor =
+          if not (Float.is_finite err) then 0.2
+          else Float.min 1.0 (Float.max 0.2 (0.9 *. (err ** -.expo)))
+        in
+        dt := h *. factor
+      end
     done;
-    !accepted
+    { accepted = !accepted; rejected = !rejected; evals = !evals }
   end
+
+let dopri5 ?rtol ?atol ?dt0 ?max_steps sys ~y ~t0 ~t1 =
+  (adaptive ~pair:Rk45 ?rtol ?atol ?dt0 ?max_steps sys ~y ~t0 ~t1).accepted
 
 type steady_outcome = Converged of float | Timed_out of float
 

@@ -63,7 +63,52 @@ val observe :
     multiple of [sample_every], and finally at [t1]. The callback must not
     retain the state vector (copy it if needed). *)
 
-(** {1 Adaptive method} *)
+(** {1 Adaptive methods} *)
+
+type pair =
+  | Rk23  (** Bogacki–Shampine 3(2): 3 fresh stages/step (FSAL). *)
+  | Rk45  (** Dormand–Prince 5(4): 6 fresh stages/step (FSAL). *)
+
+type stats = {
+  accepted : int;  (** Steps taken. *)
+  rejected : int;  (** Attempts discarded by the error test. *)
+  evals : int;  (** Derivative evaluations, the solver cost unit. *)
+}
+
+val no_stats : stats
+(** All-zero statistics, the identity for aggregation. *)
+
+val adaptive :
+  ?pair:pair ->
+  ?rtol:float ->
+  ?atol:float ->
+  ?dt0:float ->
+  ?dt_min:float ->
+  ?dt_max:float ->
+  ?max_steps:int ->
+  ?ws:workspace ->
+  system ->
+  y:Vec.t ->
+  t0:float ->
+  t1:float ->
+  stats
+(** Embedded Runge–Kutta pair with PI (Gustafsson) step-size control.
+    Advances [y] in place from [t0] to [t1]; the final step is shortened to
+    land exactly on [t1]. The error test uses the scaled max norm
+    [max_i |e_i| / (atol + rtol·|y_i|)]; accepted steps grow or shrink the
+    step through a PI controller clamped to the factor range [0.2, 5.0]
+    (no growth immediately after a rejection), rejected steps shrink it.
+    Both pairs are FSAL: an accepted step's last stage is reused as the
+    next step's first, so only the very first step pays the extra
+    evaluation. Passing [ws] reuses caller-allocated scratch space, making
+    the whole run allocation-free.
+
+    Defaults: [pair = Rk45], [rtol = 1e-8], [atol = 1e-12],
+    [dt0 = (t1-t0)/100], [dt_max = ∞], [max_steps = 10_000_000].
+
+    @raise Failure if the step size falls below [dt_min] (default: the
+    representable-progress threshold [1e-14·max(1,|t|)]) or [max_steps]
+    attempts are made. *)
 
 val dopri5 :
   ?rtol:float ->
@@ -75,12 +120,8 @@ val dopri5 :
   t0:float ->
   t1:float ->
   int
-(** Dormand–Prince 5(4) embedded Runge–Kutta pair with PI-free standard
-    step-size control. Advances [y] in place from [t0] to [t1] and returns
-    the number of accepted steps. Defaults: [rtol = 1e-8], [atol = 1e-12],
-    [max_steps = 10_000_000].
-
-    @raise Failure if the step size underflows or [max_steps] is hit. *)
+(** [adaptive ~pair:Rk45] returning only the accepted-step count; kept for
+    callers that don't need {!stats}. Defaults as in {!adaptive}. *)
 
 (** {1 Steady state} *)
 

@@ -143,6 +143,66 @@ let test_dopri5_adapts () =
   let loose = run 1e-4 and tight = run 1e-11 in
   Alcotest.(check bool) "adaptive step count" true (tight > 2 * loose)
 
+let test_adaptive_stats_account_for_every_eval () =
+  (* FSAL bookkeeping: one eval to seed k1, then 6 (Rk45) or 3 (Rk23)
+     fresh stages per attempt, accepted or rejected. *)
+  let y = [| 1.0; 0.0 |] in
+  let s = Ode.adaptive ~rtol:1e-8 ~atol:1e-12 oscillator ~y ~t0:0.0 ~t1:10.0 in
+  Alcotest.(check int) "rk45 evals" (1 + (6 * (s.Ode.accepted + s.Ode.rejected)))
+    s.Ode.evals;
+  let y = [| 1.0; 0.0 |] in
+  let s =
+    Ode.adaptive ~pair:Ode.Rk23 ~rtol:1e-8 ~atol:1e-12 oscillator ~y ~t0:0.0
+      ~t1:10.0
+  in
+  Alcotest.(check int) "rk23 evals" (1 + (3 * (s.Ode.accepted + s.Ode.rejected)))
+    s.Ode.evals
+
+let test_adaptive_rejection_occurs () =
+  (* A wildly optimistic initial step must fail the error test (and the
+     run still lands on the right answer). *)
+  let y = [| 1.0 |] in
+  let s = Ode.adaptive ~rtol:1e-10 ~atol:1e-14 ~dt0:5.0 decay ~y ~t0:0.0 ~t1:2.0 in
+  Alcotest.(check bool) "some rejection" true (s.Ode.rejected > 0);
+  check_close 1e-9 "still accurate" (exp (-2.0)) y.(0)
+
+let test_adaptive_dt_max_clamps () =
+  let y = [| 1.0 |] in
+  let s =
+    Ode.adaptive ~rtol:1e-3 ~atol:1e-6 ~dt_max:0.01 decay ~y ~t0:0.0 ~t1:1.0
+  in
+  Alcotest.(check bool) "at least 1/dt_max steps" true (s.Ode.accepted >= 100)
+
+let test_adaptive_lands_exactly_on_t1 () =
+  (* dy/dt = 1: y(t1) = t1 exactly iff the final step is shortened to
+     land on t1 rather than overshooting it. *)
+  let unit_rate = { Ode.dim = 1; deriv = (fun ~t:_ ~y:_ ~dy -> dy.(0) <- 1.0) } in
+  let y = [| 0.0 |] in
+  ignore (Ode.adaptive ~rtol:1e-6 unit_rate ~y ~t0:0.0 ~t1:0.777);
+  check_close 1e-12 "landing" 0.777 y.(0)
+
+let test_adaptive_rk23_accuracy () =
+  let y = [| 1.0 |] in
+  let s =
+    Ode.adaptive ~pair:Ode.Rk23 ~rtol:1e-8 ~atol:1e-12 decay ~y ~t0:0.0 ~t1:2.0
+  in
+  check_close 1e-7 "rk23 decay" (exp (-2.0)) y.(0);
+  (* third order pays more steps than dopri5 at equal tolerance *)
+  let y45 = [| 1.0 |] in
+  let s45 = Ode.adaptive ~rtol:1e-8 ~atol:1e-12 decay ~y:y45 ~t0:0.0 ~t1:2.0 in
+  Alcotest.(check bool) "rk23 takes more steps" true
+    (s.Ode.accepted > s45.Ode.accepted)
+
+let test_adaptive_min_step_fails () =
+  (* Forbidding steps below 0.5 at a tight tolerance must abort rather
+     than loop or silently degrade. *)
+  match
+    Ode.adaptive ~rtol:1e-12 ~atol:1e-14 ~dt0:1.0 ~dt_min:0.5 oscillator
+      ~y:[| 1.0; 0.0 |] ~t0:0.0 ~t1:20.0
+  with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure _ -> ()
+
 let test_observe_samples () =
   let samples = ref [] in
   let y = [| 1.0 |] in
@@ -263,6 +323,95 @@ let test_dominant_ratio () =
   let e = Accel.extrapolate_dominant (v 0.0) (v 1.0) (v 2.0) in
   check_close 1e-10 "limit0" 5.0 e.(0);
   check_close 1e-10 "limit1" (-1.0) e.(1)
+
+let test_dominant_ratio_degenerate_guard () =
+  (* Regression: a vanishing first difference makes dominant_ratio nan;
+     ratio_usable must reject it (and ±∞ and non-contracting ratios) so
+     extrapolate_dominant falls back to the last iterate instead of
+     propagating nan into the state. *)
+  let v = [| 1.0; 2.0 |] in
+  let rho = Accel.dominant_ratio v v [| 1.5; 2.5 |] in
+  Alcotest.(check bool) "nan ratio" true (Float.is_nan rho);
+  Alcotest.(check bool) "nan unusable" false (Accel.ratio_usable rho);
+  Alcotest.(check bool) "inf unusable" false (Accel.ratio_usable infinity);
+  Alcotest.(check bool) "non-contracting unusable" false
+    (Accel.ratio_usable 1.5);
+  Alcotest.(check bool) "unit-circle boundary unusable" false
+    (Accel.ratio_usable 1.0);
+  Alcotest.(check bool) "contracting usable" true (Accel.ratio_usable 0.6);
+  let e = Accel.extrapolate_dominant v v [| 1.5; 2.5 |] in
+  check_close 1e-12 "fallback 0" 1.5 e.(0);
+  check_close 1e-12 "fallback 1" 2.5 e.(1);
+  Array.iter
+    (fun x -> Alcotest.(check bool) "finite" true (Float.is_finite x))
+    e
+
+(* Linear contraction g(x) = A·x + b with spectral radius ~0.9: plain
+   iteration needs hundreds of steps for 1e-12; depth-3 Anderson solves
+   the 3-dimensional affine map essentially exactly once its history
+   spans the space. *)
+let anderson_affine () =
+  let a = [| [| 0.5; 0.2; 0.0 |]; [| 0.1; 0.7; 0.2 |]; [| 0.0; 0.2; 0.8 |] |] in
+  let b = [| 1.0; -0.5; 0.25 |] in
+  let g x =
+    Vec.init 3 (fun i ->
+        b.(i) +. (a.(i).(0) *. x.(0)) +. (a.(i).(1) *. x.(1))
+        +. (a.(i).(2) *. x.(2)))
+  in
+  g
+
+let test_anderson_affine_fast () =
+  let g = anderson_affine () in
+  let st = Accel.anderson ~depth:3 3 in
+  let x = ref (Vec.of_list [ 0.0; 0.0; 0.0 ]) in
+  let iters = ref 0 in
+  while Vec.dist_inf (g !x) !x > 1e-12 && !iters < 50 do
+    x := Accel.anderson_step st ~x:!x ~gx:(g !x);
+    incr iters
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "anderson converged fast (%d iters)" !iters)
+    true (!iters <= 12);
+  (* plain damped iteration is far slower from the same start *)
+  let y = ref (Vec.of_list [ 0.0; 0.0; 0.0 ]) in
+  let plain = ref 0 in
+  while Vec.dist_inf (g !y) !y > 1e-12 && !plain < 1000 do
+    y := g !y;
+    incr plain
+  done;
+  Alcotest.(check bool) "plain much slower" true (!plain > 5 * !iters);
+  check_close 1e-10 "same limit 0" !y.(0) !x.(0);
+  check_close 1e-10 "same limit 2" !y.(2) !x.(2)
+
+let test_anderson_reset_and_depth () =
+  let g = anderson_affine () in
+  let st = Accel.anderson ~depth:4 3 in
+  Alcotest.(check int) "empty" 0 (Accel.anderson_depth_in_use st);
+  let x = ref (Vec.of_list [ 0.0; 0.0; 0.0 ]) in
+  for _ = 1 to 6 do
+    x := Accel.anderson_step st ~x:!x ~gx:(g !x)
+  done;
+  Alcotest.(check int) "saturated" 4 (Accel.anderson_depth_in_use st);
+  Accel.anderson_reset st;
+  Alcotest.(check int) "reset" 0 (Accel.anderson_depth_in_use st);
+  (* still converges after a reset *)
+  for _ = 1 to 12 do
+    x := Accel.anderson_step st ~x:!x ~gx:(g !x)
+  done;
+  Alcotest.(check bool) "converged after reset" true
+    (Vec.dist_inf (g !x) !x < 1e-10)
+
+let test_anderson_rejects_bad_args () =
+  Alcotest.check_raises "depth"
+    (Invalid_argument "Accel.anderson: depth must be positive") (fun () ->
+      ignore (Accel.anderson ~depth:0 3));
+  Alcotest.check_raises "dim"
+    (Invalid_argument "Accel.anderson: dim must be positive") (fun () ->
+      ignore (Accel.anderson 0));
+  let st = Accel.anderson 3 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Accel.anderson_step: dimension mismatch") (fun () ->
+      ignore (Accel.anderson_step st ~x:(Vec.create 2) ~gx:(Vec.create 2)))
 
 let test_richardson () =
   (* Trapezoid-rule values for ∫₀¹ x² dx = 1/3 with h and h/2:
@@ -439,6 +588,18 @@ let () =
             test_final_step_lands_exactly;
           Alcotest.test_case "dopri5 accuracy" `Quick test_dopri5_accuracy;
           Alcotest.test_case "dopri5 adapts step" `Quick test_dopri5_adapts;
+          Alcotest.test_case "adaptive stats account evals" `Quick
+            test_adaptive_stats_account_for_every_eval;
+          Alcotest.test_case "adaptive rejects bad steps" `Quick
+            test_adaptive_rejection_occurs;
+          Alcotest.test_case "adaptive honours dt_max" `Quick
+            test_adaptive_dt_max_clamps;
+          Alcotest.test_case "adaptive lands exactly on t1" `Quick
+            test_adaptive_lands_exactly_on_t1;
+          Alcotest.test_case "rk23 accuracy vs rk45" `Quick
+            test_adaptive_rk23_accuracy;
+          Alcotest.test_case "adaptive fails below dt_min" `Quick
+            test_adaptive_min_step_fails;
           Alcotest.test_case "observe sampling" `Quick test_observe_samples;
           Alcotest.test_case "relax to steady state" `Quick
             test_relax_linear;
@@ -468,6 +629,14 @@ let () =
             test_aitken_geometric;
           Alcotest.test_case "aitken vector" `Quick test_aitken_vec;
           Alcotest.test_case "dominant ratio" `Quick test_dominant_ratio;
+          Alcotest.test_case "degenerate ratio guard" `Quick
+            test_dominant_ratio_degenerate_guard;
+          Alcotest.test_case "anderson beats plain iteration" `Quick
+            test_anderson_affine_fast;
+          Alcotest.test_case "anderson reset and depth" `Quick
+            test_anderson_reset_and_depth;
+          Alcotest.test_case "anderson rejects bad args" `Quick
+            test_anderson_rejects_bad_args;
           Alcotest.test_case "richardson" `Quick test_richardson;
           QCheck_alcotest.to_alcotest qcheck_aitken_exact;
         ] );
