@@ -28,8 +28,8 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [kernels] [speedup] [hotpath] [meanfield] [scaling] \
-     [compare]\n\
+    "usage: main.exe [kernels] [speedup] [hotpath] [meanfield] [scaling]\n\
+    \       [sharding] [compare]\n\
     \       [experiment ...]\n\
     \       [--quick|--paper] [--seed N] [--domains N] [--json FILE]\n\
     \       [--sizes N,N,...] [--baseline FILE] [--tolerance PCT] \
@@ -54,6 +54,7 @@ type options = {
   hotpath : bool;
   meanfield : bool;
   scaling : bool;
+  sharding : bool;
   sizes : int list option;
   compare : bool;
   baseline : string option;
@@ -75,6 +76,7 @@ let default_options =
     hotpath = false;
     meanfield = false;
     scaling = false;
+    sharding = false;
     sizes = None;
     compare = false;
     baseline = None;
@@ -149,6 +151,7 @@ let parse_options args =
     | "hotpath" :: rest -> go { opts with hotpath = true } rest
     | "meanfield" :: rest -> go { opts with meanfield = true } rest
     | "scaling" :: rest -> go { opts with scaling = true } rest
+    | "sharding" :: rest -> go { opts with sharding = true } rest
     | "compare" :: rest -> go { opts with compare = true } rest
     | name :: rest -> go { opts with names = opts.names @ [ name ] } rest
   in
@@ -580,6 +583,124 @@ let run_scaling ~sizes ~json () =
       Printf.printf "wrote %s\n" file)
     json
 
+(* ---------- sharding kernels ---------- *)
+
+(* Dispatch throughput of the sharded simulator at a fixed shard count.
+   On a single-core host the shards time-slice one domain, so shards > 1
+   measures the conservative-window overhead rather than a speedup;
+   given real cores the same kernel exposes the parallel scaling. *)
+let sharding_latency = 0.5
+
+let sharding_config n =
+  {
+    Wsim.Cluster.default with
+    n;
+    arrival_rate = 0.9;
+    policy = Wsim.Policy.simple;
+    scheduler = Wsim.Cluster.Calendar;
+  }
+
+let sharding_measure ~n ~shards =
+  (* ~3M dispatched events per measurement, as in the scaling sweep *)
+  let window = 3_000_000.0 /. (1.8 *. float_of_int n) in
+  let best = ref 0.0 in
+  for rep = 1 to 2 do
+    let rng = Prob.Rng.create ~seed:(300 + rep) in
+    let sim =
+      Wsim.Shard.create ~rng
+        {
+          Wsim.Shard.cluster = sharding_config n;
+          shards;
+          latency = sharding_latency;
+        }
+    in
+    let t0 = Unix.gettimeofday () in
+    ignore (Wsim.Shard.run sim ~horizon:window ~warmup:0.0);
+    let dt = Unix.gettimeofday () -. t0 in
+    let eps = float_of_int (Wsim.Shard.events_dispatched sim) /. dt in
+    if eps > !best then best := eps
+  done;
+  !best
+
+let default_sharding_sizes = [ 65536 ]
+let sharding_shard_counts = [ 1; 2; 4 ]
+
+let run_sharding ~quick ~sizes ~json () =
+  let sizes = Option.value sizes ~default:default_sharding_sizes in
+  Printf.printf
+    "sharding kernels (lambda=0.9, simple stealing, calendar queue, latency \
+     %g; best of 2 reps over a ~3M-event window):\n"
+    sharding_latency;
+  let rows =
+    List.concat_map
+      (fun n ->
+        let per_shards =
+          List.map
+            (fun s ->
+              let eps = sharding_measure ~n ~shards:s in
+              Printf.printf "  n=%-8d shards=%d %10.0f ev/s\n%!" n s eps;
+              (n, s, eps))
+            sharding_shard_counts
+        in
+        (match (per_shards, List.rev per_shards) with
+        | (_, _, base) :: _, (_, smax, top) :: _ ->
+            Printf.printf "  n=%-8d %d-shard vs 1-shard: %.2fx\n%!" n smax
+              (top /. base)
+        | _ -> ());
+        per_shards)
+      sizes
+  in
+  (* the headline capacity point: one n = 1e7 run to completion *)
+  let big =
+    if quick then None
+    else begin
+      let n = 10_000_000 and shards = 4 in
+      let rng = Prob.Rng.create ~seed:301 in
+      let sim =
+        Wsim.Shard.create ~rng
+          {
+            Wsim.Shard.cluster = sharding_config n;
+            shards;
+            latency = sharding_latency;
+          }
+      in
+      let t0 = Unix.gettimeofday () in
+      let result = Wsim.Shard.run sim ~horizon:1.0 ~warmup:0.0 in
+      let dt = Unix.gettimeofday () -. t0 in
+      let events = Wsim.Shard.events_dispatched sim in
+      Printf.printf
+        "  n=%d shards=%d horizon=1.0: %d events in %.1f s (%.0f ev/s), \
+         E[load] %.3f\n\
+         %!"
+        n shards events dt
+        (float_of_int events /. dt)
+        result.Wsim.Cluster.mean_load;
+      Some (n, shards, events, dt)
+    end
+  in
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      output_string oc "{";
+      List.iteri
+        (fun i (n, s, eps) ->
+          Printf.fprintf oc "%s\n  \"sharding/n%d/s%d_events_per_sec\": %.0f"
+            (if i = 0 then "" else ",")
+            n s eps)
+        rows;
+      Option.iter
+        (fun (n, s, events, dt) ->
+          Printf.fprintf oc
+            ",\n\
+            \  \"sharding/n%d/s%d_events\": %d,\n\
+            \  \"sharding/n%d/s%d_seconds\": %.1f"
+            n s events n s dt)
+        big;
+      output_string oc "\n}\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" file)
+    json
+
 (* Newest committed baseline: BENCH_ names carry a zero-padded PR
    number, so the lexicographically greatest file is the latest. *)
 let newest_committed_baseline () =
@@ -593,82 +714,102 @@ let newest_committed_baseline () =
   | best :: _ -> Some best
   | [] -> None
 
-(* Minimal reader for the flat ["key": number] objects this binary (and
-   the committed BENCH_*.json baselines) write; non-numeric values are
-   ignored. *)
-let parse_flat_json file =
-  let ic = open_in file in
-  let entries = ref [] in
-  (try
-     while true do
-       let line = input_line ic in
-       match String.index_opt line '"' with
-       | None -> ()
-       | Some q1 -> (
-           match String.index_from_opt line (q1 + 1) '"' with
-           | None -> ()
-           | Some q2 -> (
-               let key = String.sub line (q1 + 1) (q2 - q1 - 1) in
-               match String.index_from_opt line q2 ':' with
-               | None -> ()
-               | Some c ->
-                   let v =
-                     String.trim
-                       (String.sub line (c + 1) (String.length line - c - 1))
-                   in
-                   let v =
-                     if v <> "" && v.[String.length v - 1] = ',' then
-                       String.trim (String.sub v 0 (String.length v - 1))
-                     else v
-                   in
-                   (match float_of_string_opt v with
-                   | Some f -> entries := (key, f) :: !entries
-                   | None -> ())))
-     done
-   with End_of_file -> ());
-  close_in ic;
-  !entries
+(* Re-measure what the committed baseline expects and diff against it.
+   The baseline's "after/"-prefixed keys are its expectation set (a raw
+   [hotpath --json] capture, with no such keys, counts wholesale); each
+   expectation selects the kernel family that can reproduce it — the
+   hotpath pair, or a sharding throughput point — and an expectation no
+   family covers is reported as MISSING, a failure in its own right:
+   a kernel tracked by the baseline must not silently drop out of the
+   comparison. The pass/fail logic lives in [Benchkit]. *)
+(* "sharding/n<N>/s<S>_events_per_sec" — parsed by hand: Scanf's %d
+   treats '_' as a digit separator and would swallow the key's
+   "_events" suffix. *)
+let sharding_expectation key =
+  let tagged_int tag part =
+    if String.length part > String.length tag
+       && String.sub part 0 (String.length tag) = tag
+    then
+      int_of_string_opt
+        (String.sub part (String.length tag)
+           (String.length part - String.length tag))
+    else None
+  in
+  match String.split_on_char '/' key with
+  | [ "sharding"; npart; metric ] -> (
+      let suffix = "_events_per_sec" in
+      match
+        if Filename.check_suffix metric suffix then
+          tagged_int "s" (Filename.chop_suffix metric suffix)
+        else None
+      with
+      | None -> None
+      | Some s -> (
+          match tagged_int "n" npart with
+          | Some n -> Some (n, s)
+          | None -> None))
+  | _ -> None
 
-(* Re-measure the hotpath kernels and diff against a committed baseline.
-   A baseline written by [hotpath --json] carries bare keys; a committed
-   BENCH_*.json carries the expectation under "after/" — prefer that. *)
 let run_compare ~baseline ~tolerance ~warn_only ~json () =
-  let entries = parse_flat_json baseline in
-  let lookup key =
-    match List.assoc_opt ("after/" ^ key) entries with
-    | Some v -> Some v
-    | None -> List.assoc_opt key entries
-  in
-  let base_eps, base_words =
-    match (lookup "events_per_sec", lookup "minor_words_per_event") with
-    | Some e, Some w -> (e, w)
-    | _ ->
-        Printf.eprintf
-          "baseline %s lacks events_per_sec/minor_words_per_event\n" baseline;
-        exit 2
-  in
-  let eps, words = hotpath_measure () in
-  Option.iter (fun file -> write_hotpath_json ~file ~eps ~words) json;
-  let eps_floor = base_eps *. (1.0 -. (tolerance /. 100.0)) in
-  (* allow one word of absolute slack: the baseline may legitimately
-     be 0.0, where a pure percentage band has no width *)
-  let words_ceil =
-    base_words +. Float.max (base_words *. tolerance /. 100.0) 1.0
+  let expectations = Benchkit.expectations (Benchkit.parse_flat_json baseline) in
+  if expectations = [] then begin
+    Printf.eprintf "baseline %s holds no numeric expectations\n" baseline;
+    exit 2
+  end;
+  let wants key = List.mem_assoc key expectations in
+  let current = ref [] in
+  if wants "events_per_sec" || wants "minor_words_per_event" then begin
+    let eps, words = hotpath_measure () in
+    Option.iter (fun file -> write_hotpath_json ~file ~eps ~words) json;
+    current :=
+      [ ("events_per_sec", eps); ("minor_words_per_event", words) ]
+  end;
+  List.iter
+    (fun (key, _) ->
+      match sharding_expectation key with
+      | None -> ()
+      | Some (n, shards) ->
+          let eps = sharding_measure ~n ~shards in
+          Printf.printf "  sharding n=%d shards=%d: %.0f ev/s\n%!" n shards eps;
+          current := (key, eps) :: !current)
+    expectations;
+  let checks =
+    Benchkit.evaluate ~tolerance
+      ~direction:(fun key ->
+        if
+          String.length key >= 5
+          && (String.sub key 0 5 = "minor" || Filename.check_suffix key "_seconds")
+        then Benchkit.Lower_is_better
+        else Benchkit.Higher_is_better)
+      ~slack:(fun key ->
+        (* one word of absolute slack: the allocation baseline may
+           legitimately be 0.0, where a percentage band has no width *)
+        if key = "minor_words_per_event" then 1.0 else 0.0)
+      ~baseline:expectations ~current:!current ()
   in
   Printf.printf "compare vs %s (tolerance %.0f%%):\n" baseline tolerance;
-  let eps_ok = eps >= eps_floor in
-  let words_ok = words <= words_ceil in
-  Printf.printf "  events/sec:        %12.0f  baseline %12.0f  floor %12.0f  %s\n"
-    eps base_eps eps_floor
-    (if eps_ok then "ok" else "REGRESSION");
-  Printf.printf "  minor-words/event: %12.3f  baseline %12.3f  ceil  %12.3f  %s\n"
-    words base_words words_ceil
-    (if words_ok then "ok" else "REGRESSION");
-  if not (eps_ok && words_ok) then
+  List.iter
+    (fun (c : Benchkit.check) ->
+      match c.Benchkit.current with
+      | Some v ->
+          Printf.printf "  %-34s %14.3f  baseline %14.3f  %s %14.3f  %s\n"
+            c.Benchkit.key v c.Benchkit.baseline
+            (match c.Benchkit.direction with
+            | Benchkit.Higher_is_better -> "floor"
+            | Benchkit.Lower_is_better -> "ceil ")
+            c.Benchkit.bound
+            (Benchkit.status_label c.Benchkit.status)
+      | None ->
+          Printf.printf "  %-34s %14s  baseline %14.3f  %s\n" c.Benchkit.key
+            "(not measured)" c.Benchkit.baseline
+            (Benchkit.status_label c.Benchkit.status))
+    checks;
+  if not (Benchkit.all_passed checks) then
     if warn_only then
-      print_endline "  regression detected (warn-only mode, not failing)"
+      print_endline
+        "  regression or missing kernel detected (warn-only mode, not failing)"
     else begin
-      prerr_endline "hotpath regression exceeds tolerance";
+      prerr_endline "bench compare: regression or missing kernel";
       exit 1
     end
 
@@ -757,7 +898,7 @@ let () =
       match opts.names with
       | []
         when opts.kernels || opts.speedup || opts.hotpath || opts.meanfield
-             || opts.scaling || opts.compare ->
+             || opts.scaling || opts.sharding || opts.compare ->
           []
       | [] -> Experiments.Registry.all
       | names ->
@@ -788,6 +929,8 @@ let () =
     if opts.hotpath then run_hotpath ~json:opts.json ();
     if opts.meanfield then run_meanfield ~json:opts.json ();
     if opts.scaling then run_scaling ~sizes:opts.sizes ~json:opts.json ();
+    if opts.sharding then
+      run_sharding ~quick:opts.quick ~sizes:opts.sizes ~json:opts.json ();
     if opts.compare then begin
       let baseline =
         match opts.baseline with

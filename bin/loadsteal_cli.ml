@@ -127,7 +127,7 @@ let trajectory_cmd =
           $ Model_args.params_term $ horizon $ sample_every $ start)
 
 let print_simulate policy_name params n horizon warmup runs seed service
-    initial_load scheduler =
+    initial_load scheduler shards latency =
   let policy = Model_args.build_policy policy_name params in
   let service =
     match service with
@@ -152,13 +152,38 @@ let print_simulate policy_name params n horizon warmup runs seed service
       scheduler;
     }
   in
-  let fidelity = { Wsim.Runner.runs; horizon; warmup } in
-  let summary = Wsim.Runner.replicate ~seed ~fidelity config in
+  let summary =
+    if shards = 1 then
+      let fidelity = { Wsim.Runner.runs; horizon; warmup } in
+      Wsim.Runner.replicate ~seed ~fidelity config
+    else begin
+      (* Runner's replication protocol over the sharded engine: streams
+         split from the root in replica order before anything runs,
+         results merged in index order. *)
+      let root = Prob.Rng.create ~seed in
+      let streams = Array.make runs root in
+      for i = 0 to runs - 1 do
+        streams.(i) <- Prob.Rng.split root
+      done;
+      Wsim.Runner.summarize
+        (Array.map
+           (fun rng ->
+             let sim =
+               Wsim.Shard.create ~rng
+                 { Wsim.Shard.cluster = config; shards; latency }
+             in
+             Wsim.Shard.run sim ~horizon ~warmup)
+           streams)
+    end
+  in
   Format.printf "policy:          %a@." Wsim.Policy.pp policy;
   Printf.printf "n=%d lambda=%g service=%s runs=%d horizon=%g warmup=%g\n" n
     params.Model_args.lambda
     (Format.asprintf "%a" Prob.Dist.pp_service service)
     runs horizon warmup;
+  if shards > 1 then
+    Printf.printf "shards=%d latency=%g (conservative lookahead)\n" shards
+      latency;
   Printf.printf "mean sojourn E[T]: %.4f (+/- %.4f, 95%%)\n"
     summary.Wsim.Runner.mean_sojourn summary.Wsim.Runner.sojourn_ci95;
   Printf.printf "mean load E[N]:    %.4f per processor\n"
@@ -210,12 +235,28 @@ let simulate_cmd =
                    $(b,calendar) (calendar queue, faster for large N). \
                    Results are bit-identical either way.")
   in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"S"
+             ~doc:"Partition the cluster into $(docv) per-domain engines \
+                   (conservative-lookahead PDES). $(b,--shards 1) \
+                   reproduces the single-engine simulator draw-for-draw; \
+                   larger counts are equally valid samples of the same \
+                   model. Only single-probe tail-steal policies are \
+                   shardable.")
+  in
+  let latency =
+    Arg.(value & opt float 0.5
+         & info [ "latency" ] ~docv:"L"
+             ~doc:"Cross-shard transfer latency (the lookahead window) \
+                   when $(b,--shards) > 1; must be positive.")
+  in
   let doc = "Simulate a finite cluster under a stealing policy." in
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(const print_simulate $ Model_args.policy_term
           $ Model_args.params_term $ n $ horizon $ warmup $ runs $ seed
-          $ service $ initial_load $ scheduler)
+          $ service $ initial_load $ scheduler $ shards $ latency)
 
 let scope_term =
   let quick =

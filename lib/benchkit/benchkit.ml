@@ -1,0 +1,111 @@
+(* Benchmark comparison logic, factored out of bench/main.ml so the
+   pass/fail semantics — in particular, that a baseline kernel absent
+   from the current run is a reportable failure rather than a silent
+   pass — are unit-testable without running any benchmark. *)
+
+type direction = Higher_is_better | Lower_is_better
+
+type status = Pass | Fail | Missing
+
+type check = {
+  key : string;
+  direction : direction;
+  baseline : float;
+  current : float option;
+  bound : float;
+  status : status;
+}
+
+(* --- flat JSON --- *)
+
+let parse_flat_json_string text =
+  let entries = ref [] in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         match String.index_opt line '"' with
+         | None -> ()
+         | Some q1 -> (
+             match String.index_from_opt line (q1 + 1) '"' with
+             | None -> ()
+             | Some q2 -> (
+                 let key = String.sub line (q1 + 1) (q2 - q1 - 1) in
+                 match String.index_from_opt line q2 ':' with
+                 | None -> ()
+                 | Some c ->
+                     let v =
+                       String.trim
+                         (String.sub line (c + 1) (String.length line - c - 1))
+                     in
+                     let v =
+                       if v <> "" && v.[String.length v - 1] = ',' then
+                         String.trim (String.sub v 0 (String.length v - 1))
+                       else v
+                     in
+                     (match float_of_string_opt v with
+                     | Some f -> entries := (key, f) :: !entries
+                     | None -> ()))));
+  List.rev !entries
+
+let parse_flat_json file =
+  let ic = open_in file in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_flat_json_string text
+
+(* --- expectations --- *)
+
+let after_prefix = "after/"
+
+let strip_after key =
+  let n = String.length after_prefix in
+  if String.length key > n && String.sub key 0 n = after_prefix then
+    Some (String.sub key n (String.length key - n))
+  else None
+
+let expectations entries =
+  let after =
+    List.filter_map
+      (fun (k, v) -> Option.map (fun k -> (k, v)) (strip_after k))
+      entries
+  in
+  if after <> [] then after else entries
+
+(* --- evaluation --- *)
+
+let no_slack _ = 0.0
+
+let evaluate ~tolerance ~direction ?(slack = no_slack) ~baseline ~current () =
+  List.map
+    (fun (key, base) ->
+      let dir = direction key in
+      let frac = tolerance /. 100.0 in
+      let bound =
+        match dir with
+        | Higher_is_better -> base *. (1.0 -. frac)
+        | Lower_is_better -> base +. Float.max (base *. frac) (slack key)
+      in
+      match List.assoc_opt key current with
+      | None -> { key; direction = dir; baseline = base; current = None; bound; status = Missing }
+      | Some v ->
+          let ok =
+            match dir with
+            | Higher_is_better -> v >= bound
+            | Lower_is_better -> v <= bound
+          in
+          {
+            key;
+            direction = dir;
+            baseline = base;
+            current = Some v;
+            bound;
+            status = (if ok then Pass else Fail);
+          })
+    (expectations baseline)
+
+let all_passed checks = List.for_all (fun c -> c.status = Pass) checks
+
+let status_label = function
+  | Pass -> "ok"
+  | Fail -> "REGRESSION"
+  | Missing -> "MISSING"

@@ -1,0 +1,62 @@
+(** Benchmark baseline comparison: the pure pass/fail logic behind
+    [bench/main.exe compare], factored out so its semantics are
+    unit-testable without timing anything.
+
+    A committed [BENCH_*.json] baseline states its expectations under
+    ["after/"]-prefixed keys; everything else in the file (protocol
+    notes, ["before/"] measurements, informational sweeps) is context.
+    The current run supplies a flat [key → value] list of what it
+    actually measured. Every expectation must be matched: an
+    expectation the current run did not measure is reported as
+    {!Missing} — a failure, not a silent pass — because it means a
+    kernel tracked by the baseline dropped out of the comparison. *)
+
+type direction =
+  | Higher_is_better  (** throughputs: regression is falling below *)
+  | Lower_is_better  (** costs: regression is rising above *)
+
+type status =
+  | Pass
+  | Fail  (** measured, outside the tolerance band *)
+  | Missing  (** expected by the baseline, not measured by this run *)
+
+type check = {
+  key : string;  (** expectation key, ["after/"] prefix stripped *)
+  direction : direction;
+  baseline : float;
+  current : float option;  (** [None] iff [status = Missing] *)
+  bound : float;  (** admissible floor (or ceiling) for [current] *)
+  status : status;
+}
+
+val parse_flat_json_string : string -> (string * float) list
+(** Read the flat [{"key": number, ...}] objects the bench harness
+    writes, in file order; non-numeric values are skipped. This is not
+    a general JSON parser — one key/value pair per line. *)
+
+val parse_flat_json : string -> (string * float) list
+(** [parse_flat_json file] — {!parse_flat_json_string} on a file. *)
+
+val expectations : (string * float) list -> (string * float) list
+(** The expectation set of a baseline: its ["after/"]-prefixed entries,
+    prefix stripped. A file with no ["after/"] keys at all (e.g. a raw
+    [hotpath --json] capture) falls back to every numeric entry. *)
+
+val evaluate :
+  tolerance:float ->
+  direction:(string -> direction) ->
+  ?slack:(string -> float) ->
+  baseline:(string * float) list ->
+  current:(string * float) list ->
+  unit ->
+  check list
+(** Check each baseline expectation against the current measurements,
+    in baseline order. [tolerance] is a percentage band around the
+    baseline value; [slack key] (default 0) widens a
+    {!Lower_is_better} ceiling to at least [baseline + slack], so a
+    legitimately-zero baseline keeps a usable band. *)
+
+val all_passed : check list -> bool
+
+val status_label : status -> string
+(** ["ok"], ["REGRESSION"] or ["MISSING"] — the report spelling. *)

@@ -13,8 +13,26 @@
     [r(j)·p_j²] for [j = k] (where [p_j = s_j - s_{j+1}]), and the event
     raises [sᵢ] for [k < i ≤ ⌊(j+k)/2⌋] and lowers it for
     [⌈(j+k)/2⌉ < i ≤ j] (taking [j ≥ k]). Both formulations describe the
-    same jump process. Pairs are accumulated with a difference array, so a
-    derivative evaluation costs O(support²) rather than O(dim³). *)
+    same jump process.
+
+    The pairwise sum is evaluated by the indicator split
+    [ds_i += x_jk·([j+k ≥ 2i] + [j+k ≥ 2i-1] - [j ≥ i] - [k ≥ i])]: the
+    separable [j ≥ i] / [k ≥ i] parts reduce to O(dim) prefix/suffix
+    sums, and only the anti-diagonal totals [T(d) = Σ_{j+k=d} x_jk] — an
+    autocorrelation of the mass vector, irreducibly pairwise — keep a
+    (branch-free multiply-add) loop over the support. An evaluation
+    costs O(dim + support·multiply-adds), down from the seed's
+    O(support²) difference-array range updates. *)
+
+val deriv :
+  lambda:float ->
+  rates:float array ->
+  y:Numerics.Vec.t ->
+  dy:Numerics.Vec.t ->
+  unit
+(** The raw derivative ([rates.(i)] is [r(i)], its last entry extending
+    to all larger loads). Exposed so tests can check the prefix-sum
+    evaluation against the direct pairwise sum. *)
 
 val model :
   lambda:float -> rate:(int -> float) -> ?dim:int -> unit -> Model.t

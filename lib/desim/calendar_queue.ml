@@ -458,16 +458,18 @@ let drop_root t =
   t.root_known <- false;
   if t.nbuckets > min_buckets && t.size < t.nbuckets / 4 then
     rehash t (t.nbuckets / 2)
-  else if t.gap_count >= max 64 (t.size / 2) then begin
+  else if t.gap_count >= max 64 (min (t.size / 2) 8192) then begin
     (* The width only changes inside a rehash, and a stationary
        population never crosses the size thresholds — so without this
        check a bad initial width (all events in two or three buckets,
-       O(size) scans per dequeue) would persist forever. Every ~size
-       dequeues, compare the rolling gap sample's target against the
-       current width and rebuild when it is more than 2x off; the
-       rebuild costs O(size + nbuckets) amortized over at least
-       max(64, size/2) dequeues, and a converged width never
-       triggers. *)
+       O(size) scans per dequeue) would persist forever. Every ~size/2
+       dequeues — capped at 8192, or a multi-million-event queue pays
+       millions of O(size)-scan dequeues before its first adaptation —
+       compare the rolling gap sample's target against the current
+       width and rebuild when it is more than 2x off; the rebuild
+       costs O(size + nbuckets), at most a few hundred ops per dequeue
+       under the cap and only while the width is still wrong, and a
+       converged width never triggers. *)
     let target = width_factor *. (t.gap_sum.v /. float_of_int t.gap_count) in
     if
       Float.is_finite target

@@ -132,6 +132,26 @@ let run ~until t ~handler =
   drain t ~handler;
   t.clock.v <- until
 
+(* Strict-bound variant for windowed (conservative PDES) advancement:
+   a window [clock, upto) processes only events with time < upto, so
+   that peer messages — whose stamps are bounded below by [upto] —
+   can still be scheduled before anything at [upto] itself runs. *)
+let rec drain_strict t ~handler =
+  if not (q_is_empty t.queue) then
+    if q_root_time t.queue < t.limit.v then begin
+      take_root t;
+      handler t.current_payload;
+      drain_strict t ~handler
+    end
+
+let advance_until ~upto t ~handler =
+  t.limit.v <- upto;
+  drain_strict t ~handler;
+  t.clock.v <- upto
+
+let next_time t =
+  if q_is_empty t.queue then infinity else q_root_time t.queue
+
 let run_until_empty t ~handler =
   t.limit.v <- infinity;
   drain t ~handler

@@ -70,6 +70,17 @@ val run_until_empty : t -> handler:(int -> unit) -> unit
 (** Dispatch until no events remain (the caller must guarantee the
     event population dies out). *)
 
+val advance_until : upto:float -> t -> handler:(int -> unit) -> unit
+(** Like {!run} but with a {e strict} bound: dispatches events with time
+    [< upto] only, then advances the clock to [upto]. Windowed
+    (conservative PDES) drivers use this so that events at exactly the
+    window edge stay pending until messages stamped at that edge have
+    been scheduled. *)
+
+val next_time : t -> float
+(** Timestamp of the earliest pending event, or [infinity] when none
+    remain — the local component of a conservative lookahead bound. *)
+
 val clear : t -> unit
 (** Reset the engine to its freshly created state — clock at 0, no
     pending events, dispatch counter and FIFO sequence numbering back

@@ -137,6 +137,43 @@ let map_array pool f xs =
 
 let map pool f xs = Array.to_list (map_array pool f (Array.of_list xs))
 
+(* Index-space map: the repeated-round shape of the sharded simulator
+   submits the same [n] shard tasks every window, so building an input
+   array per round would be pure allocation noise. Semantically
+   [map_array pool f [|0; ...; n-1|]]. *)
+let map_int pool f n =
+  if n < 0 then invalid_arg "Pool.map_int: negative count";
+  if pool.size = 1 || n <= 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let batch =
+      {
+        remaining = Atomic.make n;
+        finished = Mutex.create ();
+        all_done = Condition.create ();
+        first_error = Atomic.make None;
+      }
+    in
+    Mutex.lock pool.mutex;
+    if pool.closed then begin
+      Mutex.unlock pool.mutex;
+      invalid_arg "Pool.map_int: pool is shut down"
+    end;
+    for i = 0 to n - 1 do
+      Queue.push
+        (fun () ->
+          run_task batch (fun () -> f i) (fun v -> results.(i) <- Some v))
+        pool.queue
+    done;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.mutex;
+    help pool batch;
+    match Atomic.get batch.first_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.map (function Some v -> v | None -> assert false) results
+  end
+
 (* ---------- default pool ---------- *)
 
 let default_lock = Mutex.create ()

@@ -47,6 +47,16 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Array analogue of {!map}; the result at index [i] is [f xs.(i)]. *)
 
+val map_int : t -> (int -> 'a) -> int -> 'a array
+(** [map_int pool f n] is [[| f 0; ...; f (n-1) |]] with the calls
+    spread over the pool — the round primitive of the sharded
+    simulator, which re-submits the same [n] shard tasks every
+    lookahead window. The barrier on return is also the happens-before
+    edge that hands each shard's outbound mailboxes to their consumers
+    for the next round. Results are in index order; the first exception
+    observed is re-raised after the batch drains.
+    @raise Invalid_argument if [n < 0]. *)
+
 val shutdown : t -> unit
 (** Terminate the workers (after any queued tasks finish) and join
     them. Only call when no map is in flight; further maps on the pool

@@ -89,4 +89,16 @@ module Counts = struct
     end
 
   let total_weight t = t.total.v
+
+  (* Per-shard occupancy tallies are summed index-wise after a sharded
+     run; addition order is fixed (a's bins, then b's), so merging in
+     shard order is reproducible. *)
+  let merge a b =
+    let la = Array.length a.weights and lb = Array.length b.weights in
+    let weights = Array.make (max la lb) 0.0 in
+    Array.blit a.weights 0 weights 0 la;
+    for i = 0 to lb - 1 do
+      weights.(i) <- weights.(i) +. b.weights.(i)
+    done;
+    { weights; total = { v = a.total.v +. b.total.v } }
 end

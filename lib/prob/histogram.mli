@@ -39,4 +39,9 @@ module Counts : sig
       analogue of the paper's [s_i]. *)
 
   val total_weight : t -> float
+
+  val merge : t -> t -> t
+  (** Fresh tally holding the index-wise sum of both inputs (neither is
+      modified) — combines per-shard occupancy tallies after a sharded
+      run. *)
 end

@@ -1,0 +1,75 @@
+(* Growable ring of timestamped cross-shard messages in three parallel
+   lanes (time, packed payload, aux float) — the same triple the packed
+   engine schedules, so a drain is a straight copy into the consumer's
+   future-event set.
+
+   Concurrency contract: single-producer/single-consumer {e per round}.
+   A mailbox (src, dst) is written only by shard [src] during an advance
+   phase and read only by shard [dst] during the following drain phase;
+   the pool barrier between phases is the happens-before edge, so no
+   atomics are needed and pushes stay plain stores. *)
+
+type t = {
+  mutable time : float array;
+  mutable payload : int array;
+  mutable aux : float array;
+  mutable head : int; (* index of front message *)
+  mutable len : int;
+}
+
+let create ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  {
+    time = Array.make capacity 0.0;
+    payload = Array.make capacity 0;
+    aux = Array.make capacity 0.0;
+    head = 0;
+    len = 0;
+  }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = Array.length t.time in
+  let fresh_time = Array.make (2 * cap) 0.0 in
+  let fresh_payload = Array.make (2 * cap) 0 in
+  let fresh_aux = Array.make (2 * cap) 0.0 in
+  for i = 0 to t.len - 1 do
+    let j = (t.head + i) mod cap in
+    fresh_time.(i) <- t.time.(j);
+    fresh_payload.(i) <- t.payload.(j);
+    fresh_aux.(i) <- t.aux.(j)
+  done;
+  t.time <- fresh_time;
+  t.payload <- fresh_payload;
+  t.aux <- fresh_aux;
+  t.head <- 0
+
+let push t ~time ~payload ~aux =
+  if t.len = Array.length t.time then grow t;
+  let cap = Array.length t.time in
+  let j = (t.head + t.len) mod cap in
+  t.time.(j) <- time;
+  t.payload.(j) <- payload;
+  t.aux.(j) <- aux;
+  t.len <- t.len + 1
+
+(* FIFO drain: messages come out in push order, which is how they gain
+   their engine sequence numbers — the deterministic tie-break among
+   equal stamps. The head keeps its position modulo the capacity (it is
+   not reset to 0), so a busy mailbox reuses its ring without sliding
+   everything back to the origin each round. *)
+let drain t ~f =
+  let cap = Array.length t.time in
+  let count = t.len in
+  for i = 0 to count - 1 do
+    let j = (t.head + i) mod cap in
+    f ~time:t.time.(j) ~payload:t.payload.(j) ~aux:t.aux.(j)
+  done;
+  t.head <- (t.head + count) mod cap;
+  t.len <- 0
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0

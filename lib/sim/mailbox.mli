@@ -1,0 +1,33 @@
+(** Cross-shard message queue for the sharded simulator.
+
+    A growable FIFO ring of [(time, payload, aux)] triples — exactly the
+    shape {!Desim.Packed_engine.schedule} consumes, so draining a
+    mailbox into a shard's future-event set is a straight copy.
+
+    {b Concurrency contract: single-producer/single-consumer per
+    round.} The mailbox for the (src, dst) shard pair is written only
+    by shard [src] during an advance phase and read only by shard [dst]
+    during the following drain phase; the {!Parallel.Pool} barrier
+    between phases publishes the writes, so the implementation uses no
+    atomics. Concurrent push and drain on the same mailbox are
+    undefined. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Empty mailbox; the ring grows by doubling when full (default
+    initial capacity 16). *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val push : t -> time:float -> payload:int -> aux:float -> unit
+(** Append one message at the back. *)
+
+val drain : t -> f:(time:float -> payload:int -> aux:float -> unit) -> unit
+(** Call [f] on every message in push (FIFO) order, then empty the
+    mailbox. [f] must not push to or drain the mailbox being drained.
+    Draining an empty mailbox calls nothing. *)
+
+val clear : t -> unit
+(** Discard all messages without observing them. *)

@@ -1,0 +1,130 @@
+(* Benchkit: the bench-compare pass/fail semantics. The load-bearing
+   case is the missing-kernel one — a kernel the baseline tracks but the
+   current run did not measure must surface as a failure, never as a
+   silent pass. *)
+
+let direction key =
+  if key = "minor_words_per_event" then Benchkit.Lower_is_better
+  else Benchkit.Higher_is_better
+
+let status =
+  Alcotest.testable
+    (fun ppf s -> Format.pp_print_string ppf (Benchkit.status_label s))
+    ( = )
+
+let check_by_key checks key =
+  match List.find_opt (fun c -> c.Benchkit.key = key) checks with
+  | Some c -> c
+  | None -> Alcotest.failf "no check for %s" key
+
+let test_missing_kernel_fails () =
+  let baseline =
+    [
+      ("after/events_per_sec", 1_000_000.0);
+      ("after/minor_words_per_event", 0.0);
+    ]
+  in
+  let current = [ ("events_per_sec", 1_000_000.0) ] in
+  let checks = Benchkit.evaluate ~tolerance:25.0 ~direction ~baseline ~current () in
+  Alcotest.(check int) "one check per expectation" 2 (List.length checks);
+  Alcotest.check status "measured kernel passes" Benchkit.Pass
+    (check_by_key checks "events_per_sec").Benchkit.status;
+  Alcotest.check status "unmeasured kernel is Missing" Benchkit.Missing
+    (check_by_key checks "minor_words_per_event").Benchkit.status;
+  Alcotest.(check bool) "missing fails the comparison" false
+    (Benchkit.all_passed checks)
+
+let test_tolerance_bands () =
+  let baseline =
+    [ ("after/events_per_sec", 1_000.0); ("after/minor_words_per_event", 10.0) ]
+  in
+  let run eps words =
+    Benchkit.evaluate ~tolerance:25.0 ~direction ~baseline
+      ~current:
+        [ ("events_per_sec", eps); ("minor_words_per_event", words) ]
+      ()
+  in
+  (* throughput: 25% below the baseline is the floor *)
+  Alcotest.check status "at floor passes" Benchkit.Pass
+    (check_by_key (run 750.0 10.0) "events_per_sec").Benchkit.status;
+  Alcotest.check status "below floor fails" Benchkit.Fail
+    (check_by_key (run 749.0 10.0) "events_per_sec").Benchkit.status;
+  Alcotest.check status "above baseline passes" Benchkit.Pass
+    (check_by_key (run 2_000.0 10.0) "events_per_sec").Benchkit.status;
+  (* allocation: 25% above the baseline is the ceiling *)
+  Alcotest.check status "at ceiling passes" Benchkit.Pass
+    (check_by_key (run 1_000.0 12.5) "minor_words_per_event").Benchkit.status;
+  Alcotest.check status "above ceiling fails" Benchkit.Fail
+    (check_by_key (run 1_000.0 12.6) "minor_words_per_event").Benchkit.status
+
+let test_zero_baseline_slack () =
+  (* a legitimately-zero allocation baseline needs absolute slack: a
+     pure percentage band has no width at 0 *)
+  let baseline = [ ("after/minor_words_per_event", 0.0) ] in
+  let run ?slack words =
+    check_by_key
+      (Benchkit.evaluate ~tolerance:25.0 ~direction ?slack ~baseline
+         ~current:[ ("minor_words_per_event", words) ]
+         ())
+      "minor_words_per_event"
+  in
+  Alcotest.check status "no slack: any allocation fails" Benchkit.Fail
+    (run 0.5).Benchkit.status;
+  let slack _ = 1.0 in
+  Alcotest.check status "one word of slack admits noise" Benchkit.Pass
+    (run ~slack 0.5).Benchkit.status;
+  Alcotest.check status "slack is not a blank cheque" Benchkit.Fail
+    (run ~slack 1.5).Benchkit.status
+
+let test_expectations_prefer_after_keys () =
+  let entries =
+    [
+      ("before/events_per_sec", 1.0);
+      ("after/events_per_sec", 2.0);
+      ("speedup", 2.0);
+      ("scaling/n64/heap_events_per_sec", 3.0);
+    ]
+  in
+  Alcotest.(check (list (pair string (float 0.0))))
+    "only after/ keys, prefix stripped"
+    [ ("events_per_sec", 2.0) ]
+    (Benchkit.expectations entries);
+  (* a raw hotpath --json capture has no after/ keys: everything counts *)
+  let raw = [ ("events_per_sec", 5.0); ("minor_words_per_event", 0.1) ] in
+  Alcotest.(check (list (pair string (float 0.0))))
+    "bare capture counts wholesale" raw
+    (Benchkit.expectations raw)
+
+let test_parse_flat_json () =
+  let text =
+    "{\n\
+    \  \"workload\": \"cluster n=64\",\n\
+    \  \"after/events_per_sec\": 4897007,\n\
+    \  \"after/minor_words_per_event\": 0.001,\n\
+    \  \"speedup\": 1.84\n\
+     }\n"
+  in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "numeric entries in file order, strings skipped"
+    [
+      ("after/events_per_sec", 4897007.0);
+      ("after/minor_words_per_event", 0.001);
+      ("speedup", 1.84);
+    ]
+    (Benchkit.parse_flat_json_string text)
+
+let () =
+  Alcotest.run "benchkit"
+    [
+      ( "compare",
+        [
+          Alcotest.test_case "missing kernel fails" `Quick
+            test_missing_kernel_fails;
+          Alcotest.test_case "tolerance bands" `Quick test_tolerance_bands;
+          Alcotest.test_case "zero-baseline slack" `Quick
+            test_zero_baseline_slack;
+          Alcotest.test_case "expectation selection" `Quick
+            test_expectations_prefer_after_keys;
+          Alcotest.test_case "flat json parser" `Quick test_parse_flat_json;
+        ] );
+    ]

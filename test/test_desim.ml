@@ -525,6 +525,41 @@ let test_packed_engine_next () =
   check_float "aux" 2.5 (Desim.Packed_engine.aux e);
   Alcotest.(check bool) "drained" false (Desim.Packed_engine.next e)
 
+let test_packed_engine_window () =
+  (* advance_until is run with a strict bound: an event at exactly the
+     window edge must stay pending (the sharded driver schedules
+     edge-stamped cross-shard messages before reopening the window),
+     and next_time must report it for the next lookahead computation. *)
+  List.iter
+    (fun scheduler ->
+      let e = Desim.Packed_engine.create ~scheduler () in
+      Desim.Packed_engine.schedule e ~at:1.0 ~payload:1 ~aux:0.0;
+      Desim.Packed_engine.schedule e ~at:2.0 ~payload:2 ~aux:0.0;
+      Desim.Packed_engine.schedule e ~at:3.0 ~payload:3 ~aux:0.0;
+      check_float "next_time sees earliest" 1.0
+        (Desim.Packed_engine.next_time e);
+      let seen = ref [] in
+      Desim.Packed_engine.advance_until ~upto:2.0 e ~handler:(fun p ->
+          seen := p :: !seen);
+      Alcotest.(check (list int)) "strictly before the edge" [ 1 ]
+        (List.rev !seen);
+      check_float "clock at window edge" 2.0 (Desim.Packed_engine.now e);
+      check_float "edge event still pending" 2.0
+        (Desim.Packed_engine.next_time e);
+      (* reopening the window dispatches the edge event first *)
+      Desim.Packed_engine.advance_until ~upto:3.0 e ~handler:(fun p ->
+          seen := p :: !seen);
+      Alcotest.(check (list int)) "edge event in next window" [ 1; 2 ]
+        (List.rev !seen);
+      Desim.Packed_engine.advance_until ~upto:10.0 e ~handler:(fun p ->
+          seen := p :: !seen);
+      Alcotest.(check (list int)) "drained" [ 1; 2; 3 ] (List.rev !seen);
+      check_float "empty queue reports infinity" infinity
+        (Desim.Packed_engine.next_time e);
+      check_float "clock tiles to upto even when empty" 10.0
+        (Desim.Packed_engine.now e))
+    [ Desim.Packed_engine.Heap; Desim.Packed_engine.Calendar ]
+
 (* ---------- Engine ---------- *)
 
 let test_engine_run_order () =
@@ -640,5 +675,7 @@ let () =
           Alcotest.test_case "clear" `Quick test_packed_engine_clear;
           Alcotest.test_case "next/payload/aux" `Quick
             test_packed_engine_next;
+          Alcotest.test_case "strict window (advance_until/next_time)" `Quick
+            test_packed_engine_window;
         ] );
     ]

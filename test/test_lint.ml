@@ -122,6 +122,18 @@ let test_domain_safety_flags_printf_in_pool_lambda () =
     "let go scope xs =\n\
     \  Scope.par_map scope (fun x -> print_endline \"row\"; x) xs\n"
 
+let test_domain_safety_flags_bigarray_in_pool_lambda () =
+  check_rules "explicit Array1.set under Pool.map_int" [ "domain-safety" ]
+    "let go pool lane =\n\
+    \  Parallel.Pool.map_int pool (fun i -> Bigarray.Array1.set lane i 0.0) 4\n";
+  (* lane.{i} <- v desugars to Bigarray.Array1.set in the parsetree *)
+  check_rules "index sugar under Pool.map" [ "domain-safety" ]
+    "let go pool lane xs =\n\
+    \  Parallel.Pool.map pool (fun i -> lane.{i} <- 1.0) xs\n";
+  check_rules "open-Bigarray spelling under par_map" [ "domain-safety" ]
+    "let go scope lane xs =\n\
+    \  Scope.par_map scope (fun i -> Array1.unsafe_get lane i) xs\n"
+
 let test_domain_safety_negative () =
   (* per-call state, out-of-scope paths, and printing outside the pool *)
   check_rules "local ref is per-call" [] "let f () = let acc = ref 0 in !acc\n";
@@ -129,11 +141,21 @@ let test_domain_safety_negative () =
   check_rules "out of parallel scope" [] ~path:"bin/tool.ml"
     "let counter = ref 0\n";
   check_rules "printing on the calling domain" []
-    "let go xs = List.iter (fun x -> Format.printf \"%d\" x) xs\n"
+    "let go xs = List.iter (fun x -> Format.printf \"%d\" x) xs\n";
+  (* Bigarray access is fine outside pool lambdas (owner thread), and
+     ordinary arrays under the pool are not Bigarray lanes *)
+  check_rules "bigarray on the calling domain" []
+    "let read lane i = (lane.{i} : float)\n";
+  check_rules "plain array under the pool" []
+    "let go pool (xs : float array) =\n\
+    \  Parallel.Pool.map_int pool (fun i -> xs.(i)) 4\n"
 
 let test_domain_safety_whitelisted_file () =
   check_rules "cluster.ml is whitelisted per-replica state" []
-    ~path:"lib/sim/cluster.ml" "type t = { mutable busy : bool }\n"
+    ~path:"lib/sim/cluster.ml" "type t = { mutable busy : bool }\n";
+  check_rules "shard.ml owns its Bigarray lanes" [] ~path:"lib/sim/shard.ml"
+    "let go pool lane =\n\
+    \  Parallel.Pool.map_int pool (fun i -> lane.{i} <- 0.0) 4\n"
 
 (* ---------- R4: interface hygiene ---------- *)
 
@@ -226,6 +248,8 @@ let () =
             test_domain_safety_flags_toplevel_state;
           Alcotest.test_case "flags printf in pool lambda" `Quick
             test_domain_safety_flags_printf_in_pool_lambda;
+          Alcotest.test_case "flags bigarray in pool lambda" `Quick
+            test_domain_safety_flags_bigarray_in_pool_lambda;
           Alcotest.test_case "clean source" `Quick test_domain_safety_negative;
           Alcotest.test_case "file whitelist" `Quick
             test_domain_safety_whitelisted_file;

@@ -891,21 +891,29 @@ let test_anderson_agrees_across_registry () =
     (fun lambda ->
       List.iter
         (fun (name, build) ->
-          (* the pairwise-rebalancing ODE has an O(dim^2) derivative and,
-             at lambda = 0.99 (dim = 512), neither solver reaches the
-             residual tolerance inside the time bound — hours of CPU for
-             a comparison of two unconverged states. Every other model
-             covers all three loads. *)
-          if String.equal name "rebalance" && lambda > 0.95 then ()
-          else begin
+          (* the pairwise-rebalancing tail at lambda = 0.99 decays at
+             ratio ~lambda, so at dim = 512 the boundary closure leaves
+             an irreducible residual floor of ~9.3e-9, uniform across
+             the deep tail (measured against an O(dim^2) reference
+             derivative agreeing to 5e-16 — the floor is the model's
+             truncation error, not integrator noise). No solver can
+             reach 1e-11 there; both are instead run to 2e-8, just
+             above the floor, and their agreement is bounded by
+             floor x conditioning (~1/(1-lambda)^2), observed 4.3e-4
+             relative — hence the 2e-3 case bound. *)
+          let tol, rel_bound =
+            if String.equal name "rebalance" && lambda > 0.95 then
+              (2e-8, 2e-3)
+            else (1e-11, 1e-6)
+          in
           let reference =
-            let fp = Drive.fixed_point ~solver:`Rk4 (build ()) in
+            let fp = Drive.fixed_point ~tol ~solver:`Rk4 (build ()) in
             Alcotest.(check bool)
               (Printf.sprintf "%s rk4 converged at %g" name lambda)
               true fp.Drive.converged;
             Metrics.mean_time (build ()) fp.Drive.state
           in
-          let fp = Drive.fixed_point ~solver:`Anderson (build ()) in
+          let fp = Drive.fixed_point ~tol ~solver:`Anderson (build ()) in
           Alcotest.(check bool)
             (Printf.sprintf "%s anderson converged at %g" name lambda)
             true fp.Drive.converged;
@@ -916,8 +924,7 @@ let test_anderson_agrees_across_registry () =
              into ~1e-7 state differences for the slowest-mixing models *)
           Alcotest.(check bool)
             (Printf.sprintf "%s agrees at %g (rel %.2e)" name lambda rel)
-            true (rel < 1e-6)
-          end)
+            true (rel < rel_bound))
         (Experiments.Registry.models_at ~lambda))
     [ 0.5; 0.9; 0.99 ]
 
@@ -998,6 +1005,60 @@ let qcheck_conservation_rebalance =
     (fun () ->
       Rebalance_ws.model_uniform_rate ~lambda:lambda_c ~rate:1.5 ~dim:64 ())
     (fun s -> lambda_c -. s.(1))
+
+(* The prefix-sum evaluation of the rebalance interaction against the
+   direct pairwise sum it reformulates: for every pair (j, k) with
+   j >= k + 2 and weight x_jk = (r_j + r_k) p_j p_k, +x on the balanced
+   occupancies and -x on the vacated ones, applied via the indicator
+   identity ds_i += x_jk ([j+k >= 2i] + [j+k >= 2i-1] - [j >= i] -
+   [k >= i]). Non-uniform rates so the u = r .* p channel is exercised
+   independently of p. *)
+let qcheck_rebalance_deriv_matches_pairwise =
+  let reference_deriv ~lambda ~rates ~y ~dy =
+    let n = Vec.dim y in
+    let ratio = Tail.boundary_ratio y in
+    let get i = if i < n then y.(i) else Tail.ext y ~ratio i in
+    let nrates = Array.length rates in
+    let rate j = if j < nrates then rates.(j) else rates.(nrates - 1) in
+    dy.(0) <- 0.0;
+    for i = 1 to n - 1 do
+      dy.(i) <- (lambda *. (y.(i - 1) -. y.(i))) -. (y.(i) -. get (i + 1))
+    done;
+    let p =
+      Array.init n (fun j ->
+          let m = y.(j) -. get (j + 1) in
+          if m > 0.0 then m else 0.0)
+    in
+    let support = ref (n - 1) in
+    while !support > 0 && p.(!support) <= 1e-14 do
+      decr support
+    done;
+    let s = !support in
+    for j = 2 to s do
+      for k = 0 to j - 2 do
+        let x = (rate j +. rate k) *. p.(j) *. p.(k) in
+        for i = 1 to s do
+          let c =
+            (if j + k >= 2 * i then 1.0 else 0.0)
+            +. (if j + k >= (2 * i) - 1 then 1.0 else 0.0)
+            -. (if j >= i then 1.0 else 0.0)
+            -. if k >= i then 1.0 else 0.0
+          in
+          if not (Float.equal c 0.0) then dy.(i) <- dy.(i) +. (c *. x)
+        done
+      done
+    done
+  in
+  QCheck.Test.make ~count:60 ~name:"rebalance prefix-sum deriv = pairwise sum"
+    (arbitrary_tail 64) (fun state ->
+      let lambda = 0.8 in
+      let rates =
+        Array.init 66 (fun j -> 0.2 +. (0.15 *. float_of_int (j mod 4)))
+      in
+      let dy = Vec.create 64 and dy_ref = Vec.create 64 in
+      Rebalance_ws.deriv ~lambda ~rates ~y:state ~dy;
+      reference_deriv ~lambda ~rates ~y:state ~dy:dy_ref;
+      Vec.dist_inf dy dy_ref < 1e-12)
 
 let qcheck_combined_conservation =
   conservation_test "combined_ws conserves tasks"
@@ -1300,6 +1361,7 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_conservation_multisteal;
           QCheck_alcotest.to_alcotest qcheck_conservation_repeated;
           QCheck_alcotest.to_alcotest qcheck_conservation_rebalance;
+          QCheck_alcotest.to_alcotest qcheck_rebalance_deriv_matches_pairwise;
           QCheck_alcotest.to_alcotest qcheck_conservation_erlang;
           QCheck_alcotest.to_alcotest qcheck_combined_conservation;
           QCheck_alcotest.to_alcotest qcheck_steal_half_conservation;

@@ -42,6 +42,16 @@ let file_whitelist =
     ( rule_domain_safety,
       "lib/sim/fdeque.ml",
       "per-processor deque owned by a single Cluster.t replica" );
+    ( rule_domain_safety,
+      "lib/sim/shard.ml",
+      "shard-owned state: the Bigarray lanes are partitioned by shard \
+       index, every pool task touches only its own shard's slice, and \
+       the pool barrier between rounds publishes cross-shard mailboxes" );
+    ( rule_domain_safety,
+      "lib/sim/mailbox.ml",
+      "single-producer/single-consumer per round: each (src, dst) \
+       mailbox is written by one shard per phase, with the pool barrier \
+       as the happens-before edge" );
   ]
 
 let matches path prefix = String.starts_with ~prefix path

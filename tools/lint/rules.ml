@@ -7,8 +7,11 @@
                         passed as an ordering.
    R3 "domain-safety" — no top-level refs / hash tables and no mutable
                         record fields in libraries linked into the
-                        domain pool; no printing to shared stdout from
-                        lambdas handed to Pool.map / Scope.par_map.
+                        domain pool; no printing to shared stdout and no
+                        shared mutable Bigarray access from lambdas
+                        handed to Pool.map / map_array / map_int /
+                        Scope.par_map (shard-owned modules are
+                        whitelisted in config.ml).
    R4 "missing-mli"   — every .ml under lib/ has a sibling .mli.
 
    Rules are purely syntactic (Parsetree, not Typedtree), so R2 detects
@@ -241,7 +244,7 @@ let is_pool_map_path = function
   | Some path -> (
       match List.rev path with
       | "par_map" :: _ -> true
-      | ("map" | "map_array") :: qualifier :: _ ->
+      | ("map" | "map_array" | "map_int") :: qualifier :: _ ->
           String.equal qualifier "Pool"
       | _ -> false)
   | None -> false
@@ -259,6 +262,19 @@ let stdout_printers =
     [ "print_float" ];
   ]
 
+(* Bigarray element / bulk access, by any of its spellings: a.{i} and
+   a.{i} <- v desugar to Bigarray.Array1.get/set applications in the
+   parsetree, and [open Bigarray] code writes Array1.unsafe_get etc.
+   directly. Purely syntactic, like the rest of the walker. *)
+let bigarray_modules = [ "Bigarray"; "Array0"; "Array1"; "Array2"; "Array3"; "Genarray" ]
+let bigarray_accessors = [ "get"; "set"; "unsafe_get"; "unsafe_set"; "blit"; "fill" ]
+
+let is_bigarray_access path =
+  match List.rev path with
+  | accessor :: qualifier :: _ ->
+      List.mem accessor bigarray_accessors && List.mem qualifier bigarray_modules
+  | _ -> false
+
 let check_printf_under ~file push lambda =
   let iter =
     {
@@ -267,12 +283,20 @@ let check_printf_under ~file push lambda =
         (fun self e ->
           (match e.pexp_desc with
           | Pexp_ident { txt; loc } ->
-              if List.mem (strip_stdlib (flatten txt)) stdout_printers then
+              let path = strip_stdlib (flatten txt) in
+              if List.mem path stdout_printers then
                 push
                   (Diag.of_location ~rule:Config.rule_domain_safety ~file loc
                      "printing to shared stdout from a pool task interleaves \
                       across domains; use Scope.progress or return rows and \
                       print after the map")
+              else if is_bigarray_access path then
+                push
+                  (Diag.of_location ~rule:Config.rule_domain_safety ~file loc
+                     "Bigarray access from a pool task: unboxed lanes are \
+                      shared mutable state across domains; only shard-owned \
+                      modules may touch them (whitelist the file in \
+                      tools/lint/config.ml with the ownership argument)")
           | _ -> ());
           Ast_iterator.default_iterator.expr self e);
     }
