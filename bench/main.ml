@@ -335,7 +335,7 @@ let run_kernels ~json () =
           by_test []
         |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
-  if rows = [] then print_endline "  (no results)"
+  if List.is_empty rows then print_endline "  (no results)"
   else
     List.iter
       (fun (name, est) -> Printf.printf "  %-40s %14.1f\n" name est)
@@ -752,7 +752,7 @@ let sharding_expectation key =
 
 let run_compare ~baseline ~tolerance ~warn_only ~json () =
   let expectations = Benchkit.expectations (Benchkit.parse_flat_json baseline) in
-  if expectations = [] then begin
+  if List.is_empty expectations then begin
     Printf.eprintf "baseline %s holds no numeric expectations\n" baseline;
     exit 2
   end;
@@ -852,12 +852,17 @@ let run_speedup (scope : Experiments.Scope.t) =
   let serial, t_serial = time serial_pool in
   Parallel.Pool.shutdown serial_pool;
   let parallel, t_parallel = time (Parallel.Pool.default ()) in
+  (* Float.equal, not (=): both runs can legitimately report [nan]
+     statistics (see Runner), and bit-identical nan should still count
+     as identical. *)
   let identical =
-    serial.Wsim.Runner.mean_sojourn = parallel.Wsim.Runner.mean_sojourn
-    && serial.Wsim.Runner.sojourn_ci95 = parallel.Wsim.Runner.sojourn_ci95
-    && serial.Wsim.Runner.mean_load = parallel.Wsim.Runner.mean_load
-    && serial.Wsim.Runner.steal_success_rate
-       = parallel.Wsim.Runner.steal_success_rate
+    Float.equal serial.Wsim.Runner.mean_sojourn
+      parallel.Wsim.Runner.mean_sojourn
+    && Float.equal serial.Wsim.Runner.sojourn_ci95
+         parallel.Wsim.Runner.sojourn_ci95
+    && Float.equal serial.Wsim.Runner.mean_load parallel.Wsim.Runner.mean_load
+    && Float.equal serial.Wsim.Runner.steal_success_rate
+         parallel.Wsim.Runner.steal_success_rate
   in
   Printf.printf "  serial (1 domain):      %8.2f s   E[T] = %.6f\n" t_serial
     serial.Wsim.Runner.mean_sojourn;

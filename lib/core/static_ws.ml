@@ -80,7 +80,7 @@ let drain_time ?(dt = 0.02) ?(eps = 1e-3) ?(horizon = 500.0) model =
   let found = ref None in
   (try
      Ode.observe sys ~y ~t0:0.0 ~t1:horizon ~dt ~sample_every:dt (fun t s ->
-         if !found = None && model.Model.mean_tasks s < eps then begin
+         if Option.is_none !found && model.Model.mean_tasks s < eps then begin
            found := Some t;
            raise Exit
          end)

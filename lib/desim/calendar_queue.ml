@@ -116,63 +116,73 @@ let[@inline] vb_of t time =
 
 (* ---- raw insertion (no root-cache maintenance) ---- *)
 
+(* lint: allow zero-alloc: doubling growth, amortized O(1) and absent in steady state *)
+let bucket_grow t b len =
+  let cap = if len = 0 then 4 else 2 * len in
+  let times = Array.make cap 0.0 in
+  let seqs = Array.make cap 0 in
+  let payloads = Array.make cap 0 in
+  let auxs = Array.make cap 0.0 in
+  Array.blit t.bucket_times.(b) 0 times 0 len;
+  Array.blit t.bucket_seqs.(b) 0 seqs 0 len;
+  Array.blit t.bucket_payloads.(b) 0 payloads 0 len;
+  Array.blit t.bucket_aux.(b) 0 auxs 0 len;
+  t.bucket_times.(b) <- times;
+  t.bucket_seqs.(b) <- seqs;
+  t.bucket_payloads.(b) <- payloads;
+  t.bucket_aux.(b) <- auxs
+
 let bucket_add_raw t b time seq payload aux =
   let len = t.bucket_len.(b) in
-  if len = Array.length t.bucket_times.(b) then begin
-    let cap = if len = 0 then 4 else 2 * len in
-    let times = Array.make cap 0.0 in
-    let seqs = Array.make cap 0 in
-    let payloads = Array.make cap 0 in
-    let auxs = Array.make cap 0.0 in
-    Array.blit t.bucket_times.(b) 0 times 0 len;
-    Array.blit t.bucket_seqs.(b) 0 seqs 0 len;
-    Array.blit t.bucket_payloads.(b) 0 payloads 0 len;
-    Array.blit t.bucket_aux.(b) 0 auxs 0 len;
-    t.bucket_times.(b) <- times;
-    t.bucket_seqs.(b) <- seqs;
-    t.bucket_payloads.(b) <- payloads;
-    t.bucket_aux.(b) <- auxs
-  end;
+  if len = Array.length t.bucket_times.(b) then bucket_grow t b len;
   t.bucket_times.(b).(len) <- time;
   t.bucket_seqs.(b).(len) <- seq;
   t.bucket_payloads.(b).(len) <- payload;
   t.bucket_aux.(b).(len) <- aux;
   t.bucket_len.(b) <- len + 1
 
+(* lint: allow zero-alloc: doubling growth, amortized O(1) and absent in steady state *)
+let ov_grow t len =
+  let cap = 2 * len in
+  let times = Array.make cap 0.0 in
+  let seqs = Array.make cap 0 in
+  let payloads = Array.make cap 0 in
+  let auxs = Array.make cap 0.0 in
+  Array.blit t.ov_times 0 times 0 len;
+  Array.blit t.ov_seqs 0 seqs 0 len;
+  Array.blit t.ov_payloads 0 payloads 0 len;
+  Array.blit t.ov_aux 0 auxs 0 len;
+  t.ov_times <- times;
+  t.ov_seqs <- seqs;
+  t.ov_payloads <- payloads;
+  t.ov_aux <- auxs
+
 let ov_add_raw t time seq payload aux =
   let len = t.ov_len in
-  if len = Array.length t.ov_times then begin
-    let cap = 2 * len in
-    let times = Array.make cap 0.0 in
-    let seqs = Array.make cap 0 in
-    let payloads = Array.make cap 0 in
-    let auxs = Array.make cap 0.0 in
-    Array.blit t.ov_times 0 times 0 len;
-    Array.blit t.ov_seqs 0 seqs 0 len;
-    Array.blit t.ov_payloads 0 payloads 0 len;
-    Array.blit t.ov_aux 0 auxs 0 len;
-    t.ov_times <- times;
-    t.ov_seqs <- seqs;
-    t.ov_payloads <- payloads;
-    t.ov_aux <- auxs
-  end;
+  if len = Array.length t.ov_times then ov_grow t len;
   t.ov_times.(len) <- time;
   t.ov_seqs.(len) <- seq;
   t.ov_payloads.(len) <- payload;
   t.ov_aux.(len) <- aux;
   t.ov_len <- len + 1
 
-let ov_ensure_min t =
-  if t.ov_min < 0 && t.ov_len > 0 then begin
-    let best = ref 0 in
-    for i = 1 to t.ov_len - 1 do
+(* Top-level tail recursion, not [ref] or an inner loop closure: both
+   of those allocate (no flambda), and this scan sits on the dequeue
+   path the zero-alloc lint guards. *)
+let rec ov_min_from t best i =
+  if i >= t.ov_len then best
+  else
+    let best =
       if
-        precedes_key t.ov_times.(i) t.ov_seqs.(i) t.ov_times.(!best)
-          t.ov_seqs.(!best)
-      then best := i
-    done;
-    t.ov_min <- !best
-  end
+        precedes_key t.ov_times.(i) t.ov_seqs.(i) t.ov_times.(best)
+          t.ov_seqs.(best)
+      then i
+      else best
+    in
+    ov_min_from t best (i + 1)
+
+let ov_ensure_min t =
+  if t.ov_min < 0 && t.ov_len > 0 then t.ov_min <- ov_min_from t 0 1
 
 (* ---- rehash: new geometry (resize, width change, window rewind) ---- *)
 
@@ -195,6 +205,7 @@ let adapted_width t =
   end
   else t.width.v
 
+(* lint: allow zero-alloc: geometry rebuild (resize/width change/rewind), rare by construction and never on the steady-state path *)
 let rehash t new_nbuckets =
   let n = t.size in
   let times = Array.make (max n 1) 0.0 in
@@ -272,6 +283,7 @@ let[@inline] note_candidate t ~in_ov ~bucket ~pos ~time ~seq =
     end
 
 let push t ~time ~payload ~aux =
+  (* lint: allow zero-alloc: cold NaN guard, raises before the hot path *)
   if Float.is_nan time then invalid_arg "Calendar_queue.push: NaN time";
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
@@ -311,23 +323,26 @@ let push t ~time ~payload ~aux =
    only its unique in-window vb), so moving [cur_vb] forward preserves
    the window invariant; the scan resumes from wherever the last
    extraction left the front, so empty-bucket skips are paid once. *)
+let rec first_occupied_vb t mask vb =
+  if t.bucket_len.(vb land mask) = 0 then first_occupied_vb t mask (vb + 1)
+  else vb
+
+let rec bucket_min_from bt bs best j n =
+  if j >= n then best
+  else
+    let best = if precedes_key bt.(j) bs.(j) bt.(best) bs.(best) then j else best in
+    bucket_min_from bt bs best (j + 1) n
+
 let bucket_candidate t =
   let mask = t.nbuckets - 1 in
-  let vb = ref t.cur_vb in
-  while t.bucket_len.(!vb land mask) = 0 do
-    incr vb
-  done;
-  t.cur_vb <- !vb;
-  let b = !vb land mask in
+  let vb = first_occupied_vb t mask t.cur_vb in
+  t.cur_vb <- vb;
+  let b = vb land mask in
   let bt = t.bucket_times.(b) in
   let bs = t.bucket_seqs.(b) in
-  let best = ref 0 in
-  for j = 1 to t.bucket_len.(b) - 1 do
-    if precedes_key bt.(j) bs.(j) bt.(!best) bs.(!best) then best := j
-  done;
   t.root_in_ov <- false;
   t.root_bucket <- b;
-  t.root_pos <- !best
+  t.root_pos <- bucket_min_from bt bs 0 1 t.bucket_len.(b)
 
 (* Recompute the overflow minimum and, in the same pass, migrate into
    the bucket ring every overflow event whose vb has entered the
@@ -338,32 +353,37 @@ let bucket_candidate t =
    overflow (filing them under a wrapped ring slot would break the
    one-vb-per-bucket invariant); the root comparison below dispatches
    them promptly. *)
-let ov_migrate_and_min t =
-  let mask = t.nbuckets - 1 in
-  let limit = t.cur_vb + t.nbuckets in
-  let w = ref 0 in
-  let best = ref (-1) in
-  for i = 0 to t.ov_len - 1 do
+let rec ov_compact t mask limit i w best =
+  if i >= t.ov_len then begin
+    t.ov_len <- w;
+    t.ov_min <- best
+  end
+  else begin
     let time = t.ov_times.(i) in
     let vb = vb_of t time in
-    if vb >= t.cur_vb && vb < limit then
+    if vb >= t.cur_vb && vb < limit then begin
       bucket_add_raw t (vb land mask) time t.ov_seqs.(i) t.ov_payloads.(i)
-        t.ov_aux.(i)
-    else begin
-      t.ov_times.(!w) <- time;
-      t.ov_seqs.(!w) <- t.ov_seqs.(i);
-      t.ov_payloads.(!w) <- t.ov_payloads.(i);
-      t.ov_aux.(!w) <- t.ov_aux.(i);
-      if
-        !best < 0
-        || precedes_key time t.ov_seqs.(!w) t.ov_times.(!best)
-             t.ov_seqs.(!best)
-      then best := !w;
-      incr w
+        t.ov_aux.(i);
+      ov_compact t mask limit (i + 1) w best
     end
-  done;
-  t.ov_len <- !w;
-  t.ov_min <- !best
+    else begin
+      t.ov_times.(w) <- time;
+      t.ov_seqs.(w) <- t.ov_seqs.(i);
+      t.ov_payloads.(w) <- t.ov_payloads.(i);
+      t.ov_aux.(w) <- t.ov_aux.(i);
+      let best =
+        if
+          best < 0
+          || precedes_key time t.ov_seqs.(w) t.ov_times.(best)
+               t.ov_seqs.(best)
+        then w
+        else best
+      in
+      ov_compact t mask limit (i + 1) (w + 1) best
+    end
+  end
+
+let ov_migrate_and_min t = ov_compact t (t.nbuckets - 1) (t.cur_vb + t.nbuckets) 0 0 (-1)
 
 let ensure_root t =
   if (not t.root_known) && t.size > 0 then begin
@@ -421,6 +441,7 @@ let[@inline] root_aux t =
   end
 
 let drop_root t =
+  (* lint: allow zero-alloc: cold empty-queue guard, raises before the hot path *)
   if t.size = 0 then invalid_arg "Calendar_queue.drop_root: empty queue";
   ensure_root t;
   let time = cached_root_time t in

@@ -96,11 +96,13 @@ let pending t = q_length t.queue
 let dispatched t = t.dispatched
 
 let[@inline] schedule t ~at ~payload ~aux =
+  (* lint: allow zero-alloc: cold causality guard, raises before the hot path *)
   if at < t.clock.v then invalid_arg "Packed_engine.schedule: event in the past";
   q_push t.queue ~time:at ~payload ~aux
 
 let[@inline] schedule_after t ~delay ~payload ~aux =
   if delay < 0.0 then
+    (* lint: allow zero-alloc: cold negative-delay guard, raises before the hot path *)
     invalid_arg "Packed_engine.schedule_after: negative delay";
   q_push t.queue ~time:(t.clock.v +. delay) ~payload ~aux
 

@@ -28,6 +28,7 @@ let create ?(capacity = 256) () =
 let length t = t.size
 let is_empty t = t.size = 0
 
+(* lint: allow zero-alloc: doubling growth, amortized O(1) and absent in steady state *)
 let grow t =
   let n = 2 * Array.length t.times in
   let times = Array.make n 0.0 in
@@ -87,6 +88,7 @@ let rec sift_down t i =
   end
 
 let[@inline] push t ~time ~payload ~aux =
+  (* lint: allow zero-alloc: cold NaN guard, raises before the hot path *)
   if Float.is_nan time then invalid_arg "Packed_heap.push: NaN time";
   if t.size = Array.length t.times then grow t;
   let i = t.size in
@@ -103,6 +105,7 @@ let[@inline] root_payload t = t.payloads.(0)
 let[@inline] root_aux t = t.aux.(0)
 
 let drop_root t =
+  (* lint: allow zero-alloc: cold empty-heap guard, raises before the hot path *)
   if t.size = 0 then invalid_arg "Packed_heap.drop_root: empty heap";
   t.size <- t.size - 1;
   if t.size > 0 then begin

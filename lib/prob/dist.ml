@@ -2,6 +2,7 @@
    on every arrival and completion of the simulator. [log] is an
    unboxed-noalloc external, so the inlined body allocates nothing. *)
 let[@inline] exponential g ~rate =
+  (* lint: allow zero-alloc: cold rate guard, raises before the hot path *)
   if rate <= 0.0 then invalid_arg "Dist.exponential: rate must be positive";
   -.log (Rng.float_pos g) /. rate
 
@@ -10,8 +11,10 @@ let[@inline] exponential g ~rate =
 type acc = { mutable prod : float }
 
 let erlang g ~k ~rate =
+  (* lint: allow zero-alloc: cold stage-count guard, raises before the hot path *)
   if k <= 0 then invalid_arg "Dist.erlang: k must be positive";
   (* Product of uniforms needs a single log instead of k. *)
+  (* lint: allow zero-alloc: one flat two-word float cell per erlang draw; a polymorphic ref would box every loop iteration instead *)
   let acc = { prod = 1.0 } in
   for _ = 1 to k do
     acc.prod <- acc.prod *. Rng.float_pos g
@@ -38,6 +41,7 @@ let rec poisson g ~mean =
 let uniform_range g ~lo ~hi = lo +. ((hi -. lo) *. Rng.float g)
 
 let geometric g ~mean =
+  (* lint: allow zero-alloc: cold mean guard, raises before the hot path *)
   if mean < 1.0 then invalid_arg "Dist.geometric: mean must be at least 1";
   if Float.equal mean 1.0 then 1
   else begin
@@ -65,6 +69,7 @@ let[@inline] service_mean_one g = function
   | Erlang_stages c -> erlang g ~k:c ~rate:(float_of_int c)
   | Hyperexp { p; mean1; mean2 } ->
       let scale = hyperexp_mean p mean1 mean2 in
+      (* lint: allow zero-alloc: cold parameter guard, raises before the hot path *)
       if scale <= 0.0 then invalid_arg "Dist.service_mean_one: bad hyperexp";
       let m = if Rng.float g < p then mean1 else mean2 in
       exponential g ~rate:(scale /. m)

@@ -55,6 +55,7 @@ module Counts = struct
 
   let create () = { weights = Array.make 16 0.0; total = { v = 0.0 } }
 
+  (* lint: allow zero-alloc: doubling growth, amortized O(1) and absent in steady state *)
   let grow t i =
     let n = max (i + 1) (2 * Array.length t.weights) in
     let fresh = Array.make n 0.0 in
@@ -62,6 +63,7 @@ module Counts = struct
     t.weights <- fresh
 
   let[@inline] weighted_add t i w =
+    (* lint: allow zero-alloc: cold negative-index guard, raises before the hot path *)
     if i < 0 then invalid_arg "Histogram.Counts: negative index";
     if i >= Array.length t.weights then grow t i;
     t.weights.(i) <- t.weights.(i) +. w;

@@ -97,6 +97,7 @@ let rec reject_mod g bound =
   if r - v + (bound - 1) < 0 then reject_mod g bound else v
 
 let[@inline] int g bound =
+  (* lint: allow zero-alloc: cold bound guard, raises before the hot path *)
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   if bound land (bound - 1) = 0 then
     Int64.to_int (Int64.shift_right_logical (bits64 g) 2) land (bound - 1)

@@ -12,6 +12,7 @@ let create ?(start = 0.0) ?(value = 0.0) () =
    and [value] arrive in float registers rather than as boxed args. *)
 let[@inline] update t ~now ~value =
   if now < t.last -. 1e-9 then
+    (* lint: allow zero-alloc: cold time-regression guard, raises before the hot path *)
     invalid_arg "Timeavg.update: time moved backwards";
   t.integral <- t.integral +. (t.value *. (now -. t.last));
   t.last <- now;

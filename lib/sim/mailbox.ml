@@ -30,6 +30,7 @@ let create ?(capacity = 16) () =
 let length t = t.len
 let is_empty t = t.len = 0
 
+(* lint: allow zero-alloc: doubling growth, amortized O(1) and absent in steady state *)
 let grow t =
   let cap = Array.length t.time in
   let fresh_time = Array.make (2 * cap) 0.0 in

@@ -1,0 +1,73 @@
+(* Maps source files to the Typedtree dune already produced. Dune drops
+   cmt files in hidden per-stanza directories:
+
+     _build/default/lib/sim/.wsim.objs/byte/wsim__Shard.cmt   (library)
+     _build/default/bin/.loadsteal_cli.eobjs/byte/...cmt      (executable)
+
+   so we walk the build directory for *.cmt, read each once, and index
+   by [cmt_sourcefile] (repo-root-relative, e.g. "lib/sim/shard.ml").
+   A source compiled by several stanzas (library + executable) yields
+   duplicate cmts; library [.objs] copies win over executable [.eobjs]
+   copies, then the lexicographically first path, so the choice is
+   deterministic. *)
+
+type unit_info = {
+  source : string;  (* repo-root-relative .ml path *)
+  modname : string;  (* bare module name, e.g. "Shard" *)
+  str : Typedtree.structure;
+}
+
+let rec walk acc path =
+  match Sys.is_directory path with
+  | true ->
+      Sys.readdir path |> Array.to_list |> List.sort String.compare
+      |> List.fold_left (fun acc e -> walk acc (Filename.concat path e)) acc
+  | false -> if Filename.check_suffix path ".cmt" then path :: acc else acc
+  | exception Sys_error _ -> acc
+
+let from_library path =
+  (* ".../.wsim.objs/byte/..." vs ".../.main.eobjs/byte/..." *)
+  let rec has_objs dir =
+    let base = Filename.basename dir in
+    if String.length base > 0 && base.[0] = '.' then
+      Filename.check_suffix base ".objs" && not (Filename.check_suffix base ".eobjs")
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then false else has_objs parent
+  in
+  has_objs (Filename.dirname path)
+
+(* Load every distinct compilation unit reachable from [build_dir]
+   whose source lies under one of [dirs]. Unreadable or interface-only
+   cmts are skipped; the caller reports sources left uncovered. *)
+let load_units ~build_dir ~dirs =
+  let in_scope src =
+    List.exists (fun d -> String.starts_with ~prefix:(d ^ "/") src) dirs
+  in
+  let cmts =
+    walk [] build_dir
+    |> List.sort (fun a b ->
+           match (from_library a, from_library b) with
+           | true, false -> -1
+           | false, true -> 1
+           | _ -> String.compare a b)
+  in
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun cmt ->
+      match Cmt_format.read_cmt cmt with
+      | exception _ -> None
+      | infos -> (
+          match (infos.cmt_sourcefile, infos.cmt_annots) with
+          | Some source, Implementation str
+            when in_scope source && not (Hashtbl.mem seen source) ->
+              Hashtbl.add seen source ();
+              let modname =
+                Filename.basename source |> Filename.remove_extension
+                |> String.capitalize_ascii
+              in
+              Some { source; modname; str }
+          | _ -> None))
+    cmts
+
+let covered units = List.map (fun u -> u.source) units

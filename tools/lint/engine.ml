@@ -3,20 +3,108 @@
    or a config whitelist entry. Works from in-memory strings so the test
    suite can lint fixtures without touching the file system. *)
 
-let contains_sub hay needle =
+let marker = "lint: allow "
+
+let find_sub hay needle from =
   let nh = String.length hay and nn = String.length needle in
   let rec go i =
-    i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1))
+    if i + nn > nh then None
+    else if String.equal (String.sub hay i nn) needle then Some i
+    else go (i + 1)
   in
-  nn = 0 || go 0
+  go from
 
-(* [(* lint: allow <rule> *)] anywhere on the diagnostic's line. *)
+let contains hay needle =
+  match find_sub hay needle 0 with Some _ -> true | None -> false
+
+let is_rule_char c =
+  (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-'
+
+(* Suppression markers on one line: [(* lint: allow <rule>: <why> *)].
+   Returns [(rule, justified)] for each marker whose rule token is a
+   known rule id; anything else (like the [<rule>] placeholder in doc
+   comments) is prose, not a suppression. [justified] means a ':'
+   directly follows the rule id with non-blank text after it. *)
+let markers_on line =
+  let n = String.length line in
+  let rec scan from acc =
+    match find_sub line marker from with
+    | None -> List.rev acc
+    | Some i ->
+        let start = i + String.length marker in
+        let stop = ref start in
+        while !stop < n && is_rule_char line.[!stop] do
+          incr stop
+        done;
+        let rule = String.sub line start (!stop - start) in
+        let acc =
+          if not (List.mem rule Config.known_rules) then acc
+          else
+            let justified =
+              !stop < n
+              && line.[!stop] = ':'
+              &&
+              let rest = String.sub line (!stop + 1) (n - !stop - 1) in
+              String.exists
+                (fun c -> c <> ' ' && c <> '\t' && c <> '*' && c <> ')')
+                rest
+            in
+            (rule, justified) :: acc
+        in
+        scan !stop acc
+  in
+  scan 0 []
+
+let allows_rule line rule =
+  List.exists (fun (r, _) -> String.equal r rule) (markers_on line)
+
+(* A line that is only a comment, so a marker on it can cover the next
+   line (long expressions cannot always host an end-of-line comment). *)
+let comment_only line =
+  let t = String.trim line in
+  String.length t >= 2 && t.[0] = '(' && t.[1] = '*'
+
+(* [(* lint: allow <rule> *)] on the diagnostic's line, or alone on the
+   comment-only line directly above it. *)
 let suppressed ~lines (d : Diag.t) =
-  d.Diag.line >= 1
-  && d.Diag.line <= Array.length lines
-  && contains_sub lines.(d.Diag.line - 1) ("lint: allow " ^ d.Diag.rule)
+  let line_allows k =
+    k >= 1 && k <= Array.length lines && allows_rule lines.(k - 1) d.Diag.rule
+  in
+  line_allows d.Diag.line
+  || (line_allows (d.Diag.line - 1) && comment_only lines.(d.Diag.line - 2))
+
+(* Every suppression must say why: a bare [lint: allow <rule>] with no
+   ': <justification>' still suppresses (so stale comments do not dump a
+   wall of diagnostics) but is itself reported. *)
+let suppression_diags ~file ~lines =
+  let out = ref [] in
+  Array.iteri
+    (fun i line ->
+      List.iter
+        (fun (rule, justified) ->
+          if not justified then
+            out :=
+              Diag.v ~rule:Config.rule_suppression ~file ~line:(i + 1) ~col:0
+                (Printf.sprintf
+                   "suppression of [%s] without a justification: write (* \
+                    lint: allow %s: <why> *)"
+                   rule rule)
+              :: !out)
+        (markers_on line))
+    lines;
+  List.rev !out
 
 let split_lines contents = Array.of_list (String.split_on_char '\n' contents)
+
+(* Drop diagnostics covered by an inline suppression or a whole-file
+   whitelist entry. Shared with the typed engine, whose diagnostics may
+   land in a different file than the one being walked. *)
+let survive ~path ~lines diags =
+  List.filter
+    (fun d ->
+      (not (suppressed ~lines d))
+      && not (Config.whitelisted ~rule:d.Diag.rule path))
+    diags
 
 let parse_error ~file exn =
   let message =
@@ -46,11 +134,7 @@ let lint_source ~path ~contents =
       | exception exn -> [ parse_error ~file:path exn ]
   in
   let lines = split_lines contents in
-  List.filter
-    (fun d ->
-      (not (suppressed ~lines d))
-      && not (Config.whitelisted ~rule:d.Diag.rule path))
-    raw
+  survive ~path ~lines (raw @ suppression_diags ~file:path ~lines)
 
 let read_file path =
   let ic = open_in_bin path in

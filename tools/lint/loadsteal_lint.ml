@@ -1,20 +1,34 @@
 (* loadsteal-lint: repo-specific static analysis for the loadsteal tree.
 
-   Usage: loadsteal_lint [--root DIR] [--json FILE] [DIR ...]
+   Usage: loadsteal_lint [--root DIR] [--json FILE] [--typed]
+                         [--build-dir DIR] [--github] [DIR ...]
 
-   Scans the given directories (default: lib bin bench test) for .ml and
-   .mli files, reports violations of the determinism / float-eq /
-   domain-safety / missing-mli rules as file:line:col diagnostics, and
-   exits 1 if any survive suppression. [--json -] writes the report as a
-   JSON array to stdout, [--json FILE] to a file (for CI artifacts). *)
+   Scans the given directories (default: lib bin bench test tools) for
+   .ml and .mli files, reports violations of the determinism /
+   float-eq / domain-safety / missing-mli rules as file:line:col
+   diagnostics, and exits 1 if any survive suppression. [--json -]
+   writes the report as a JSON array to stdout, [--json FILE] to a file
+   (for CI artifacts).
+
+   [--typed] additionally runs the cmt-based rules (zero-alloc, typed
+   float-eq, spsc-ownership) against the .cmt files under [--build-dir]
+   (default: _build/default; use "." when already running inside the
+   build tree, as the @lint-typed alias does). Sources without a cmt
+   fall back to the syntactic rules only. [--github] mirrors each
+   diagnostic as a GitHub Actions workflow annotation. *)
 
 open Lint
 
-let usage = "loadsteal_lint [--root DIR] [--json FILE|-] [DIR ...]"
+let usage =
+  "loadsteal_lint [--root DIR] [--json FILE|-] [--typed] [--build-dir DIR] \
+   [--github] [DIR ...]"
 
 let () =
   let root = ref "." in
   let json_out = ref None in
+  let typed = ref false in
+  let build_dir = ref "_build/default" in
+  let github = ref false in
   let dirs = ref [] in
   let spec =
     [
@@ -24,6 +38,16 @@ let () =
       ( "--json",
         Arg.String (fun f -> json_out := Some f),
         "FILE  also write the report as a JSON array (- for stdout)" );
+      ( "--typed",
+        Arg.Set typed,
+        "  also run the cmt-based rules (zero-alloc, typed float-eq, \
+         spsc-ownership)" );
+      ( "--build-dir",
+        Arg.Set_string build_dir,
+        "DIR  where to look for .cmt files (default: _build/default)" );
+      ( "--github",
+        Arg.Set github,
+        "  emit GitHub Actions ::error annotations alongside the report" );
     ]
   in
   Arg.parse spec (fun dir -> dirs := dir :: !dirs) usage;
@@ -33,7 +57,31 @@ let () =
      Printf.eprintf "loadsteal-lint: cannot enter root: %s\n" msg;
      exit 2);
   let files, diags = Engine.lint_tree dirs in
+  let diags =
+    if not !typed then diags
+    else begin
+      let typed_result =
+        Typed_engine.run ~build_dir:!build_dir ~dirs ~files
+      in
+      (match typed_result.uncovered with
+      | [] -> ()
+      | missing ->
+          Printf.eprintf
+            "loadsteal-lint: %d file(s) without a .cmt (syntactic rules \
+             only): %s\n"
+            (List.length missing)
+            (String.concat " " missing));
+      Typed_engine.dedup (diags @ typed_result.diags)
+    end
+  in
   List.iter (fun d -> print_endline (Diag.to_string d)) diags;
+  if !github then
+    List.iter
+      (fun (d : Diag.t) ->
+        (* workflow-command format; col is 0-based here, 1-based there *)
+        Printf.printf "::error file=%s,line=%d,col=%d,title=lint %s::%s\n"
+          d.file d.line (d.col + 1) d.rule d.message)
+      diags;
   (match !json_out with
   | None -> ()
   | Some "-" -> print_endline (Diag.list_to_json diags)

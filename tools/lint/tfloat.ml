@@ -1,0 +1,68 @@
+(* R2' typed float-eq: the same invariant as the syntactic rule in
+   rules.ml — no structural/physical equality or polymorphic compare on
+   floats — but decided from inferred types instead of shape
+   heuristics, so [let eps = a -. b in ... x = y] is caught even when
+   no literal or known label is in sight. Runs alongside the syntactic
+   pass; duplicates collapse on (rule, file, line, col). *)
+
+let eq_prims = [ "%equal"; "%notequal" ]
+let phys_prims = [ "%eq"; "%noteq" ]
+
+let float_arg args =
+  List.exists
+    (fun (_, arg) ->
+      match arg with
+      | Some (e : Typedtree.expression) -> Tutil.is_float e.exp_type
+      | None -> false)
+    args
+
+(* [compare] referenced as a value whose instantiation is
+   [float -> _]: a bare polymorphic ordering over floats. *)
+let bare_float_compare (e : Typedtree.expression) =
+  match Tutil.prim_of e with
+  | Some p when String.equal p.prim_name "%compare" -> (
+      match Types.get_desc e.exp_type with
+      | Tarrow (_, t, _, _) -> Tutil.is_float t
+      | _ -> false)
+  | _ -> false
+
+let check ~file (str : Typedtree.structure) =
+  let out = ref [] in
+  let push d = out := d :: !out in
+  let diag loc msg =
+    push (Diag.of_location ~rule:Config.rule_float_eq ~file loc msg)
+  in
+  let expr (it : Tast_iterator.iterator) (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_apply (f, args) -> (
+        (match Tutil.prim_of f with
+        | Some p when List.mem p.prim_name eq_prims && float_arg args ->
+            diag e.exp_loc
+              "structural equality on a float operand (typed); use \
+               Float.equal or a tolerance helper from lib/numerics"
+        | Some p when List.mem p.prim_name phys_prims && float_arg args ->
+            diag e.exp_loc
+              "physical equality on floats compares boxes, not values \
+               (typed); use Float.equal"
+        | Some p when String.equal p.prim_name "%compare" && float_arg args
+          ->
+            diag e.exp_loc
+              "polymorphic compare on a float operand (typed); use \
+               Float.compare"
+        | _ -> ());
+        (* [compare] passed as an ordering, instantiated at float *)
+        List.iter
+          (fun (_, arg) ->
+            match arg with
+            | Some a when bare_float_compare a ->
+                diag a.Typedtree.exp_loc
+                  "bare polymorphic compare instantiated at float passed \
+                   as an ordering (typed); use Float.compare"
+            | _ -> ())
+          args)
+    | _ -> ());
+    Tast_iterator.default_iterator.expr it e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.structure it str;
+  List.rev !out

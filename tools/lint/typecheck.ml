@@ -1,0 +1,53 @@
+(* In-process typechecking of fixture strings, so test/test_lint.ml can
+   exercise the typed rules without a dune build step. Uses the same
+   compiler-libs the loader consumes cmts from; the load path is the
+   installed stdlib only, so fixtures must be self-contained (they
+   define their own mini Mailbox / shard types). [extra_modules] feeds
+   the signature of a previously typechecked fixture back in as a
+   persistent module — that is how the cross-module zero-alloc test
+   builds a two-unit call graph in memory. *)
+
+exception Type_error of string
+
+let initialized = ref false
+
+let init () =
+  if not !initialized then begin
+    Clflags.dont_write_files := true;
+    Compmisc.init_path ();
+    initialized := true
+  end
+
+(* Typecheck [contents] as the implementation of unit [modname].
+   [path] is the pseudo source path used in locations (and thus in
+   diagnostics and scope checks). Returns the typedtree and the unit's
+   signature. *)
+let structure ?(extra_modules = []) ~modname ~path contents =
+  init ();
+  Env.set_unit_name modname;
+  let env = Compmisc.initial_env () in
+  let env =
+    List.fold_left
+      (fun env (name, sg) ->
+        Env.add_module
+          (Ident.create_persistent name)
+          Types.Mp_present
+          (Types.Mty_signature sg)
+          env)
+      env extra_modules
+  in
+  let lexbuf = Lexing.from_string contents in
+  Lexing.set_filename lexbuf path;
+  match
+    let past = Parse.implementation lexbuf in
+    Typemod.type_structure env past
+  with
+  | tstr, sg, _names, _shape, _env -> (tstr, sg)
+  | exception exn ->
+      let msg =
+        match Location.error_of_exn exn with
+        | Some (`Ok report) ->
+            Format.asprintf "%a" Location.print_report report
+        | _ -> Printexc.to_string exn
+      in
+      raise (Type_error msg)

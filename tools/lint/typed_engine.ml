@@ -1,0 +1,92 @@
+(* Drives the typed (cmt-based) rules and merges their diagnostics with
+   the syntactic pass through the same suppression / whitelist / JSON
+   machinery. The typed pass is additive: when a source has no cmt
+   (fresh file, partial build) the syntactic rules remain the fallback,
+   and the caller is told how many files were left uncovered. *)
+
+type result = {
+  diags : Diag.t list;
+  covered : string list;  (* sources with a cmt *)
+  uncovered : string list;  (* scanned .ml sources without one *)
+}
+
+(* Per-file typed walks + the cross-unit allocation check. Exposed for
+   the test suite, which feeds in-memory typechecked fixtures and its
+   own root set. [sources] maps a file to its contents for suppression
+   and function-level allow lookups; unknown files fall back to the
+   file system (a site can live in a different file than the one that
+   pulled it in). *)
+let check_units ?(roots = Config.zero_alloc_roots) ~lookup units =
+  let cache = Hashtbl.create 16 in
+  let lines_of file =
+    match Hashtbl.find_opt cache file with
+    | Some lines -> lines
+    | None ->
+        let lines =
+          match lookup file with
+          | Some contents -> Engine.split_lines contents
+          | None -> [||]
+        in
+        Hashtbl.add cache file lines;
+        lines
+  in
+  let per_file =
+    List.concat_map
+      (fun (u : Cmt_loader.unit_info) ->
+        Tfloat.check ~file:u.source u.str @ Tspsc.check ~file:u.source u.str)
+      units
+  in
+  let table =
+    Talloc.build_table
+      (List.concat_map
+         (fun (u : Cmt_loader.unit_info) ->
+           Talloc.summarize ~modname:u.modname u.str)
+         units)
+  in
+  let allowed ~file ~line =
+    let lines = lines_of file in
+    let on k =
+      k >= 1
+      && k <= Array.length lines
+      && Engine.allows_rule lines.(k - 1) Config.rule_zero_alloc
+    in
+    on line || (on (line - 1) && Engine.comment_only lines.(line - 2))
+  in
+  let alloc = Talloc.check ~allowed ~roots table in
+  List.filter
+    (fun (d : Diag.t) ->
+      (not (Engine.suppressed ~lines:(lines_of d.file) d))
+      && not (Config.whitelisted ~rule:d.rule d.file))
+    (per_file @ alloc)
+
+(* Full run over a source tree: load cmts from [build_dir], keep units
+   whose source was actually scanned, and report coverage. *)
+let run ~build_dir ~dirs ~files =
+  let scanned = List.filter (fun f -> Filename.check_suffix f ".ml") files in
+  let units =
+    Cmt_loader.load_units ~build_dir ~dirs
+    |> List.filter (fun (u : Cmt_loader.unit_info) -> List.mem u.source scanned)
+  in
+  let covered = Cmt_loader.covered units in
+  let uncovered = List.filter (fun f -> not (List.mem f covered)) scanned in
+  let lookup file =
+    if Sys.file_exists file && not (Sys.is_directory file) then
+      Some (Engine.read_file file)
+    else None
+  in
+  let diags = check_units ~lookup units in
+  { diags = List.sort Diag.compare_pos diags; covered; uncovered }
+
+(* Merge syntactic + typed diagnostics, collapsing the overlap (the
+   two float-eq detectors often agree on a line). *)
+let dedup diags =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (d : Diag.t) ->
+      let key = (d.rule, d.file, d.line, d.col) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    (List.sort Diag.compare_pos diags)
