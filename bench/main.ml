@@ -20,19 +20,25 @@
      main.exe scaling              events/sec vs n, heap vs calendar queue
      main.exe scaling --sizes 64,1024 --json F
                                    restrict the n-sweep / write JSON
+     main.exe serve                prediction-service kernel: replay the
+                                   recorded heavy query stream in-process
+     main.exe serve --json F       also write the serve/* metrics to F
      main.exe compare [--baseline F] [--tolerance PCT] [--warn-only]
                                    re-measure hotpath, diff vs committed
                                    baseline; defaults to the newest
                                    BENCH_*.json in the working directory
+     main.exe compare --tolerance serve/p99_us=40
+                                   per-key tolerance override (repeatable;
+                                   plain PCT still sets the global band)
 *)
 
 let usage () =
   print_endline
     "usage: main.exe [kernels] [speedup] [hotpath] [meanfield] [scaling]\n\
-    \       [sharding] [compare]\n\
+    \       [sharding] [serve] [compare]\n\
     \       [experiment ...]\n\
     \       [--quick|--paper] [--seed N] [--domains N] [--json FILE]\n\
-    \       [--sizes N,N,...] [--baseline FILE] [--tolerance PCT] \
+    \       [--sizes N,N,...] [--baseline FILE] [--tolerance PCT|KEY=PCT] \
      [--warn-only]";
   print_endline "experiments:";
   List.iter
@@ -55,10 +61,12 @@ type options = {
   meanfield : bool;
   scaling : bool;
   sharding : bool;
+  serve : bool;
   sizes : int list option;
   compare : bool;
   baseline : string option;
   tolerance : float;
+  tolerance_overrides : (string * float) list;
   warn_only : bool;
   help : bool;
   names : string list;  (* experiment names, in command-line order *)
@@ -77,10 +85,12 @@ let default_options =
     meanfield = false;
     scaling = false;
     sharding = false;
+    serve = false;
     sizes = None;
     compare = false;
     baseline = None;
     tolerance = 25.0;
+    tolerance_overrides = [];
     warn_only = false;
     help = false;
     names = [];
@@ -136,10 +146,38 @@ let parse_options args =
         in
         go { opts with baseline = Some baseline } rest
     | "--tolerance" :: rest ->
-        let tolerance, rest =
-          flag_value "--tolerance" float_of_string_opt (fun t -> t >= 0.0) rest
+        (* plain PCT sets the global band; KEY=PCT overrides one
+           expectation and is repeatable — later flags are prepended, so
+           the leftmost-first assoc lookup makes the last repeat win *)
+        let value, rest =
+          flag_value "--tolerance" Option.some (fun v -> v <> "") rest
         in
-        go { opts with tolerance } rest
+        let parsed =
+          match String.index_opt value '=' with
+          | Some i ->
+              let key = String.sub value 0 i in
+              let pct =
+                String.sub value (i + 1) (String.length value - i - 1)
+              in
+              if key = "" then None
+              else
+                Option.map
+                  (fun t -> `Override (key, t))
+                  (float_of_string_opt pct)
+          | None -> Option.map (fun t -> `Global t) (float_of_string_opt value)
+        in
+        (match parsed with
+        | Some (`Global t) when t >= 0.0 -> go { opts with tolerance = t } rest
+        | Some (`Override (key, t)) when t >= 0.0 ->
+            go
+              {
+                opts with
+                tolerance_overrides = (key, t) :: opts.tolerance_overrides;
+              }
+              rest
+        | _ ->
+            Printf.eprintf "invalid value %S for --tolerance\n" value;
+            exit 2)
     | "--warn-only" :: rest -> go { opts with warn_only = true } rest
     | ("--help" | "-h") :: rest | "help" :: rest ->
         go { opts with help = true } rest
@@ -152,6 +190,7 @@ let parse_options args =
     | "meanfield" :: rest -> go { opts with meanfield = true } rest
     | "scaling" :: rest -> go { opts with scaling = true } rest
     | "sharding" :: rest -> go { opts with sharding = true } rest
+    | "serve" :: rest -> go { opts with serve = true } rest
     | "compare" :: rest -> go { opts with compare = true } rest
     | name :: rest -> go { opts with names = opts.names @ [ name ] } rest
   in
@@ -701,6 +740,159 @@ let run_sharding ~quick ~sizes ~json () =
       Printf.printf "wrote %s\n" file)
     json
 
+(* ---------- serve kernels ---------- *)
+
+(* Prediction-service replay: the recorded heavy query stream
+   (Serve.Workload, zipf-ish λ grid with heavy repeats plus off-grid
+   points) driven through an in-process Serve.Server, no socket — the
+   kernel isolates the cache/warm-start/interpolation layer from
+   transport cost. Phase 0 cold-solves every distinct canonical key
+   once, establishing the baseline the tiers are measured against;
+   phase 1 replays the full stream against a fresh server, timing each
+   query (P² quantiles, so no latency array survives the run) and
+   tallying per-tier counts from the answer's [source]. *)
+let serve_queries = 3000
+
+let serve_measure () =
+  let config = Serve.Server.default_config in
+  let queries =
+    List.map
+      (fun q ->
+        match
+          Serve.Families.resolve ~depth:config.Serve.Server.depth
+            ~name:q.Serve.Workload.model q.Serve.Workload.params
+        with
+        | Ok fam -> (fam, Serve.Key.canon_float q.Serve.Workload.lambda)
+        | Error e -> failwith ("serve kernel: " ^ e))
+      (Serve.Workload.stream ~seed:42 serve_queries)
+  in
+  (* phase 0: cold baseline over the distinct keys *)
+  let seen = Hashtbl.create 512 in
+  let distinct =
+    List.filter
+      (fun (fam, lambda) ->
+        let key =
+          fam.Serve.Families.family ^ "|" ^ Serve.Key.canon_string lambda
+        in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      queries
+  in
+  let n_cold = List.length distinct in
+  let cold_cost = Hashtbl.create 512 in
+  let t0 = Monotonic_clock.now () in
+  let cold_evals =
+    List.fold_left
+      (fun acc (fam, lambda) ->
+        let fp =
+          Meanfield.Drive.fixed_point ~tol:config.Serve.Server.tol
+            (fam.Serve.Families.build lambda)
+        in
+        Hashtbl.replace cold_cost
+          (fam.Serve.Families.family ^ "|" ^ Serve.Key.canon_string lambda)
+          fp.Meanfield.Drive.evals;
+        acc + fp.Meanfield.Drive.evals)
+      0 distinct
+  in
+  let cold_ns = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) in
+  (* phase 1: replay the full stream through a fresh server *)
+  let server = Serve.Server.create ~config () in
+  let p50 = Prob.P2_quantile.create ~p:0.5 in
+  let p99 = Prob.P2_quantile.create ~p:0.99 in
+  let hits = ref 0 and hit_ns = ref 0.0 in
+  let warms = ref 0 and warm_evals = ref 0 in
+  let warm_cold_evals = ref 0 in
+  let interps = ref 0 and colds = ref 0 in
+  let t1 = Monotonic_clock.now () in
+  List.iter
+    (fun (fam, lambda) ->
+      let q0 = Monotonic_clock.now () in
+      let a = Serve.Server.answer server fam lambda in
+      let dt = Int64.to_float (Int64.sub (Monotonic_clock.now ()) q0) in
+      Prob.P2_quantile.add p50 (dt /. 1e3);
+      Prob.P2_quantile.add p99 (dt /. 1e3);
+      match a.Serve.Server.source with
+      | Serve.Server.Hit ->
+          incr hits;
+          hit_ns := !hit_ns +. dt
+      | Serve.Server.Warm ->
+          incr warms;
+          warm_evals := !warm_evals + a.Serve.Server.evals;
+          (* what the same key cost cold in phase 0 — the matched
+             baseline the warm-start ratio is measured against *)
+          warm_cold_evals :=
+            !warm_cold_evals
+            + Hashtbl.find cold_cost
+                (fam.Serve.Families.family ^ "|"
+               ^ Serve.Key.canon_string lambda)
+      | Serve.Server.Interpolated -> incr interps
+      | Serve.Server.Cold -> incr colds)
+    queries;
+  let wall_ns = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t1) in
+  let n = float_of_int serve_queries in
+  let qps = n /. (wall_ns /. 1e9) in
+  let hit_rate = float_of_int !hits /. n in
+  let warm_per = float_of_int !warm_evals /. float_of_int (max 1 !warms) in
+  let cold_per = float_of_int cold_evals /. float_of_int (max 1 n_cold) in
+  (* matched-keys ratio: cold evals the warm-missed keys cost in phase 0
+     over the warm evals actually spent on them — same keys on both
+     sides, so cache-warming order cannot skew the comparison *)
+  let evals_ratio =
+    float_of_int !warm_cold_evals /. float_of_int (max 1 !warm_evals)
+  in
+  let mean_cold_ns = cold_ns /. float_of_int (max 1 n_cold) in
+  let mean_hit_ns = !hit_ns /. float_of_int (max 1 !hits) in
+  let speedup = mean_cold_ns /. Float.max mean_hit_ns 1.0 in
+  Printf.printf
+    "  cold baseline: %d distinct keys, %.1f evals/solve, %.1f ms/solve\n"
+    n_cold cold_per (mean_cold_ns /. 1e6);
+  Printf.printf
+    "  replay %d queries: %d hit, %d interpolated, %d warm, %d cold\n"
+    serve_queries !hits !interps !warms !colds;
+  Printf.printf
+    "  %9.0f queries/sec   p50 %8.1f us   p99 %8.1f us   hit rate %.3f\n" qps
+    (Prob.P2_quantile.quantile p50)
+    (Prob.P2_quantile.quantile p99)
+    hit_rate;
+  Printf.printf
+    "  warm misses: %.1f evals/miss (%.1fx fewer than the same keys cold)   \
+     hit vs cold: %.0fx faster\n"
+    warm_per evals_ratio speedup;
+  [
+    ("serve/queries_per_sec", qps);
+    ("serve/p50_us", Prob.P2_quantile.quantile p50);
+    ("serve/p99_us", Prob.P2_quantile.quantile p99);
+    ("serve/hit_rate", hit_rate);
+    ("serve/warm_evals_per_miss", warm_per);
+    ("serve/cold_evals_per_solve", cold_per);
+    ("serve/warm_vs_cold_evals_ratio", evals_ratio);
+    ("serve/hit_vs_cold_speedup", speedup);
+  ]
+
+let run_serve ~json () =
+  print_endline
+    "serve kernels (in-process replay of the recorded heavy query stream;\n\
+    \ phase 0 cold-solves every distinct key, phase 1 replays through a \
+     fresh server):";
+  let metrics = serve_measure () in
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      output_string oc "{";
+      List.iteri
+        (fun i (k, v) ->
+          Printf.fprintf oc "%s\n  \"%s\": %.6g"
+            (if i = 0 then "" else ",")
+            k v)
+        metrics;
+      output_string oc "\n}\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" file)
+    json
+
 (* Newest committed baseline: BENCH_ names carry a zero-padded PR
    number, so the lexicographically greatest file is the latest. *)
 let newest_committed_baseline () =
@@ -750,7 +942,12 @@ let sharding_expectation key =
           | None -> None))
   | _ -> None
 
-let run_compare ~baseline ~tolerance ~warn_only ~json () =
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let run_compare ~baseline ~tolerance ~overrides ~warn_only ~json () =
   let expectations = Benchkit.expectations (Benchkit.parse_flat_json baseline) in
   if List.is_empty expectations then begin
     Printf.eprintf "baseline %s holds no numeric expectations\n" baseline;
@@ -764,6 +961,11 @@ let run_compare ~baseline ~tolerance ~warn_only ~json () =
     current :=
       [ ("events_per_sec", eps); ("minor_words_per_event", words) ]
   end;
+  if List.exists (fun (key, _) -> contains_sub key "serve/") expectations
+  then begin
+    print_endline "  re-measuring serve kernel:";
+    current := serve_measure () @ !current
+  end;
   List.iter
     (fun (key, _) ->
       match sharding_expectation key with
@@ -776,18 +978,31 @@ let run_compare ~baseline ~tolerance ~warn_only ~json () =
   let checks =
     Benchkit.evaluate ~tolerance
       ~direction:(fun key ->
+        (* costs shrink, throughputs grow: latency quantiles (_us),
+           wall times (_seconds), allocation (minor…) and per-solve
+           derivative-evaluation counts (…evals_per…) regress upward;
+           everything else — including the serve ratio keys, whose
+           "evals_ratio" does not match "evals_per" — regresses
+           downward *)
         if
-          String.length key >= 5
-          && (String.sub key 0 5 = "minor" || Filename.check_suffix key "_seconds")
+          (String.length key >= 5 && String.sub key 0 5 = "minor")
+          || Filename.check_suffix key "_seconds"
+          || Filename.check_suffix key "_us"
+          || contains_sub key "evals_per"
         then Benchkit.Lower_is_better
         else Benchkit.Higher_is_better)
+      ~override:(fun key -> List.assoc_opt key overrides)
       ~slack:(fun key ->
         (* one word of absolute slack: the allocation baseline may
            legitimately be 0.0, where a percentage band has no width *)
         if key = "minor_words_per_event" then 1.0 else 0.0)
       ~baseline:expectations ~current:!current ()
   in
-  Printf.printf "compare vs %s (tolerance %.0f%%):\n" baseline tolerance;
+  Printf.printf "compare vs %s (tolerance %.0f%%%s):\n" baseline tolerance
+    (String.concat ""
+       (List.map
+          (fun (k, t) -> Printf.sprintf ", %s=%.0f%%" k t)
+          (List.rev overrides)));
   List.iter
     (fun (c : Benchkit.check) ->
       match c.Benchkit.current with
@@ -903,7 +1118,7 @@ let () =
       match opts.names with
       | []
         when opts.kernels || opts.speedup || opts.hotpath || opts.meanfield
-             || opts.scaling || opts.sharding || opts.compare ->
+             || opts.scaling || opts.sharding || opts.serve || opts.compare ->
           []
       | [] -> Experiments.Registry.all
       | names ->
@@ -936,6 +1151,7 @@ let () =
     if opts.scaling then run_scaling ~sizes:opts.sizes ~json:opts.json ();
     if opts.sharding then
       run_sharding ~quick:opts.quick ~sizes:opts.sizes ~json:opts.json ();
+    if opts.serve then run_serve ~json:opts.json ();
     if opts.compare then begin
       let baseline =
         match opts.baseline with
@@ -952,7 +1168,8 @@ let () =
                 exit 2)
       in
       run_compare ~baseline ~tolerance:opts.tolerance
-        ~warn_only:opts.warn_only ~json:opts.json ()
+        ~overrides:opts.tolerance_overrides ~warn_only:opts.warn_only
+        ~json:opts.json ()
     end;
     Format.fprintf ppf "total wall time: %.1f s@."
       (Unix.gettimeofday () -. t0)

@@ -1,0 +1,343 @@
+(* loadsteal-serve — the fixed-point prediction service.
+
+   Subcommands:
+     daemon   listen on a unix socket; one pool domain per connection,
+              newline-delimited JSON in, newline-delimited JSON out
+     replay   connect to a daemon, replay a deterministic Workload
+              stream, measure latency quantiles (P²) and enforce
+              hit-rate / residual floors — the CI smoke client *)
+
+open Cmdliner
+
+let default_socket = "/tmp/loadsteal-serve.sock"
+
+(* ---------- daemon ---------- *)
+
+let handle_conn server pool conn =
+  let ic = Unix.in_channel_of_descr conn in
+  let oc = Unix.out_channel_of_descr conn in
+  let rec loop () =
+    match input_line ic with
+    | line ->
+        if not (String.equal (String.trim line) "") then begin
+          output_string oc (Serve.Protocol.handle_line ~pool server line);
+          output_char oc '\n';
+          flush oc
+        end;
+        loop ()
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+  in
+  (try loop () with Unix.Unix_error _ -> ());
+  try Unix.close conn with Unix.Unix_error _ -> ()
+
+let run_daemon socket accept_n domains shards depth tol interp_gap
+    guard_factor =
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  let config =
+    {
+      Serve.Server.default_config with
+      shards;
+      depth;
+      tol;
+      interp_gap;
+      guard_factor;
+    }
+  in
+  let server = Serve.Server.create ~config () in
+  let pool = Parallel.Pool.create ~domains in
+  if Sys.file_exists socket then Sys.remove socket;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX socket);
+  Unix.listen fd 64;
+  Printf.printf
+    "loadsteal-serve: listening on %s (%d domains, %d shards, depth %d)\n%!"
+    socket domains shards depth;
+  (* Connection handlers run on pool domains; the accept loop only hands
+     sockets over. [active]/[drained] let the --accept N mode exit after
+     the last handler finishes rather than after the last accept. *)
+  let active = ref 0 in
+  let lock = Mutex.create () in
+  let drained = Condition.create () in
+  let rec accept_loop accepted =
+    if accept_n > 0 && accepted >= accept_n then ()
+    else begin
+      match Unix.accept fd with
+      | conn, _ ->
+          Mutex.protect lock (fun () -> incr active);
+          Parallel.Pool.async pool (fun () ->
+              Fun.protect
+                ~finally:(fun () ->
+                  Mutex.protect lock (fun () ->
+                      decr active;
+                      Condition.broadcast drained))
+                (fun () -> handle_conn server pool conn));
+          accept_loop (accepted + 1)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop accepted
+    end
+  in
+  accept_loop 0;
+  Mutex.lock lock;
+  while !active > 0 do
+    Condition.wait drained lock
+  done;
+  Mutex.unlock lock;
+  Unix.close fd;
+  (try Sys.remove socket with Sys_error _ -> ());
+  Parallel.Pool.shutdown pool;
+  let s = Serve.Server.stats server in
+  Printf.printf
+    "loadsteal-serve: served %d (hit %d, interpolated %d, warm %d, cold %d)\n"
+    (s.Serve.Server.hit + s.Serve.Server.interpolated + s.Serve.Server.warm
+   + s.Serve.Server.cold)
+    s.Serve.Server.hit s.Serve.Server.interpolated s.Serve.Server.warm
+    s.Serve.Server.cold;
+  0
+
+let daemon_cmd =
+  let doc = "Run the prediction daemon on a unix socket." in
+  let socket =
+    Arg.(
+      value
+      & opt string default_socket
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket path.")
+  in
+  let accept_n =
+    Arg.(
+      value & opt int 0
+      & info [ "accept" ] ~docv:"N"
+          ~doc:"Exit after $(docv) connections have been served (0 = serve \
+                forever).")
+  in
+  let domains =
+    Arg.(
+      value & opt int 4
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Pool domains (connection handlers + batch fan-out).")
+  in
+  let dc = Serve.Server.default_config in
+  let shards =
+    Arg.(
+      value
+      & opt int dc.Serve.Server.shards
+      & info [ "shards" ] ~docv:"N" ~doc:"Cache stripes.")
+  in
+  let depth =
+    Arg.(
+      value
+      & opt int dc.Serve.Server.depth
+      & info [ "depth" ] ~docv:"N" ~doc:"Pinned truncation depth.")
+  in
+  let tol =
+    Arg.(
+      value
+      & opt float dc.Serve.Server.tol
+      & info [ "tol" ] ~docv:"TOL" ~doc:"Solver residual tolerance.")
+  in
+  let interp_gap =
+    Arg.(
+      value
+      & opt float dc.Serve.Server.interp_gap
+      & info [ "interp-gap" ] ~docv:"W"
+          ~doc:"Maximum λ gap eligible for sub-grid interpolation.")
+  in
+  let guard =
+    Arg.(
+      value
+      & opt float dc.Serve.Server.guard_factor
+      & info [ "guard-factor" ] ~docv:"G"
+          ~doc:"Interpolation residual guard: accept iff residual ≤ tol·G.")
+  in
+  Cmd.v (Cmd.info "daemon" ~doc)
+    Term.(
+      const run_daemon $ socket $ accept_n $ domains $ shards $ depth $ tol
+      $ interp_gap $ guard)
+
+(* ---------- replay ---------- *)
+
+let rec split_at k xs =
+  if k = 0 then ([], xs)
+  else
+    match xs with
+    | [] -> ([], [])
+    | x :: rest ->
+        let a, b = split_at (k - 1) rest in
+        (x :: a, b)
+
+let member_float key v =
+  match Option.map Serve.Wire.to_float (Serve.Wire.member key v) with
+  | Some (Some f) -> Some f
+  | _ -> None
+
+let run_replay socket n seed batch min_hit_rate max_residual json_path =
+  if batch < 1 then invalid_arg "replay: --batch must be >= 1";
+  let queries = Serve.Workload.stream ~seed n in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* Retry while the daemon comes up, so CI can background it without a
+     racy sleep. *)
+  let rec connect tries =
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> ()
+    | exception
+        Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when tries > 0 ->
+        Unix.sleepf 0.1;
+        connect (tries - 1)
+  in
+  connect 100;
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let send_recv v =
+    output_string oc (Serve.Wire.to_string v);
+    output_char oc '\n';
+    flush oc;
+    Serve.Wire.of_string (input_line ic)
+  in
+  let p50 = Prob.P2_quantile.create ~p:0.5 in
+  let p99 = Prob.P2_quantile.create ~p:0.99 in
+  let errors = ref 0 in
+  let violations = ref 0 in
+  let max_seen = ref 0.0 in
+  let check_response r =
+    match Serve.Wire.member "ok" r with
+    | Some (Serve.Wire.Bool true) -> (
+        match member_float "residual" r with
+        | Some res ->
+            if res > !max_seen then max_seen := res;
+            if res > max_residual then incr violations
+        | None -> incr errors)
+    | _ -> incr errors
+  in
+  let t0 = Monotonic_clock.now () in
+  let rec drive = function
+    | [] -> ()
+    | qs ->
+        let head, rest = split_at batch qs in
+        let request =
+          match head with
+          | [ q ] when batch = 1 -> Serve.Workload.request_json q
+          | _ -> Serve.Wire.Arr (List.map Serve.Workload.request_json head)
+        in
+        let t_send = Monotonic_clock.now () in
+        let response = send_recv request in
+        let dt_us =
+          Int64.to_float (Int64.sub (Monotonic_clock.now ()) t_send) /. 1e3
+        in
+        Prob.P2_quantile.add p50 dt_us;
+        Prob.P2_quantile.add p99 dt_us;
+        (match response with
+        | Serve.Wire.Arr rs -> List.iter check_response rs
+        | r -> check_response r);
+        drive rest
+  in
+  drive queries;
+  let wall =
+    Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9
+  in
+  let stats =
+    send_recv (Serve.Wire.Obj [ ("op", Serve.Wire.Str "stats") ])
+  in
+  Unix.close fd;
+  let hit_rate = Option.value ~default:0.0 (member_float "hit_rate" stats) in
+  let evals_per_miss =
+    Option.value ~default:0.0 (member_float "evals_per_miss" stats)
+  in
+  let report =
+    Serve.Wire.Obj
+      [
+        ("queries", Serve.Wire.Num (float_of_int n));
+        ("batch", Serve.Wire.Num (float_of_int batch));
+        ("wall_seconds", Serve.Wire.Num wall);
+        ( "queries_per_sec",
+          Serve.Wire.Num (if wall > 0.0 then float_of_int n /. wall else 0.0)
+        );
+        ("p50_us", Serve.Wire.Num (Prob.P2_quantile.quantile p50));
+        ("p99_us", Serve.Wire.Num (Prob.P2_quantile.quantile p99));
+        ("hit_rate", Serve.Wire.Num hit_rate);
+        ("evals_per_miss", Serve.Wire.Num evals_per_miss);
+        ("max_residual_seen", Serve.Wire.Num !max_seen);
+        ("residual_violations", Serve.Wire.Num (float_of_int !violations));
+        ("errors", Serve.Wire.Num (float_of_int !errors));
+      ]
+  in
+  let text = Serve.Wire.to_string report in
+  print_endline text;
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let ch = open_out path in
+      output_string ch text;
+      output_char ch '\n';
+      close_out ch);
+  if !errors > 0 then begin
+    Printf.eprintf "replay: %d error responses\n" !errors;
+    1
+  end
+  else if !violations > 0 then begin
+    Printf.eprintf "replay: %d responses above --max-residual %g\n"
+      !violations max_residual;
+    1
+  end
+  else if hit_rate < min_hit_rate then begin
+    Printf.eprintf "replay: hit rate %.3f below floor %.3f\n" hit_rate
+      min_hit_rate;
+    1
+  end
+  else 0
+
+let replay_cmd =
+  let doc = "Replay a deterministic query stream against a daemon." in
+  let socket =
+    Arg.(
+      value
+      & opt string default_socket
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket path.")
+  in
+  let n =
+    Arg.(
+      value & opt int 1000
+      & info [ "n"; "queries" ] ~docv:"N" ~doc:"Number of queries to replay.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Stream seed.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"B"
+          ~doc:"Queries per request (1 = single-query objects; >1 = array \
+                batches). Latency quantiles are per request either way.")
+  in
+  let min_hit_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "min-hit-rate" ] ~docv:"R"
+          ~doc:"Exit non-zero unless the daemon's final hit rate is ≥ \
+                $(docv).")
+  in
+  let max_residual =
+    Arg.(
+      value & opt float 1e-7
+      & info [ "max-residual" ] ~docv:"TOL"
+          ~doc:"Exit non-zero if any response's certified residual exceeds \
+                $(docv).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH" ~doc:"Write the report as JSON.")
+  in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(
+      const run_replay $ socket $ n $ seed $ batch $ min_hit_rate
+      $ max_residual $ json)
+
+let main_cmd =
+  let doc = "Fixed-point prediction service for load-stealing models." in
+  Cmd.group
+    (Cmd.info "loadsteal_serve" ~version:"1.0.0" ~doc)
+    [ daemon_cmd; replay_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

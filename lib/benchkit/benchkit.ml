@@ -74,11 +74,16 @@ let expectations entries =
 (* --- evaluation --- *)
 
 let no_slack _ = 0.0
+let no_override _ = None
 
-let evaluate ~tolerance ~direction ?(slack = no_slack) ~baseline ~current () =
+let evaluate ~tolerance ~direction ?(slack = no_slack)
+    ?(override = no_override) ~baseline ~current () =
   List.map
     (fun (key, base) ->
       let dir = direction key in
+      let tolerance =
+        match override key with Some t -> t | None -> tolerance
+      in
       let frac = tolerance /. 100.0 in
       let bound =
         match dir with

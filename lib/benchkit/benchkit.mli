@@ -46,14 +46,18 @@ val evaluate :
   tolerance:float ->
   direction:(string -> direction) ->
   ?slack:(string -> float) ->
+  ?override:(string -> float option) ->
   baseline:(string * float) list ->
   current:(string * float) list ->
   unit ->
   check list
 (** Check each baseline expectation against the current measurements,
     in baseline order. [tolerance] is a percentage band around the
-    baseline value; [slack key] (default 0) widens a
-    {!Lower_is_better} ceiling to at least [baseline + slack], so a
+    baseline value; [override key] (default [None] everywhere) replaces
+    it for individual keys — how [bench compare --tolerance
+    serve/p99_us=25] widens the band of one noisy latency quantile
+    without loosening every other gate. [slack key] (default 0) widens
+    a {!Lower_is_better} ceiling to at least [baseline + slack], so a
     legitimately-zero baseline keeps a usable band. *)
 
 val all_passed : check list -> bool

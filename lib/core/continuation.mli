@@ -1,0 +1,44 @@
+(** Warm-start continuation along the fixed-point curve.
+
+    The fixed point of every model family in this repository varies
+    continuously (and smoothly, away from stability boundaries) with the
+    arrival rate λ. Starting a solve from the fixed point of a {e nearby}
+    λ therefore skips the relaxation transport phase — the dominant cost
+    near λ → 1 — and lands directly in the Anderson basin, where
+    convergence takes a handful of derivative evaluations.
+
+    Two callers share this logic: the serial sweep continuation of
+    [Experiments.Sweep] (whose nearest neighbour is the previous point of
+    its ascending chain) and the prediction service's fixed-point cache
+    ([Serve.Server], whose candidates are every entry cached for the
+    model family). *)
+
+val nearest_start :
+  candidates:(float * Numerics.Vec.t) list ->
+  dim:int ->
+  float ->
+  [ `State of Numerics.Vec.t | `Warm ]
+(** [nearest_start ~candidates ~dim lambda] picks, among the
+    [(λᵢ, stateᵢ)] candidates whose state has dimension [dim], the one
+    with the smallest [|λᵢ - lambda|] and returns it as a
+    {!Drive.fixed_point} start; [`Warm] when no candidate has the right
+    dimension. Ties keep the earliest candidate in list order. The
+    chosen state is {e not} copied — {!Drive.fixed_point} copies its
+    start state before integrating, so callers may pass cached vectors
+    freely. *)
+
+val along_lambda :
+  ?solver:Drive.solver ->
+  ?tol:float ->
+  ?max_time:float ->
+  ?accelerate:bool ->
+  build:(float -> Model.t) ->
+  float list ->
+  (float * Drive.fixed_point) list
+(** [along_lambda ~build lambdas] solves [build λ] for each λ, in
+    ascending-λ order with warm-start continuation (each solve starts
+    from {!nearest_start} of the previous chain point), and returns
+    [(λ, fixed point)] pairs in the {e input} order of [lambdas].
+    Optional arguments are passed through to {!Drive.fixed_point} and
+    keep its defaults. A dimension mismatch between consecutive models
+    is not an error — that solve just falls back to [`Warm]. *)

@@ -50,7 +50,7 @@ let relax_rtol = 1e-7
 let relax_atol = 1e-12
 
 let fixed_point ?dt ?(tol = 1e-11) ?(max_time = 2e5) ?(accelerate = true)
-    ?(solver = `Anderson) ?(start = `Warm) model =
+    ?(solver = `Anderson) ?(start = `Warm) ?(basin = basin_residual) model =
   let dt = match dt with Some d -> d | None -> model.Model.suggested_dt in
   let n = model.Model.dim in
   let y = initial model start in
@@ -167,7 +167,7 @@ let fixed_point ?dt ?(tol = 1e-11) ?(max_time = 2e5) ?(accelerate = true)
   let solve_anderson () =
     let r = ref (resid y) in
     incr iterations;
-    while !r > basin_residual && budget_left () > 0.0 do
+    while !r > basin && budget_left () > 0.0 do
       incr iterations;
       let span = Float.min (budget_left ()) check_every in
       rk45_chunk span;
@@ -175,7 +175,7 @@ let fixed_point ?dt ?(tol = 1e-11) ?(max_time = 2e5) ?(accelerate = true)
       r := resid y
     done;
     if !r <= tol then finish ~r:!r ~converged:true `Rk45
-    else if !r > basin_residual then finish ~r:!r ~converged:false `Rk45
+    else if !r > basin then finish ~r:!r ~converged:false `Rk45
     else begin
       let st = Accel.anderson ~depth:5 ~beta:1.0 n in
       (* Map step for g(s) = s + h·f(s): roughly one mean service time.

@@ -45,6 +45,7 @@ val fixed_point :
   ?accelerate:bool ->
   ?solver:solver ->
   ?start:[ `Empty | `Warm | `State of Numerics.Vec.t ] ->
+  ?basin:float ->
   Model.t ->
   fixed_point
 (** Solve the model for its fixed point. Defaults: [dt] from
@@ -57,7 +58,12 @@ val fixed_point :
     Anderson) is disabled, leaving pure relaxation — the ablation knob.
     [start = `State s] requires [s] to have the model's dimension; sweeps
     use it to warm-start each solve from the neighbouring λ's fixed point
-    (see [Experiments.Sweep]). *)
+    (see [Experiments.Sweep]). [basin] (default [1e-4]) is the residual
+    below which the [`Anderson] hybrid hands the relaxation phase over to
+    Anderson mixing; warm starts from a nearby λ's fixed point can raise
+    it to skip the transport phase entirely — the mixing is safe to enter
+    early there because a stall or domain escape falls back to
+    relaxation, costing at worst one bounded detour. *)
 
 val residual : Model.t -> Numerics.Vec.t -> float
 (** [‖ds/dt‖∞] at the given state. *)

@@ -1,32 +1,9 @@
-let along_lambda ?solver ?tol ?max_time ?accelerate ~build lambdas =
-  (* Solve serially in ascending lambda so each point starts from its
-     neighbour's fixed point: the fixed-point curve is continuous in
-     lambda, so the warm start is already inside the Anderson basin for
-     every point but the first. The input order is restored afterwards,
-     so callers see results positionally aligned with [lambdas] whatever
-     order the continuation visited them in. *)
-  let tagged = List.mapi (fun i l -> (i, l)) lambdas in
-  let ascending = List.sort (fun (_, a) (_, b) -> Float.compare a b) tagged in
-  let _, solved =
-    List.fold_left
-      (fun (prev, acc) (idx, lambda) ->
-        let model = build lambda in
-        let start =
-          match prev with
-          | Some s when Numerics.Vec.dim s = model.Meanfield.Model.dim ->
-              `State s
-          | _ -> `Warm
-        in
-        let fp =
-          Meanfield.Drive.fixed_point ?solver ?tol ?max_time ?accelerate
-            ~start model
-        in
-        (Some fp.Meanfield.Drive.state, (idx, lambda, fp) :: acc))
-      (None, []) ascending
-  in
-  List.map
-    (fun (_, lambda, fp) -> (lambda, fp))
-    (List.sort (fun (i, _, _) (j, _, _) -> Int.compare i j) solved)
+(* The continuation itself lives in Meanfield.Continuation so the
+   prediction service's fixed-point cache (lib/serve) shares the exact
+   nearest-neighbour warm-start implementation with the table sweeps;
+   this module keeps the sweep-shaped conveniences on top of it. *)
+
+let along_lambda = Meanfield.Continuation.along_lambda
 
 let lookup results lambda =
   match List.find_opt (fun (l, _) -> Float.equal l lambda) results with

@@ -88,3 +88,72 @@ let eval t x =
   end
 
 let eval_many t queries = Vec.map (eval t) queries
+
+(* Vector-valued single-shot PCHIP: evaluate the Fritsch-Carlson
+   interpolant of every component of a sampled vector function at one
+   query point, without building [dim] interpolant records. The slopes a
+   cubic Hermite segment needs are local (they read only the secants of
+   the two adjacent intervals), so per component we recompute exactly the
+   two slopes the bracketing interval uses — identical arithmetic to
+   [pchip_slopes] restricted to indices [i] and [i+1] — and evaluate the
+   same Hermite basis as [eval]. Agreement with the record-based path is
+   pinned by test/test_numerics.ml. *)
+let pchip_cols ~xs ~cols x =
+  let n = Vec.dim xs in
+  if n < 2 then invalid_arg "Interp.pchip_cols: need at least 2 points";
+  if Array.length cols <> n then
+    invalid_arg "Interp.pchip_cols: column count mismatch";
+  let dim = Vec.dim cols.(0) in
+  Array.iter
+    (fun c ->
+      if Vec.dim c <> dim then
+        invalid_arg "Interp.pchip_cols: ragged columns")
+    cols;
+  for i = 1 to n - 1 do
+    if xs.(i) <= xs.(i - 1) then
+      invalid_arg "Interp.pchip_cols: abscissae must be strictly increasing"
+  done;
+  if x <= xs.(0) then Vec.copy cols.(0)
+  else if x >= xs.(n - 1) then Vec.copy cols.(n - 1)
+  else begin
+    let i = locate xs x in
+    let h = xs.(i + 1) -. xs.(i) in
+    let s = (x -. xs.(i)) /. h in
+    let s2 = s *. s in
+    let s3 = s2 *. s in
+    let h00 = (2.0 *. s3) -. (3.0 *. s2) +. 1.0 in
+    let h10 = s3 -. (2.0 *. s2) +. s in
+    let h01 = (-2.0 *. s3) +. (3.0 *. s2) in
+    let h11 = s3 -. s2 in
+    (* interior FC slope at sample [j] for component [k]; endpoint
+       slopes replicate [pchip_slopes]'s one-sided estimate + clamp *)
+    let secant j k = (cols.(j + 1).(k) -. cols.(j).(k)) /. (xs.(j + 1) -. xs.(j)) in
+    let slope j k =
+      if j = 0 || j = n - 1 then begin
+        let adj = if j = 0 then 0 else n - 2 in
+        let delta = secant adj k in
+        let d = if j = 0 then secant 0 k else secant (n - 2) k in
+        (* with one-sided estimates d = delta, so the FC endpoint clamp
+           reduces to the secant itself; spelled out for clarity *)
+        if Float.equal delta 0.0 then 0.0
+        else if d *. delta < 0.0 then 0.0
+        else if Float.abs d > 3.0 *. Float.abs delta then 3.0 *. delta
+        else d
+      end
+      else begin
+        let dm = secant (j - 1) k and dp = secant j k in
+        if dm *. dp <= 0.0 then 0.0
+        else begin
+          let hm = xs.(j) -. xs.(j - 1) and hp = xs.(j + 1) -. xs.(j) in
+          let w1 = (2.0 *. hp) +. hm in
+          let w2 = hp +. (2.0 *. hm) in
+          (w1 +. w2) /. ((w1 /. dm) +. (w2 /. dp))
+        end
+      end
+    in
+    Vec.init dim (fun k ->
+        (h00 *. cols.(i).(k))
+        +. (h10 *. h *. slope i k)
+        +. (h01 *. cols.(i + 1).(k))
+        +. (h11 *. h *. slope (i + 1) k))
+  end

@@ -22,3 +22,18 @@ val eval : t -> float -> float
 
 val eval_many : t -> Vec.t -> Vec.t
 (** Map {!eval} over a vector of query points. *)
+
+val pchip_cols : xs:Vec.t -> cols:Vec.t array -> float -> Vec.t
+(** [pchip_cols ~xs ~cols x] evaluates, componentwise, the monotone
+    Fritsch–Carlson interpolant of the vector-valued samples
+    [(xs.(i), cols.(i))] at [x] — a fresh vector whose component [k]
+    equals [eval (pchip ~xs ~ys:[|cols.(0).(k); …|]) x], computed in one
+    pass without building per-component interpolants (the slopes a
+    Hermite segment needs are local to the bracketing interval). Clamps
+    outside the data range to the boundary columns. The prediction
+    service uses this to interpolate whole fixed-point tail vectors
+    between cached λ grid points; monotone slope limiting guarantees the
+    interpolated densities inherit the grid's monotonicity in λ and
+    never overshoot. @raise Invalid_argument unless [xs] is strictly
+    increasing, [Array.length cols = Vec.dim xs ≥ 2] and the columns
+    share one dimension. *)

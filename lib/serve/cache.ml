@@ -1,0 +1,118 @@
+(* Sharded fixed-point cache. Families are striped over N independent
+   shards, each a mutex plus a hashtable from family key to that
+   family's entries in ascending-λ order. The ordered representation is
+   what both accelerations consume on a miss: the nearest cached
+   neighbour seeds a warm start, and a bracketing run of neighbours
+   feeds sub-grid interpolation.
+
+   Concurrency contract: a shard's hashtable and counters are touched
+   only under its mutex ([Mutex.protect]); entry lists are immutable
+   (inserts rebuild the spine) and entries are never mutated after
+   insertion, so the snapshot [find] returns is safe to read outside
+   the lock. Cached state vectors are shared, not copied — callers must
+   treat them as read-only ([Drive.fixed_point] copies its [`State]
+   start before integrating, so warm starts are safe by construction). *)
+
+type entry = {
+  lambda : float;
+  state : Numerics.Vec.t;
+  residual : float;
+  evals : int;
+  mean_tasks : float;
+  mean_time : float;
+}
+
+type lookup = Hit of entry | Miss of entry list
+
+type stats = {
+  shards : int;
+  entries : int;
+  families : int;
+  hits : int;
+  misses : int;
+  insertions : int;
+}
+
+type shard = {
+  lock : Mutex.t;
+  table : (string, entry list) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+}
+
+type t = { stripes : shard array }
+
+let create ?(shards = 16) () =
+  if shards < 1 then invalid_arg "Serve.Cache.create: shards must be >= 1";
+  {
+    stripes =
+      Array.init shards (fun _ ->
+          {
+            lock = Mutex.create ();
+            table = Hashtbl.create 64;
+            hits = 0;
+            misses = 0;
+            insertions = 0;
+          });
+  }
+
+let shard_of t family =
+  t.stripes.(Hashtbl.hash family mod Array.length t.stripes)
+
+let find t ~family lambda =
+  let s = shard_of t family in
+  Mutex.protect s.lock (fun () ->
+      let chain =
+        Option.value ~default:[] (Hashtbl.find_opt s.table family)
+      in
+      match List.find_opt (fun e -> Float.equal e.lambda lambda) chain with
+      | Some e ->
+          s.hits <- s.hits + 1;
+          Hit e
+      | None ->
+          s.misses <- s.misses + 1;
+          Miss chain)
+
+let insert t ~family entry =
+  let s = shard_of t family in
+  Mutex.protect s.lock (fun () ->
+      let chain =
+        Option.value ~default:[] (Hashtbl.find_opt s.table family)
+      in
+      let rec place = function
+        | [] -> [ entry ]
+        | e :: rest ->
+            if Float.equal e.lambda entry.lambda then entry :: rest
+            else if e.lambda < entry.lambda then e :: place rest
+            else entry :: e :: rest
+      in
+      Hashtbl.replace s.table family (place chain);
+      s.insertions <- s.insertions + 1)
+
+let stats t =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.protect s.lock (fun () ->
+          let entries, families =
+            Hashtbl.fold
+              (fun _ chain (e, f) -> (e + List.length chain, f + 1))
+              s.table (0, 0)
+          in
+          {
+            acc with
+            entries = acc.entries + entries;
+            families = acc.families + families;
+            hits = acc.hits + s.hits;
+            misses = acc.misses + s.misses;
+            insertions = acc.insertions + s.insertions;
+          }))
+    {
+      shards = Array.length t.stripes;
+      entries = 0;
+      families = 0;
+      hits = 0;
+      misses = 0;
+      insertions = 0;
+    }
+    t.stripes

@@ -1,0 +1,57 @@
+(** Sharded, mutex-striped fixed-point cache.
+
+    Keys are {!Key.family} strings; each family's entries are kept in
+    ascending-λ order so a miss hands back exactly what the two
+    accelerations need — the nearest λ-neighbour for a warm start, a
+    bracketing run of neighbours for sub-grid interpolation. Families
+    are striped over independently locked shards; all shared mutable
+    state (tables and hit/miss counters) is touched only under the
+    owning shard's [Mutex.protect].
+
+    Entries are immutable once inserted and entry lists are rebuilt on
+    insert, so the snapshot a {!find} miss returns may be read freely
+    outside the lock. Cached state vectors are {e shared}: callers must
+    treat them as read-only. [Drive.fixed_point] copies a [`State]
+    start before integrating, so feeding cached states to warm starts
+    is safe by construction. *)
+
+type entry = {
+  lambda : float;  (** Canonical λ ({!Key.canon_float}). *)
+  state : Numerics.Vec.t;  (** Fixed-point state. Read-only by contract. *)
+  residual : float;  (** [‖ds/dt‖∞] certified for [state]. *)
+  evals : int;  (** Derivative evaluations spent producing it. *)
+  mean_tasks : float;
+      (** [Metrics.mean_tasks], precomputed so hits answer without
+          rebuilding the model. *)
+  mean_time : float;  (** [Metrics.mean_time], precomputed likewise. *)
+}
+
+type lookup =
+  | Hit of entry  (** An entry with exactly this canonical λ. *)
+  | Miss of entry list
+      (** No exact entry; the family's full chain, ascending in λ
+          (possibly empty). *)
+
+type stats = {
+  shards : int;
+  entries : int;
+  families : int;
+  hits : int;
+  misses : int;
+  insertions : int;
+}
+
+type t
+
+val create : ?shards:int -> unit -> t
+(** [shards] defaults to 16. @raise Invalid_argument if [< 1]. *)
+
+val find : t -> family:string -> float -> lookup
+(** Look up [family] at a canonical λ, counting a hit or a miss. *)
+
+val insert : t -> family:string -> entry -> unit
+(** Insert (or replace, at equal canonical λ) an entry in its family's
+    chain. *)
+
+val stats : t -> stats
+(** Aggregate counters across all shards. *)

@@ -1,0 +1,24 @@
+(* Canonical cache keys. Two requests that denote the same fixed-point
+   problem must hash to the same entry even when their floats are spelled
+   differently ("0.9" vs "0.90" vs a value that differs only past the
+   12th significant digit). We canonicalise every float through a %.12g
+   round trip: 12 significant digits is far beyond the solver tolerance
+   (fixed points are only defined to ~1e-11 residual anyway) while still
+   collapsing formatting noise and accumulated last-bit jitter. *)
+
+let canon_string f =
+  if Float.is_nan f then invalid_arg "Serve.Key: NaN parameter";
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let canon_float f = float_of_string (canon_string f)
+
+let family ~name ~params ~depth =
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) params
+  in
+  let body =
+    String.concat ","
+      (List.map (fun (k, v) -> k ^ "=" ^ canon_string v) sorted)
+  in
+  Printf.sprintf "%s(%s)@%d" (String.lowercase_ascii name) body depth

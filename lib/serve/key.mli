@@ -1,0 +1,29 @@
+(** Canonical cache keys for the prediction service.
+
+    The cache must treat ["lambda": 0.9] and ["lambda": 0.90] — and any
+    two spellings that agree to 12 significant digits — as the same
+    query. Floats are therefore canonicalised through a [%.12g] round
+    trip before they touch a key or a comparison: 12 digits is far below
+    the solver's own resolution (fixed points carry a residual tolerance
+    of ~1e-11), so the collapse never merges genuinely distinct
+    problems, while formatting noise and last-bit jitter disappear. *)
+
+val canon_float : float -> float
+(** The canonical representative of [f]'s 12-significant-digit
+    equivalence class: [float_of_string (canon_string f)]. Idempotent.
+    @raise Invalid_argument on NaN. *)
+
+val canon_string : float -> string
+(** Canonical rendering: integers bare (["4"]), everything else
+    [%.12g]. Equal canonical strings ⇔ equal canonical floats.
+    @raise Invalid_argument on NaN. *)
+
+val family : name:string -> params:(string * float) list -> depth:int -> string
+(** The family half of a cache key: lowercased model name, the
+    structural parameters sorted by name and canonically rendered, and
+    the pinned truncation depth — everything that identifies the λ ↦
+    fixed-point curve a query lives on. λ itself is deliberately
+    excluded: the cache buckets entries by family and keeps each
+    bucket's entries ordered by λ, which is what warm-start neighbour
+    search and sub-grid interpolation consume. Example:
+    ["combined(choices=2,steal_count=2,threshold=4)@96"]. *)

@@ -1,0 +1,249 @@
+(* Minimal JSON for the newline-delimited serve protocol. The repo
+   deliberately avoids a JSON dependency (the container pins its opam
+   set); requests and responses are small flat objects, so a compact
+   recursive-descent parser and a printer with canonical float rendering
+   cover the whole protocol. Not a general-purpose JSON library: numbers
+   are floats, \u escapes outside ASCII decode to '?'. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ---------- parsing ---------- *)
+
+(* lint: allow domain-safety: task-private parse cursor, one per of_string call *)
+type cursor = { text : string; mutable pos : int }
+
+let fail cur msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg cur.pos))
+
+let peek cur =
+  if cur.pos < String.length cur.text then Some cur.text.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let rec skip_ws cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance cur;
+      skip_ws cur
+  | _ -> ()
+
+let expect cur c =
+  match peek cur with
+  | Some d when d = c -> advance cur
+  | _ -> fail cur (Printf.sprintf "expected '%c'" c)
+
+let literal cur word value =
+  let n = String.length word in
+  if
+    cur.pos + n <= String.length cur.text
+    && String.equal (String.sub cur.text cur.pos n) word
+  then begin
+    cur.pos <- cur.pos + n;
+    value
+  end
+  else fail cur (Printf.sprintf "expected %s" word)
+
+let hex_digit cur c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail cur "bad \\u escape"
+
+let parse_string cur =
+  expect cur '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | None -> fail cur "unterminated string"
+    | Some '"' -> advance cur
+    | Some '\\' -> (
+        advance cur;
+        match peek cur with
+        | None -> fail cur "unterminated escape"
+        | Some c ->
+            advance cur;
+            (match c with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                if cur.pos + 4 > String.length cur.text then
+                  fail cur "truncated \\u escape";
+                let code = ref 0 in
+                for _ = 1 to 4 do
+                  (match peek cur with
+                  | Some h -> code := (!code * 16) + hex_digit cur h
+                  | None -> fail cur "truncated \\u escape");
+                  advance cur
+                done;
+                Buffer.add_char b
+                  (if !code < 0x80 then Char.chr !code else '?')
+            | _ -> fail cur "unknown escape");
+            go ())
+    | Some c ->
+        advance cur;
+        Buffer.add_char b c;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number cur =
+  let start = cur.pos in
+  let num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while match peek cur with Some c when num_char c -> true | _ -> false do
+    advance cur
+  done;
+  let span = String.sub cur.text start (cur.pos - start) in
+  match float_of_string_opt span with
+  | Some f -> Num f
+  | None -> fail cur (Printf.sprintf "bad number %S" span)
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some '{' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some '}' then begin
+        advance cur;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws cur;
+          let key = parse_string cur in
+          skip_ws cur;
+          expect cur ':';
+          let v = parse_value cur in
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              advance cur;
+              members ((key, v) :: acc)
+          | Some '}' ->
+              advance cur;
+              List.rev ((key, v) :: acc)
+          | _ -> fail cur "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some ']' then begin
+        advance cur;
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value cur in
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              advance cur;
+              elements (v :: acc)
+          | Some ']' ->
+              advance cur;
+              List.rev (v :: acc)
+          | _ -> fail cur "expected ',' or ']'"
+        in
+        Arr (elements [])
+      end
+  | Some '"' -> Str (parse_string cur)
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some 'n' -> literal cur "null" Null
+  | Some _ -> parse_number cur
+
+let of_string text =
+  let cur = { text; pos = 0 } in
+  let v = parse_value cur in
+  skip_ws cur;
+  if cur.pos <> String.length text then fail cur "trailing input";
+  v
+
+(* ---------- printing ---------- *)
+
+let escape b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* Canonical float rendering: shortest form that survives a 12-digit
+   round trip, matching Key.canon_float so keys printed in responses
+   read back identically. Integer-valued floats come out bare ("4"). *)
+let render_float f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Num f -> Buffer.add_string b (render_float f)
+  | Str s -> escape b s
+  | Arr items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          emit b v)
+        items;
+      Buffer.add_char b ']'
+  | Obj members ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape b k;
+          Buffer.add_char b ':';
+          emit b v)
+        members;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 128 in
+  emit b v;
+  Buffer.contents b
+
+(* ---------- accessors ---------- *)
+
+let member key = function
+  | Obj members -> List.assoc_opt key members
+  | _ -> None
+
+let to_float = function Num f -> Some f | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+
+let obj_members = function Obj members -> Some members | _ -> None

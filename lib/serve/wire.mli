@@ -1,0 +1,42 @@
+(** Minimal JSON values for the newline-delimited serve protocol.
+
+    The prediction service speaks one JSON value per line. Requests and
+    responses are small, flat objects, so this module implements just
+    enough of RFC 8259 to round-trip them without pulling a JSON
+    dependency into the pinned opam set: numbers are always [float],
+    [\u] escapes outside ASCII decode to ['?'], and printing renders
+    floats canonically ([%.12g], integers bare) so a key echoed in a
+    response parses back to the same canonical form. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!of_string} with a message and byte offset. *)
+
+val of_string : string -> t
+(** Parse one complete JSON value; trailing non-whitespace input is an
+    error. @raise Parse_error on malformed input. *)
+
+val to_string : t -> string
+(** Print compactly (no added whitespace). NaN renders as [null];
+    integer-valued floats render bare (["4"], not ["4."]); other floats
+    use [%.12g], matching {!Key.canon_float}. *)
+
+val member : string -> t -> t option
+(** First member with the given name, for [Obj] values; [None]
+    otherwise. *)
+
+val to_float : t -> float option
+(** [Some f] for [Num f]. *)
+
+val to_str : t -> string option
+(** [Some s] for [Str s]. *)
+
+val obj_members : t -> (string * t) list option
+(** The member list of an [Obj]. *)

@@ -1,0 +1,111 @@
+(* Deterministic heavy query stream, shared by the `bench serve` kernel
+   and the daemon replay client so both measure the same traffic shape:
+   a zipf-ish distribution over a λ grid (a few hot rates dominate, as
+   a dashboard or an auto-scaler re-asking about current load would),
+   per-model hot-spot permutations so different families heat different
+   λs, and a configurable share of off-grid λs landing between grid
+   points — the queries only sub-grid interpolation can short-circuit. *)
+
+type query = {
+  model : string;
+  params : (string * float) list;
+  lambda : float;
+}
+
+let default_models =
+  [
+    "mm1";
+    "simple";
+    "erlang";
+    "threshold";
+    "preemptive";
+    "multisteal";
+    "steal-half";
+    "supermarket";
+  ]
+
+(* Small multiplicative LCG (Lehmer, modulus 2^31-1) so the stream is
+   reproducible from the seed alone, independent of OCaml's stdlib
+   Random implementation details across versions. *)
+let lcg_next s = Int64.to_int (Int64.rem (Int64.mul (Int64.of_int s) 48271L) 2147483647L)
+
+let uniform s =
+  let s = lcg_next s in
+  (s, float_of_int s /. 2147483647.0)
+
+let stream ?(seed = 42) ?(models = default_models) ?(grid = 24)
+    ?(lo = 0.5) ?(hi = 0.98) ?(offgrid_share = 0.15) n =
+  if n < 0 then invalid_arg "Serve.Workload.stream: n must be >= 0";
+  if grid < 2 then invalid_arg "Serve.Workload.stream: grid must be >= 2";
+  if models = [] then invalid_arg "Serve.Workload.stream: no models";
+  if not (lo < hi) then invalid_arg "Serve.Workload.stream: need lo < hi";
+  let models = Array.of_list models in
+  let nm = Array.length models in
+  let lambdas =
+    Array.init grid (fun k ->
+        Key.canon_float
+          (lo +. ((hi -. lo) *. float_of_int k /. float_of_int (grid - 1))))
+  in
+  (* Zipf CDF over ranks 1..grid. *)
+  let weights = Array.init grid (fun k -> 1.0 /. float_of_int (k + 1)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make grid 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun k w ->
+      acc := !acc +. (w /. total);
+      cdf.(k) <- !acc)
+    weights;
+  let rank_of u =
+    let r = ref 0 in
+    while !r < grid - 1 && cdf.(!r) < u do
+      incr r
+    done;
+    !r
+  in
+  (* Per-model permutation of grid indices: model m's rank-r λ is grid
+     slot (a·r + b) mod grid with a coprime to grid — cheap, seedless,
+     and different models concentrate on different rates. *)
+  let coprime_step m =
+    let rec find a = if a >= 2 * grid then 1 else if gcd a grid = 1 then a else find (a + 1)
+    and gcd a b = if b = 0 then a else gcd b (a mod b) in
+    find (m + 2)
+  in
+  let steps = Array.init nm coprime_step in
+  let state = ref (if seed <= 0 then 1 else seed) in
+  let draw () =
+    let s, u = uniform !state in
+    state := s;
+    u
+  in
+  List.init n (fun _ ->
+      let m = int_of_float (draw () *. float_of_int nm) in
+      let m = if m >= nm then nm - 1 else m in
+      let r = rank_of (draw ()) in
+      let slot = ((steps.(m) * r) + m) mod grid in
+      let lambda =
+        if draw () < offgrid_share && slot < grid - 1 then
+          (* land strictly between two adjacent grid points *)
+          Key.canon_float
+            (lambdas.(slot)
+            +. ((0.2 +. (0.6 *. draw ())) *. (lambdas.(slot + 1) -. lambdas.(slot))))
+        else lambdas.(slot)
+      in
+      { model = models.(m); params = []; lambda })
+
+let request_json ?tail q =
+  let base =
+    [ ("model", Wire.Str q.model); ("lambda", Wire.Num q.lambda) ]
+  in
+  let params =
+    match q.params with
+    | [] -> []
+    | ps ->
+        [ ("params", Wire.Obj (List.map (fun (k, v) -> (k, Wire.Num v)) ps)) ]
+  in
+  let tail =
+    match tail with
+    | None -> []
+    | Some k -> [ ("tail", Wire.Num (float_of_int k)) ]
+  in
+  Wire.Obj (base @ params @ tail)

@@ -1,0 +1,37 @@
+(** Deterministic heavy query stream for benchmarking and smoke tests.
+
+    The [bench serve] kernel and the daemon replay client both consume
+    this stream so they measure the same traffic shape: queries pick a
+    model uniformly and a λ from a zipf-ish distribution over a grid
+    (hot rates repeat heavily — the cache's bread and butter), with a
+    configurable share of off-grid λs landing strictly between grid
+    points, the case only sub-grid interpolation can short-circuit.
+    Generation uses a self-contained Lehmer LCG, so a given seed yields
+    the identical stream on every OCaml version and platform. *)
+
+type query = {
+  model : string;  (** Family name, see {!Families.names}. *)
+  params : (string * float) list;  (** Structural overrides (empty = registry defaults). *)
+  lambda : float;  (** Canonical arrival rate. *)
+}
+
+val default_models : string list
+(** Eight registry variants spanning the model zoo (single-tail and
+    multi-class). *)
+
+val stream :
+  ?seed:int ->
+  ?models:string list ->
+  ?grid:int ->
+  ?lo:float ->
+  ?hi:float ->
+  ?offgrid_share:float ->
+  int ->
+  query list
+(** [stream n] is [n] queries. Defaults: [seed 42], [models
+    default_models], a [grid 24]-point λ grid on [[lo 0.5, hi 0.98]],
+    [offgrid_share 0.15]. @raise Invalid_argument on degenerate
+    arguments. *)
+
+val request_json : ?tail:int -> query -> Wire.t
+(** The protocol request for a query (see {!Protocol}). *)

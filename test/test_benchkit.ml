@@ -76,6 +76,35 @@ let test_zero_baseline_slack () =
   Alcotest.check status "slack is not a blank cheque" Benchkit.Fail
     (run ~slack 1.5).Benchkit.status
 
+let test_per_key_tolerance_override () =
+  (* a jittery kernel can carry a wider band than the global tolerance
+     without loosening every other check *)
+  let baseline =
+    [ ("after/serve/p99_us", 1_000.0); ("after/events_per_sec", 1_000.0) ]
+  in
+  let direction _ = Benchkit.Lower_is_better in
+  let run ?override p99 eps =
+    Benchkit.evaluate ~tolerance:10.0 ~direction ?override ~baseline
+      ~current:[ ("serve/p99_us", p99); ("events_per_sec", eps) ]
+      ()
+  in
+  let override key =
+    if key = "serve/p99_us" then Some 50.0 else None
+  in
+  (* without the override both keys get the 10% band *)
+  Alcotest.check status "global band fails the jittery kernel" Benchkit.Fail
+    (check_by_key (run 1_400.0 1_000.0) "serve/p99_us").Benchkit.status;
+  (* the override widens only its key *)
+  Alcotest.check status "override admits the jitter" Benchkit.Pass
+    (check_by_key (run ~override 1_400.0 1_000.0) "serve/p99_us")
+      .Benchkit.status;
+  Alcotest.check status "override has a ceiling too" Benchkit.Fail
+    (check_by_key (run ~override 1_501.0 1_000.0) "serve/p99_us")
+      .Benchkit.status;
+  Alcotest.check status "other keys keep the global band" Benchkit.Fail
+    (check_by_key (run ~override 1_000.0 1_101.0) "events_per_sec")
+      .Benchkit.status
+
 let test_expectations_prefer_after_keys () =
   let entries =
     [
@@ -123,6 +152,8 @@ let () =
           Alcotest.test_case "tolerance bands" `Quick test_tolerance_bands;
           Alcotest.test_case "zero-baseline slack" `Quick
             test_zero_baseline_slack;
+          Alcotest.test_case "per-key tolerance override" `Quick
+            test_per_key_tolerance_override;
           Alcotest.test_case "expectation selection" `Quick
             test_expectations_prefer_after_keys;
           Alcotest.test_case "flat json parser" `Quick test_parse_flat_json;

@@ -157,6 +157,40 @@ let test_domain_safety_whitelisted_file () =
     "let go pool lane =\n\
     \  Parallel.Pool.map_int pool (fun i -> lane.{i} <- 0.0) 4\n"
 
+(* Mutex-striped shared state: declaring a Mutex.t alongside mutable
+   fields licenses the declaration, and shifts the obligation to every
+   use site — field reads and writes must sit under Mutex.protect. *)
+let striped_decl = "type t = { lock : Mutex.t; mutable hits : int }\n"
+
+let test_domain_safety_striped_decl_licensed () =
+  check_rules "Mutex.t field licenses mutable siblings" [] striped_decl;
+  check_rules "without the Mutex.t the declaration is still flagged"
+    [ "domain-safety" ] "type t = { mutable hits : int }\n"
+
+let test_domain_safety_striped_access_under_lock () =
+  check_rules "write under Mutex.protect" []
+    (striped_decl
+   ^ "let bump t = Mutex.protect t.lock (fun () -> t.hits <- t.hits + 1)\n");
+  check_rules "read under Mutex.protect" []
+    (striped_decl ^ "let hits t = Mutex.protect t.lock (fun () -> t.hits)\n")
+
+let test_domain_safety_striped_access_outside_lock () =
+  check_rules "bare write to a striped field" [ "domain-safety" ]
+    (striped_decl ^ "let reset t = t.hits <- 0\n");
+  check_rules "bare read of a striped field" [ "domain-safety" ]
+    (striped_decl ^ "let hits t = t.hits\n");
+  (* read-modify-write outside the lock is two unsynchronised accesses *)
+  check_rules "bare increment flags both sides"
+    [ "domain-safety"; "domain-safety" ]
+    (striped_decl ^ "let bump t = t.hits <- t.hits + 1\n");
+  (* same-named field on a record without a Mutex.t is not striped, so
+     only the declaration diagnostic fires, not the use-site one *)
+  check_rules "unstriped record keeps the declaration diagnostic"
+    [ "domain-safety" ]
+    "type t = { mutable hits : int }\nlet hits t = t.hits\n";
+  check_rules "out of parallel scope" [] ~path:"bin/tool.ml"
+    (striped_decl ^ "let bump t = t.hits <- t.hits + 1\n")
+
 (* ---------- R4: interface hygiene ---------- *)
 
 let test_missing_mli_positive () =
@@ -454,6 +488,12 @@ let () =
           Alcotest.test_case "clean source" `Quick test_domain_safety_negative;
           Alcotest.test_case "file whitelist" `Quick
             test_domain_safety_whitelisted_file;
+          Alcotest.test_case "striped declaration licensed" `Quick
+            test_domain_safety_striped_decl_licensed;
+          Alcotest.test_case "striped access under lock" `Quick
+            test_domain_safety_striped_access_under_lock;
+          Alcotest.test_case "striped access outside lock" `Quick
+            test_domain_safety_striped_access_outside_lock;
         ] );
       ( "missing-mli",
         [

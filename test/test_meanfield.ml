@@ -928,6 +928,94 @@ let test_anderson_agrees_across_registry () =
         (Experiments.Registry.models_at ~lambda))
     [ 0.5; 0.9; 0.99 ]
 
+(* ---------- warm-start continuation ---------- *)
+
+let test_nearest_start_picks_neighbour () =
+  let v d x = Vec.make d x in
+  let candidates = [ (0.5, v 4 0.5); (0.8, v 4 0.8); (0.7, v 6 0.7) ] in
+  (match Continuation.nearest_start ~candidates ~dim:4 0.75 with
+  | `State s -> check_close 1e-12 "nearest dim-4 candidate" 0.8 s.(0)
+  | `Warm -> Alcotest.fail "expected a state");
+  (match Continuation.nearest_start ~candidates ~dim:6 0.99 with
+  | `State s -> check_close 1e-12 "only dim-6 candidate" 0.7 s.(0)
+  | `Warm -> Alcotest.fail "expected a state");
+  (match Continuation.nearest_start ~candidates ~dim:8 0.75 with
+  | `Warm -> ()
+  | `State _ -> Alcotest.fail "no dim-8 candidate");
+  (match
+     Continuation.nearest_start
+       ~candidates:[ (0.6, v 2 1.0); (0.8, v 2 2.0) ]
+       ~dim:2 0.7
+   with
+  | `State s -> check_close 1e-12 "tie keeps earliest" 1.0 s.(0)
+  | `Warm -> Alcotest.fail "expected a state")
+
+let test_continuation_matches_independent_solves () =
+  (* warm-start continuation is an acceleration, not an approximation:
+     every chain point must land on the same fixed point an independent
+     cold solve finds, results must come back in input order, and the
+     chain must be cheaper in total derivative evaluations *)
+  let build lambda = Threshold_ws.model ~lambda ~threshold:3 ~dim:64 () in
+  let lambdas = [ 0.9; 0.5; 0.8; 0.7; 0.95 ] in
+  let chain = Continuation.along_lambda ~build lambdas in
+  Alcotest.(check (list (float 0.0)))
+    "input order preserved" lambdas (List.map fst chain);
+  let cold_evals = ref 0 in
+  List.iter
+    (fun (lambda, fp) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "converged at %g" lambda)
+        true fp.Drive.converged;
+      let cold = Drive.fixed_point (build lambda) in
+      cold_evals := !cold_evals + cold.Drive.evals;
+      (* both solves stop at residual <= 1e-11; Jacobian conditioning
+         near saturation amplifies that into ~1e-6-relative mean-time
+         differences, same scale as the registry agreement test *)
+      check_close 1e-5
+        (Printf.sprintf "matches cold solve at %g" lambda)
+        (Metrics.mean_time (build lambda) cold.Drive.state)
+        (Metrics.mean_time (build lambda) fp.Drive.state))
+    chain;
+  let chain_evals =
+    List.fold_left (fun acc (_, fp) -> acc + fp.Drive.evals) 0 chain
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "chain cheaper than independent solves (%d < %d)"
+       chain_evals !cold_evals)
+    true
+    (chain_evals < !cold_evals)
+
+let test_continuation_dim_mismatch_falls_back () =
+  (* consecutive models of different dimension cannot share a start; the
+     mismatched solve silently falls back to [`Warm] and still converges *)
+  let build lambda =
+    let dim = if lambda < 0.6 then 32 else 64 in
+    Simple_ws.model ~lambda ~dim ()
+  in
+  let chain = Continuation.along_lambda ~build [ 0.5; 0.7 ] in
+  List.iter
+    (fun (lambda, fp) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "converged at %g" lambda)
+        true fp.Drive.converged)
+    chain
+
+let test_sweep_is_the_shared_continuation () =
+  (* Experiments.Sweep forwards to Meanfield.Continuation — the sweep
+     and the prediction service must keep sharing one implementation, so
+     the two entry points must agree bitwise *)
+  let build lambda = Simple_ws.model ~lambda ~dim:48 () in
+  let lambdas = [ 0.6; 0.75; 0.9 ] in
+  let a = Continuation.along_lambda ~build lambdas in
+  let b = Experiments.Sweep.along_lambda ~build lambdas in
+  List.iter2
+    (fun (la, fa) (lb, fb) ->
+      Alcotest.(check bool) "same lambda" true (Float.equal la lb);
+      Alcotest.(check int) "same evals" fa.Drive.evals fb.Drive.evals;
+      Alcotest.(check bool) "bitwise-equal states" true
+        (Float.equal (Vec.dist_inf fa.Drive.state fb.Drive.state) 0.0))
+    a b
+
 let test_model_rejects_bad_lambda () =
   Alcotest.check_raises "lambda >= 1"
     (Invalid_argument "Model.of_single_tail: need 0 <= lambda < 1 for stability")
@@ -1181,6 +1269,17 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_solvers_match_closed_forms;
           Alcotest.test_case "anderson across registry" `Slow
             test_anderson_agrees_across_registry;
+        ] );
+      ( "continuation",
+        [
+          Alcotest.test_case "nearest start" `Quick
+            test_nearest_start_picks_neighbour;
+          Alcotest.test_case "matches independent solves" `Slow
+            test_continuation_matches_independent_solves;
+          Alcotest.test_case "dim mismatch falls back" `Quick
+            test_continuation_dim_mismatch_falls_back;
+          Alcotest.test_case "sweep shares the implementation" `Quick
+            test_sweep_is_the_shared_continuation;
         ] );
       ( "reductions",
         [

@@ -469,6 +469,45 @@ let test_interp_rejects_bad_input () =
         (Interp.linear ~xs:(Vec.of_list [ 0.0; 0.0 ])
            ~ys:(Vec.of_list [ 1.0; 2.0 ])))
 
+let test_interp_pchip_cols_matches_per_component () =
+  (* the one-pass column evaluation is the same Fritsch–Carlson scheme as
+     the scalar interpolant, so component k must agree bitwise with a
+     per-component pchip over the k-th row *)
+  let xs = Vec.of_list [ 0.5; 0.62; 0.7; 0.81; 0.9 ] in
+  let dim = 6 in
+  let cols =
+    Array.init (Vec.dim xs) (fun i ->
+        let l = xs.(i) in
+        (* geometric-ish tails, decreasing in the component index *)
+        Vec.init dim (fun k -> (l ** float_of_int (k + 1)) +. 0.01 *. l))
+  in
+  let queries = [ 0.5; 0.55; 0.62; 0.66; 0.75; 0.9; 0.3; 1.2 ] in
+  List.iter
+    (fun x ->
+      let v = Interp.pchip_cols ~xs ~cols x in
+      Alcotest.(check int) "dimension" dim (Vec.dim v);
+      for k = 0 to dim - 1 do
+        let ys = Vec.init (Vec.dim xs) (fun i -> cols.(i).(k)) in
+        let scalar = Interp.eval (Interp.pchip ~xs ~ys) x in
+        check_float
+          (Printf.sprintf "component %d at x=%g" k x)
+          scalar v.(k)
+      done)
+    queries
+
+let test_interp_pchip_cols_rejects_bad_input () =
+  let xs = Vec.of_list [ 0.0; 1.0; 2.0 ] in
+  let cols = Array.init 3 (fun _ -> Vec.make 4 0.0) in
+  Alcotest.check_raises "column count mismatch"
+    (Invalid_argument "Interp.pchip_cols: column count mismatch")
+    (fun () ->
+      ignore (Interp.pchip_cols ~xs ~cols:(Array.sub cols 0 2) 0.5));
+  Alcotest.check_raises "ragged columns"
+    (Invalid_argument "Interp.pchip_cols: ragged columns")
+    (fun () ->
+      let ragged = [| Vec.make 4 0.0; Vec.make 3 0.0; Vec.make 4 0.0 |] in
+      ignore (Interp.pchip_cols ~xs ~cols:ragged 0.5))
+
 (* ---------- Quadrature ---------- *)
 
 let test_trapezoid_samples () =
@@ -649,6 +688,10 @@ let () =
             test_interp_pchip_monotone;
           Alcotest.test_case "rejects bad input" `Quick
             test_interp_rejects_bad_input;
+          Alcotest.test_case "pchip_cols matches per-component" `Quick
+            test_interp_pchip_cols_matches_per_component;
+          Alcotest.test_case "pchip_cols rejects bad input" `Quick
+            test_interp_pchip_cols_rejects_bad_input;
           QCheck_alcotest.to_alcotest qcheck_pchip_within_data_range;
         ] );
       ( "quadrature",

@@ -330,6 +330,64 @@ let test_p2_rejects_bad_p () =
     (Invalid_argument "P2_quantile.create: p must lie in (0, 1)") (fun () ->
       ignore (P2_quantile.create ~p:0.0))
 
+let test_p2_fewer_than_five () =
+  (* below five observations the estimator must fall back to the exact
+     order statistic of what it has, for every pre-marker count *)
+  let exact xs p =
+    let sorted = Array.of_list xs in
+    Array.sort Float.compare sorted;
+    let pos = p *. float_of_int (Array.length sorted - 1) in
+    sorted.(int_of_float (Float.round pos))
+  in
+  List.iter
+    (fun p ->
+      let q = P2_quantile.create ~p in
+      let fed = ref [] in
+      List.iter
+        (fun x ->
+          P2_quantile.add q x;
+          fed := x :: !fed;
+          check_close 1e-12
+            (Printf.sprintf "p=%g after %d obs" p (List.length !fed))
+            (exact !fed p) (P2_quantile.quantile q))
+        [ 4.0; 1.0; 3.0; 2.0 ])
+    [ 0.1; 0.5; 0.9 ]
+
+let test_p2_duplicates () =
+  (* constant stream: every marker height collapses to the value *)
+  let q = P2_quantile.create ~p:0.9 in
+  for _ = 1 to 1_000 do
+    P2_quantile.add q 7.5
+  done;
+  check_close 1e-12 "constant stream" 7.5 (P2_quantile.quantile q);
+  (* two-valued stream: the median stays inside the support even though
+     the parabolic update divides by marker-position gaps that ties
+     squeeze to their minimum *)
+  let q = P2_quantile.create ~p:0.5 in
+  for i = 1 to 1_000 do
+    P2_quantile.add q (if i mod 2 = 0 then 1.0 else 2.0)
+  done;
+  let est = P2_quantile.quantile q in
+  Alcotest.(check bool) "two-valued stream stays in support" true
+    (est >= 1.0 && est <= 2.0)
+
+let qcheck_p2_vs_exact =
+  (* at a few hundred uniform observations the five-marker estimate
+     tracks the exact sample quantile to a few percent of the range *)
+  QCheck.Test.make ~count:50 ~name:"p2 tracks the exact sample quantile"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 400 1200) (float_range 0.0 100.0))
+        (float_range 0.2 0.8))
+    (fun (xs, p) ->
+      let q = P2_quantile.create ~p in
+      List.iter (P2_quantile.add q) xs;
+      let sorted = Array.of_list xs in
+      Array.sort Float.compare sorted;
+      let pos = p *. float_of_int (Array.length sorted - 1) in
+      let exact = sorted.(int_of_float (Float.round pos)) in
+      Float.abs (P2_quantile.quantile q -. exact) <= 10.0)
+
 let qcheck_p2_within_range =
   QCheck.Test.make ~count:100 ~name:"p2 estimate lies within sample range"
     QCheck.(pair (list_of_size Gen.(int_range 5 200) (float_range 0.0 100.0))
@@ -442,6 +500,11 @@ let () =
           Alcotest.test_case "exponential p99" `Quick test_p2_exponential;
           Alcotest.test_case "small samples" `Quick test_p2_small_samples;
           Alcotest.test_case "rejects bad p" `Quick test_p2_rejects_bad_p;
+          Alcotest.test_case "fewer than five observations" `Quick
+            test_p2_fewer_than_five;
+          Alcotest.test_case "duplicate observations" `Quick
+            test_p2_duplicates;
           QCheck_alcotest.to_alcotest qcheck_p2_within_range;
+          QCheck_alcotest.to_alcotest qcheck_p2_vs_exact;
         ] );
     ]

@@ -1,0 +1,516 @@
+(* Tests for the prediction service: canonical keys, the wire format,
+   family resolution, the sharded cache, and the server's three-tier
+   answer path. The strongest checks are external: every served state is
+   re-certified against the model's own derivative (Drive.residual), so
+   a cache or interpolation bug cannot hide behind the service's own
+   bookkeeping. *)
+
+open Serve
+
+let check_close eps = Alcotest.(check (float eps))
+
+(* ---------- Key ---------- *)
+
+let test_key_canon_coalesces () =
+  (* formatting noise and last-bit jitter collapse to one key *)
+  Alcotest.(check (float 0.0))
+    "0.1 + 0.2 collapses onto 0.3" (Key.canon_float 0.3)
+    (Key.canon_float (0.1 +. 0.2));
+  Alcotest.(check string)
+    "same canonical string" (Key.canon_string 0.3)
+    (Key.canon_string (0.1 +. 0.2));
+  Alcotest.(check (float 0.0))
+    "0.90 is 0.9" (Key.canon_float 0.9) (Key.canon_float 0.90);
+  (* idempotence: canonicalising a canonical float is the identity *)
+  List.iter
+    (fun f ->
+      let c = Key.canon_float f in
+      Alcotest.(check (float 0.0)) "idempotent" c (Key.canon_float c))
+    [ 0.9; 1.0 /. 3.0; 1e-7; 123456.75 ]
+
+let test_key_canon_strings () =
+  Alcotest.(check string) "integers bare" "4" (Key.canon_string 4.0);
+  Alcotest.(check string) "negative integer" "-2" (Key.canon_string (-2.0));
+  Alcotest.(check string) "fraction" "0.9" (Key.canon_string 0.9);
+  Alcotest.check_raises "NaN rejected"
+    (Invalid_argument "Serve.Key: NaN parameter") (fun () ->
+      ignore (Key.canon_float Float.nan))
+
+let test_key_family_format () =
+  Alcotest.(check string)
+    "sorted params, canonical values, depth suffix"
+    "combined(choices=2,steal_count=2,threshold=4)@96"
+    (Key.family ~name:"Combined"
+       ~params:
+         [ ("threshold", 4.0); ("choices", 2.0); ("steal_count", 2.00) ]
+       ~depth:96);
+  Alcotest.(check string)
+    "no params" "mm1()@64"
+    (Key.family ~name:"mm1" ~params:[] ~depth:64)
+
+(* ---------- Wire ---------- *)
+
+let test_wire_round_trip () =
+  let v =
+    Wire.Obj
+      [
+        ("model", Wire.Str "threshold");
+        ("lambda", Wire.Num 0.9);
+        ("params", Wire.Obj [ ("threshold", Wire.Num 4.0) ]);
+        ("tags", Wire.Arr [ Wire.Bool true; Wire.Null; Wire.Num 3.0 ]);
+        ("note", Wire.Str "quote \" and \\ and\nnewline");
+      ]
+  in
+  let text = Wire.to_string v in
+  Alcotest.(check bool) "round trip" true (Wire.of_string text = v);
+  (* canonical float rendering matches Key.canon_string *)
+  Alcotest.(check string) "integer bare" "{\"x\":3}"
+    (Wire.to_string (Wire.Obj [ ("x", Wire.Num 3.0) ]))
+
+let test_wire_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Wire.of_string text with
+      | exception Wire.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted %S" text)
+    [ ""; "{"; "[1,"; "{\"a\" 1}"; "nul"; "1 2"; "\"unterminated" ]
+
+(* ---------- Families ---------- *)
+
+let test_families_resolve () =
+  (match Families.resolve ~name:"threshold" [] with
+  | Ok fam ->
+      Alcotest.(check string) "defaults filled"
+        "threshold(threshold=4)@96" fam.Families.family;
+      Alcotest.(check int) "pinned depth" Families.default_depth
+        fam.Families.depth
+  | Error e -> Alcotest.failf "threshold should resolve: %s" e);
+  (match Families.resolve ~depth:48 ~name:"Multi-Choice" [ ("choices", 3.0) ]
+   with
+  | Ok fam ->
+      Alcotest.(check string) "case-insensitive, override kept"
+        "multi-choice(choices=3,threshold=2)@48" fam.Families.family
+  | Error e -> Alcotest.failf "multi-choice should resolve: %s" e);
+  (match Families.resolve ~name:"no-such-model" [] with
+  | Ok _ -> Alcotest.fail "unknown model resolved"
+  | Error _ -> ());
+  (match Families.resolve ~name:"threshold" [ ("bogus", 1.0) ] with
+  | Ok _ -> Alcotest.fail "unknown parameter accepted"
+  | Error _ -> ());
+  match Families.resolve ~name:"threshold" [ ("threshold", 2.5) ] with
+  | Ok _ -> Alcotest.fail "non-integral integer parameter accepted"
+  | Error _ -> ()
+
+let test_families_build_shares_dim () =
+  (* the pinned depth exists so every lambda of a family shares one
+     state dimension — what warm starts and interpolation both need
+     (multi-class models have dim > depth, but still lambda-invariant) *)
+  List.iter
+    (fun name ->
+      match Families.resolve ~name [] with
+      | Ok fam ->
+          let a = fam.Families.build 0.5 in
+          let b = fam.Families.build 0.97 in
+          Alcotest.(check int)
+            (name ^ " dim is lambda-invariant")
+            a.Meanfield.Model.dim b.Meanfield.Model.dim;
+          Alcotest.(check bool)
+            (name ^ " dim covers the pinned depth")
+            true
+            (a.Meanfield.Model.dim >= fam.Families.depth)
+      | Error e -> Alcotest.failf "%s should resolve: %s" name e)
+    Workload.default_models
+
+(* ---------- Cache ---------- *)
+
+let entry lambda =
+  {
+    Cache.lambda;
+    state = Numerics.Vec.make 4 lambda;
+    residual = 1e-12;
+    evals = 10;
+    mean_tasks = 1.0;
+    mean_time = 1.0;
+  }
+
+let test_cache_hit_miss_chain () =
+  let c = Cache.create ~shards:4 () in
+  (match Cache.find c ~family:"f@4" 0.5 with
+  | Cache.Miss [] -> ()
+  | _ -> Alcotest.fail "empty cache should miss with an empty chain");
+  Cache.insert c ~family:"f@4" (entry 0.7);
+  Cache.insert c ~family:"f@4" (entry 0.5);
+  Cache.insert c ~family:"f@4" (entry 0.9);
+  (match Cache.find c ~family:"f@4" 0.7 with
+  | Cache.Hit e -> check_close 0.0 "exact hit" 0.7 e.Cache.lambda
+  | Cache.Miss _ -> Alcotest.fail "expected a hit at 0.7");
+  (match Cache.find c ~family:"f@4" 0.8 with
+  | Cache.Miss chain ->
+      Alcotest.(check (list (float 0.0)))
+        "miss returns the ascending chain" [ 0.5; 0.7; 0.9 ]
+        (List.map (fun e -> e.Cache.lambda) chain)
+  | Cache.Hit _ -> Alcotest.fail "0.8 was never inserted");
+  (* replacement at equal canonical lambda keeps one entry *)
+  Cache.insert c ~family:"f@4" { (entry 0.7) with Cache.evals = 99 };
+  (match Cache.find c ~family:"f@4" 0.7 with
+  | Cache.Hit e -> Alcotest.(check int) "replaced" 99 e.Cache.evals
+  | Cache.Miss _ -> Alcotest.fail "expected a hit after replacement");
+  let s = Cache.stats c in
+  Alcotest.(check int) "entries" 3 s.Cache.entries;
+  Alcotest.(check int) "families" 1 s.Cache.families;
+  Alcotest.(check int) "hits" 2 s.Cache.hits;
+  Alcotest.(check int) "misses" 2 s.Cache.misses;
+  Alcotest.(check int) "insertions" 4 s.Cache.insertions
+
+let test_cache_rejects_bad_shards () =
+  Alcotest.check_raises "shards < 1"
+    (Invalid_argument "Serve.Cache.create: shards must be >= 1") (fun () ->
+      ignore (Cache.create ~shards:0 ()))
+
+(* ---------- Server: the three-tier answer path ---------- *)
+
+let resolve_exn ?depth name params =
+  match Families.resolve ?depth ~name params with
+  | Ok fam -> fam
+  | Error e -> Alcotest.failf "%s should resolve: %s" name e
+
+let test_server_cold_then_hit () =
+  let t = Server.create () in
+  let fam = resolve_exn "threshold" [] in
+  let a = Server.answer t fam 0.8 in
+  Alcotest.(check string) "first answer is a miss" "cold"
+    (Server.source_name a.Server.source);
+  Alcotest.(check bool) "miss costs evals" true (a.Server.evals > 0);
+  let b = Server.answer t fam 0.80 in
+  Alcotest.(check string) "same canonical lambda hits" "hit"
+    (Server.source_name b.Server.source);
+  Alcotest.(check int) "hit costs nothing" 0 b.Server.evals;
+  Alcotest.(check bool) "hit returns the cached state" true
+    (b.Server.state == a.Server.state);
+  check_close 0.0 "same mean time" a.Server.mean_time b.Server.mean_time;
+  let s = Server.stats t in
+  Alcotest.(check int) "one hit" 1 s.Server.hit;
+  Alcotest.(check int) "one cold solve" 1 s.Server.cold;
+  Alcotest.(check int) "miss evals accounted" a.Server.evals
+    s.Server.miss_evals
+
+(* The acceptance check: every served fixed point, across the whole
+   default model zoo and all three non-hit tiers, re-verifies against
+   the model's own derivative. *)
+let test_server_residuals_across_registry () =
+  let t = Server.create () in
+  let tol = (Server.config t).Server.tol in
+  let guard = (Server.config t).Server.guard_factor in
+  List.iter
+    (fun name ->
+      let fam = resolve_exn name [] in
+      (* ascending sweep primes the cache, then an off-grid query gives
+         interpolation a chance; every tier's answer is re-certified *)
+      let lambdas = [ 0.5; 0.52; 0.54; 0.56; 0.58; 0.6; 0.9; 0.57 ] in
+      List.iter
+        (fun lambda ->
+          let a = Server.answer t fam lambda in
+          let model = fam.Families.build a.Server.lambda in
+          let r = Meanfield.Drive.residual model a.Server.state in
+          let bound =
+            match a.Server.source with
+            | Server.Interpolated -> tol *. guard
+            | _ -> tol
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s at %g (%s): residual %.2e <= %.2e" name
+               lambda
+               (Server.source_name a.Server.source)
+               r bound)
+            true (r <= bound);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s at %g: reported residual matches" name
+               lambda)
+            true
+            (Float.abs (r -. a.Server.residual) <= 1e-13))
+        lambdas)
+    Workload.default_models
+
+let test_server_warm_start_accounting () =
+  let t = Server.create () in
+  let fam = resolve_exn "threshold" [] in
+  let a = Server.answer t fam 0.8 in
+  let b = Server.answer t fam 0.82 in
+  (* 0.82 is outside interp range (no bracket) but has a neighbour *)
+  Alcotest.(check string) "neighbour start wins for threshold" "warm"
+    (Server.source_name b.Server.source);
+  Alcotest.(check bool) "warm solve is cheaper" true
+    (b.Server.evals < a.Server.evals);
+  let s = Server.stats t in
+  Alcotest.(check int) "warm counted" 1 s.Server.warm;
+  Alcotest.(check int) "miss evals are the sum"
+    (a.Server.evals + b.Server.evals)
+    s.Server.miss_evals
+
+let test_server_mm1_keeps_default_start () =
+  (* mm1's initial_warm is its closed-form fixed point: the neighbour
+     start must lose the residual comparison, and the solve must stay
+     near-free instead of relaxing away from the neighbour *)
+  let t = Server.create () in
+  let fam = resolve_exn "mm1" [] in
+  ignore (Server.answer t fam 0.5);
+  let b = Server.answer t fam 0.9 in
+  Alcotest.(check string) "neighbour rejected" "cold"
+    (Server.source_name b.Server.source);
+  Alcotest.(check bool)
+    (Printf.sprintf "default start is near-free (%d evals)" b.Server.evals)
+    true
+    (b.Server.evals < 100)
+
+let test_server_interpolation () =
+  let t = Server.create () in
+  let fam = resolve_exn "threshold" [] in
+  let cfg = Server.config t in
+  (* prime a dense ascending chain, gaps well under interp_gap *)
+  let grid = [ 0.8; 0.81; 0.82; 0.83; 0.84; 0.85 ] in
+  List.iter (fun l -> ignore (Server.answer t fam l)) grid;
+  let a = Server.answer t fam 0.825 in
+  Alcotest.(check string) "sub-grid query interpolates" "interpolated"
+    (Server.source_name a.Server.source);
+  Alcotest.(check int) "one certifying eval" 1 a.Server.evals;
+  Alcotest.(check bool) "residual within the guard" true
+    (a.Server.residual <= cfg.Server.tol *. cfg.Server.guard_factor);
+  (* interpolated entries are inserted: the same query now hits *)
+  let b = Server.answer t fam 0.825 in
+  Alcotest.(check string) "inserted into the cache" "hit"
+    (Server.source_name b.Server.source)
+
+let test_server_interp_guard_falls_through () =
+  (* a sparse, wide chain must not interpolate: the bracket is wider
+     than interp_gap, so the query falls through to a solve *)
+  let t = Server.create () in
+  let fam = resolve_exn "threshold" [] in
+  List.iter
+    (fun l -> ignore (Server.answer t fam l))
+    [ 0.5; 0.6; 0.7; 0.8 ];
+  let a = Server.answer t fam 0.65 in
+  Alcotest.(check bool) "wide bracket does not interpolate" true
+    (match a.Server.source with
+    | Server.Interpolated -> false
+    | _ -> true)
+
+(* ---------- Server: batches ---------- *)
+
+let batch_queries () =
+  let thr = resolve_exn "threshold" [] in
+  let mc = resolve_exn "multi-choice" [] in
+  [
+    (thr, 0.9);
+    (mc, 0.6);
+    (thr, 0.55);
+    (mc, 0.9);
+    (thr, 0.7);
+    (thr, 0.55);
+  ]
+
+let test_server_batch_order () =
+  let t = Server.create () in
+  let queries = batch_queries () in
+  let answers = Server.answer_batch t queries in
+  Alcotest.(check int) "one answer per query" (List.length queries)
+    (List.length answers);
+  List.iter2
+    (fun (fam, lambda) a ->
+      Alcotest.(check string) "family preserved" fam.Families.family
+        a.Server.family.Families.family;
+      check_close 0.0 "lambda preserved" (Key.canon_float lambda)
+        a.Server.lambda)
+    queries answers;
+  (* the duplicate 0.55 query resolves to one solve plus one hit *)
+  let s = Server.stats t in
+  Alcotest.(check int) "five distinct solves"
+    5
+    (s.Server.warm + s.Server.cold + s.Server.interpolated);
+  Alcotest.(check int) "duplicate is a hit" 1 s.Server.hit
+
+let test_server_batch_pool_invariant () =
+  (* chains are pairwise independent and sequential within themselves,
+     so the batch must be bit-identical at any pool size *)
+  let run domains =
+    let pool = Parallel.Pool.create ~domains in
+    let t = Server.create () in
+    Server.answer_batch ~pool t (batch_queries ())
+  in
+  let a = run 1 and b = run 4 in
+  List.iter2
+    (fun x y ->
+      Alcotest.(check string) "same source"
+        (Server.source_name x.Server.source)
+        (Server.source_name y.Server.source);
+      Alcotest.(check int) "same evals" x.Server.evals y.Server.evals;
+      Alcotest.(check bool) "bitwise-equal states" true
+        (Float.equal (Numerics.Vec.dist_inf x.Server.state y.Server.state)
+           0.0))
+    a b
+
+(* ---------- Protocol ---------- *)
+
+let member_exn v key =
+  match Wire.member key v with
+  | Some x -> x
+  | None -> Alcotest.failf "response lacks %S: %s" key (Wire.to_string v)
+
+let ok v =
+  match member_exn v "ok" with
+  | Wire.Bool b -> b
+  | _ -> Alcotest.fail "ok is not a bool"
+
+let test_protocol_single_query () =
+  let t = Server.create () in
+  let resp =
+    Wire.of_string
+      (Protocol.handle_line t
+         "{\"model\": \"threshold\", \"lambda\": 0.90, \"tail\": 3}")
+  in
+  Alcotest.(check bool) "ok" true (ok resp);
+  (match member_exn resp "lambda" with
+  | Wire.Num l -> check_close 0.0 "canonical lambda" 0.9 l
+  | _ -> Alcotest.fail "lambda is not a number");
+  (match member_exn resp "state" with
+  | Wire.Arr tail -> Alcotest.(check int) "tail truncated" 3 (List.length tail)
+  | _ -> Alcotest.fail "state is not an array");
+  match member_exn resp "source" with
+  | Wire.Str s -> Alcotest.(check string) "source" "cold" s
+  | _ -> Alcotest.fail "source is not a string"
+
+let test_protocol_errors_stay_on_the_line () =
+  let t = Server.create () in
+  List.iter
+    (fun line ->
+      let resp = Wire.of_string (Protocol.handle_line t line) in
+      Alcotest.(check bool) (Printf.sprintf "%S fails" line) false (ok resp))
+    [
+      "not json";
+      "{\"lambda\": 0.9}";
+      "{\"model\": \"no-such\", \"lambda\": 0.9}";
+      "{\"model\": \"threshold\", \"lambda\": 1.5}";
+      "{\"model\": \"threshold\", \"lambda\": 0.9, \"params\": {\"bogus\": 1}}";
+    ]
+
+let test_protocol_batch_mixed () =
+  let t = Server.create () in
+  let resp =
+    Wire.of_string
+      (Protocol.handle_line t
+         "[{\"model\": \"threshold\", \"lambda\": 0.8}, {\"model\": \
+          \"no-such\", \"lambda\": 0.8}, {\"model\": \"mm1\", \"lambda\": \
+          0.8}]")
+  in
+  match resp with
+  | Wire.Arr [ a; b; c ] ->
+      Alcotest.(check bool) "good slot ok" true (ok a);
+      Alcotest.(check bool) "bad slot fails alone" false (ok b);
+      Alcotest.(check bool) "later slot unaffected" true (ok c)
+  | _ -> Alcotest.failf "expected a 3-array: %s" (Wire.to_string resp)
+
+let test_protocol_ops () =
+  let t = Server.create () in
+  let ping = Wire.of_string (Protocol.handle_line t "{\"op\": \"ping\"}") in
+  Alcotest.(check bool) "ping ok" true (ok ping);
+  ignore (Server.answer t (resolve_exn "threshold" []) 0.8);
+  let stats = Wire.of_string (Protocol.handle_line t "{\"op\": \"stats\"}") in
+  Alcotest.(check bool) "stats ok" true (ok stats);
+  match member_exn stats "cold" with
+  | Wire.Num n -> check_close 0.0 "one cold solve" 1.0 n
+  | _ -> Alcotest.fail "cold is not a number"
+
+(* ---------- Workload ---------- *)
+
+let test_workload_deterministic () =
+  let a = Workload.stream 500 and b = Workload.stream 500 in
+  Alcotest.(check bool) "same seed, same stream" true (a = b);
+  let c = Workload.stream ~seed:7 500 in
+  Alcotest.(check bool) "different seed, different stream" true (a <> c);
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) "model from the zoo" true
+        (List.mem q.Workload.model Workload.default_models);
+      Alcotest.(check bool) "lambda in range" true
+        (q.Workload.lambda >= 0.5 && q.Workload.lambda <= 0.98))
+    a
+
+let test_workload_offgrid_share () =
+  let grid = 24 and lo = 0.5 and hi = 0.98 in
+  let queries = Workload.stream ~grid ~lo ~hi 2_000 in
+  let on_grid q =
+    let step = (hi -. lo) /. float_of_int (grid - 1) in
+    List.exists
+      (fun i ->
+        Float.equal q.Workload.lambda
+          (Key.canon_float (lo +. (float_of_int i *. step))))
+      (List.init grid Fun.id)
+  in
+  let off = List.length (List.filter (fun q -> not (on_grid q)) queries) in
+  let share = float_of_int off /. 2_000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "off-grid share %.3f near 0.15" share)
+    true
+    (share > 0.10 && share < 0.20)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "key",
+        [
+          Alcotest.test_case "canonical floats coalesce" `Quick
+            test_key_canon_coalesces;
+          Alcotest.test_case "canonical strings" `Quick
+            test_key_canon_strings;
+          Alcotest.test_case "family format" `Quick test_key_family_format;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "round trip" `Quick test_wire_round_trip;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_wire_rejects_garbage;
+        ] );
+      ( "families",
+        [
+          Alcotest.test_case "resolve" `Quick test_families_resolve;
+          Alcotest.test_case "build shares one dim" `Quick
+            test_families_build_shares_dim;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit, miss, chain" `Quick
+            test_cache_hit_miss_chain;
+          Alcotest.test_case "rejects bad shards" `Quick
+            test_cache_rejects_bad_shards;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "cold then hit" `Quick test_server_cold_then_hit;
+          Alcotest.test_case "residuals across the registry" `Slow
+            test_server_residuals_across_registry;
+          Alcotest.test_case "warm-start accounting" `Quick
+            test_server_warm_start_accounting;
+          Alcotest.test_case "mm1 keeps its default start" `Quick
+            test_server_mm1_keeps_default_start;
+          Alcotest.test_case "interpolation" `Quick test_server_interpolation;
+          Alcotest.test_case "interp guard falls through" `Quick
+            test_server_interp_guard_falls_through;
+          Alcotest.test_case "batch order" `Quick test_server_batch_order;
+          Alcotest.test_case "batch pool invariance" `Slow
+            test_server_batch_pool_invariant;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "single query" `Quick test_protocol_single_query;
+          Alcotest.test_case "errors stay on the line" `Quick
+            test_protocol_errors_stay_on_the_line;
+          Alcotest.test_case "mixed batch" `Quick test_protocol_batch_mixed;
+          Alcotest.test_case "ops" `Quick test_protocol_ops;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "deterministic" `Quick
+            test_workload_deterministic;
+          Alcotest.test_case "off-grid share" `Quick
+            test_workload_offgrid_share;
+        ] );
+    ]

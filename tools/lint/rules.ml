@@ -11,7 +11,12 @@
                         shared mutable Bigarray access from lambdas
                         handed to Pool.map / map_array / map_int /
                         Scope.par_map (shard-owned modules are
-                        whitelisted in config.ml).
+                        whitelisted in config.ml). Exception: a record
+                        that declares a [Mutex.t] field is mutex-striped
+                        shared state — its mutable fields are licensed
+                        at the declaration, and instead every access to
+                        them in the file must sit lexically under
+                        [Mutex.protect].
    R4 "missing-mli"   — every .ml under lib/ has a sibling .mli.
 
    Rules are purely syntactic (Parsetree, not Typedtree), so R2 detects
@@ -314,6 +319,65 @@ let check_pool_lambdas ~file push e =
         args
   | _ -> ()
 
+(* Mutex-striped shared state: a record that declares a [Mutex.t] field
+   alongside its mutable fields is the sanctioned shape for state shared
+   across pool domains (the serve cache's shards, the server's
+   counters). The declaration is licensed; the obligation moves to the
+   use sites — every read or write of a striped label in the file must
+   sit lexically under a [Mutex.protect] call. Purely syntactic, like
+   the rest of the walker: labels are matched by name file-wide, so a
+   same-named label of an unstriped record only makes the lint
+   stricter, never quieter. *)
+let is_mutex_type ct =
+  match ct.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, []) -> (
+      match strip_stdlib (flatten txt) with
+      | [ "Mutex"; "t" ] -> true
+      | _ -> false)
+  | _ -> false
+
+let last_component lid =
+  match List.rev (flatten lid) with l :: _ -> Some l | [] -> None
+
+let is_mutex_protect = function
+  | Some [ "Mutex"; "protect" ] -> true
+  | _ -> false
+
+let check_striped_accesses ~file ~striped push structure =
+  let expr self e =
+    match e.pexp_desc with
+    | Pexp_apply (f, _) when is_mutex_protect (ident_path f) ->
+        (* everything under the protect call holds the lock *)
+        ()
+    | Pexp_setfield (_, { txt; _ }, _) -> (
+        (match last_component txt with
+        | Some l when Hashtbl.mem striped l ->
+            push
+              (Diag.of_location ~rule:Config.rule_domain_safety ~file
+                 e.pexp_loc
+                 (Printf.sprintf
+                    "write to mutex-striped field %s outside Mutex.protect; \
+                     hold the stripe's lock for every access"
+                    l))
+        | _ -> ());
+        Ast_iterator.default_iterator.expr self e)
+    | Pexp_field (_, { txt; _ }) -> (
+        (match last_component txt with
+        | Some l when Hashtbl.mem striped l ->
+            push
+              (Diag.of_location ~rule:Config.rule_domain_safety ~file
+                 e.pexp_loc
+                 (Printf.sprintf
+                    "read of mutex-striped field %s outside Mutex.protect; \
+                     unsynchronised reads race with locked writers"
+                    l))
+        | _ -> ());
+        Ast_iterator.default_iterator.expr self e)
+    | _ -> Ast_iterator.default_iterator.expr self e
+  in
+  let iter = { Ast_iterator.default_iterator with expr } in
+  iter.structure iter structure
+
 (* Top-level state in a parallel-linked library. Walks structure items
    (descending into plain nested modules) but never into expressions:
    a [ref] inside a function body is per-call and fine. *)
@@ -336,6 +400,7 @@ let mutable_state_head e =
   | _ -> None
 
 let check_parallel_structure ~file push structure =
+  let striped = Hashtbl.create 8 in
   let rec items sts = List.iter item sts
   and item st =
     match st.pstr_desc with
@@ -358,18 +423,27 @@ let check_parallel_structure ~file push structure =
           (fun decl ->
             match decl.ptype_kind with
             | Ptype_record labels ->
+                let is_striped =
+                  List.exists (fun l -> is_mutex_type l.pld_type) labels
+                in
                 List.iter
                   (fun label ->
                     match label.pld_mutable with
                     | Asttypes.Mutable ->
-                        push
-                          (Diag.of_location ~rule:Config.rule_domain_safety
-                             ~file label.pld_loc
-                             (Printf.sprintf
-                                "mutable field %s in a library linked into \
-                                 the domain pool; keep values task-private \
-                                 or whitelist the file with a justification"
-                                label.pld_name.txt))
+                        if is_striped then
+                          (* licensed at the declaration; the lock
+                             obligation is checked at every use site *)
+                          Hashtbl.replace striped label.pld_name.txt ()
+                        else
+                          push
+                            (Diag.of_location ~rule:Config.rule_domain_safety
+                               ~file label.pld_loc
+                               (Printf.sprintf
+                                  "mutable field %s in a library linked into \
+                                   the domain pool; keep values task-private, \
+                                   stripe them under a Mutex.t field, or \
+                                   whitelist the file with a justification"
+                                  label.pld_name.txt))
                     | Asttypes.Immutable -> ())
                   labels
             | _ -> ())
@@ -384,7 +458,9 @@ let check_parallel_structure ~file push structure =
     | Pmod_constraint (me, _) -> module_expr me
     | _ -> ()
   in
-  items structure
+  items structure;
+  if Hashtbl.length striped > 0 then
+    check_striped_accesses ~file ~striped push structure
 
 (* ---------- structure entry point (R1-R3) ---------- *)
 
