@@ -1,8 +1,9 @@
 (* loadsteal-serve — the fixed-point prediction service.
 
    Subcommands:
-     daemon   listen on a unix socket; one pool domain per connection,
-              newline-delimited JSON in, newline-delimited JSON out
+     daemon   listen on a unix socket; one thread per connection,
+              newline-delimited JSON in, newline-delimited JSON out,
+              the domain pool reserved for batch solve fan-out
      replay   connect to a daemon, replay a deterministic Workload
               stream, measure latency quantiles (P²) and enforce
               hit-rate / residual floors — the CI smoke client *)
@@ -16,11 +17,27 @@ let default_socket = "/tmp/loadsteal-serve.sock"
 let handle_conn server pool conn =
   let ic = Unix.in_channel_of_descr conn in
   let oc = Unix.out_channel_of_descr conn in
+  (* Every request line gets a response, no matter what: an exception
+     Protocol does not map itself becomes ok:false instead of silently
+     hanging the client. *)
+  let respond line =
+    match Serve.Protocol.handle_line ~pool server line with
+    | response -> response
+    | exception e ->
+        Serve.Wire.to_string
+          (Serve.Wire.Obj
+             [
+               ("ok", Serve.Wire.Bool false);
+               ( "error",
+                 Serve.Wire.Str ("internal error: " ^ Printexc.to_string e)
+               );
+             ])
+  in
   let rec loop () =
     match input_line ic with
     | line ->
         if not (String.equal (String.trim line) "") then begin
-          output_string oc (Serve.Protocol.handle_line ~pool server line);
+          output_string oc (respond line);
           output_char oc '\n';
           flush oc
         end;
@@ -28,8 +45,9 @@ let handle_conn server pool conn =
     | exception End_of_file -> ()
     | exception Sys_error _ -> ()
   in
-  (try loop () with Unix.Unix_error _ -> ());
-  try Unix.close conn with Unix.Unix_error _ -> ()
+  Fun.protect
+    ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+    (fun () -> try loop () with Unix.Unix_error _ -> ())
 
 let run_daemon socket accept_n domains shards depth tol interp_gap
     guard_factor =
@@ -53,9 +71,14 @@ let run_daemon socket accept_n domains shards depth tol interp_gap
   Printf.printf
     "loadsteal-serve: listening on %s (%d domains, %d shards, depth %d)\n%!"
     socket domains shards depth;
-  (* Connection handlers run on pool domains; the accept loop only hands
-     sockets over. [active]/[drained] let the --accept N mode exit after
-     the last handler finishes rather than after the last accept. *)
+  (* Each connection gets a dedicated (I/O-bound) thread; the pool only
+     ever holds bounded solve tasks from batch fan-out. Handlers must
+     NOT run as pool tasks: Pool.map's help loop pops any queued task,
+     so a handler serving a batch could pick up another connection's
+     handler and block in input_line until that client disconnects —
+     and concurrent connections would be capped at domains-1. [active]/
+     [drained] let the --accept N mode exit after the last handler
+     finishes rather than after the last accept. *)
   let active = ref 0 in
   let lock = Mutex.create () in
   let drained = Condition.create () in
@@ -65,13 +88,16 @@ let run_daemon socket accept_n domains shards depth tol interp_gap
       match Unix.accept fd with
       | conn, _ ->
           Mutex.protect lock (fun () -> incr active);
-          Parallel.Pool.async pool (fun () ->
-              Fun.protect
-                ~finally:(fun () ->
-                  Mutex.protect lock (fun () ->
-                      decr active;
-                      Condition.broadcast drained))
-                (fun () -> handle_conn server pool conn));
+          ignore
+            (Thread.create
+               (fun () ->
+                 Fun.protect
+                   ~finally:(fun () ->
+                     Mutex.protect lock (fun () ->
+                         decr active;
+                         Condition.broadcast drained))
+                   (fun () -> handle_conn server pool conn))
+               ());
           accept_loop (accepted + 1)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop accepted
     end
@@ -113,7 +139,7 @@ let daemon_cmd =
     Arg.(
       value & opt int 4
       & info [ "domains" ] ~docv:"N"
-          ~doc:"Pool domains (connection handlers + batch fan-out).")
+          ~doc:"Pool domains for batch solve fan-out.")
   in
   let dc = Serve.Server.default_config in
   let shards =
@@ -172,19 +198,21 @@ let member_float key v =
 let run_replay socket n seed batch min_hit_rate max_residual json_path =
   if batch < 1 then invalid_arg "replay: --batch must be >= 1";
   let queries = Serve.Workload.stream ~seed n in
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (* Retry while the daemon comes up, so CI can background it without a
-     racy sleep. *)
+     racy sleep. POSIX leaves a socket in an unspecified state after a
+     failed connect, so every attempt gets a fresh fd. *)
   let rec connect tries =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     match Unix.connect fd (Unix.ADDR_UNIX socket) with
-    | () -> ()
+    | () -> fd
     | exception
         Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
       when tries > 0 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
         Unix.sleepf 0.1;
         connect (tries - 1)
   in
-  connect 100;
+  let fd = connect 100 in
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let send_recv v =

@@ -7,7 +7,10 @@
    collapsing formatting noise and accumulated last-bit jitter. *)
 
 let canon_string f =
-  if Float.is_nan f then invalid_arg "Serve.Key: NaN parameter";
+  if not (Float.is_finite f) then
+    invalid_arg "Serve.Key: non-finite parameter";
+  let f = f +. 0.0 in
+  (* +. 0.0 collapses -0.0 onto 0.0 so the two spellings share a key *)
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.12g" f
 

@@ -10,13 +10,14 @@
 
 val canon_float : float -> float
 (** The canonical representative of [f]'s 12-significant-digit
-    equivalence class: [float_of_string (canon_string f)]. Idempotent.
-    @raise Invalid_argument on NaN. *)
+    equivalence class: [float_of_string (canon_string f)]. Idempotent;
+    [-0.0] canonicalises to [0.0].
+    @raise Invalid_argument on NaN and infinities. *)
 
 val canon_string : float -> string
 (** Canonical rendering: integers bare (["4"]), everything else
     [%.12g]. Equal canonical strings ⇔ equal canonical floats.
-    @raise Invalid_argument on NaN. *)
+    @raise Invalid_argument on NaN and infinities. *)
 
 val family : name:string -> params:(string * float) list -> depth:int -> string
 (** The family half of a cache key: lowercased model name, the

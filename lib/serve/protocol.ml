@@ -57,6 +57,9 @@ let parse_query ~depth v =
                   in
                   match Families.resolve ~depth ~name params with
                   | Error e -> Error e
+                  (* e.g. a non-finite float parameter rejected by key
+                     canonicalisation inside resolve *)
+                  | exception Invalid_argument msg -> Error msg
                   | Ok fam -> (
                       (* Validate λ/parameters against the model's own
                          domain checks now, so one bad slot errors on

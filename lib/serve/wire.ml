@@ -116,7 +116,13 @@ let parse_number cur =
   | Some f -> Num f
   | None -> fail cur (Printf.sprintf "bad number %S" span)
 
-let rec parse_value cur =
+(* Protocol values are a couple of levels deep at most; a hostile
+   "[[[[…" line must raise Parse_error (mapped to an ok:false response)
+   rather than blow the stack of whatever domain is parsing. *)
+let max_depth = 256
+
+let rec parse_value depth cur =
+  if depth > max_depth then fail cur "nesting too deep";
   skip_ws cur;
   match peek cur with
   | None -> fail cur "unexpected end of input"
@@ -133,7 +139,7 @@ let rec parse_value cur =
           let key = parse_string cur in
           skip_ws cur;
           expect cur ':';
-          let v = parse_value cur in
+          let v = parse_value (depth + 1) cur in
           skip_ws cur;
           match peek cur with
           | Some ',' ->
@@ -155,7 +161,7 @@ let rec parse_value cur =
       end
       else begin
         let rec elements acc =
-          let v = parse_value cur in
+          let v = parse_value (depth + 1) cur in
           skip_ws cur;
           match peek cur with
           | Some ',' ->
@@ -176,7 +182,7 @@ let rec parse_value cur =
 
 let of_string text =
   let cur = { text; pos = 0 } in
-  let v = parse_value cur in
+  let v = parse_value 0 cur in
   skip_ws cur;
   if cur.pos <> String.length text then fail cur "trailing input";
   v

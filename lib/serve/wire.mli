@@ -21,7 +21,9 @@ exception Parse_error of string
 
 val of_string : string -> t
 (** Parse one complete JSON value; trailing non-whitespace input is an
-    error. @raise Parse_error on malformed input. *)
+    error, as is container nesting beyond 256 levels (so hostile
+    ["[[[[…"] input cannot overflow the parser's stack).
+    @raise Parse_error on malformed input. *)
 
 val to_string : t -> string
 (** Print compactly (no added whitespace). NaN renders as [null];

@@ -72,7 +72,14 @@ let stream ?(seed = 42) ?(models = default_models) ?(grid = 24)
     find (m + 2)
   in
   let steps = Array.init nm coprime_step in
-  let state = ref (if seed <= 0 then 1 else seed) in
+  (* Lehmer state must live in [1, 2^31-2]: 0 (any multiple of the
+     2^31-1 modulus) is a fixed point of the generator and would yield a
+     constant all-zero stream. Fold every seed into that range, keeping
+     seeds already inside it unchanged so recorded streams stay put. *)
+  let state =
+    let m = 2147483646 in
+    ref ((((seed - 1) mod m) + m) mod m + 1)
+  in
   let draw () =
     let s, u = uniform !state in
     state := s;

@@ -32,9 +32,17 @@ let test_key_canon_strings () =
   Alcotest.(check string) "integers bare" "4" (Key.canon_string 4.0);
   Alcotest.(check string) "negative integer" "-2" (Key.canon_string (-2.0));
   Alcotest.(check string) "fraction" "0.9" (Key.canon_string 0.9);
-  Alcotest.check_raises "NaN rejected"
-    (Invalid_argument "Serve.Key: NaN parameter") (fun () ->
-      ignore (Key.canon_float Float.nan))
+  Alcotest.(check string) "-0.0 collapses onto 0.0" "0"
+    (Key.canon_string (-0.0));
+  Alcotest.(check (float 0.0))
+    "-0.0 and 0.0 share a canonical float" (Key.canon_float 0.0)
+    (Key.canon_float (-0.0));
+  List.iter
+    (fun f ->
+      Alcotest.check_raises "non-finite rejected"
+        (Invalid_argument "Serve.Key: non-finite parameter") (fun () ->
+          ignore (Key.canon_float f)))
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
 
 let test_key_family_format () =
   Alcotest.(check string)
@@ -73,7 +81,17 @@ let test_wire_rejects_garbage () =
       match Wire.of_string text with
       | exception Wire.Parse_error _ -> ()
       | _ -> Alcotest.failf "accepted %S" text)
-    [ ""; "{"; "[1,"; "{\"a\" 1}"; "nul"; "1 2"; "\"unterminated" ]
+    [
+      "";
+      "{";
+      "[1,";
+      "{\"a\" 1}";
+      "nul";
+      "1 2";
+      "\"unterminated";
+      (* hostile nesting must be a Parse_error, not a stack overflow *)
+      String.concat "" (List.init 100_000 (fun _ -> "["));
+    ]
 
 (* ---------- Families ---------- *)
 
@@ -390,6 +408,13 @@ let test_protocol_errors_stay_on_the_line () =
       "{\"model\": \"no-such\", \"lambda\": 0.9}";
       "{\"model\": \"threshold\", \"lambda\": 1.5}";
       "{\"model\": \"threshold\", \"lambda\": 0.9, \"params\": {\"bogus\": 1}}";
+      (* 1e999 reads as infinity: rejected wherever it lands — λ by the
+         model's stability check, a float param by key canonicalisation,
+         an int param by the integer check *)
+      "{\"model\": \"threshold\", \"lambda\": 1e999}";
+      "{\"model\": \"simple\", \"lambda\": 0.9, \"params\": {\"rate\": 1e999}}";
+      "{\"model\": \"threshold\", \"lambda\": 0.9, \"params\": {\"threshold\": \
+       1e999}}";
     ]
 
 let test_protocol_batch_mixed () =
@@ -426,6 +451,19 @@ let test_workload_deterministic () =
   Alcotest.(check bool) "same seed, same stream" true (a = b);
   let c = Workload.stream ~seed:7 500 in
   Alcotest.(check bool) "different seed, different stream" true (a <> c);
+  (* seeds congruent to 0 mod 2^31-1 must not freeze the Lehmer LCG *)
+  List.iter
+    (fun seed ->
+      let qs = Workload.stream ~seed 500 in
+      let lambdas =
+        List.sort_uniq Float.compare
+          (List.map (fun q -> q.Workload.lambda) qs)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d varies" seed)
+        true
+        (List.length lambdas > 1))
+    [ 2147483647; 0; -2147483647 ];
   List.iter
     (fun q ->
       Alcotest.(check bool) "model from the zoo" true
