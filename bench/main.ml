@@ -15,6 +15,10 @@
      main.exe meanfield            fixed-point solver cost: seed RK4 path vs
                                    adaptive+Anderson with lambda-continuation
      main.exe meanfield --json F   also write evals/wall-time metrics to F
+     main.exe meanfield-batch      lockstep multi-lambda solves vs K scalar
+                                   solves: stepper-sweep overhead ratio
+     main.exe meanfield-batch --json F
+                                   also write the meanfield_batch/* metrics
      main.exe hotpath              events/sec + minor-words/event kernels
      main.exe hotpath --json F     also write the two metrics to F as JSON
      main.exe scaling              events/sec vs n, heap vs calendar queue
@@ -34,7 +38,8 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [kernels] [speedup] [hotpath] [meanfield] [scaling]\n\
+    "usage: main.exe [kernels] [speedup] [hotpath] [meanfield] \
+     [meanfield-batch] [scaling]\n\
     \       [sharding] [serve] [compare]\n\
     \       [experiment ...]\n\
     \       [--quick|--paper] [--seed N] [--domains N] [--json FILE]\n\
@@ -59,6 +64,7 @@ type options = {
   speedup : bool;
   hotpath : bool;
   meanfield : bool;
+  meanfield_batch : bool;
   scaling : bool;
   sharding : bool;
   serve : bool;
@@ -83,6 +89,7 @@ let default_options =
     speedup = false;
     hotpath = false;
     meanfield = false;
+    meanfield_batch = false;
     scaling = false;
     sharding = false;
     serve = false;
@@ -188,6 +195,7 @@ let parse_options args =
     | "speedup" :: rest -> go { opts with speedup = true } rest
     | "hotpath" :: rest -> go { opts with hotpath = true } rest
     | "meanfield" :: rest -> go { opts with meanfield = true } rest
+    | "meanfield-batch" :: rest -> go { opts with meanfield_batch = true } rest
     | "scaling" :: rest -> go { opts with scaling = true } rest
     | "sharding" :: rest -> go { opts with sharding = true } rest
     | "serve" :: rest -> go { opts with serve = true } rest
@@ -550,6 +558,133 @@ let run_meanfield ~json () =
       Printf.printf "wrote %s\n" file)
     json
 
+(* ---------- batched mean-field kernels ---------- *)
+
+(* Lockstep batched solves vs K independent scalar solves on the same
+   λ grid. The cost unit that actually changes is the stepper
+   invocation: a scalar sweep pays one derivative call per column per
+   attempted step, while the batched stepper serves every then-active
+   column with a single SoA sweep ([Drive.batch_stats.rounds]).
+   overhead_ratio = scalar evals / batched rounds is the headline —
+   per-column freezing keeps it near K even though the lockstep grid
+   follows the stiffest column. Per-column results are residual-
+   certified against the scalar tolerance, so the ratio never trades
+   accuracy for speed. *)
+let meanfield_batch_case ~name ~tol ~build ~build_batch lambdas =
+  let grid = Array.of_list lambdas in
+  let k = Array.length grid in
+  let t0 = Unix.gettimeofday () in
+  let scalar_evals =
+    Array.fold_left
+      (fun acc lambda ->
+        let fp = Meanfield.Drive.fixed_point ~tol (build lambda) in
+        if not fp.Meanfield.Drive.converged then
+          failwith (name ^ ": scalar solve did not converge");
+        acc + fp.Meanfield.Drive.evals)
+      0 grid
+  in
+  let t1 = Unix.gettimeofday () in
+  let fps, stats = Meanfield.Drive.fixed_point_batch ~tol (build_batch grid) in
+  let t2 = Unix.gettimeofday () in
+  Array.iter
+    (fun fp ->
+      if not fp.Meanfield.Drive.converged then
+        failwith (name ^ ": batched solve did not converge");
+      if fp.Meanfield.Drive.residual > tol then
+        failwith (name ^ ": batched residual above tolerance"))
+    fps;
+  let batch_evals =
+    Array.fold_left (fun acc fp -> acc + fp.Meanfield.Drive.evals) 0 fps
+  in
+  let rounds = stats.Meanfield.Drive.rounds in
+  let ratio = float_of_int scalar_evals /. float_of_int (max 1 rounds) in
+  Printf.printf
+    "  %-18s K=%-3d scalar %8d evals %6.2f s   batch %6d rounds (%8d \
+     col-evals) %6.2f s   %5.1fx%s\n\
+     %!"
+    name k scalar_evals (t1 -. t0) rounds batch_evals (t2 -. t1) ratio
+    (if stats.Meanfield.Drive.hand_batched then "" else "  [bridge]");
+  ( name,
+    [
+      (Printf.sprintf "meanfield_batch/%s/scalar_evals" name,
+       float_of_int scalar_evals);
+      (Printf.sprintf "meanfield_batch/%s/rounds" name, float_of_int rounds);
+      (Printf.sprintf "meanfield_batch/%s/col_evals" name,
+       float_of_int batch_evals);
+      (Printf.sprintf "meanfield_batch/%s/overhead_ratio" name, ratio);
+    ],
+    (scalar_evals, rounds) )
+
+let meanfield_batch_measure () =
+  let tol = 1e-9 in
+  let lambdas = Experiments.Paper_values.table1_lambdas in
+  let c10 =
+    meanfield_batch_case ~name:"table2/erlang-c10" ~tol
+      ~build:(fun lambda ->
+        Meanfield.Erlang_ws.model ~lambda ~stages:10 ~task_depth:60 ())
+      ~build_batch:(fun grid ->
+        Meanfield.Erlang_ws.batch ~lambdas:grid ~stages:10 ~task_depth:60 ())
+      lambdas
+  in
+  let c20 =
+    meanfield_batch_case ~name:"table2/erlang-c20" ~tol
+      ~build:(fun lambda ->
+        Meanfield.Erlang_ws.model ~lambda ~stages:20 ~task_depth:60 ())
+      ~build_batch:(fun grid ->
+        Meanfield.Erlang_ws.batch ~lambdas:grid ~stages:20 ~task_depth:60 ())
+      lambdas
+  in
+  let simple =
+    meanfield_batch_case ~name:"table1/simple" ~tol
+      ~build:(fun lambda ->
+        Meanfield.Simple_ws.model ~lambda
+          ~dim:(Experiments.Sweep.pinned_dim lambdas)
+          ())
+      ~build_batch:(fun grid ->
+        Meanfield.Simple_ws.batch ~lambdas:grid
+          ~dim:(Experiments.Sweep.pinned_dim lambdas)
+          ())
+      lambdas
+  in
+  let rows = [ c10; c20; simple ] in
+  let t2_scalar, t2_rounds =
+    List.fold_left
+      (fun (s, r) (name, _, (scalar, rounds)) ->
+        if String.length name >= 6 && String.sub name 0 6 = "table2" then
+          (s + scalar, r + rounds)
+        else (s, r))
+      (0, 0) rows
+  in
+  let t2_ratio = float_of_int t2_scalar /. float_of_int (max 1 t2_rounds) in
+  Printf.printf
+    "  table2 grid total: %d scalar evals vs %d batched rounds, %.1fx fewer \
+     stepper sweeps\n"
+    t2_scalar t2_rounds t2_ratio;
+  List.concat_map (fun (_, metrics, _) -> metrics) rows
+  @ [ ("meanfield_batch/table2_overhead_ratio", t2_ratio) ]
+
+let run_meanfield_batch ~json () =
+  print_endline
+    "batched meanfield kernels (lockstep multi-λ solves vs K independent \
+     scalar solves;\n\
+    \ overhead_ratio = scalar deriv evals / batched SoA sweeps, \
+     residual-certified):";
+  let metrics = meanfield_batch_measure () in
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      output_string oc "{";
+      List.iteri
+        (fun i (k, v) ->
+          Printf.fprintf oc "%s\n  \"%s\": %.6g"
+            (if i = 0 then "" else ",")
+            k v)
+        metrics;
+      output_string oc "\n}\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" file)
+    json
+
 (* ---------- scaling kernels ---------- *)
 
 (* Dispatch throughput as a function of system size, heap vs calendar
@@ -802,6 +937,29 @@ let serve_measure () =
   let server = Serve.Server.create ~config () in
   let p50 = Prob.P2_quantile.create ~p:0.5 in
   let p99 = Prob.P2_quantile.create ~p:0.99 in
+  (* per-tier latency quantiles: each answer's [source] names the tier
+     that actually served it, so the four pairs decompose the overall
+     p50/p99 into cache-read, interpolation and solver populations *)
+  let tier_q _ =
+    (Prob.P2_quantile.create ~p:0.5, Prob.P2_quantile.create ~p:0.99)
+  in
+  let tiers =
+    [
+      (Serve.Server.Hit, "hit", tier_q ());
+      (Serve.Server.Interpolated, "interpolated", tier_q ());
+      (Serve.Server.Warm, "warm", tier_q ());
+      (Serve.Server.Cold, "cold", tier_q ());
+    ]
+  in
+  let tier_add src us =
+    List.iter
+      (fun (s, _, (q50, q99)) ->
+        if s = src then begin
+          Prob.P2_quantile.add q50 us;
+          Prob.P2_quantile.add q99 us
+        end)
+      tiers
+  in
   let hits = ref 0 and hit_ns = ref 0.0 in
   let warms = ref 0 and warm_evals = ref 0 in
   let warm_cold_evals = ref 0 in
@@ -814,6 +972,7 @@ let serve_measure () =
       let dt = Int64.to_float (Int64.sub (Monotonic_clock.now ()) q0) in
       Prob.P2_quantile.add p50 (dt /. 1e3);
       Prob.P2_quantile.add p99 (dt /. 1e3);
+      tier_add a.Serve.Server.source (dt /. 1e3);
       match a.Serve.Server.source with
       | Serve.Server.Hit ->
           incr hits;
@@ -846,6 +1005,77 @@ let serve_measure () =
   let mean_cold_ns = cold_ns /. float_of_int (max 1 n_cold) in
   let mean_hit_ns = !hit_ns /. float_of_int (max 1 !hits) in
   let speedup = mean_cold_ns /. Float.max mean_hit_ns 1.0 in
+  (* phase 2: burst-mode stream through a fresh server via the batched
+     request path. A burst is one family asked at consecutive grid
+     rates — in a batch request its misses become one lockstep solve,
+     so the per-query latency under miss trains is the number the
+     coalescing machinery is accountable for. Chunked like [replay
+     --batch 8]; latencies are amortised per query (request time /
+     chunk size) so they compare against the phase-1 quantiles. *)
+  let burst_len = 8 in
+  let burst_queries =
+    List.map
+      (fun q ->
+        match
+          Serve.Families.resolve ~depth:config.Serve.Server.depth
+            ~name:q.Serve.Workload.model q.Serve.Workload.params
+        with
+        | Ok fam -> (fam, Serve.Key.canon_float q.Serve.Workload.lambda)
+        | Error e -> failwith ("serve kernel: " ^ e))
+      (Serve.Workload.stream ~seed:42 ~burst_share:0.3 ~burst_len
+         serve_queries)
+  in
+  (* scalar reference first: the same burst stream, one query at a
+     time, so the batched path's quantiles have a matched baseline *)
+  let scalar_server = Serve.Server.create ~config () in
+  let sp50 = Prob.P2_quantile.create ~p:0.5 in
+  let sp99 = Prob.P2_quantile.create ~p:0.99 in
+  List.iter
+    (fun (fam, lambda) ->
+      let q0 = Monotonic_clock.now () in
+      ignore (Serve.Server.answer scalar_server fam lambda);
+      let us = Int64.to_float (Int64.sub (Monotonic_clock.now ()) q0) /. 1e3 in
+      Prob.P2_quantile.add sp50 us;
+      Prob.P2_quantile.add sp99 us)
+    burst_queries;
+  let burst_server = Serve.Server.create ~config () in
+  let bp50 = Prob.P2_quantile.create ~p:0.5 in
+  let bp99 = Prob.P2_quantile.create ~p:0.99 in
+  let rec chunks = function
+    | [] -> []
+    | qs ->
+        let rec take k = function
+          | rest when k = 0 -> ([], rest)
+          | [] -> ([], [])
+          | q :: rest ->
+              let head, tail = take (k - 1) rest in
+              (q :: head, tail)
+        in
+        let head, rest = take burst_len qs in
+        head :: chunks rest
+  in
+  let tb = Monotonic_clock.now () in
+  List.iter
+    (fun chunk ->
+      let q0 = Monotonic_clock.now () in
+      let answers = Serve.Server.answer_batch burst_server chunk in
+      ignore answers;
+      let per_query =
+        Int64.to_float (Int64.sub (Monotonic_clock.now ()) q0)
+        /. 1e3
+        /. float_of_int (List.length chunk)
+      in
+      List.iter
+        (fun _ ->
+          Prob.P2_quantile.add bp50 per_query;
+          Prob.P2_quantile.add bp99 per_query)
+        chunk)
+    (chunks burst_queries);
+  let burst_wall_ns = Int64.to_float (Int64.sub (Monotonic_clock.now ()) tb) in
+  let burst_stats = Serve.Server.stats burst_server in
+  let burst_qps =
+    float_of_int (List.length burst_queries) /. (burst_wall_ns /. 1e9)
+  in
   Printf.printf
     "  cold baseline: %d distinct keys, %.1f evals/solve, %.1f ms/solve\n"
     n_cold cold_per (mean_cold_ns /. 1e6);
@@ -861,6 +1091,38 @@ let serve_measure () =
     "  warm misses: %.1f evals/miss (%.1fx fewer than the same keys cold)   \
      hit vs cold: %.0fx faster\n"
     warm_per evals_ratio speedup;
+  let tier_metrics =
+    List.concat_map
+      (fun (_, label, (q50, q99)) ->
+        let v50 = Prob.P2_quantile.quantile q50 in
+        let v99 = Prob.P2_quantile.quantile q99 in
+        Printf.printf "  tier %-13s p50 %10.1f us   p99 %10.1f us\n" label v50
+          v99;
+        [
+          (Printf.sprintf "serve/%s_p50_us" label, v50);
+          (Printf.sprintf "serve/%s_p99_us" label, v99);
+        ])
+      tiers
+  in
+  let burst_p99 = Prob.P2_quantile.quantile bp99 in
+  let burst_scalar_p99 = Prob.P2_quantile.quantile sp99 in
+  Printf.printf
+    "  burst stream (share 0.3, len %d), scalar path:    %8.1f us p50   \
+     %8.1f us p99\n"
+    burst_len
+    (Prob.P2_quantile.quantile sp50)
+    burst_scalar_p99;
+  Printf.printf
+    "  burst stream, batched path (per-query amortised): %8.1f us p50   \
+     %8.1f us p99   %9.0f queries/sec\n"
+    (Prob.P2_quantile.quantile bp50)
+    burst_p99 burst_qps;
+  Printf.printf
+    "  burst batching: %d lockstep solves covering %d columns, p99 %.2fx \
+     lower than scalar\n"
+    burst_stats.Serve.Server.batched_solves
+    burst_stats.Serve.Server.batched_columns
+    (burst_scalar_p99 /. Float.max burst_p99 1.0);
   [
     ("serve/queries_per_sec", qps);
     ("serve/p50_us", Prob.P2_quantile.quantile p50);
@@ -871,6 +1133,19 @@ let serve_measure () =
     ("serve/warm_vs_cold_evals_ratio", evals_ratio);
     ("serve/hit_vs_cold_speedup", speedup);
   ]
+  @ tier_metrics
+  @ [
+      ("serve/burst_queries_per_sec", burst_qps);
+      ("serve/burst_p50_us", Prob.P2_quantile.quantile bp50);
+      ("serve/burst_p99_us", burst_p99);
+      ("serve/burst_scalar_p99_us", burst_scalar_p99);
+      ( "serve/burst_p99_speedup",
+        burst_scalar_p99 /. Float.max burst_p99 1.0 );
+      ( "serve/burst_batched_solves",
+        float_of_int burst_stats.Serve.Server.batched_solves );
+      ( "serve/burst_batched_columns",
+        float_of_int burst_stats.Serve.Server.batched_columns );
+    ]
 
 let run_serve ~json () =
   print_endline
@@ -965,6 +1240,14 @@ let run_compare ~baseline ~tolerance ~overrides ~warn_only ~json () =
   then begin
     print_endline "  re-measuring serve kernel:";
     current := serve_measure () @ !current
+  end;
+  if
+    List.exists
+      (fun (key, _) -> contains_sub key "meanfield_batch/")
+      expectations
+  then begin
+    print_endline "  re-measuring batched meanfield kernel:";
+    current := meanfield_batch_measure () @ !current
   end;
   List.iter
     (fun (key, _) ->
@@ -1118,7 +1401,8 @@ let () =
       match opts.names with
       | []
         when opts.kernels || opts.speedup || opts.hotpath || opts.meanfield
-             || opts.scaling || opts.sharding || opts.serve || opts.compare ->
+             || opts.meanfield_batch || opts.scaling || opts.sharding
+             || opts.serve || opts.compare ->
           []
       | [] -> Experiments.Registry.all
       | names ->
@@ -1148,6 +1432,7 @@ let () =
     if opts.kernels then run_kernels ~json:opts.json ();
     if opts.hotpath then run_hotpath ~json:opts.json ();
     if opts.meanfield then run_meanfield ~json:opts.json ();
+    if opts.meanfield_batch then run_meanfield_batch ~json:opts.json ();
     if opts.scaling then run_scaling ~sizes:opts.sizes ~json:opts.json ();
     if opts.sharding then
       run_sharding ~quick:opts.quick ~sizes:opts.sizes ~json:opts.json ();

@@ -14,14 +14,14 @@ let default_socket = "/tmp/loadsteal-serve.sock"
 
 (* ---------- daemon ---------- *)
 
-let handle_conn server pool conn =
+let handle_conn server pool scheduler conn =
   let ic = Unix.in_channel_of_descr conn in
   let oc = Unix.out_channel_of_descr conn in
   (* Every request line gets a response, no matter what: an exception
      Protocol does not map itself becomes ok:false instead of silently
      hanging the client. *)
   let respond line =
-    match Serve.Protocol.handle_line ~pool server line with
+    match Serve.Protocol.handle_line ~pool ?scheduler server line with
     | response -> response
     | exception e ->
         Serve.Wire.to_string
@@ -50,7 +50,7 @@ let handle_conn server pool conn =
     (fun () -> try loop () with Unix.Unix_error _ -> ())
 
 let run_daemon socket accept_n domains shards depth tol interp_gap
-    guard_factor =
+    guard_factor window_ms =
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
   let config =
     {
@@ -63,6 +63,15 @@ let run_daemon socket accept_n domains shards depth tol interp_gap
     }
   in
   let server = Serve.Server.create ~config () in
+  (* Miss scheduler: single-query misses from concurrent connections
+     coalesce into one lockstep solve per family, waiting up to the
+     window for companions. Off (no scheduler at all) when the window
+     is zero, so the single-connection replay path is untouched. *)
+  let scheduler =
+    if window_ms > 0.0 then
+      Some (Serve.Scheduler.create ~window:(window_ms /. 1e3) server)
+    else None
+  in
   let pool = Parallel.Pool.create ~domains in
   if Sys.file_exists socket then Sys.remove socket;
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -96,7 +105,7 @@ let run_daemon socket accept_n domains shards depth tol interp_gap
                      Mutex.protect lock (fun () ->
                          decr active;
                          Condition.broadcast drained))
-                   (fun () -> handle_conn server pool conn))
+                   (fun () -> handle_conn server pool scheduler conn))
                ());
           accept_loop (accepted + 1)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop accepted
@@ -174,10 +183,19 @@ let daemon_cmd =
       & info [ "guard-factor" ] ~docv:"G"
           ~doc:"Interpolation residual guard: accept iff residual ≤ tol·G.")
   in
+  let window =
+    Arg.(
+      value & opt float 0.0
+      & info [ "window" ] ~docv:"MS"
+          ~doc:
+            "Miss-coalescing window in milliseconds: single-query misses \
+             from concurrent connections wait up to $(docv) and solve as \
+             one lockstep batch per family (0 = off).")
+  in
   Cmd.v (Cmd.info "daemon" ~doc)
     Term.(
       const run_daemon $ socket $ accept_n $ domains $ shards $ depth $ tol
-      $ interp_gap $ guard)
+      $ interp_gap $ guard $ window)
 
 (* ---------- replay ---------- *)
 
@@ -195,9 +213,20 @@ let member_float key v =
   | Some (Some f) -> Some f
   | _ -> None
 
-let run_replay socket n seed batch min_hit_rate max_residual json_path =
+let run_replay socket n seed batch connections burst min_hit_rate max_residual
+    json_path =
   if batch < 1 then invalid_arg "replay: --batch must be >= 1";
-  let queries = Serve.Workload.stream ~seed n in
+  if connections < 1 then invalid_arg "replay: --connections must be >= 1";
+  let queries = Serve.Workload.stream ~seed ~burst_share:burst n in
+  (* Round-robin deal across connections: a burst's consecutive
+     same-family queries land on different lanes at roughly the same
+     instant — exactly the concurrent miss train the daemon's
+     coalescing window is built to batch. *)
+  let lanes = Array.make connections [] in
+  List.iteri
+    (fun i q -> lanes.(i mod connections) <- q :: lanes.(i mod connections))
+    queries;
+  let lanes = Array.map List.rev lanes in
   (* Retry while the daemon comes up, so CI can background it without a
      racy sleep. POSIX leaves a socket in an unspecified state after a
      failed connect, so every attempt gets a fresh fd. *)
@@ -212,15 +241,15 @@ let run_replay socket n seed batch min_hit_rate max_residual json_path =
         Unix.sleepf 0.1;
         connect (tries - 1)
   in
-  let fd = connect 100 in
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let send_recv v =
+  let send_recv (ic, oc) v =
     output_string oc (Serve.Wire.to_string v);
     output_char oc '\n';
     flush oc;
     Serve.Wire.of_string (input_line ic)
   in
+  (* Latency estimators and counters are shared across lanes; all
+     updates sit under [lock]. *)
+  let lock = Mutex.create () in
   let p50 = Prob.P2_quantile.create ~p:0.5 in
   let p99 = Prob.P2_quantile.create ~p:0.99 in
   let errors = ref 0 in
@@ -236,45 +265,88 @@ let run_replay socket n seed batch min_hit_rate max_residual json_path =
         | None -> incr errors)
     | _ -> incr errors
   in
-  let t0 = Monotonic_clock.now () in
-  let rec drive = function
-    | [] -> ()
-    | qs ->
-        let head, rest = split_at batch qs in
-        let request =
-          match head with
-          | [ q ] when batch = 1 -> Serve.Workload.request_json q
-          | _ -> Serve.Wire.Arr (List.map Serve.Workload.request_json head)
-        in
-        let t_send = Monotonic_clock.now () in
-        let response = send_recv request in
-        let dt_us =
-          Int64.to_float (Int64.sub (Monotonic_clock.now ()) t_send) /. 1e3
-        in
-        Prob.P2_quantile.add p50 dt_us;
-        Prob.P2_quantile.add p99 dt_us;
-        (match response with
-        | Serve.Wire.Arr rs -> List.iter check_response rs
-        | r -> check_response r);
-        drive rest
+  let drive_lane chan qs =
+    let rec drive = function
+      | [] -> ()
+      | qs ->
+          let head, rest = split_at batch qs in
+          let request =
+            match head with
+            | [ q ] when batch = 1 -> Serve.Workload.request_json q
+            | _ -> Serve.Wire.Arr (List.map Serve.Workload.request_json head)
+          in
+          let t_send = Monotonic_clock.now () in
+          let response = send_recv chan request in
+          let dt_us =
+            Int64.to_float (Int64.sub (Monotonic_clock.now ()) t_send) /. 1e3
+          in
+          Mutex.protect lock (fun () ->
+              Prob.P2_quantile.add p50 dt_us;
+              Prob.P2_quantile.add p99 dt_us;
+              match response with
+              | Serve.Wire.Arr rs -> List.iter check_response rs
+              | r -> check_response r);
+          drive rest
+    in
+    drive qs
   in
-  drive queries;
+  let t0 = Monotonic_clock.now () in
+  (* Lane 0 runs on this thread and keeps its connection open for the
+     final stats request; the other lanes get their own threads and
+     connections. *)
+  let fd0 = connect 100 in
+  let chan0 = (Unix.in_channel_of_descr fd0, Unix.out_channel_of_descr fd0) in
+  let others =
+    Array.to_list
+      (Array.init
+         (connections - 1)
+         (fun i ->
+           Thread.create
+             (fun qs ->
+               let fd = connect 100 in
+               Fun.protect
+                 ~finally:(fun () ->
+                   try Unix.close fd with Unix.Unix_error _ -> ())
+                 (fun () ->
+                   drive_lane
+                     (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+                     qs))
+             lanes.(i + 1)))
+  in
+  drive_lane chan0 lanes.(0);
+  List.iter Thread.join others;
   let wall =
     Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9
   in
   let stats =
-    send_recv (Serve.Wire.Obj [ ("op", Serve.Wire.Str "stats") ])
+    send_recv chan0 (Serve.Wire.Obj [ ("op", Serve.Wire.Str "stats") ])
   in
-  Unix.close fd;
+  Unix.close fd0;
   let hit_rate = Option.value ~default:0.0 (member_float "hit_rate" stats) in
   let evals_per_miss =
     Option.value ~default:0.0 (member_float "evals_per_miss" stats)
   in
+  (* Forward the daemon-side batching counters so CI can assert the
+     coalesced path actually ran without a second stats connection
+     (the daemon may have exhausted --accept by then). *)
+  let forwarded =
+    List.filter_map
+      (fun k ->
+        Option.map
+          (fun v -> (k, Serve.Wire.Num v))
+          (member_float k stats))
+      [
+        "batched_solves"; "batched_columns"; "sched_misses"; "sched_groups";
+        "sched_coalesced"; "sched_shared";
+      ]
+  in
   let report =
     Serve.Wire.Obj
-      [
+      ([
         ("queries", Serve.Wire.Num (float_of_int n));
         ("batch", Serve.Wire.Num (float_of_int batch));
+        ("connections", Serve.Wire.Num (float_of_int connections));
+        ("burst", Serve.Wire.Num burst);
         ("wall_seconds", Serve.Wire.Num wall);
         ( "queries_per_sec",
           Serve.Wire.Num (if wall > 0.0 then float_of_int n /. wall else 0.0)
@@ -287,6 +359,7 @@ let run_replay socket n seed batch min_hit_rate max_residual json_path =
         ("residual_violations", Serve.Wire.Num (float_of_int !violations));
         ("errors", Serve.Wire.Num (float_of_int !errors));
       ]
+      @ forwarded)
   in
   let text = Serve.Wire.to_string report in
   print_endline text;
@@ -337,6 +410,22 @@ let replay_cmd =
           ~doc:"Queries per request (1 = single-query objects; >1 = array \
                 batches). Latency quantiles are per request either way.")
   in
+  let connections =
+    Arg.(
+      value & opt int 1
+      & info [ "connections" ] ~docv:"C"
+          ~doc:"Concurrent client connections; queries are dealt \
+                round-robin across them. With the daemon's $(b,--window) \
+                this exercises cross-connection miss coalescing.")
+  in
+  let burst =
+    Arg.(
+      value & opt float 0.0
+      & info [ "burst" ] ~docv:"SHARE"
+          ~doc:"Probability of following a query with a same-model λ-scan \
+                burst (see Workload.stream). 0 keeps the historical \
+                stream byte-identical.")
+  in
   let min_hit_rate =
     Arg.(
       value & opt float 0.0
@@ -359,8 +448,8 @@ let replay_cmd =
   in
   Cmd.v (Cmd.info "replay" ~doc)
     Term.(
-      const run_replay $ socket $ n $ seed $ batch $ min_hit_rate
-      $ max_residual $ json)
+      const run_replay $ socket $ n $ seed $ batch $ connections $ burst
+      $ min_hit_rate $ max_residual $ json)
 
 let main_cmd =
   let doc = "Fixed-point prediction service for load-stealing models." in

@@ -41,6 +41,7 @@ let initial model = function
    point for algebraic acceleration (Anderson, Aitken) to be trustworthy:
    the dynamics are in the linear contraction regime. *)
 let basin_residual = 1e-4
+let default_basin = basin_residual
 
 (* Relaxation tolerances: the adaptive path only has to *transport* the
    state into the basin of the fixed point (which convergence is checked
@@ -48,6 +49,9 @@ let basin_residual = 1e-4
    steps without risking convergence to a displaced point. *)
 let relax_rtol = 1e-7
 let relax_atol = 1e-12
+
+(* Chunk length between residual checks during relaxation. *)
+let check_every_default = 25.0
 
 let fixed_point ?dt ?(tol = 1e-11) ?(max_time = 2e5) ?(accelerate = true)
     ?(solver = `Anderson) ?(start = `Warm) ?(basin = basin_residual) model =
@@ -101,7 +105,7 @@ let fixed_point ?dt ?(tol = 1e-11) ?(max_time = 2e5) ?(accelerate = true)
       (Ode.adaptive ~pair:Ode.Rk45 ~rtol:!cur_rtol ~atol ~dt0:dt ~ws sys ~y
          ~t0:0.0 ~t1:span)
   in
-  let check_every = 25.0 in
+  let check_every = check_every_default in
   (* The approach to the fixed point is asymptotically x(t) = x* + C·e^(-t/τ):
      three snapshots Δ apart determine x* by a dominant-mode extrapolation.
      Only accept it if it actually reduces the residual — near-degenerate
@@ -260,6 +264,283 @@ let fixed_point ?dt ?(tol = 1e-11) ?(max_time = 2e5) ?(accelerate = true)
       (* With acceleration ablated away the hybrid reduces to its
          relaxation phase. *)
       relax_loop `Rk45 rk45_chunk
+
+type batch_stats = { rounds : int; hand_batched : bool }
+
+(* Batched hybrid solver: the lockstep analogue of {!fixed_point} with
+   [solver = `Anderson]. All K columns relax through the batched RK45
+   transport (each with its own PI controller) until their residual
+   enters their basin, then iterate column-wise Anderson mixing in
+   lockstep; a column converges, escapes, or stalls on its own and drops
+   out of the active set without holding the others back. Columns the
+   lockstep path cannot finish (mixing escape/stall, integrator failure)
+   are handed to the scalar {!fixed_point} from their best iterate, so
+   the batch entry is never worse than scalar — just cheaper when the
+   lockstep path wins, which is the common case on a λ grid.
+
+   Every column's convergence is certified against its own scalar
+   derivative at the end, so a batched result means exactly what a
+   scalar result means. The per-column [evals] are scalar-equivalent
+   (what a scalar solve of that column would have paid for the same
+   sweeps); [rounds] in the returned stats counts batched derivative
+   sweeps — the actual cost unit of the batch. *)
+let fixed_point_batch ?(tol = 1e-11) ?(max_time = 2e5) ?starts ?basins models
+    =
+  let kk = Array.length models in
+  if kk = 0 then invalid_arg "Drive.fixed_point_batch: empty batch";
+  let n = models.(0).Model.dim in
+  Array.iter
+    (fun m ->
+      if m.Model.dim <> n then
+        invalid_arg "Drive.fixed_point_batch: batch members must share one dim")
+    models;
+  (match starts with
+  | Some s when Array.length s <> kk ->
+      invalid_arg "Drive.fixed_point_batch: starts length mismatch"
+  | _ -> ());
+  (match basins with
+  | Some b when Array.length b <> kk ->
+      invalid_arg "Drive.fixed_point_batch: basins length mismatch"
+  | _ -> ());
+  let dc, hand = Model.batch_deriv models in
+  let rounds = ref 0 in
+  let evals = Array.make kk 0 in
+  let counting ~ys ~dys ~cols =
+    incr rounds;
+    for j = 0 to cols.Active.n - 1 do
+      let k = cols.Active.idx.(j) in
+      evals.(k) <- evals.(k) + 1
+    done;
+    dc ~ys ~dys ~cols
+  in
+  let sys = { Ode.bdim = n; bcols = kk; bderiv = counting } in
+  let ws = Ode.batch_workspace sys in
+  let ys = Mat.create ~rows:n ~cols:kk in
+  for k = 0 to kk - 1 do
+    let start = match starts with Some s -> s.(k) | None -> `Warm in
+    Mat.set_col ys k (initial models.(k) start)
+  done;
+  let dys = Mat.create ~rows:n ~cols:kk in
+  let res = Array.make kk infinity in
+  let elapsed = Array.make kk 0.0 in
+  let iterations = Array.make kk 0 in
+  let meth = Array.make kk `Rk45 in
+  let basin_of k =
+    match basins with Some b -> b.(k) | None -> basin_residual
+  in
+  let dt0s = Array.init kk (fun k -> models.(k).Model.suggested_dt) in
+  (* Column status: Relaxing → Basin → Converged, with Fallback for
+     anything the lockstep path gives up on and TimedOut mirroring the
+     scalar not-converged exit. *)
+  let status = Array.make kk `Relaxing in
+  let act = Active.create kk in
+  let residual_sweep cols =
+    counting ~ys ~dys ~cols;
+    for j = 0 to cols.Active.n - 1 do
+      let k = cols.Active.idx.(j) in
+      res.(k) <- Mat.col_norm_inf dys k;
+      iterations.(k) <- iterations.(k) + 1
+    done
+  in
+  let prune () =
+    for j = act.Active.n - 1 downto 0 do
+      let k = act.Active.idx.(j) in
+      if res.(k) <= tol then begin
+        status.(k) <- `Converged;
+        Active.drop act j
+      end
+      else if res.(k) <= basin_of k then begin
+        status.(k) <- `Basin;
+        Active.drop act j
+      end
+    done
+  in
+  (* Phase A: lockstep adaptive transport into each column's basin. *)
+  residual_sweep act;
+  prune ();
+  let t = ref 0.0 in
+  while act.Active.n > 0 && !t < max_time do
+    let span = Float.min check_every_default (max_time -. !t) in
+    ignore
+      (Ode.adaptive_cols ~pair:Ode.Rk45 ~rtol:relax_rtol ~atol:relax_atol
+         ~dt0s ~ws sys ~ys ~cols:act ~t0:0.0 ~t1:span);
+    t := !t +. span;
+    for j = act.Active.n - 1 downto 0 do
+      let k = act.Active.idx.(j) in
+      elapsed.(k) <- elapsed.(k) +. span;
+      if ws.Ode.bfailed.(k) then begin
+        status.(k) <- `Fallback;
+        Active.drop act j
+      end
+    done;
+    if act.Active.n > 0 then begin
+      residual_sweep act;
+      prune ()
+    end
+  done;
+  for j = act.Active.n - 1 downto 0 do
+    let k = act.Active.idx.(j) in
+    status.(k) <- `TimedOut;
+    Active.drop act j
+  done;
+  (* Best iterates seen, per column — fallback restart points. *)
+  let best = Mat.create ~rows:n ~cols:kk in
+  let best_r = Array.make kk infinity in
+  for k = 0 to kk - 1 do
+    Mat.blit_col ~src:ys ~scol:k ~dst:best ~dcol:k;
+    best_r.(k) <- res.(k)
+  done;
+  (* Phase B: lockstep Anderson mixing on g(s) = s + h·f(s) for the
+     columns that reached their basin. *)
+  let bcols = Active.create kk in
+  for j = bcols.Active.n - 1 downto 0 do
+    let k = bcols.Active.idx.(j) in
+    if status.(k) <> `Basin then Active.drop bcols j
+  done;
+  if bcols.Active.n > 0 then begin
+    let anderson = Accel.anderson_cols ~depth:5 ~beta:1.0 ~dim:n ~cols:kk () in
+    let hs =
+      Array.init kk (fun k ->
+          let h = 4.0 *. dt0s.(k) in
+          if h > 1.0 then 1.0 else h)
+    in
+    let xs = Mat.create ~rows:n ~cols:kk in
+    let gxs = Mat.create ~rows:n ~cols:kk in
+    let nexts = Mat.create ~rows:n ~cols:kk in
+    let stall = Array.make kk 0 in
+    let vbuf = Vec.create n in
+    for j = 0 to bcols.Active.n - 1 do
+      let k = bcols.Active.idx.(j) in
+      Mat.blit_col ~src:ys ~scol:k ~dst:xs ~dcol:k
+    done;
+    let max_iters = 600 and stall_limit = 60 in
+    let iter = ref 0 in
+    while bcols.Active.n > 0 && !iter < max_iters do
+      incr iter;
+      counting ~ys:xs ~dys ~cols:bcols;
+      for j = bcols.Active.n - 1 downto 0 do
+        let k = bcols.Active.idx.(j) in
+        let rx = Mat.col_norm_inf dys k in
+        iterations.(k) <- iterations.(k) + 1;
+        if rx <= tol then begin
+          Mat.blit_col ~src:xs ~scol:k ~dst:ys ~dcol:k;
+          res.(k) <- rx;
+          status.(k) <- `Converged;
+          meth.(k) <- `Anderson;
+          Active.drop bcols j
+        end
+        else if (not (Float.is_finite rx)) || rx > 1.0 then begin
+          (* Mixing escaped the basin entirely (transient excursions
+             above the basin threshold are normal; O(1) is escape). *)
+          status.(k) <- `Fallback;
+          Active.drop bcols j
+        end
+        else begin
+          if rx < best_r.(k) *. 0.9 then begin
+            Mat.blit_col ~src:xs ~scol:k ~dst:best ~dcol:k;
+            best_r.(k) <- rx;
+            stall.(k) <- 0
+          end
+          else stall.(k) <- stall.(k) + 1;
+          if stall.(k) >= stall_limit then begin
+            status.(k) <- `Fallback;
+            Active.drop bcols j
+          end
+        end
+      done;
+      if bcols.Active.n > 0 then begin
+        for i = 0 to n - 1 do
+          for j = 0 to bcols.Active.n - 1 do
+            let k = bcols.Active.idx.(j) in
+            Mat.set gxs i k (Mat.get xs i k +. (hs.(k) *. Mat.get dys i k))
+          done
+        done;
+        Accel.anderson_cols_step anderson ~xs ~gxs ~dst:nexts ~cols:bcols;
+        for j = 0 to bcols.Active.n - 1 do
+          let k = bcols.Active.idx.(j) in
+          for i = 0 to n - 1 do
+            let v = Mat.get nexts i k in
+            let v = if v < 0.0 then 0.0 else v in
+            vbuf.(i) <- v
+          done;
+          if models.(k).Model.validate vbuf then
+            Mat.set_col xs k vbuf
+          else begin
+            (* Rejected iterate: drop this column's history and restart
+               from a dt-sized forward-Euler step. *)
+            Accel.anderson_cols_reset anderson k;
+            for i = 0 to n - 1 do
+              Mat.set xs i k (Mat.get xs i k +. (dt0s.(k) *. Mat.get dys i k))
+            done;
+            stall.(k) <- stall.(k) + 1
+          end
+        done
+      end
+    done;
+    for j = bcols.Active.n - 1 downto 0 do
+      let k = bcols.Active.idx.(j) in
+      status.(k) <- `Fallback;
+      Active.drop bcols j
+    done
+  end;
+  (* Scalar escape hatch + certification: every batch-converged column
+     is re-certified against its own scalar derivative; anything else
+     (fallback, drift past tolerance) finishes through the scalar
+     solver from its best iterate. *)
+  let out = Array.make kk None in
+  for k = 0 to kk - 1 do
+    match status.(k) with
+    | `Converged ->
+        let s = Mat.col_copy ys k in
+        let r = residual models.(k) s in
+        evals.(k) <- evals.(k) + 1;
+        if r <= tol then res.(k) <- r
+        else begin
+          let fp =
+            fixed_point ~tol ~max_time ~start:(`State s)
+              ~basin:(basin_of k) models.(k)
+          in
+          out.(k) <-
+            Some
+              {
+                fp with
+                evals = fp.evals + evals.(k);
+                iterations = fp.iterations + iterations.(k);
+                elapsed = fp.elapsed +. elapsed.(k);
+              }
+        end
+    | `Fallback ->
+        let s = Mat.col_copy best k in
+        let fp =
+          fixed_point ~tol ~max_time ~start:(`State s) ~basin:(basin_of k)
+            models.(k)
+        in
+        out.(k) <-
+          Some
+            {
+              fp with
+              evals = fp.evals + evals.(k);
+              iterations = fp.iterations + iterations.(k);
+              elapsed = fp.elapsed +. elapsed.(k);
+            }
+    | _ -> ()
+  done;
+  let fps =
+    Array.init kk (fun k ->
+        match out.(k) with
+        | Some fp -> fp
+        | None ->
+            {
+              state = Mat.col_copy ys k;
+              residual = res.(k);
+              converged = status.(k) = `Converged;
+              elapsed = elapsed.(k);
+              evals = evals.(k);
+              iterations = iterations.(k);
+              method_used = meth.(k);
+            })
+  in
+  (fps, { rounds = !rounds; hand_batched = hand })
 
 let trajectory ?(dt = 0.05) ?(adaptive = false) ?(rtol = 1e-10)
     ?(start = `Empty) ~horizon ~sample_every model =

@@ -68,6 +68,46 @@ val fixed_point :
 val residual : Model.t -> Numerics.Vec.t -> float
 (** [‖ds/dt‖∞] at the given state. *)
 
+val default_basin : float
+(** The default Anderson hand-over residual (1e-4) used by
+    {!fixed_point} and {!fixed_point_batch} when no [basin] is given —
+    exposed so callers building per-column [basins] arrays can give
+    cold columns the solver's own conservative default. *)
+
+type batch_stats = {
+  rounds : int;
+      (** Batched derivative sweeps the whole solve performed — the true
+          cost unit: one sweep serves every then-active column, where a
+          scalar solve pays one evaluation per column for the same work. *)
+  hand_batched : bool;
+      (** Whether the family's hand-batched [deriv_cols] kernel ran
+          (versus the scalar-bridge adapter). *)
+}
+
+val fixed_point_batch :
+  ?tol:float ->
+  ?max_time:float ->
+  ?starts:[ `Empty | `Warm | `State of Numerics.Vec.t ] array ->
+  ?basins:float array ->
+  Model.t array ->
+  fixed_point array * batch_stats
+(** Solve K same-family fixed points in lockstep over one SoA state
+    matrix: batched RK45 transport into each column's basin (per-column
+    PI step control; a finished or failed column is frozen and dropped
+    from the active set), then column-wise Anderson mixing. Result slot
+    [k] corresponds to [models.(k)], with the same meaning as a
+    {!fixed_point} from the scalar solver — convergence is re-certified
+    against the column's own scalar derivative, and columns the lockstep
+    path cannot finish are completed by the scalar solver from their
+    best iterate. [starts]/[basins] give per-column start states and
+    Anderson hand-over residuals (defaults [`Warm] and the scalar basin).
+    All models must share one [dim]; the batch runs single-threaded.
+
+    Per-column [evals] count scalar-equivalent evaluations (each batched
+    sweep a column participated in, plus any scalar-fallback work); the
+    returned {!batch_stats} carry the batched sweep count, which is what
+    wall-clock tracks. Defaults: [tol = 1e-11], [max_time = 2e5]. *)
+
 val trajectory :
   ?dt:float ->
   ?adaptive:bool ->

@@ -25,6 +25,16 @@ val model : lambda:float -> stages:int -> ?task_depth:int -> unit -> Model.t
     (state dimension [task_depth·c + 2]); default adapts to [λ].
     @raise Invalid_argument if [stages < 1]. *)
 
+val batch :
+  lambdas:float array -> stages:int -> ?task_depth:int -> unit -> Model.t array
+(** A batch of Erlang-stage models (one λ per column) sharing one stage
+    count, one task-depth truncation (default: the deepest default depth
+    over the grid) and one hand-batched [deriv_cols] kernel whose
+    per-column output is bit-identical to the scalar [deriv]. Members
+    share mutable kernel scratch and the kernel resolves each member's
+    λ by column position, so solve the batch whole and in its built
+    order — one batch at a time, never a re-batched subset. *)
+
 val mean_tasks : stages:int -> Numerics.Vec.t -> float
 (** Task-count accounting for a stage-state vector (with geometric closure
     past the truncation). *)

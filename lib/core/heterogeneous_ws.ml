@@ -108,6 +108,7 @@ let model ~lambda ~fraction_fast ~mu_fast ~mu_slow ~threshold ?depth () =
       (fun ~y ~dy ->
         deriv ~lambda ~mu_f:mu_fast ~mu_s:mu_slow ~t:threshold ~depth ~y
           ~dy);
+    deriv_cols = None;
     initial_empty;
     initial_warm;
     mean_tasks =

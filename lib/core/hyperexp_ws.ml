@@ -114,6 +114,7 @@ let model ~lambda ~p1 ~mu1 ~mu2 ?(threshold = 2) ?depth () =
     deriv =
       (fun ~y ~dy ->
         deriv ~lambda ~p1 ~mu1 ~mu2 ~t:threshold ~depth ~y ~dy);
+    deriv_cols = None;
     initial_empty;
     initial_warm;
     mean_tasks = (fun y -> seg_mean y 0 depth +. seg_mean y depth depth);

@@ -16,6 +16,20 @@ type t = {
       (** Writes [ds/dt] at state [y]. Autonomous: the paper's systems do
           not depend on absolute time. Must hold conserved coordinates
           (class masses) at derivative 0. *)
+  deriv_cols :
+    (ys:Numerics.Mat.t ->
+    dys:Numerics.Mat.t ->
+    cols:Numerics.Active.t ->
+    unit)
+    option;
+      (** Hand-batched column-wise derivative for lockstep multi-λ
+          solves: column [k] of [ys] is the state of batch member [k],
+          and the closure writes ds/dt for every column listed in [cols]
+          (other columns of [dys] must be left alone). A family's batch
+          builder attaches {e one shared closure} (closed over the λ
+          array) to every member, so {!batch_deriv} can recognise a
+          uniform batch by physical equality. [None] for models built
+          singly; the scalar [deriv] is always authoritative. *)
   initial_empty : unit -> Numerics.Vec.t;
       (** The all-idle state — the paper's simulations start here. *)
   initial_warm : unit -> Numerics.Vec.t;
@@ -49,6 +63,10 @@ val of_single_tail :
   lambda:float ->
   dim:int ->
   deriv:(y:Numerics.Vec.t -> dy:Numerics.Vec.t -> unit) ->
+  ?deriv_cols:(ys:Numerics.Mat.t ->
+              dys:Numerics.Mat.t ->
+              cols:Numerics.Active.t ->
+              unit) ->
   ?predicted_tail_ratio:(Numerics.Vec.t -> float) ->
   ?warm_ratio:float ->
   ?suggested_dt:float ->
@@ -58,3 +76,16 @@ val of_single_tail :
     fills in initial states (warm start is a geometric tail of ratio
     [warm_ratio], default [lambda]), mean-task accounting and
     validation. *)
+
+val batch_deriv :
+  t array ->
+  (ys:Numerics.Mat.t -> dys:Numerics.Mat.t -> cols:Numerics.Active.t -> unit)
+  * bool
+(** [batch_deriv models] selects the column-wise derivative for a batch:
+    the shared hand-batched kernel when every member carries the {e same}
+    [deriv_cols] closure (flag [true]), otherwise a scalar-bridge
+    adapter that stages each active column through preallocated scratch
+    and calls that column's own [deriv] (flag [false]). All members must
+    share one [dim].
+
+    @raise Invalid_argument on an empty batch or mixed dimensions. *)

@@ -18,6 +18,14 @@
 
 val model : lambda:float -> ?dim:int -> unit -> Model.t
 
+val batch : lambdas:float array -> ?dim:int -> unit -> Model.t array
+(** A batch of simple-WS models (one λ per column) sharing one
+    truncation depth and one hand-batched [deriv_cols] kernel whose
+    per-column output is bit-identical to the scalar [deriv]. Members
+    share mutable kernel scratch and the kernel resolves each member's
+    λ by column position, so solve the batch whole and in its built
+    order — one batch at a time, never a re-batched subset. *)
+
 val pi2_exact : lambda:float -> float
 (** Closed-form [π₂]. *)
 

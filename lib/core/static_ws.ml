@@ -52,6 +52,7 @@ let model ~arrival ?(threshold = 2) ?(stealing = true) ?(initial_load = 0)
     dim;
     throughput = (if load_independent then arrivals.(0) else 0.0);
     deriv = (fun ~y ~dy -> deriv ~arrivals ~stealing ~t:threshold ~y ~dy);
+    deriv_cols = None;
     initial_empty;
     initial_warm = initial_empty;
     mean_tasks = (fun s -> Tail.mean_tasks ~from:1 s);

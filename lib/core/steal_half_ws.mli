@@ -22,3 +22,13 @@
 val model :
   lambda:float -> ?threshold:int -> ?dim:int -> unit -> Model.t
 (** [threshold] defaults to 2. @raise Invalid_argument if below 2. *)
+
+val batch :
+  lambdas:float array -> ?threshold:int -> ?dim:int -> unit -> Model.t array
+(** A batch of steal-half models (one λ per column) sharing one
+    threshold, one truncation depth and one hand-batched [deriv_cols]
+    kernel whose per-column output is bit-identical to the scalar
+    [deriv]. Members share mutable kernel scratch and the kernel
+    resolves each member's λ by column position, so solve the batch
+    whole and in its built order — one batch at a time, never a
+    re-batched subset. *)

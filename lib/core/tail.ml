@@ -38,6 +38,31 @@ let ext s ~ratio i =
   else if ratio <= 0.0 then 0.0
   else s.(n - 1) *. (ratio ** float_of_int (i - n + 1))
 
+(* Column variants of {!boundary_ratio}/{!ext} for the batched kernels,
+   mirroring the scalar arithmetic operation-for-operation so a
+   hand-batched derivative is bit-identical to the scalar one on the
+   same column. The clamps are spelled as bare comparisons (not
+   Float.min/max) because these run inside zero-alloc-audited loops;
+   for the positive finite ratios that reach them the result is the
+   same float. *)
+let boundary_ratio_col ys k =
+  let n = Bigarray.Array2.dim1 ys in
+  let a = Bigarray.Array2.get ys (n - 1) k
+  and b = Bigarray.Array2.get ys (n - 2) k in
+  if b <= 1e-250 || a <= 0.0 then 0.0
+  else begin
+    let q = a /. b in
+    let q = if q < 0.0 then 0.0 else q in
+    if q > 0.999999 then 0.999999 else q
+  end
+
+let ext_col ys ~ratio k i =
+  let n = Bigarray.Array2.dim1 ys in
+  if i < n then Bigarray.Array2.get ys i k
+  else if ratio <= 0.0 then 0.0
+  else
+    Bigarray.Array2.get ys (n - 1) k *. (ratio ** float_of_int (i - n + 1))
+
 let mean_tasks ?(from = 1) s =
   let base = Vec.sum_from s from in
   let ratio = boundary_ratio s in

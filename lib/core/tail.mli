@@ -30,6 +30,15 @@ val ext : Numerics.Vec.t -> ratio:float -> int -> float
     truncation with the given ratio: for [i ≥ dim],
     [s_{dim-1}·ratio^(i-dim+1)]. *)
 
+val boundary_ratio_col : Numerics.Mat.t -> int -> float
+(** {!boundary_ratio} of one column of a SoA state matrix — bit-identical
+    to the scalar on the same values; allocation-free. *)
+
+val ext_col : Numerics.Mat.t -> ratio:float -> int -> int -> float
+(** [ext_col ys ~ratio k i] is {!ext} on column [k]: reads [ys.(i, k)]
+    inside the truncation, extends geometrically past it. [i] must be
+    non-negative; allocation-free. *)
+
 val mean_tasks : ?from:int -> Numerics.Vec.t -> float
 (** [Σ_{i≥from} sᵢ] (default [from = 1] — the expected number of tasks per
     processor, since [E[N] = Σ_{i≥1} P(N ≥ i)]) plus the geometric closure

@@ -136,6 +136,7 @@ let model ~lambda ~transfer_rate ~threshold ?(stages = 1) ?depth () =
     deriv =
       (fun ~y ~dy ->
         deriv ~lambda ~r:transfer_rate ~t:threshold ~lay ~y ~dy);
+    deriv_cols = None;
     initial_empty;
     initial_warm;
     mean_tasks = mean_tasks ~lay;

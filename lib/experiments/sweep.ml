@@ -5,6 +5,20 @@
 
 let along_lambda = Meanfield.Continuation.along_lambda
 
+let along_lambda_batched ?tol ?max_time ~build_batch lambdas =
+  match lambdas with
+  | [] -> []
+  | _ ->
+      let grid = Array.of_list lambdas in
+      let models = build_batch grid in
+      if Array.length models <> Array.length grid then
+        invalid_arg
+          "Sweep.along_lambda_batched: build_batch changed the grid size";
+      let fps, _stats =
+        Meanfield.Drive.fixed_point_batch ?tol ?max_time models
+      in
+      List.mapi (fun i l -> (l, fps.(i))) lambdas
+
 let lookup results lambda =
   match List.find_opt (fun (l, _) -> Float.equal l lambda) results with
   | Some (_, fp) -> fp

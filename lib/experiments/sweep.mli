@@ -32,6 +32,24 @@ val along_lambda :
     Optional arguments are passed through to {!Meanfield.Drive.fixed_point}
     and keep its defaults. *)
 
+val along_lambda_batched :
+  ?tol:float ->
+  ?max_time:float ->
+  build_batch:(float array -> Meanfield.Model.t array) ->
+  float list ->
+  (float * Meanfield.Drive.fixed_point) list
+(** Lockstep alternative to {!along_lambda}: [build_batch] turns the
+    whole λ-grid into one model batch (a family [batch] builder for the
+    hand-batched kernels, or [Array.map] over a scalar builder for the
+    adapter path) and the grid is solved in one
+    {!Meanfield.Drive.fixed_point_batch} call — every derivative sweep
+    is shared by all still-active columns instead of each λ paying its
+    own. Results are [(λ, fixed point)] pairs in input order, certified
+    to the same tolerance as the scalar solver, so {!lookup} and
+    {!total_evals} work unchanged. Unlike the serial continuation there
+    is no solve-to-solve data dependence; the models must share one
+    dimension (pin it with {!pinned_dim}). *)
+
 val lookup : (float * Meanfield.Drive.fixed_point) list -> float -> Meanfield.Drive.fixed_point
 (** Exact-λ lookup (by [Float.equal]) in a sweep's result — for use with
     the same float constants the sweep was built from.

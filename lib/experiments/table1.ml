@@ -11,12 +11,14 @@ type row = {
 let build ~dim lambda = Meanfield.Simple_ws.model ~lambda ~dim ()
 
 let compute (scope : Scope.t) =
-  (* ODE cross-check of the closed form: one λ-continuation chain over
-     the grid, solved up front so the parallel fan-out below only runs
-     simulations. *)
+  (* ODE cross-check of the closed form: the whole grid solved as one
+     lockstep batch (hand-batched simple-WS kernel) up front, so the
+     parallel fan-out below only runs simulations. *)
   let dim = Sweep.pinned_dim Paper_values.table1_lambdas in
   let chain =
-    Sweep.along_lambda ~build:(build ~dim) Paper_values.table1_lambdas
+    Sweep.along_lambda_batched
+      ~build_batch:(fun lambdas -> Meanfield.Simple_ws.batch ~lambdas ~dim ())
+      Paper_values.table1_lambdas
   in
   Scope.par_map scope
     (fun lambda ->

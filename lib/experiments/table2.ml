@@ -18,7 +18,12 @@ let build ~stages lambda =
   Meanfield.Erlang_ws.model ~lambda ~stages ~task_depth ()
 
 let chain ~stages =
-  Sweep.along_lambda ~build:(build ~stages) Paper_values.table1_lambdas
+  (* Lockstep batch over the λ-grid (hand-batched Erlang kernel, task
+     depth pinned above so every column shares one dimension). *)
+  Sweep.along_lambda_batched
+    ~build_batch:(fun lambdas ->
+      Meanfield.Erlang_ws.batch ~lambdas ~stages ~task_depth ())
+    Paper_values.table1_lambdas
 
 let stage_estimate chain ~lambda ~stages =
   let fp = Sweep.lookup chain lambda in

@@ -37,9 +37,11 @@ let compute (scope : Scope.t) =
   let chains =
     List.map
       (fun threshold ->
+        (* Transfer_ws has no hand-batched kernel; the scalar-bridge
+           adapter still shares every lockstep sweep across the grid. *)
         ( threshold,
-          Sweep.along_lambda
-            ~build:(build ~threshold ~depth)
+          Sweep.along_lambda_batched
+            ~build_batch:(Array.map (build ~threshold ~depth))
             Paper_values.table3_lambdas ))
       thresholds
   in

@@ -13,11 +13,14 @@ let build ~dim lambda =
 
 let compute (scope : Scope.t) =
   let n = List.fold_left max 2 scope.Scope.ns in
-  (* Fixed points by λ-continuation (serial, dimension pinned across the
-     chain) before the parallel simulation fan-out. *)
+  (* Fixed points solved as one lockstep batch (scalar-bridge adapter —
+     multi-choice has no hand kernel; dimension pinned across the grid)
+     before the parallel simulation fan-out. *)
   let dim = Sweep.pinned_dim Paper_values.table1_lambdas in
   let chain =
-    Sweep.along_lambda ~build:(build ~dim) Paper_values.table1_lambdas
+    Sweep.along_lambda_batched
+      ~build_batch:(Array.map (build ~dim))
+      Paper_values.table1_lambdas
   in
   Scope.par_map scope
     (fun lambda ->

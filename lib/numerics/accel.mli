@@ -67,6 +67,43 @@ val anderson_reset : anderson -> unit
 val anderson_depth_in_use : anderson -> int
 (** Number of history pairs currently backing the least squares. *)
 
+(** {2 Column-wise batched mixing} *)
+
+type anderson_cols
+(** Per-column Anderson state over a SoA state matrix: the ring-buffer
+    histories are depth-many [dim×cols] slabs, so column [k]'s history
+    is column [k] of every slab and columns never exchange information.
+    Not shareable between concurrent iterations. *)
+
+val anderson_cols :
+  ?depth:int ->
+  ?beta:float ->
+  ?reg:float ->
+  dim:int ->
+  cols:int ->
+  unit ->
+  anderson_cols
+(** Batched constructor; parameters as in {!anderson}, applied uniformly
+    to every column. *)
+
+val anderson_cols_step :
+  anderson_cols ->
+  xs:Mat.t ->
+  gxs:Mat.t ->
+  dst:Mat.t ->
+  cols:Active.t ->
+  unit
+(** One mixing step for every column listed in [cols]: writes the next
+    iterates into the corresponding columns of [dst] (other columns are
+    untouched). Column semantics — history update, type-II least
+    squares, plain-mixing fallbacks — mirror {!anderson_step} exactly;
+    the batching only shares scratch buffers. [xs]/[gxs] are not
+    modified; [dst] must not alias them. *)
+
+val anderson_cols_reset : anderson_cols -> int -> unit
+(** Drop the history of one column only (after its iterate was rejected
+    and restarted); the other columns' histories are preserved. *)
+
 val richardson : order:int -> h_ratio:float -> float -> float -> float
 (** [richardson ~order ~h_ratio coarse fine] removes the leading
     [O(h^order)] error term from two approximations computed with step

@@ -1,0 +1,22 @@
+type t = { mutable n : int; idx : int array }
+
+let create k =
+  if k <= 0 then invalid_arg "Active.create: need at least one column";
+  { n = k; idx = Array.init k (fun i -> i) }
+
+let capacity t = Array.length t.idx
+
+let drop t j =
+  let last = t.n - 1 in
+  let dropped = Array.unsafe_get t.idx j in
+  Array.unsafe_set t.idx j (Array.unsafe_get t.idx last);
+  Array.unsafe_set t.idx last dropped;
+  t.n <- last
+
+let reset t = t.n <- Array.length t.idx
+
+let copy_into ~src ~dst =
+  if Array.length src.idx <> Array.length dst.idx then
+    invalid_arg "Active.copy_into: capacity mismatch";
+  Array.blit src.idx 0 dst.idx 0 (Array.length src.idx);
+  dst.n <- src.n

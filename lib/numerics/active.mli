@@ -1,0 +1,29 @@
+(** Active column set for batched solvers: the columns still being
+    worked on, stored as a prefix of an index array so dropping a
+    converged column is an O(1) swap and iteration is a dense scan over
+    [idx.(0 .. n-1)]. Fields are exposed (rather than wrapped in
+    accessors) so stepper inner loops can scan without a call per
+    element; treat them as read-only outside this module except through
+    {!drop}/{!reset}. *)
+
+type t = { mutable n : int; idx : int array }
+
+val create : int -> t
+(** [create k] holds all columns [0 .. k-1], in order. *)
+
+val capacity : t -> int
+(** Total column count the set was created with. *)
+
+val drop : t -> int -> unit
+(** [drop t j] removes the element at *position* [j] (an index into
+    [idx], not a column id) by swapping with the last live element.
+    Iterate positions from [t.n - 1] downto [0] when dropping during a
+    scan. The dropped column id is preserved at position [t.n] (post
+    decrement), so [idx.(n .. capacity-1)] enumerates retired columns. *)
+
+val reset : t -> unit
+(** Restore all columns to the live set (order unspecified). *)
+
+val copy_into : src:t -> dst:t -> unit
+(** Make [dst] hold exactly [src]'s live columns; capacities must
+    match. *)

@@ -319,6 +319,388 @@ let adaptive ?(pair = Rk45) ?(rtol = 1e-8) ?(atol = 1e-12) ?dt0 ?dt_min
 let dopri5 ?rtol ?atol ?dt0 ?max_steps sys ~y ~t0 ~t1 =
   (adaptive ~pair:Rk45 ?rtol ?atol ?dt0 ?max_steps sys ~y ~t0 ~t1).accepted
 
+(* ---------- batched lockstep steppers ---------- *)
+
+type batch_system = {
+  bdim : int;
+  bcols : int;
+  bderiv : ys:Mat.t -> dys:Mat.t -> cols:Active.t -> unit;
+}
+
+type batch_workspace = {
+  bk1 : Mat.t;
+  bk2 : Mat.t;
+  bk3 : Mat.t;
+  bk4 : Mat.t;
+  bk5 : Mat.t;
+  bk6 : Mat.t;
+  bk7 : Mat.t;
+  btmp : Mat.t;
+  btrial : Mat.t;
+  bts : float array;  (* per-column current time *)
+  bhs : float array;  (* per-column proposed step *)
+  bhh : float array;  (* per-column step actually attempted this round *)
+  berr : float array;  (* per-column scaled error of the last attempt *)
+  berr_prev : float array;
+  bjust_rejected : bool array;
+  bworking : Active.t;  (* columns still integrating, inside one call *)
+  baccepted : int array;
+  brejected : int array;
+  bevals : int array;  (* scalar-equivalent derivative evaluations *)
+  bfailed : bool array;
+  mutable brounds : int;  (* batched derivative sweeps — the cost unit *)
+}
+
+let batch_workspace sys =
+  let m () = Mat.create ~rows:sys.bdim ~cols:sys.bcols in
+  let fa v = Array.make sys.bcols v in
+  {
+    bk1 = m ();
+    bk2 = m ();
+    bk3 = m ();
+    bk4 = m ();
+    bk5 = m ();
+    bk6 = m ();
+    bk7 = m ();
+    btmp = m ();
+    btrial = m ();
+    bts = fa 0.0;
+    bhs = fa 0.0;
+    bhh = fa 0.0;
+    berr = fa 0.0;
+    berr_prev = fa 1e-4;
+    bjust_rejected = Array.make sys.bcols false;
+    bworking = Active.create sys.bcols;
+    baccepted = Array.make sys.bcols 0;
+    brejected = Array.make sys.bcols 0;
+    bevals = Array.make sys.bcols 0;
+    bfailed = Array.make sys.bcols false;
+    brounds = 0;
+  }
+
+(* Retire columns that exhausted the step budget or underflowed the step
+   size. The scalar path raises; a batch must not die on its slowest
+   member, so failures are recorded per column and the column drops out. *)
+let batch_guard ws ~max_steps =
+  let act = ws.bworking in
+  (* descending with swap-remove: a drop at [j] swaps in an
+     already-visited column, so each column is examined exactly once;
+     the [j < n] guard only defends against drops shrinking the set
+     past the loop counter. (A [ref] counter would allocate — this is
+     a zero-alloc root.) *)
+  for j = act.Active.n - 1 downto 0 do
+    if j < act.Active.n then begin
+      let k = Array.unsafe_get act.Active.idx j in
+      let steps =
+        Array.unsafe_get ws.baccepted k + Array.unsafe_get ws.brejected k
+      in
+      let t = Array.unsafe_get ws.bts k in
+      let at = Float.abs t in
+      let floor_dt = 1e-14 *. (if at > 1.0 then at else 1.0) in
+      if steps >= max_steps || Array.unsafe_get ws.bhs k < floor_dt then begin
+        Array.unsafe_set ws.bfailed k true;
+        Active.drop act j
+      end
+    end
+  done
+
+(* One lockstep Dormand-Prince 5(4) attempt for every working column,
+   each with its own step ws.bhh.(k). ws.bk1 columns must hold f(y);
+   fills ws.btrial (5th-order solutions), ws.bk7 (FSAL stages) and
+   ws.berr (scaled max-norm error estimates). Six derivative sweeps
+   shared by the whole batch. Loops are row-outer so each sweep touches
+   stride-1 runs across the active columns. *)
+let dp_attempt_cols sys ws ~rtol ~atol ys =
+  let n = sys.bdim in
+  let act = ws.bworking in
+  let na = act.Active.n in
+  for i = 0 to n - 1 do
+    for j = 0 to na - 1 do
+      let k = Array.unsafe_get act.Active.idx j in
+      let h = Array.unsafe_get ws.bhh k in
+      Bigarray.Array2.unsafe_set ws.btmp i k
+        (Bigarray.Array2.unsafe_get ys i k
+        +. (h *. a21 *. Bigarray.Array2.unsafe_get ws.bk1 i k))
+    done
+  done;
+  sys.bderiv ~ys:ws.btmp ~dys:ws.bk2 ~cols:act;
+  for i = 0 to n - 1 do
+    for j = 0 to na - 1 do
+      let k = Array.unsafe_get act.Active.idx j in
+      let h = Array.unsafe_get ws.bhh k in
+      Bigarray.Array2.unsafe_set ws.btmp i k
+        (Bigarray.Array2.unsafe_get ys i k
+        +. (h
+            *. ((a31 *. Bigarray.Array2.unsafe_get ws.bk1 i k)
+               +. (a32 *. Bigarray.Array2.unsafe_get ws.bk2 i k))))
+    done
+  done;
+  sys.bderiv ~ys:ws.btmp ~dys:ws.bk3 ~cols:act;
+  for i = 0 to n - 1 do
+    for j = 0 to na - 1 do
+      let k = Array.unsafe_get act.Active.idx j in
+      let h = Array.unsafe_get ws.bhh k in
+      Bigarray.Array2.unsafe_set ws.btmp i k
+        (Bigarray.Array2.unsafe_get ys i k
+        +. (h
+            *. ((a41 *. Bigarray.Array2.unsafe_get ws.bk1 i k)
+               +. (a42 *. Bigarray.Array2.unsafe_get ws.bk2 i k)
+               +. (a43 *. Bigarray.Array2.unsafe_get ws.bk3 i k))))
+    done
+  done;
+  sys.bderiv ~ys:ws.btmp ~dys:ws.bk4 ~cols:act;
+  for i = 0 to n - 1 do
+    for j = 0 to na - 1 do
+      let k = Array.unsafe_get act.Active.idx j in
+      let h = Array.unsafe_get ws.bhh k in
+      Bigarray.Array2.unsafe_set ws.btmp i k
+        (Bigarray.Array2.unsafe_get ys i k
+        +. (h
+            *. ((a51 *. Bigarray.Array2.unsafe_get ws.bk1 i k)
+               +. (a52 *. Bigarray.Array2.unsafe_get ws.bk2 i k)
+               +. (a53 *. Bigarray.Array2.unsafe_get ws.bk3 i k)
+               +. (a54 *. Bigarray.Array2.unsafe_get ws.bk4 i k))))
+    done
+  done;
+  sys.bderiv ~ys:ws.btmp ~dys:ws.bk5 ~cols:act;
+  for i = 0 to n - 1 do
+    for j = 0 to na - 1 do
+      let k = Array.unsafe_get act.Active.idx j in
+      let h = Array.unsafe_get ws.bhh k in
+      Bigarray.Array2.unsafe_set ws.btmp i k
+        (Bigarray.Array2.unsafe_get ys i k
+        +. (h
+            *. ((a61 *. Bigarray.Array2.unsafe_get ws.bk1 i k)
+               +. (a62 *. Bigarray.Array2.unsafe_get ws.bk2 i k)
+               +. (a63 *. Bigarray.Array2.unsafe_get ws.bk3 i k)
+               +. (a64 *. Bigarray.Array2.unsafe_get ws.bk4 i k)
+               +. (a65 *. Bigarray.Array2.unsafe_get ws.bk5 i k))))
+    done
+  done;
+  sys.bderiv ~ys:ws.btmp ~dys:ws.bk6 ~cols:act;
+  for i = 0 to n - 1 do
+    for j = 0 to na - 1 do
+      let k = Array.unsafe_get act.Active.idx j in
+      let h = Array.unsafe_get ws.bhh k in
+      Bigarray.Array2.unsafe_set ws.btrial i k
+        (Bigarray.Array2.unsafe_get ys i k
+        +. (h
+            *. ((b1 *. Bigarray.Array2.unsafe_get ws.bk1 i k)
+               +. (b3 *. Bigarray.Array2.unsafe_get ws.bk3 i k)
+               +. (b4 *. Bigarray.Array2.unsafe_get ws.bk4 i k)
+               +. (b5 *. Bigarray.Array2.unsafe_get ws.bk5 i k)
+               +. (b6 *. Bigarray.Array2.unsafe_get ws.bk6 i k))))
+    done
+  done;
+  sys.bderiv ~ys:ws.btrial ~dys:ws.bk7 ~cols:act;
+  for j = 0 to na - 1 do
+    let k = Array.unsafe_get act.Active.idx j in
+    Array.unsafe_set ws.berr k 0.0;
+    Array.unsafe_set ws.bevals k (Array.unsafe_get ws.bevals k + 6)
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to na - 1 do
+      let k = Array.unsafe_get act.Active.idx j in
+      let h = Array.unsafe_get ws.bhh k in
+      let e =
+        h
+        *. ((e1 *. Bigarray.Array2.unsafe_get ws.bk1 i k)
+           +. (e3 *. Bigarray.Array2.unsafe_get ws.bk3 i k)
+           +. (e4 *. Bigarray.Array2.unsafe_get ws.bk4 i k)
+           +. (e5 *. Bigarray.Array2.unsafe_get ws.bk5 i k)
+           +. (e6 *. Bigarray.Array2.unsafe_get ws.bk6 i k)
+           +. (e7 *. Bigarray.Array2.unsafe_get ws.bk7 i k))
+      in
+      let ay = Float.abs (Bigarray.Array2.unsafe_get ys i k) in
+      let atr = Float.abs (Bigarray.Array2.unsafe_get ws.btrial i k) in
+      let scale = atol +. (rtol *. (if ay > atr then ay else atr)) in
+      let r = Float.abs e /. scale in
+      if r > Array.unsafe_get ws.berr k then Array.unsafe_set ws.berr k r
+    done
+  done;
+  ws.brounds <- ws.brounds + 6
+
+(* One lockstep Bogacki-Shampine 3(2) attempt; same contract as
+   {!dp_attempt_cols} with the FSAL stage landing in ws.bk4. Three
+   derivative sweeps. *)
+let bs_attempt_cols sys ws ~rtol ~atol ys =
+  let n = sys.bdim in
+  let act = ws.bworking in
+  let na = act.Active.n in
+  for i = 0 to n - 1 do
+    for j = 0 to na - 1 do
+      let k = Array.unsafe_get act.Active.idx j in
+      let h = Array.unsafe_get ws.bhh k in
+      Bigarray.Array2.unsafe_set ws.btmp i k
+        (Bigarray.Array2.unsafe_get ys i k
+        +. (h *. bs_a21 *. Bigarray.Array2.unsafe_get ws.bk1 i k))
+    done
+  done;
+  sys.bderiv ~ys:ws.btmp ~dys:ws.bk2 ~cols:act;
+  for i = 0 to n - 1 do
+    for j = 0 to na - 1 do
+      let k = Array.unsafe_get act.Active.idx j in
+      let h = Array.unsafe_get ws.bhh k in
+      Bigarray.Array2.unsafe_set ws.btmp i k
+        (Bigarray.Array2.unsafe_get ys i k
+        +. (h *. bs_a32 *. Bigarray.Array2.unsafe_get ws.bk2 i k))
+    done
+  done;
+  sys.bderiv ~ys:ws.btmp ~dys:ws.bk3 ~cols:act;
+  for i = 0 to n - 1 do
+    for j = 0 to na - 1 do
+      let k = Array.unsafe_get act.Active.idx j in
+      let h = Array.unsafe_get ws.bhh k in
+      Bigarray.Array2.unsafe_set ws.btrial i k
+        (Bigarray.Array2.unsafe_get ys i k
+        +. (h
+            *. ((bs_b1 *. Bigarray.Array2.unsafe_get ws.bk1 i k)
+               +. (bs_b2 *. Bigarray.Array2.unsafe_get ws.bk2 i k)
+               +. (bs_b3 *. Bigarray.Array2.unsafe_get ws.bk3 i k))))
+    done
+  done;
+  sys.bderiv ~ys:ws.btrial ~dys:ws.bk4 ~cols:act;
+  for j = 0 to na - 1 do
+    let k = Array.unsafe_get act.Active.idx j in
+    Array.unsafe_set ws.berr k 0.0;
+    Array.unsafe_set ws.bevals k (Array.unsafe_get ws.bevals k + 3)
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to na - 1 do
+      let k = Array.unsafe_get act.Active.idx j in
+      let h = Array.unsafe_get ws.bhh k in
+      let e =
+        h
+        *. ((bs_e1 *. Bigarray.Array2.unsafe_get ws.bk1 i k)
+           +. (bs_e2 *. Bigarray.Array2.unsafe_get ws.bk2 i k)
+           +. (bs_e3 *. Bigarray.Array2.unsafe_get ws.bk3 i k)
+           +. (bs_e4 *. Bigarray.Array2.unsafe_get ws.bk4 i k))
+      in
+      let ay = Float.abs (Bigarray.Array2.unsafe_get ys i k) in
+      let atr = Float.abs (Bigarray.Array2.unsafe_get ws.btrial i k) in
+      let scale = atol +. (rtol *. (if ay > atr then ay else atr)) in
+      let r = Float.abs e /. scale in
+      if r > Array.unsafe_get ws.berr k then Array.unsafe_set ws.berr k r
+    done
+  done;
+  ws.brounds <- ws.brounds + 3
+
+(* Per-column accept/reject and PI-controller update after one lockstep
+   attempt — the same controller as the scalar {!adaptive}, replicated
+   per column. Accepted columns that reach [t1] are dropped from the
+   working set (frozen: their ys column is never touched again);
+   rejected columns shrink their own step without holding anyone back. *)
+let batch_commit ws ~fsal ~alpha ~beta ~expo ~dt_max ~t1 ys =
+  let n = Bigarray.Array2.dim1 ys in
+  let act = ws.bworking in
+  (* descending with swap-remove, as in {!batch_guard}: ref-free so the
+     commit stays on the zero-alloc path *)
+  for j = act.Active.n - 1 downto 0 do
+    if j < act.Active.n then begin
+    let k = Array.unsafe_get act.Active.idx j in
+    let err = Array.unsafe_get ws.berr k in
+    let h = Array.unsafe_get ws.bhh k in
+    if err <= 1.0 then begin
+      for i = 0 to n - 1 do
+        Bigarray.Array2.unsafe_set ys i k
+          (Bigarray.Array2.unsafe_get ws.btrial i k);
+        Bigarray.Array2.unsafe_set ws.bk1 i k
+          (Bigarray.Array2.unsafe_get fsal i k)
+      done;
+      Array.unsafe_set ws.bts k (Array.unsafe_get ws.bts k +. h);
+      Array.unsafe_set ws.baccepted k (Array.unsafe_get ws.baccepted k + 1);
+      let factor =
+        if not (Float.is_finite err) then 0.2
+        else if err <= 1e-300 then 5.0
+        else begin
+          let f = 0.9 *. (err ** -.alpha) *. (Array.unsafe_get ws.berr_prev k ** beta) in
+          let f = if f < 0.2 then 0.2 else f in
+          if f > 5.0 then 5.0 else f
+        end
+      in
+      let factor =
+        if Array.unsafe_get ws.bjust_rejected k && factor > 1.0 then 1.0
+        else factor
+      in
+      Array.unsafe_set ws.bjust_rejected k false;
+      Array.unsafe_set ws.berr_prev k (if err > 1e-4 then err else 1e-4);
+      let nh = h *. factor in
+      Array.unsafe_set ws.bhs k (if nh > dt_max then dt_max else nh);
+      if Array.unsafe_get ws.bts k >= t1 -. 1e-14 then Active.drop act j
+    end
+    else begin
+      Array.unsafe_set ws.brejected k (Array.unsafe_get ws.brejected k + 1);
+      Array.unsafe_set ws.bjust_rejected k true;
+      let factor =
+        if not (Float.is_finite err) then 0.2
+        else begin
+          let f = 0.9 *. (err ** -.expo) in
+          let f = if f < 0.2 then 0.2 else f in
+          if f > 1.0 then 1.0 else f
+        end
+      in
+      Array.unsafe_set ws.bhs k (h *. factor)
+    end
+    end
+  done
+
+let adaptive_cols ?(pair = Rk45) ?(rtol = 1e-8) ?(atol = 1e-12) ?dt0s
+    ?(dt_max = infinity) ?(max_steps = 10_000_000) ?ws sys ~ys ~cols ~t0 ~t1 =
+  if dt_max <= 0.0 then
+    invalid_arg "Ode.adaptive_cols: dt_max must be positive";
+  if Mat.rows ys <> sys.bdim || Mat.cols ys <> sys.bcols then
+    invalid_arg "Ode.adaptive_cols: state matrix shape mismatch";
+  (match dt0s with
+  | Some a when Array.length a <> sys.bcols ->
+      invalid_arg "Ode.adaptive_cols: dt0s length mismatch"
+  | _ -> ());
+  let ws = match ws with Some w -> w | None -> batch_workspace sys in
+  Active.copy_into ~src:cols ~dst:ws.bworking;
+  let default_h = (t1 -. t0) /. 100.0 in
+  for j = 0 to cols.Active.n - 1 do
+    let k = cols.Active.idx.(j) in
+    let h0 = match dt0s with Some a -> a.(k) | None -> default_h in
+    ws.bts.(k) <- t0;
+    ws.bhs.(k) <- (if h0 > dt_max then dt_max else h0);
+    ws.berr_prev.(k) <- 1e-4;
+    ws.bjust_rejected.(k) <- false;
+    ws.baccepted.(k) <- 0;
+    ws.brejected.(k) <- 0;
+    ws.bevals.(k) <- 0;
+    ws.bfailed.(k) <- false
+  done;
+  ws.brounds <- 0;
+  if t1 > t0 && ws.bworking.Active.n > 0 then begin
+    let expo =
+      1.0 /. float_of_int ((match pair with Rk45 -> 4 | Rk23 -> 2) + 1)
+    in
+    let alpha = 0.7 *. expo and beta = 0.4 *. expo in
+    let fsal = match pair with Rk45 -> ws.bk7 | Rk23 -> ws.bk4 in
+    (* FSAL: only the first round pays for k1; accepted columns refresh
+       their k1 column from the last stage of the attempt. *)
+    sys.bderiv ~ys ~dys:ws.bk1 ~cols:ws.bworking;
+    ws.brounds <- 1;
+    for j = 0 to ws.bworking.Active.n - 1 do
+      let k = ws.bworking.Active.idx.(j) in
+      ws.bevals.(k) <- ws.bevals.(k) + 1
+    done;
+    while ws.bworking.Active.n > 0 do
+      batch_guard ws ~max_steps;
+      if ws.bworking.Active.n > 0 then begin
+        for j = 0 to ws.bworking.Active.n - 1 do
+          let k = ws.bworking.Active.idx.(j) in
+          let remain = t1 -. ws.bts.(k) in
+          ws.bhh.(k) <- (if ws.bhs.(k) > remain then remain else ws.bhs.(k))
+        done;
+        (match pair with
+        | Rk45 -> dp_attempt_cols sys ws ~rtol ~atol ys
+        | Rk23 -> bs_attempt_cols sys ws ~rtol ~atol ys);
+        batch_commit ws ~fsal ~alpha ~beta ~expo ~dt_max ~t1 ys
+      end
+    done
+  end;
+  ws
+
 type steady_outcome = Converged of float | Timed_out of float
 
 let relax ?(stepper = Rk4) ?(dt = 0.1) ?(tol = 1e-12) ?(check_every = 25.0)

@@ -123,6 +123,87 @@ val dopri5 :
 (** [adaptive ~pair:Rk45] returning only the accepted-step count; kept for
     callers that don't need {!stats}. Defaults as in {!adaptive}. *)
 
+(** {1 Batched lockstep integration}
+
+    K independent instances of one system family (same flow-graph
+    structure, different rate constants) integrate together over a
+    structure-of-arrays state matrix (rows = components, columns =
+    instances). Every Runge–Kutta stage is a single derivative sweep
+    shared by all still-active columns, so the per-step bookkeeping and
+    memory traffic are amortised K ways; each column keeps its own time,
+    step size and PI controller, and a column that reaches [t1] is
+    dropped from the active set and its state is frozen bit-for-bit. *)
+
+type batch_system = {
+  bdim : int;  (** State dimension (matrix rows). *)
+  bcols : int;  (** Batch width (matrix columns). *)
+  bderiv : ys:Mat.t -> dys:Mat.t -> cols:Active.t -> unit;
+      (** Writes ds/dt column-wise for every column listed in [cols];
+          other columns of [dys] must not be read or written. Autonomous
+          (no time argument), like every system in the paper. *)
+}
+
+type batch_workspace = {
+  bk1 : Mat.t;
+  bk2 : Mat.t;
+  bk3 : Mat.t;
+  bk4 : Mat.t;
+  bk5 : Mat.t;
+  bk6 : Mat.t;
+  bk7 : Mat.t;
+  btmp : Mat.t;
+  btrial : Mat.t;
+  bts : float array;
+  bhs : float array;
+  bhh : float array;
+  berr : float array;
+  berr_prev : float array;
+  bjust_rejected : bool array;
+  bworking : Active.t;
+  baccepted : int array;
+  brejected : int array;
+  bevals : int array;
+      (** Scalar-equivalent derivative evaluations per column — what a
+          scalar solve of that column alone would have paid. *)
+  bfailed : bool array;
+      (** Set for columns retired by step-size underflow or the
+          [max_steps] budget (the batched analogue of the scalar path's
+          exceptions); their state holds the last accepted step. *)
+  mutable brounds : int;
+      (** Batched derivative sweeps performed — the batch cost unit: one
+          round costs one sweep no matter how many columns share it. *)
+}
+(** Scratch + per-column controller state. Reusable across calls, not
+    shareable between concurrent integrations. Stats fields
+    ([baccepted], [brejected], [bevals], [bfailed], [brounds]) are
+    reset by {!adaptive_cols} and hold the last call's counts. *)
+
+val batch_workspace : batch_system -> batch_workspace
+
+val adaptive_cols :
+  ?pair:pair ->
+  ?rtol:float ->
+  ?atol:float ->
+  ?dt0s:float array ->
+  ?dt_max:float ->
+  ?max_steps:int ->
+  ?ws:batch_workspace ->
+  batch_system ->
+  ys:Mat.t ->
+  cols:Active.t ->
+  t0:float ->
+  t1:float ->
+  batch_workspace
+(** Advance every column of [ys] listed in [cols] from [t0] to [t1] in
+    lockstep, with the same embedded pairs and PI step control as
+    {!adaptive} applied per column ([dt0s] gives each column its own
+    initial step; default [(t1-t0)/100] for all). [cols] itself is not
+    modified; the call works on an internal copy and drops columns as
+    they finish or fail. Returns the workspace used (the [?ws] argument
+    when given) so callers can read the per-column statistics. Unlike
+    {!adaptive}, step-size underflow and step-budget exhaustion do not
+    raise: the column is marked in [bfailed] and retired. *)
+
 (** {1 Steady state} *)
 
 type steady_outcome = Converged of float | Timed_out of float

@@ -74,6 +74,14 @@ let find t ~family lambda =
           s.misses <- s.misses + 1;
           Miss chain)
 
+(* Counter-neutral chain snapshot: the batched miss path has already
+   paid its hit/miss accounting through [find]; re-reading the chain to
+   seed per-column warm starts must not inflate the miss count. *)
+let chain t ~family =
+  let s = shard_of t family in
+  Mutex.protect s.lock (fun () ->
+      Option.value ~default:[] (Hashtbl.find_opt s.table family))
+
 let insert t ~family entry =
   let s = shard_of t family in
   Mutex.protect s.lock (fun () ->

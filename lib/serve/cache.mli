@@ -49,6 +49,12 @@ val create : ?shards:int -> unit -> t
 val find : t -> family:string -> float -> lookup
 (** Look up [family] at a canonical λ, counting a hit or a miss. *)
 
+val chain : t -> family:string -> entry list
+(** The family's full chain (ascending in λ, possibly empty) {e without}
+    touching the hit/miss counters — for a miss path that already paid
+    its accounting through {!find} and only needs fresh neighbours to
+    seed warm starts. *)
+
 val insert : t -> family:string -> entry -> unit
 (** Insert (or replace, at equal canonical λ) an entry in its family's
     chain. *)

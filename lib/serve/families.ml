@@ -13,6 +13,7 @@ type t = {
   params : (string * float) list;
   depth : int;
   build : float -> Model.t;
+  build_batch : float array -> Model.t array;
 }
 
 let default_depth = 96
@@ -118,6 +119,28 @@ let specs :
         Supermarket.model ~lambda ~choices:(geti ps "choices") ~dim:depth () );
   ]
 
+(* Families with a hand-batched column-wise derivative kernel: their
+   batch builder attaches one shared [deriv_cols] closure, so
+   [Drive.fixed_point_batch] runs the SoA kernel instead of bridging
+   each column through the scalar derivative. Everything else falls
+   back to [Array.map build] — the bridge adapter still shares every
+   lockstep sweep, it just stages columns through scratch vectors. *)
+let batch_specs :
+    (string * ((string * float) list -> int -> float array -> Model.t array))
+    list =
+  [
+    ("mm1", fun _ depth lambdas -> Mm1.batch ~lambdas ~dim:depth ());
+    ("simple", fun _ depth lambdas -> Simple_ws.batch ~lambdas ~dim:depth ());
+    ( "erlang",
+      fun ps depth lambdas ->
+        Erlang_ws.batch ~lambdas ~stages:(geti ps "stages") ~task_depth:depth
+          () );
+    ( "steal-half",
+      fun ps depth lambdas ->
+        Steal_half_ws.batch ~lambdas ~threshold:(geti ps "threshold")
+          ~dim:depth () );
+  ]
+
 let names = List.map (fun (n, _, _) -> n) specs
 
 let resolve ?(depth = default_depth) ~name params =
@@ -171,11 +194,18 @@ let resolve ?(depth = default_depth) ~name params =
                     (fun (a, _) (b, _) -> String.compare a b)
                     resolved
                 in
+                let build = mk resolved depth in
+                let build_batch =
+                  match List.assoc_opt name batch_specs with
+                  | Some mkb -> mkb resolved depth
+                  | None -> Array.map build
+                in
                 Ok
                   {
                     name;
                     family = Key.family ~name ~params:resolved ~depth;
                     params = resolved;
                     depth;
-                    build = mk resolved depth;
+                    build;
+                    build_batch;
                   }))

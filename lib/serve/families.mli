@@ -21,6 +21,14 @@ type t = {
       (** [build λ] instantiates the family's model at arrival rate λ.
           Raises [Invalid_argument] (from the underlying builder) when λ
           or a parameter is out of the model's domain. *)
+  build_batch : float array -> Meanfield.Model.t array;
+      (** One model per λ, sharing the family's pinned depth, for
+          {!Meanfield.Drive.fixed_point_batch}. Families with a
+          hand-batched [deriv_cols] kernel (mm1, simple, erlang,
+          steal-half) attach it here; the rest bridge each column
+          through the scalar [build]. Hand-batched members share kernel
+          scratch and are positional — solve each returned batch whole,
+          one at a time. *)
 }
 
 val default_depth : int

@@ -95,41 +95,56 @@ let answer_json (q : query) (a : Server.answer) =
   in
   Wire.Obj (base @ tail)
 
-let stats_json (s : Server.stats) =
+let stats_json ?scheduler (s : Server.stats) =
   let c = s.Server.cache in
   let num i = Wire.Num (float_of_int i) in
   let served = s.Server.hit + s.Server.interpolated + s.Server.warm + s.Server.cold in
   let misses = s.Server.warm + s.Server.cold in
+  let sched =
+    match scheduler with
+    | None -> []
+    | Some sch ->
+        let st = Scheduler.stats sch in
+        [
+          ("sched_misses", num st.Scheduler.scheduled);
+          ("sched_groups", num st.Scheduler.groups_run);
+          ("sched_coalesced", num st.Scheduler.coalesced);
+          ("sched_shared", num st.Scheduler.shared);
+        ]
+  in
   Wire.Obj
-    [
-      ("ok", Wire.Bool true);
-      ("served", num served);
-      ("hit", num s.Server.hit);
-      ("interpolated", num s.Server.interpolated);
-      ("warm", num s.Server.warm);
-      ("cold", num s.Server.cold);
-      ( "hit_rate",
-        Wire.Num
-          (if served = 0 then 0.0
-           else float_of_int s.Server.hit /. float_of_int served) );
-      ( "evals_per_miss",
-        Wire.Num
-          (if misses = 0 then 0.0
-           else float_of_int s.Server.miss_evals /. float_of_int misses) );
-      ("cache_entries", num c.Cache.entries);
-      ("cache_families", num c.Cache.families);
-      ("cache_shards", num c.Cache.shards);
-      ("cache_hits", num c.Cache.hits);
-      ("cache_misses", num c.Cache.misses);
-      ("cache_insertions", num c.Cache.insertions);
-    ]
+    ([
+       ("ok", Wire.Bool true);
+       ("served", num served);
+       ("hit", num s.Server.hit);
+       ("interpolated", num s.Server.interpolated);
+       ("warm", num s.Server.warm);
+       ("cold", num s.Server.cold);
+       ( "hit_rate",
+         Wire.Num
+           (if served = 0 then 0.0
+            else float_of_int s.Server.hit /. float_of_int served) );
+       ( "evals_per_miss",
+         Wire.Num
+           (if misses = 0 then 0.0
+            else float_of_int s.Server.miss_evals /. float_of_int misses) );
+       ("batched_solves", num s.Server.batched_solves);
+       ("batched_columns", num s.Server.batched_columns);
+       ("cache_entries", num c.Cache.entries);
+       ("cache_families", num c.Cache.families);
+       ("cache_shards", num c.Cache.shards);
+       ("cache_hits", num c.Cache.hits);
+       ("cache_misses", num c.Cache.misses);
+       ("cache_insertions", num c.Cache.insertions);
+     ]
+    @ sched)
 
-let handle_value ?pool server v =
+let handle_value ?pool ?scheduler server v =
   let depth = (Server.config server).Server.depth in
   match v with
   | Wire.Obj _ when Wire.member "op" v <> None -> (
       match Option.map Wire.to_str (Wire.member "op" v) with
-      | Some (Some "stats") -> stats_json (Server.stats server)
+      | Some (Some "stats") -> stats_json ?scheduler (Server.stats server)
       | Some (Some "ping") -> Wire.Obj [ ("ok", Wire.Bool true) ]
       | Some (Some op) -> error "unknown op %S" op
       | _ -> error "\"op\" must be a string")
@@ -137,7 +152,15 @@ let handle_value ?pool server v =
       match parse_query ~depth v with
       | Error e -> error "%s" e
       | Ok q -> (
-          match Server.answer server q.fam q.lambda with
+          let serve () =
+            (* Single-query misses go through the scheduler when one is
+               installed, so concurrent connections coalesce; batch
+               requests below already coalesce within the request. *)
+            match scheduler with
+            | Some sch -> Scheduler.answer sch q.fam q.lambda
+            | None -> Server.answer server q.fam q.lambda
+          in
+          match serve () with
           | a -> answer_json q a
           | exception Invalid_argument msg -> error "%s" msg))
   | Wire.Arr items -> (
@@ -167,10 +190,10 @@ let handle_value ?pool server v =
       | exception Invalid_argument msg -> error "%s" msg)
   | _ -> error "request must be an object or an array of objects"
 
-let handle_line ?pool server line =
+let handle_line ?pool ?scheduler server line =
   let response =
     match Wire.of_string line with
-    | v -> handle_value ?pool server v
+    | v -> handle_value ?pool ?scheduler server v
     | exception Wire.Parse_error msg -> error "parse error: %s" msg
   in
   Wire.to_string response

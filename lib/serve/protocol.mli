@@ -8,21 +8,29 @@
       (include the first [k] state components as ["state"]) are
       optional.
     - [[q1, q2, …]] — a batch of such queries, answered through
-      {!Server.answer_batch}: misses of one family warm-start each
-      other in ascending-λ order and distinct families fan out over the
-      pool. The response is an array in request order.
-    - [{"op": "stats"}] — counters; [{"op": "ping"}] — liveness.
+      {!Server.answer_batch}: each family's distinct miss λs form one
+      lockstep solve, duplicates are served single-flight, and distinct
+      families fan out over the pool. The response is an array in
+      request order.
+    - [{"op": "stats"}] — counters (including the miss scheduler's when
+      one is installed); [{"op": "ping"}] — liveness.
 
     Every failure (parse error, unknown model or parameter, model
     domain violation) maps to [{"ok": false, "error": …}] — on the
     matching batch slot for batches — and never tears down the
     connection. *)
 
-val handle_line : ?pool:Parallel.Pool.t -> Server.t -> string -> string
+val handle_line :
+  ?pool:Parallel.Pool.t -> ?scheduler:Scheduler.t -> Server.t -> string ->
+  string
 (** [handle_line server line] parses one request line and returns the
     response line (without trailing newline). Never raises on malformed
-    input. *)
+    input. With [scheduler], single-query misses are coalesced across
+    concurrent callers ({!Scheduler.answer}); the scheduler must wrap
+    the same server. *)
 
-val handle_value : ?pool:Parallel.Pool.t -> Server.t -> Wire.t -> Wire.t
+val handle_value :
+  ?pool:Parallel.Pool.t -> ?scheduler:Scheduler.t -> Server.t -> Wire.t ->
+  Wire.t
 (** Same, on already-parsed values — the in-process path the bench
     kernel uses to measure protocol cost without socket noise. *)

@@ -1,0 +1,185 @@
+(* Bounded-delay miss coalescing across connections. Queries the
+   solver-free tiers can answer (hit, certified interpolation) return
+   immediately; a true miss parks in a per-family group for up to
+   [window] seconds so concurrent misses of the same family land in ONE
+   lockstep Server.solve_group call instead of K independent solves.
+   Within a group, equal-λ queries share one slot (single-flight): the
+   solve runs once and every waiter gets the same answer.
+
+   Concurrency contract: one scheduler-wide mutex + condition guard all
+   mutable state (the open-group table, slots, counters); every access
+   sits under [Mutex.protect]. The first thread to open a family's
+   group is its leader — it sleeps out the window, seals the group,
+   runs the solve outside the lock, fills the slots and broadcasts;
+   followers just wait on their slot. A group also seals when it
+   reaches [max_batch] slots, so a burst larger than the batch cap
+   starts a fresh group (with its own leader) rather than growing
+   without bound. *)
+
+type slot = {
+  slock : Mutex.t;  (* the scheduler's mutex; guards the fields below *)
+  lambda : float;
+  mutable waiters : int;
+  mutable result : Server.answer option;
+  mutable error : string option;
+}
+
+type group = {
+  glock : Mutex.t;  (* the scheduler's mutex; guards the fields below *)
+  gfam : Families.t;
+  mutable slots : slot list;  (* newest first; reversed before solving *)
+  mutable sealed : bool;
+}
+
+type stats = {
+  scheduled : int;
+  groups_run : int;
+  coalesced : int;
+  shared : int;
+}
+
+type t = {
+  lock : Mutex.t;
+  filled : Condition.t;
+  server : Server.t;
+  window : float;
+  max_batch : int;
+  mutable open_groups : (string * group) list;
+  mutable scheduled : int;
+  mutable groups_run : int;
+  mutable coalesced : int;
+  mutable shared : int;
+}
+
+let create ?(window = 0.002) ?(max_batch = 64) server =
+  if not (window >= 0.0) then
+    invalid_arg "Serve.Scheduler.create: window must be >= 0";
+  if max_batch < 1 then
+    invalid_arg "Serve.Scheduler.create: max_batch must be >= 1";
+  {
+    lock = Mutex.create ();
+    filled = Condition.create ();
+    server;
+    window;
+    max_batch;
+    open_groups = [];
+    scheduled = 0;
+    groups_run = 0;
+    coalesced = 0;
+    shared = 0;
+  }
+
+let server t = t.server
+
+(* Place a missed query, returning what the calling thread must do
+   next. Takes and releases [t.lock] itself. *)
+let enlist t (fam : Families.t) lambda =
+  Mutex.protect t.lock (fun () ->
+      t.scheduled <- t.scheduled + 1;
+      let key = fam.Families.family in
+      let fresh_slot () =
+        { slock = t.lock; lambda; waiters = 1; result = None; error = None }
+      in
+      match List.assoc_opt key t.open_groups with
+      | Some g when not g.sealed -> (
+          t.coalesced <- t.coalesced + 1;
+          match
+            List.find_opt (fun s -> Float.equal s.lambda lambda) g.slots
+          with
+          | Some s ->
+              s.waiters <- s.waiters + 1;
+              t.shared <- t.shared + 1;
+              `Wait s
+          | None ->
+              let s = fresh_slot () in
+              g.slots <- s :: g.slots;
+              if List.length g.slots >= t.max_batch then begin
+                (* full: stop admitting; the leader still solves it
+                   after its window, and the next miss opens a new
+                   group *)
+                g.sealed <- true;
+                t.open_groups <- List.remove_assoc key t.open_groups
+              end;
+              `Wait s)
+      | _ ->
+          let s = fresh_slot () in
+          let g =
+            { glock = t.lock; gfam = fam; slots = [ s ]; sealed = false }
+          in
+          t.open_groups <- (key, g) :: t.open_groups;
+          `Lead (g, s))
+
+(* Outside any lock: turn a filled slot's captured fields into the
+   caller's answer, re-raising a solve failure as the Invalid_argument
+   the scalar path would have thrown. *)
+let finish result error =
+  match (result, error) with
+  | Some a, _ -> a
+  | None, Some msg -> invalid_arg msg
+  | None, None -> assert false
+
+let lead t (g : group) (s : slot) =
+  if t.window > 0.0 then Unix.sleepf t.window;
+  let slots =
+    Mutex.protect t.lock (fun () ->
+        if not g.sealed then begin
+          g.sealed <- true;
+          t.open_groups <-
+            List.remove_assoc g.gfam.Families.family t.open_groups
+        end;
+        (* ascending λ, so the lockstep solve sees the same ordering the
+           batch protocol path would *)
+        List.sort (fun a b -> Float.compare a.lambda b.lambda) g.slots)
+  in
+  (match
+     Server.solve_group t.server g.gfam (List.map (fun sl -> sl.lambda) slots)
+   with
+  | answers ->
+      let tbl = Hashtbl.create 16 in
+      List.iter2
+        (fun sl (a : Server.answer) -> Hashtbl.replace tbl sl.lambda a)
+        slots answers;
+      Mutex.protect t.lock (fun () ->
+          t.groups_run <- t.groups_run + 1;
+          List.iter
+            (fun sl -> sl.result <- Hashtbl.find_opt tbl sl.lambda)
+            slots;
+          Condition.broadcast t.filled)
+  | exception e ->
+      let msg =
+        match e with
+        | Invalid_argument msg -> msg
+        | e -> Printexc.to_string e
+      in
+      Mutex.protect t.lock (fun () ->
+          t.groups_run <- t.groups_run + 1;
+          List.iter (fun sl -> sl.error <- Some msg) slots;
+          Condition.broadcast t.filled));
+  let result, error = Mutex.protect t.lock (fun () -> (s.result, s.error)) in
+  finish result error
+
+let answer t (fam : Families.t) lambda =
+  let lambda = Key.canon_float lambda in
+  match Server.try_fast t.server fam lambda with
+  | Some a -> a
+  | None -> (
+      match enlist t fam lambda with
+      | `Lead (g, s) -> lead t g s
+      | `Wait s ->
+          let result, error =
+            Mutex.protect t.lock (fun () ->
+                while Option.is_none s.result && Option.is_none s.error do
+                  Condition.wait t.filled t.lock
+                done;
+                (s.result, s.error))
+          in
+          finish result error)
+
+let stats t : stats =
+  Mutex.protect t.lock (fun () ->
+      {
+        scheduled = t.scheduled;
+        groups_run = t.groups_run;
+        coalesced = t.coalesced;
+        shared = t.shared;
+      })

@@ -1,0 +1,51 @@
+(** Bounded-delay miss coalescing across connections.
+
+    The daemon serves each connection on its own thread, so concurrent
+    single-query requests that miss the cache would each run their own
+    solve — even when they ask about the same family, or the very same
+    (family, λ). This scheduler turns those misses into batches: a
+    query the solver-free tiers can answer ({!Server.try_fast}) returns
+    immediately, and a true miss parks in a per-family group for up to
+    [window] seconds. The first thread to open a group is its {e
+    leader}: it sleeps out the window while followers accumulate, then
+    runs one lockstep {!Server.solve_group} over the group's distinct
+    λs and hands every waiter its answer. Equal-λ queries share one
+    slot — the solve runs once however many connections ask
+    (single-flight).
+
+    Latency trade: a miss pays at most [window] extra delay (cold
+    solves cost milliseconds, so the default 2 ms window is small
+    against the work it amortises); hits and interpolations never wait.
+
+    Thread-safe; [answer] may be called from any number of threads. *)
+
+type t
+
+type stats = {
+  scheduled : int;  (** True misses that entered the scheduler. *)
+  groups_run : int;  (** Coalesced groups solved (each ≥ 1 λ). *)
+  coalesced : int;
+      (** Misses that joined a group another thread had already opened
+          (the queries the window actually batched). *)
+  shared : int;
+      (** Of those, misses that joined an {e existing} equal-λ slot and
+          shared its single solve. *)
+}
+
+val create : ?window:float -> ?max_batch:int -> Server.t -> t
+(** [window] (seconds, default 0.002) is how long a group's leader
+    waits for followers before solving; [0.0] disables the delay (each
+    miss still solves alone, but concurrent equal-λ misses that land
+    inside a leader's solve window can still share it). [max_batch]
+    (default 64) seals a group early so a burst larger than the cap
+    opens a fresh group instead of growing one without bound.
+    @raise Invalid_argument on a negative window or [max_batch < 1]. *)
+
+val server : t -> Server.t
+
+val answer : t -> Families.t -> float -> Server.answer
+(** Like {!Server.answer}, but misses are coalesced as described above.
+    Re-raises the solve's [Invalid_argument] (e.g. out-of-domain λ) in
+    every waiter. *)
+
+val stats : t -> stats

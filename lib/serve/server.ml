@@ -2,11 +2,11 @@
    at λ" queries through a three-tier path — exact cache hit, monotone
    sub-grid interpolation between cached neighbours (guarded by a real
    residual check), warm-started solve from the nearest cached λ — with
-   a cold solve as the floor. Batches fan per-family ascending-λ chains
-   over the domain pool; within a family the chain is sequential so each
-   solve warm-starts off the previous insert, across families there is
-   no data dependency, so batch results are bit-identical at any pool
-   size. *)
+   a cold solve as the floor. Batches fan per-family groups over the
+   domain pool; within a family the distinct miss λs form one lockstep
+   fixed_point_batch solve (every derivative sweep shared across the
+   group's columns), across families there is no data dependency, so
+   batch results are bit-identical at any pool size. *)
 
 open Meanfield
 
@@ -59,6 +59,8 @@ type counters = {
   mutable warm : int;
   mutable cold : int;
   mutable miss_evals : int;
+  mutable batched_solves : int;
+  mutable batched_columns : int;
 }
 
 type stats = {
@@ -68,6 +70,8 @@ type stats = {
   warm : int;
   cold : int;
   miss_evals : int;
+  batched_solves : int;
+  batched_columns : int;
 }
 
 type t = { config : config; cache : Cache.t; counters : counters }
@@ -84,6 +88,8 @@ let create ?(config = default_config) () =
         warm = 0;
         cold = 0;
         miss_evals = 0;
+        batched_solves = 0;
+        batched_columns = 0;
       };
   }
 
@@ -100,6 +106,12 @@ let bump t source evals =
       match source with
       | Warm | Cold -> c.miss_evals <- c.miss_evals + evals
       | Hit | Interpolated -> ())
+
+let bump_batched t columns =
+  let c = t.counters in
+  Mutex.protect c.lock (fun () ->
+      c.batched_solves <- c.batched_solves + 1;
+      c.batched_columns <- c.batched_columns + columns)
 
 (* Sub-grid interpolation: when enough of the family's curve is already
    cached and the query λ falls inside a narrow bracketed gap, evaluate
@@ -144,21 +156,79 @@ let try_interp t model chain lambda =
     else None
   end
 
-let answer t (fam : Families.t) lambda =
+(* Which start (and Anderson basin) a miss solve should use: the
+   nearest cached λ-neighbour only wins when it is actually closer to
+   the fixed point than the model's own default start — mm1's
+   [initial_warm] {e is} its closed-form fixed point, and relaxing away
+   from a neighbour state there costs orders of magnitude more than the
+   two residual checks that prove the default is already converged. The
+   two extra derivative evaluations are charged to the answer. A
+   neighbour start is already close to the target fixed point, so let
+   Anderson mixing engage straight away (the mixing's stall/escape
+   fallback bounds the downside); cold solves keep the solver's
+   conservative default basin. *)
+let pick_start t model chain lambda =
+  let candidates = List.map (fun e -> (e.Cache.lambda, e.Cache.state)) chain in
+  match Continuation.nearest_start ~candidates ~dim:model.Model.dim lambda with
+  | `Warm -> (`Warm, Drive.default_basin, Cold, 0)
+  | `State s ->
+      let r_near = Drive.residual model s in
+      let r_default = Drive.residual model (model.Model.initial_warm ()) in
+      if r_default <= r_near then (`Warm, Drive.default_basin, Cold, 2)
+      else (`State s, t.config.warm_basin, Warm, 2)
+
+let finish_answer t (fam : Families.t) lambda model source fp extra_evals =
+  let evals = fp.Drive.evals + extra_evals in
+  let mean_tasks = Metrics.mean_tasks model fp.Drive.state in
+  let mean_time = Metrics.mean_time model fp.Drive.state in
+  Cache.insert t.cache ~family:fam.Families.family
+    {
+      Cache.lambda;
+      state = fp.Drive.state;
+      residual = fp.Drive.residual;
+      evals;
+      mean_tasks;
+      mean_time;
+    };
+  bump t source evals;
+  {
+    family = fam;
+    lambda;
+    state = fp.Drive.state;
+    residual = fp.Drive.residual;
+    evals;
+    source;
+    mean_tasks;
+    mean_time;
+  }
+
+(* The scalar miss path: one warm- or cold-started hybrid solve. The
+   chain snapshot comes from the counter-neutral [Cache.chain] — the
+   [Cache.find] in [try_fast] already paid this query's hit/miss
+   accounting. *)
+let solve_scalar_miss t (fam : Families.t) lambda =
+  let model = fam.Families.build lambda in
+  let chain = Cache.chain t.cache ~family:fam.Families.family in
+  let start, basin, source, extra_evals = pick_start t model chain lambda in
+  let fp = Drive.fixed_point ~tol:t.config.tol ~basin ~start model in
+  finish_answer t fam lambda model source fp extra_evals
+
+let try_fast t (fam : Families.t) lambda =
   let lambda = Key.canon_float lambda in
   match Cache.find t.cache ~family:fam.Families.family lambda with
   | Cache.Hit e ->
       bump t Hit 0;
-      {
-        family = fam;
-        lambda;
-        state = e.Cache.state;
-        residual = e.Cache.residual;
-        evals = 0;
-        source = Hit;
-        mean_tasks = e.Cache.mean_tasks;
-        mean_time = e.Cache.mean_time;
-      }
+      Some
+        {
+          family = fam;
+          lambda;
+          state = e.Cache.state;
+          residual = e.Cache.residual;
+          evals = 0;
+          source = Hit;
+          mean_tasks = e.Cache.mean_tasks;
+          mean_time = e.Cache.mean_time;
+        }
   | Cache.Miss chain -> (
       let model = fam.Families.build lambda in
       match try_interp t model chain lambda with
@@ -168,79 +238,87 @@ let answer t (fam : Families.t) lambda =
           Cache.insert t.cache ~family:fam.Families.family
             { Cache.lambda; state; residual; evals = 1; mean_tasks; mean_time };
           bump t Interpolated 1;
-          {
-            family = fam;
-            lambda;
-            state;
-            residual;
-            evals = 1;
-            source = Interpolated;
-            mean_tasks;
-            mean_time;
-          }
-      | None ->
-          let candidates =
-            List.map (fun e -> (e.Cache.lambda, e.Cache.state)) chain
-          in
-          let start =
-            Continuation.nearest_start ~candidates ~dim:model.Model.dim lambda
-          in
-          (* A neighbour start only wins when it is actually closer to
-             the fixed point than the model's own default start: mm1's
-             [initial_warm] {e is} its closed-form fixed point, and
-             relaxing away from a neighbour state there costs orders of
-             magnitude more than the two residual checks that prove the
-             default is already converged. Measure both and keep the
-             better; the two extra derivative evaluations are charged to
-             the answer. *)
-          let start, extra_evals =
-            match start with
-            | `Warm -> (`Warm, 0)
-            | `State s ->
-                let r_near = Drive.residual model s in
-                let r_default =
-                  Drive.residual model (model.Model.initial_warm ())
-                in
-                if r_default <= r_near then (`Warm, 2) else (`State s, 2)
-          in
-          let source = match start with `State _ -> Warm | `Warm -> Cold in
-          (* A nearest-neighbour start is already close to the target
-             fixed point, so let Anderson mixing engage straight away
-             (the mixing's stall/escape fallback bounds the downside);
-             cold solves keep the solver's conservative default basin. *)
-          let fp =
-            match source with
-            | Warm ->
-                Drive.fixed_point ~tol:t.config.tol
-                  ~basin:t.config.warm_basin
-                  ~start:
-                    (start :> [ `Empty | `Warm | `State of Numerics.Vec.t ])
-                  model
-            | _ -> Drive.fixed_point ~tol:t.config.tol ~start:`Warm model
-          in
-          let evals = fp.Drive.evals + extra_evals in
-          let mean_tasks = Metrics.mean_tasks model fp.Drive.state in
-          let mean_time = Metrics.mean_time model fp.Drive.state in
-          Cache.insert t.cache ~family:fam.Families.family
+          Some
             {
-              Cache.lambda;
-              state = fp.Drive.state;
-              residual = fp.Drive.residual;
-              evals;
+              family = fam;
+              lambda;
+              state;
+              residual;
+              evals = 1;
+              source = Interpolated;
               mean_tasks;
               mean_time;
-            };
-          bump t source evals;
-          {
-            family = fam;
-            lambda;
-            state = fp.Drive.state;
-            residual = fp.Drive.residual;
-            evals;
-            source;
-            mean_tasks;
-            mean_time;
-          })
+            }
+      | None -> None)
+
+let answer t (fam : Families.t) lambda =
+  let lambda = Key.canon_float lambda in
+  match try_fast t fam lambda with
+  | Some a -> a
+  | None -> solve_scalar_miss t fam lambda
+
+let rec solve_group t (fam : Families.t) lambdas =
+  match lambdas with
+  | [] -> []
+  | [ lambda ] -> [ solve_scalar_miss t fam lambda ]
+  | _ ->
+      (* K misses of one family become one lockstep solve: the family's
+         batch builder lays the columns over a shared SoA matrix (with
+         the hand-batched derivative kernel when the family has one),
+         each column gets its own warm/cold start decision against one
+         chain snapshot, and every derivative sweep is shared by all
+         still-active columns. *)
+      let arr = Array.of_list lambdas in
+      let models = fam.Families.build_batch arr in
+      let chain = Cache.chain t.cache ~family:fam.Families.family in
+      let k = Array.length arr in
+      let starts =
+        Array.make k (`Warm : [ `Empty | `Warm | `State of Numerics.Vec.t ])
+      in
+      let basins = Array.make k Drive.default_basin in
+      let sources = Array.make k Cold in
+      let extras = Array.make k 0 in
+      Array.iteri
+        (fun i lambda ->
+          let start, basin, source, extra =
+            pick_start t models.(i) chain lambda
+          in
+          starts.(i) <-
+            (start :> [ `Empty | `Warm | `State of Numerics.Vec.t ]);
+          basins.(i) <- basin;
+          sources.(i) <- source;
+          extras.(i) <- extra)
+        arr;
+      if Array.for_all (fun s -> s = Cold) sources then begin
+        (* A fully cold miss train — a burst scanning a region the
+           cache has never seen. Lockstep-solving K cold columns pays
+           K full solves' worth of sweeps, where a sequential replay
+           would cold-solve only the first and warm-chain the rest.
+           Recover that chaining: scalar-solve one anchor (the median
+           λ, closest to everyone), insert it, and re-group the rest —
+           whose re-picked starts now find the anchor in the chain. *)
+        let mid = k / 2 in
+        let anchor = solve_scalar_miss t fam arr.(mid) in
+        let rest =
+          List.filteri (fun i _ -> i <> mid) (Array.to_list arr)
+        in
+        let rest_answers = solve_group t fam rest in
+        let before = List.filteri (fun i _ -> i < mid) rest_answers in
+        let after = List.filteri (fun i _ -> i >= mid) rest_answers in
+        before @ (anchor :: after)
+      end
+      else begin
+        let fps, _stats =
+          Drive.fixed_point_batch ~tol:t.config.tol ~starts ~basins models
+        in
+        bump_batched t k;
+        Array.to_list
+          (Array.mapi
+             (fun i fp ->
+               finish_answer t fam arr.(i) models.(i) sources.(i) fp
+                 extras.(i))
+             fps)
+      end
 
 let answer_batch ?pool t queries =
   let pool =
@@ -270,18 +348,44 @@ let answer_batch ?pool t queries =
       let prev = Option.value ~default:[] (Hashtbl.find_opt buckets k) in
       Hashtbl.replace buckets k (q :: prev))
     tagged;
-  let chains =
-    List.map
-      (fun k ->
-        List.stable_sort
-          (fun (_, _, a) (_, _, b) -> Float.compare a b)
-          (List.rev (Hashtbl.find buckets k)))
-      fams
-  in
+  let groups = List.map (fun k -> List.rev (Hashtbl.find buckets k)) fams in
   let solved =
     Parallel.Pool.map pool
-      (fun chain -> List.map (fun (i, fam, l) -> (i, answer t fam l)) chain)
-      chains
+      (fun group ->
+        let fam =
+          match group with (_, fam, _) :: _ -> fam | [] -> assert false
+        in
+        (* Single-flight within the request: each distinct λ is looked
+           up (and, on a miss, solved) exactly once; duplicates share
+           the first occurrence's answer and count as hits, which is
+           what they were when the old per-query chain re-found the
+           just-inserted entry. Misses then form one ascending-λ
+           lockstep solve instead of a sequential warm-start chain. *)
+        let uniq =
+          List.sort_uniq Float.compare (List.map (fun (_, _, l) -> l) group)
+        in
+        let answered = Hashtbl.create 16 in
+        let misses =
+          List.filter
+            (fun l ->
+              match try_fast t fam l with
+              | Some a ->
+                  Hashtbl.replace answered l a;
+                  false
+              | None -> true)
+            uniq
+        in
+        List.iter2
+          (fun l a -> Hashtbl.replace answered l a)
+          misses (solve_group t fam misses);
+        let seen_lambda = Hashtbl.create 16 in
+        List.map
+          (fun (i, _, l) ->
+            if Hashtbl.mem seen_lambda l then bump t Hit 0
+            else Hashtbl.add seen_lambda l ();
+            (i, Hashtbl.find answered l))
+          group)
+      groups
   in
   List.concat solved
   |> List.sort (fun (i, _) (j, _) -> Int.compare i j)
@@ -289,8 +393,24 @@ let answer_batch ?pool t queries =
 
 let stats t : stats =
   let c = t.counters in
-  let hit, interpolated, warm, cold, miss_evals =
+  let hit, interpolated, warm, cold, miss_evals, batched_solves, batched_columns
+      =
     Mutex.protect c.lock (fun () ->
-        (c.hit, c.interpolated, c.warm, c.cold, c.miss_evals))
+        ( c.hit,
+          c.interpolated,
+          c.warm,
+          c.cold,
+          c.miss_evals,
+          c.batched_solves,
+          c.batched_columns ))
   in
-  { cache = Cache.stats t.cache; hit; interpolated; warm; cold; miss_evals }
+  {
+    cache = Cache.stats t.cache;
+    hit;
+    interpolated;
+    warm;
+    cold;
+    miss_evals;
+    batched_solves;
+    batched_columns;
+  }

@@ -93,6 +93,11 @@ type stats = {
   cold : int;
   miss_evals : int;
       (** Total derivative evaluations across warm and cold solves. *)
+  batched_solves : int;
+      (** Lockstep {!Meanfield.Drive.fixed_point_batch} calls the miss
+          path ran (each covering ≥ 2 columns). *)
+  batched_columns : int;
+      (** Total columns across those batched solves. *)
 }
 
 val create : ?config:config -> unit -> t
@@ -105,13 +110,34 @@ val answer : t -> Families.t -> float -> answer
     raises on out-of-domain parameters ([Invalid_argument]); the
     protocol layer turns that into an error response. *)
 
+val try_fast : t -> Families.t -> float -> answer option
+(** The two solver-free tiers only: a cache hit or a certified
+    interpolation, counted and (for an interpolation) inserted exactly
+    as {!answer} would; [None] means the query needs a real solve. The
+    miss scheduler uses this to answer instantly what it can and
+    coalesce only true misses. *)
+
+val solve_group : t -> Families.t -> float list -> answer list
+(** Solve a group of true misses of one family — distinct canonical λs,
+    each already accounted by the {!try_fast} that missed. Two or more
+    λs become a single lockstep {!Meanfield.Drive.fixed_point_batch}
+    solve over the family's [build_batch] (per-column warm/cold start
+    decisions against one cache-chain snapshot, every derivative sweep
+    shared across the group); a singleton keeps the scalar solver.
+    A group whose every column would start cold first scalar-solves one
+    anchor (the median λ) and re-groups the rest against the refreshed
+    chain, recovering the warm-start chaining a sequential replay of
+    the same misses would enjoy. Results are inserted, counted and
+    returned in input order. *)
+
 val answer_batch :
   ?pool:Parallel.Pool.t -> t -> (Families.t * float) list -> answer list
-(** Serve a batch: queries are grouped by family, each family's misses
-    form one ascending-λ chain (so every solve warm-starts off its
-    just-solved neighbour), and the chains fan out over the pool
-    (default {!Parallel.Pool.default}). Results are in input order and
-    bit-identical at any pool size: chains are pairwise independent and
-    sequential within themselves. *)
+(** Serve a batch: queries are grouped by family and the groups fan out
+    over the pool (default {!Parallel.Pool.default}). Within a family
+    each distinct λ is served once ({!try_fast}, then one
+    {!solve_group} over the misses in ascending λ) and within-request
+    duplicates share that answer single-flight, counted as hits.
+    Results are in input order and bit-identical at any pool size:
+    family groups are pairwise independent. *)
 
 val stats : t -> stats

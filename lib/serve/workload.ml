@@ -34,11 +34,16 @@ let uniform s =
   (s, float_of_int s /. 2147483647.0)
 
 let stream ?(seed = 42) ?(models = default_models) ?(grid = 24)
-    ?(lo = 0.5) ?(hi = 0.98) ?(offgrid_share = 0.15) n =
+    ?(lo = 0.5) ?(hi = 0.98) ?(offgrid_share = 0.15) ?(burst_share = 0.0)
+    ?(burst_len = 8) n =
   if n < 0 then invalid_arg "Serve.Workload.stream: n must be >= 0";
   if grid < 2 then invalid_arg "Serve.Workload.stream: grid must be >= 2";
   if models = [] then invalid_arg "Serve.Workload.stream: no models";
   if not (lo < hi) then invalid_arg "Serve.Workload.stream: need lo < hi";
+  if not (burst_share >= 0.0 && burst_share <= 1.0) then
+    invalid_arg "Serve.Workload.stream: burst_share must be in [0, 1]";
+  if burst_len < 1 then
+    invalid_arg "Serve.Workload.stream: burst_len must be >= 1";
   let models = Array.of_list models in
   let nm = Array.length models in
   let lambdas =
@@ -85,20 +90,56 @@ let stream ?(seed = 42) ?(models = default_models) ?(grid = 24)
     state := s;
     u
   in
-  List.init n (fun _ ->
-      let m = int_of_float (draw () *. float_of_int nm) in
-      let m = if m >= nm then nm - 1 else m in
-      let r = rank_of (draw ()) in
-      let slot = ((steps.(m) * r) + m) mod grid in
-      let lambda =
-        if draw () < offgrid_share && slot < grid - 1 then
-          (* land strictly between two adjacent grid points *)
-          Key.canon_float
-            (lambdas.(slot)
-            +. ((0.2 +. (0.6 *. draw ())) *. (lambdas.(slot + 1) -. lambdas.(slot))))
-        else lambdas.(slot)
-      in
-      { model = models.(m); params = []; lambda })
+  let base_query () =
+    let m = int_of_float (draw () *. float_of_int nm) in
+    let m = if m >= nm then nm - 1 else m in
+    let r = rank_of (draw ()) in
+    let slot = ((steps.(m) * r) + m) mod grid in
+    let lambda =
+      if draw () < offgrid_share && slot < grid - 1 then
+        (* land strictly between two adjacent grid points *)
+        Key.canon_float
+          (lambdas.(slot)
+          +. ((0.2 +. (0.6 *. draw ())) *. (lambdas.(slot + 1) -. lambdas.(slot))))
+      else lambdas.(slot)
+    in
+    { model = models.(m); params = []; lambda }
+  in
+  if burst_share <= 0.0 then
+    (* the historical stream, draw for draw — recorded streams and the
+       CI smoke gates stay byte-identical when bursts are off *)
+    List.init n (fun _ -> base_query ())
+  else begin
+    (* Burst mode: after a base query, with probability [burst_share]
+       emit a λ-scan — one model asked at [burst_len] consecutive grid
+       rates, the shape an auto-scaler sweeping a what-if curve (or a
+       dashboard fanning a row of gauges) produces. These are the
+       misses batched lockstep solves and the daemon's miss scheduler
+       coalesce; all burst draws are guarded behind [burst_share > 0]
+       so they never perturb the default stream. *)
+    let out = ref [] in
+    let count = ref 0 in
+    let push q =
+      out := q :: !out;
+      incr count
+    in
+    while !count < n do
+      push (base_query ());
+      if !count < n && draw () < burst_share then begin
+        let m = int_of_float (draw () *. float_of_int nm) in
+        let m = if m >= nm then nm - 1 else m in
+        let base = int_of_float (draw () *. float_of_int grid) in
+        let base = if base >= grid then grid - 1 else base in
+        for j = 0 to burst_len - 1 do
+          if !count < n then
+            let slot = base + j in
+            let slot = if slot >= grid then grid - 1 else slot in
+            push { model = models.(m); params = []; lambda = lambdas.(slot) }
+        done
+      end
+    done;
+    List.rev !out
+  end
 
 let request_json ?tail q =
   let base =

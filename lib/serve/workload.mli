@@ -26,12 +26,20 @@ val stream :
   ?lo:float ->
   ?hi:float ->
   ?offgrid_share:float ->
+  ?burst_share:float ->
+  ?burst_len:int ->
   int ->
   query list
 (** [stream n] is [n] queries. Defaults: [seed 42], [models
     default_models], a [grid 24]-point λ grid on [[lo 0.5, hi 0.98]],
-    [offgrid_share 0.15]. @raise Invalid_argument on degenerate
-    arguments. *)
+    [offgrid_share 0.15]. With [burst_share > 0] (default 0), each base
+    query is followed, with that probability, by a {e burst}: one model
+    asked at [burst_len] (default 8) consecutive grid rates ascending
+    from a random slot — the same-family miss trains that lockstep
+    batch solves and the daemon's miss scheduler coalesce. Burst draws
+    are guarded behind [burst_share > 0], so the default stream is
+    byte-identical to streams recorded before bursts existed.
+    @raise Invalid_argument on degenerate arguments. *)
 
 val request_json : ?tail:int -> query -> Wire.t
 (** The protocol request for a query (see {!Protocol}). *)

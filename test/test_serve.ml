@@ -366,6 +366,115 @@ let test_server_batch_pool_invariant () =
            0.0))
     a b
 
+(* ---------- solve_group / Scheduler ---------- *)
+
+let test_server_group_anchor () =
+  (* a fully cold miss train: the group scalar-solves the median λ as
+     an anchor, then lockstep-solves the rest warm-started off it *)
+  let t = Server.create () in
+  let fam = resolve_exn "simple" [] in
+  let lambdas = [ 0.7; 0.72; 0.74 ] in
+  let answers = Server.solve_group t fam lambdas in
+  Alcotest.(check int) "one answer per lambda" 3 (List.length answers);
+  List.iter2
+    (fun l a ->
+      check_close 0.0 "ordered" (Key.canon_float l) a.Server.lambda;
+      Alcotest.(check bool) "certified" true
+        (a.Server.residual <= (Server.config t).Server.tol))
+    lambdas answers;
+  let sources = List.map (fun a -> Server.source_name a.Server.source) answers in
+  Alcotest.(check (list string)) "anchor cold, flanks warm"
+    [ "warm"; "cold"; "warm" ] sources;
+  let s = Server.stats t in
+  Alcotest.(check int) "one lockstep solve" 1 s.Server.batched_solves;
+  Alcotest.(check int) "two batched columns" 2 s.Server.batched_columns
+
+let test_scheduler_single_query () =
+  (* window 0: the leader seals and solves immediately — the scheduler
+     must be a drop-in for Server.answer on an idle daemon *)
+  let t = Server.create () in
+  let sch = Scheduler.create ~window:0.0 t in
+  let fam = resolve_exn "threshold" [] in
+  let a = Scheduler.answer sch fam 0.8 in
+  Alcotest.(check string) "cold solve" "cold"
+    (Server.source_name a.Server.source);
+  let b = Scheduler.answer sch fam 0.8 in
+  Alcotest.(check string) "then a hit" "hit"
+    (Server.source_name b.Server.source);
+  let s = Scheduler.stats sch in
+  Alcotest.(check int) "one miss scheduled" 1 s.Scheduler.scheduled;
+  Alcotest.(check int) "one group run" 1 s.Scheduler.groups_run;
+  Alcotest.(check int) "nothing coalesced" 0 s.Scheduler.coalesced
+
+let test_scheduler_coalesces () =
+  (* four concurrent misses of one family inside one window: one
+     leader, three coalesced followers, the duplicate λ single-flight *)
+  let t = Server.create () in
+  let sch = Scheduler.create ~window:0.5 t in
+  let fam = resolve_exn "simple" [] in
+  let lambdas = [| 0.81; 0.83; 0.83; 0.85 |] in
+  let results = Array.make (Array.length lambdas) None in
+  let threads =
+    Array.mapi
+      (fun i lambda ->
+        Thread.create
+          (fun lambda -> results.(i) <- Some (Scheduler.answer sch fam lambda))
+          lambda)
+      lambdas
+  in
+  Array.iter Thread.join threads;
+  Array.iteri
+    (fun i r ->
+      match r with
+      | None -> Alcotest.failf "query %d returned nothing" i
+      | Some a ->
+          check_close 0.0 "right lambda" lambdas.(i) a.Server.lambda;
+          Alcotest.(check bool) "certified" true
+            (a.Server.residual <= (Server.config t).Server.tol))
+    results;
+  (* the two 0.83 queries shared one slot: bitwise-identical answers *)
+  (match (results.(1), results.(2)) with
+  | Some a, Some b ->
+      Alcotest.(check bool) "single-flight shares the state" true
+        (Float.equal (Numerics.Vec.dist_inf a.Server.state b.Server.state)
+           0.0);
+      Alcotest.(check int) "single-flight shares the cost" a.Server.evals
+        b.Server.evals
+  | _ -> Alcotest.fail "missing duplicate answers");
+  let s = Scheduler.stats sch in
+  Alcotest.(check int) "all four misses scheduled" 4 s.Scheduler.scheduled;
+  Alcotest.(check int) "one group" 1 s.Scheduler.groups_run;
+  Alcotest.(check int) "three joined the leader" 3 s.Scheduler.coalesced;
+  Alcotest.(check int) "duplicate lambda shared" 1 s.Scheduler.shared;
+  (* three distinct λs, all cold: anchor + a 2-column lockstep solve *)
+  let ss = Server.stats t in
+  Alcotest.(check int) "one lockstep solve" 1 ss.Server.batched_solves
+
+let test_scheduler_error_propagates () =
+  (* a solve failure must resurface on the waiting thread as the same
+     Invalid_argument the scalar path would have thrown, and must not
+     wedge the scheduler for later queries *)
+  let t = Server.create () in
+  let sch = Scheduler.create ~window:0.0 t in
+  let fam = resolve_exn "threshold" [] in
+  (match Scheduler.answer sch fam 1.5 with
+  | _ -> Alcotest.fail "accepted an unstable lambda"
+  | exception Invalid_argument _ -> ());
+  let a = Scheduler.answer sch fam 0.8 in
+  Alcotest.(check string) "scheduler still serves" "cold"
+    (Server.source_name a.Server.source)
+
+let test_scheduler_rejects_bad_config () =
+  let t = Server.create () in
+  Alcotest.(check bool) "negative window rejected" true
+    (match Scheduler.create ~window:(-1.0) t with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "zero max_batch rejected" true
+    (match Scheduler.create ~max_batch:0 t with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 (* ---------- Protocol ---------- *)
 
 let member_exn v key =
@@ -490,6 +599,46 @@ let test_workload_offgrid_share () =
     true
     (share > 0.10 && share < 0.20)
 
+let test_workload_burst_mode () =
+  (* burst_share = 0 must be byte-identical to the pre-burst stream:
+     recorded hit rates (the CI replay gate) depend on it *)
+  let plain = Workload.stream 500 in
+  Alcotest.(check bool) "burst_share 0 is the default stream" true
+    (Workload.stream ~burst_share:0.0 500 = plain);
+  let bursty = Workload.stream ~burst_share:0.3 ~burst_len:8 500 in
+  Alcotest.(check int) "requested length honoured" 500 (List.length bursty);
+  Alcotest.(check bool) "deterministic" true
+    (Workload.stream ~burst_share:0.3 ~burst_len:8 500 = bursty);
+  (* bursts are same-model runs at ascending consecutive rates — count
+     adjacent same-model strictly-ascending pairs, which coalescing and
+     lockstep batching feed on; the plain stream has almost none *)
+  let ascending_pairs qs =
+    let rec go n = function
+      | a :: (b :: _ as rest) ->
+          let hit =
+            String.equal a.Workload.model b.Workload.model
+            && a.Workload.lambda < b.Workload.lambda
+          in
+          go (if hit then n + 1 else n) rest
+      | _ -> n
+    in
+    go 0 qs
+  in
+  Alcotest.(check bool) "burst trains present" true
+    (ascending_pairs bursty > 2 * ascending_pairs plain);
+  (* degenerate arguments rejected *)
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "rejected" true
+        (match f () with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+    [
+      (fun () -> Workload.stream ~burst_share:(-0.1) 10);
+      (fun () -> Workload.stream ~burst_share:1.5 10);
+      (fun () -> Workload.stream ~burst_share:0.3 ~burst_len:0 10);
+    ]
+
 let () =
   Alcotest.run "serve"
     [
@@ -535,6 +684,18 @@ let () =
           Alcotest.test_case "batch order" `Quick test_server_batch_order;
           Alcotest.test_case "batch pool invariance" `Slow
             test_server_batch_pool_invariant;
+          Alcotest.test_case "cold group anchors on the median" `Quick
+            test_server_group_anchor;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "single query" `Quick test_scheduler_single_query;
+          Alcotest.test_case "coalesces a burst" `Quick
+            test_scheduler_coalesces;
+          Alcotest.test_case "errors propagate" `Quick
+            test_scheduler_error_propagates;
+          Alcotest.test_case "rejects bad config" `Quick
+            test_scheduler_rejects_bad_config;
         ] );
       ( "protocol",
         [
@@ -550,5 +711,6 @@ let () =
             test_workload_deterministic;
           Alcotest.test_case "off-grid share" `Quick
             test_workload_offgrid_share;
+          Alcotest.test_case "burst mode" `Quick test_workload_burst_mode;
         ] );
     ]
